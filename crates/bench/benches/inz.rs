@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks for INZ encode/decode — the paper requires
+//! a 16-byte payload per cycle at 2.8 GHz (§IV-A), i.e. sub-ns hardware;
+//! the software model should at least sustain tens of millions of
+//! payloads per second.
+
+use anton_compress::inz;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_inz(c: &mut Criterion) {
+    let force = [1500u32, (-2200i32) as u32, 900, 77];
+    let incompressible = [0xDEAD_BEEFu32, 0x7FFF_FFFF, 0x8000_0001, 0x5555_5555];
+    let zero = [0u32; 4];
+
+    let mut g = c.benchmark_group("inz_encode");
+    g.bench_function("typical_force", |b| b.iter(|| inz::encode(black_box(&force))));
+    g.bench_function("incompressible", |b| b.iter(|| inz::encode(black_box(&incompressible))));
+    g.bench_function("all_zero", |b| b.iter(|| inz::encode(black_box(&zero))));
+    g.finish();
+
+    let enc = inz::encode(&force);
+    let enc_raw = inz::encode(&incompressible);
+    let mut g = c.benchmark_group("inz_decode");
+    g.bench_function("typical_force", |b| b.iter(|| inz::decode(black_box(&enc))));
+    g.bench_function("raw_fallback", |b| b.iter(|| inz::decode(black_box(&enc_raw))));
+    g.finish();
+
+    c.bench_function("inz_wire_len_batch_64", |b| {
+        let payloads: Vec<[u32; 3]> = (0..64)
+            .map(|i| [(i * 37) as u32, (i * 91) as u32, (i * 13) as u32])
+            .collect();
+        b.iter(|| {
+            let mut total = 0usize;
+            for p in &payloads {
+                total += inz::wire_len(black_box(p), true);
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench_inz);
+criterion_main!(benches);

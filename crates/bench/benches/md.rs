@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the MD substrate and a full network time step.
+
+use anton_machine::mdrun::MdNetworkRun;
+use anton_md::force::compute_forces;
+use anton_md::integrate::Simulation;
+use anton_md::system::{System, WaterParams};
+use anton_model::MachineConfig;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_md(c: &mut Criterion) {
+    let params = WaterParams::default();
+
+    c.bench_function("water_box_build_2k", |b| {
+        b.iter(|| System::water_box(2000, &params, 7))
+    });
+
+    c.bench_function("force_kernel_2k_atoms", |b| {
+        let sys = System::water_box(2000, &params, 8);
+        b.iter(|| compute_forces(&sys, &params))
+    });
+
+    c.bench_function("velocity_verlet_step_2k", |b| {
+        let sim = Simulation::water(2000, 9);
+        b.iter_batched(
+            || sim.clone(),
+            |mut s| {
+                s.step();
+                s
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    let mut g = c.benchmark_group("network_md_step");
+    g.sample_size(10);
+    g.bench_function("step_4000_atoms_8_nodes_compressed", |b| {
+        b.iter_batched(
+            || MdNetworkRun::new(MachineConfig::torus([2, 2, 2]), 4000, 5, false),
+            |mut run| {
+                run.step();
+                run
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("step_4000_atoms_8_nodes_baseline", |b| {
+        b.iter_batched(
+            || {
+                MdNetworkRun::new(
+                    MachineConfig::torus([2, 2, 2]).without_compression(),
+                    4000,
+                    5,
+                    false,
+                )
+            },
+            |mut run| {
+                run.step();
+                run
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_md);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks for the network component models: route
+//! planning, end-to-end path evaluation, router fence merging, and the
+//! channel adapter send path.
+
+use anton_model::latency::LatencyModel;
+use anton_model::topology::{NodeId, Torus};
+use anton_model::units::Ps;
+use anton_net::adapter::{CaLink, Compression};
+use anton_net::chip::ChipLoc;
+use anton_net::fence::RouterFence;
+use anton_net::packet::PacketKind;
+use anton_net::{path, routing};
+use anton_sim::rng::SplitMix64;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_network(c: &mut Criterion) {
+    let torus = Torus::new([4, 4, 8]);
+    let lat = LatencyModel::default();
+
+    c.bench_function("plan_request_4x4x8", |b| {
+        let mut rng = SplitMix64::new(1);
+        let a = torus.coord(NodeId(0));
+        let z = torus.coord(NodeId(127));
+        b.iter(|| routing::plan_request(&torus, black_box(a), black_box(z), &mut rng))
+    });
+
+    c.bench_function("one_way_path_8hop", |b| {
+        let mut rng = SplitMix64::new(2);
+        let a = torus.coord(NodeId(0));
+        let z = torus.coord(NodeId(127));
+        let plan = routing::plan_request(&torus, a, z, &mut rng);
+        let src = ChipLoc::gc(0, 0, 0);
+        let dst = ChipLoc::gc(23, 11, 1);
+        b.iter(|| path::one_way(&lat, Compression::NONE, src, dst, black_box(&plan), 4))
+    });
+
+    c.bench_function("router_fence_merge_cycle", |b| {
+        let mut rf = RouterFence::new(7, 5);
+        for port in 0..7 {
+            for vc in 0..5 {
+                rf.configure(port, vc, 4, 0b111);
+            }
+        }
+        b.iter(|| {
+            let mut fired = 0;
+            for _ in 0..4 {
+                for port in 0..7 {
+                    if rf.receive(black_box(port), 0).is_some() {
+                        fired += 1;
+                    }
+                }
+            }
+            fired
+        })
+    });
+
+    c.bench_function("ca_link_send_position", |b| {
+        let mut link = CaLink::new(&lat, Compression::FULL);
+        let mut t = Ps::ZERO;
+        let mut x = 0i32;
+        b.iter(|| {
+            x += 1600;
+            let (tr, _) = link.send_position(
+                t,
+                anton_compress::pcache::ParticleKey(7),
+                black_box([x, -x, x / 3]),
+            );
+            t = tr.arrive;
+        })
+    });
+
+    c.bench_function("ca_link_send_force", |b| {
+        let mut link = CaLink::new(&lat, Compression::FULL);
+        let mut t = Ps::ZERO;
+        b.iter(|| {
+            let tr = link.send_force(t, black_box([820, -411, 97]));
+            t = tr.arrive;
+        })
+    });
+
+    c.bench_function("ca_link_marker_uncompressed", |b| {
+        let mut link = CaLink::new(&lat, Compression::NONE);
+        let mut t = Ps::ZERO;
+        b.iter(|| {
+            let tr = link.send_marker(t, PacketKind::Fence);
+            t = tr.arrive;
+        })
+    });
+}
+
+criterion_group!(benches, bench_network);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for the particle cache hit/miss paths.
+
+use anton_compress::pcache::{ChannelPcache, ParticleKey};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_pcache(c: &mut Criterion) {
+    // Warm cache: repeated hits on a thermal-motion stream.
+    c.bench_function("pcache_hit_roundtrip", |b| {
+        let mut ch = ChannelPcache::default();
+        let wire = ch.transmit(ParticleKey(1), [0, 0, 0]);
+        ch.receive(wire);
+        let mut t = 0i32;
+        b.iter(|| {
+            t += 1600;
+            let wire = ch.transmit(ParticleKey(1), black_box([t, -t, t / 2]));
+            ch.receive(wire)
+        })
+    });
+
+    c.bench_function("pcache_miss_allocate", |b| {
+        let mut ch = ChannelPcache::default();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let wire = ch.transmit(ParticleKey(k), black_box([1, 2, 3]));
+            ch.receive(wire)
+        })
+    });
+
+    c.bench_function("pcache_step_of_512_particles", |b| {
+        let mut ch = ChannelPcache::default();
+        for k in 0..512u64 {
+            let wire = ch.transmit(ParticleKey(k), [k as i32, 0, 0]);
+            ch.receive(wire);
+        }
+        let mut t = 0i32;
+        b.iter(|| {
+            t += 1000;
+            for k in 0..512u64 {
+                let wire = ch.transmit(ParticleKey(k), [t + k as i32, t, -t]);
+                ch.receive(wire);
+            }
+            ch.end_of_step();
+        })
+    });
+}
+
+criterion_group!(benches, bench_pcache);
+criterion_main!(benches);

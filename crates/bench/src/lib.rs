@@ -1,0 +1,27 @@
+//! # anton-bench — benchmark harness for the Anton 3 network reproduction
+//!
+//! One binary per table and figure of the paper (see `src/bin/`), plus
+//! Criterion micro-benchmarks (see `benches/`). Each binary prints the
+//! same rows/series the paper reports and emits machine-readable JSON on
+//! request (`--json`), which EXPERIMENTS.md is generated from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// Prints a serializable result as pretty JSON when `--json` was passed,
+/// returning whether it did.
+pub fn maybe_json<T: Serialize>(value: &T) -> bool {
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(value).expect("serializable result"));
+        true
+    } else {
+        false
+    }
+}
+
+/// A standard paper-vs-measured comparison line.
+pub fn compare(label: &str, paper: &str, measured: &str) {
+    println!("  {label:<44} paper: {paper:<18} measured: {measured}");
+}

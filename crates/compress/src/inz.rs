@@ -1,0 +1,316 @@
+//! Interleaved non-zero (INZ) encoding — paper §IV-A, Figure 7.
+//!
+//! Flit payloads carry up to four signed 32-bit words (forces, position
+//! deltas, charges, ...) whose absolute values are usually small. INZ
+//! rewrites the payload so that small-magnitude words produce long runs of
+//! leading zero *bytes*, which are then dropped when the payload is packed
+//! into a channel frame:
+//!
+//! 1. find the most significant non-zero word `m` (0–3);
+//! 2. for every word up to `m`, fold the sign: move the sign bit to the
+//!    LSB and conditionally invert the other 31 bits (so `-1` becomes `1`,
+//!    `1` becomes `2` — small negatives stay small);
+//! 3. bit-interleave words `0..=m` so that equal-magnitude words share
+//!    their leading zeros;
+//! 4. drop leading zero bytes; the count of remaining *valid bytes*
+//!    travels in a per-payload descriptor together with `m`.
+//!
+//! Deviation from the hardware noted for the record: the paper
+//! concatenates the 2-bit `m` field with the interleaved vector, abandoning
+//! the encoding when the result exceeds 128 bits; we carry `m` in the
+//! byte-level descriptor instead (as the worked example in Figure 7 does,
+//! counting 5 dropped bytes out of 8) and fall back to the raw payload
+//! whenever no whole byte would be saved. The on-wire byte count differs
+//! from the hardware by at most one byte in the rare nearly-full case.
+
+/// Maximum words in one INZ payload (a 128-bit flit payload).
+pub const MAX_WORDS: usize = 4;
+
+/// Sign-folds one word: the sign bit moves to the LSB and the remaining
+/// bits are conditionally inverted (the paper's `invert_word` function).
+///
+/// ```
+/// use anton_compress::inz::invert_word;
+/// assert_eq!(invert_word(0), 0);
+/// assert_eq!(invert_word(1), 2);
+/// assert_eq!(invert_word(-1i32 as u32), 1); // small negatives stay small
+/// ```
+#[inline]
+pub fn invert_word(w: u32) -> u32 {
+    let sign = w >> 31;
+    let mask = if sign == 1 { 0x7FFF_FFFF } else { 0 };
+    (((w & 0x7FFF_FFFF) ^ mask) << 1) | sign
+}
+
+/// Inverse of [`invert_word`].
+#[inline]
+pub fn uninvert_word(r: u32) -> u32 {
+    let sign = r & 1;
+    let mask = if sign == 1 { 0x7FFF_FFFF } else { 0 };
+    (sign << 31) | ((r >> 1) ^ mask)
+}
+
+/// Bit-interleaves `n` sign-folded words into a `32 * n`-bit vector stored
+/// little-endian in bytes: bit `j` of word `i` lands at vector bit
+/// `j * n + i`, so the words' most significant bits share the top of the
+/// vector and common leading zeros multiply.
+fn interleave(words: &[u32]) -> [u8; 16] {
+    let n = words.len();
+    let mut out = [0u8; 16];
+    for (i, &w) in words.iter().enumerate() {
+        let mut w = w;
+        while w != 0 {
+            let j = w.trailing_zeros() as usize;
+            let bit = j * n + i;
+            out[bit / 8] |= 1 << (bit % 8);
+            w &= w - 1;
+        }
+    }
+    out
+}
+
+/// Inverse of [`interleave`].
+fn deinterleave(bytes: &[u8; 16], n: usize) -> Vec<u32> {
+    let mut words = vec![0u32; n];
+    for bit in 0..(32 * n) {
+        if bytes[bit / 8] >> (bit % 8) & 1 == 1 {
+            words[bit % n] |= 1 << (bit / n);
+        }
+    }
+    words
+}
+
+/// An INZ-encoded payload: the descriptor plus the surviving bytes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Encoded {
+    /// Most significant non-zero word index (0–3); meaningless when
+    /// `valid_bytes == 0` or in raw mode.
+    pub msw: u8,
+    /// `true` when encoding was abandoned and `bytes` holds the raw
+    /// little-endian payload.
+    pub raw: bool,
+    /// The surviving low-order bytes of the interleaved vector (or the raw
+    /// payload when `raw`).
+    pub bytes: Vec<u8>,
+    /// Number of words in the original payload.
+    pub word_count: u8,
+}
+
+impl Encoded {
+    /// Bytes this payload occupies in a channel frame, excluding the
+    /// one-byte descriptor.
+    pub fn payload_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Total on-wire cost including the one-byte descriptor.
+    pub fn wire_len(&self) -> usize {
+        1 + self.bytes.len()
+    }
+}
+
+/// Encodes a payload of 1–4 words.
+///
+/// # Panics
+/// Panics if `words` is empty or longer than [`MAX_WORDS`].
+///
+/// ```
+/// use anton_compress::inz::{encode, decode};
+/// let payload = [3i32 as u32, -7i32 as u32, 12, 0];
+/// let enc = encode(&payload);
+/// assert!(enc.wire_len() < 17, "small values must compress");
+/// assert_eq!(decode(&enc), payload.to_vec());
+/// ```
+pub fn encode(words: &[u32]) -> Encoded {
+    assert!(
+        !words.is_empty() && words.len() <= MAX_WORDS,
+        "INZ payloads are 1-4 words, got {}",
+        words.len()
+    );
+    let word_count = words.len() as u8;
+    let msw = match words.iter().rposition(|&w| w != 0) {
+        None => {
+            // All-zero payload: zero valid bytes.
+            return Encoded { msw: 0, raw: false, bytes: Vec::new(), word_count };
+        }
+        Some(m) => m,
+    };
+    let n = msw + 1;
+    let folded: Vec<u32> = words[..n].iter().map(|&w| invert_word(w)).collect();
+    let vector = interleave(&folded);
+    let total = 4 * n;
+    let mut valid = total;
+    while valid > 0 && vector[valid - 1] == 0 {
+        valid -= 1;
+    }
+    if valid >= 4 * words.len() {
+        // No whole byte saved: abandon and ship the raw payload
+        // (paper: "the encoding is abandoned and the original data is
+        // used instead ... the number of valid bytes is set to 16").
+        let mut bytes = Vec::with_capacity(4 * words.len());
+        for &w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        return Encoded { msw: msw as u8, raw: true, bytes, word_count };
+    }
+    Encoded { msw: msw as u8, raw: false, bytes: vector[..valid].to_vec(), word_count }
+}
+
+/// Decodes an [`Encoded`] payload back to its original words.
+///
+/// # Panics
+/// Panics if the descriptor is internally inconsistent (e.g. a raw payload
+/// whose length does not match its word count).
+pub fn decode(enc: &Encoded) -> Vec<u32> {
+    let word_count = enc.word_count as usize;
+    assert!(
+        (1..=MAX_WORDS).contains(&word_count),
+        "corrupt descriptor: {word_count} words"
+    );
+    if enc.raw {
+        assert_eq!(enc.bytes.len(), 4 * word_count, "raw payload length mismatch");
+        return enc
+            .bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+    }
+    if enc.bytes.is_empty() {
+        return vec![0; word_count];
+    }
+    let n = enc.msw as usize + 1;
+    assert!(n <= word_count, "msw beyond payload");
+    assert!(enc.bytes.len() <= 4 * n, "more valid bytes than vector size");
+    let mut vector = [0u8; 16];
+    vector[..enc.bytes.len()].copy_from_slice(&enc.bytes);
+    let folded = deinterleave(&vector, n);
+    let mut words: Vec<u32> = folded.into_iter().map(uninvert_word).collect();
+    words.resize(word_count, 0);
+    words
+}
+
+/// Convenience: the on-wire byte cost (descriptor + payload) of a payload
+/// when INZ is enabled, or `1 + 4 * words.len()` when it is not (the
+/// descriptor still travels so the receiver can delimit payloads).
+pub fn wire_len(words: &[u32], inz_enabled: bool) -> usize {
+    if inz_enabled {
+        encode(words).wire_len()
+    } else {
+        1 + 4 * words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invert_word_involutes_via_inverse() {
+        for w in [0u32, 1, 2, 0x7FFF_FFFF, 0x8000_0000, 0xFFFF_FFFF, 12345, !12345] {
+            assert_eq!(uninvert_word(invert_word(w)), w);
+        }
+    }
+
+    #[test]
+    fn small_negatives_fold_small() {
+        // -1 -> 1, -2 -> 3, 1 -> 2: magnitude roughly doubles, sign is LSB.
+        assert_eq!(invert_word(-1i32 as u32), 1);
+        assert_eq!(invert_word(-2i32 as u32), 3);
+        assert_eq!(invert_word(1), 2);
+        assert_eq!(invert_word(2), 4);
+    }
+
+    #[test]
+    fn all_zero_payload_is_free() {
+        let enc = encode(&[0, 0, 0, 0]);
+        assert_eq!(enc.payload_len(), 0);
+        assert_eq!(enc.wire_len(), 1);
+        assert_eq!(decode(&enc), vec![0; 4]);
+    }
+
+    #[test]
+    fn figure7_example_two_words() {
+        // Two words with small magnitudes: the paper's example drops 5 of
+        // 8 bytes. Values chosen to produce a 3-byte interleaved vector:
+        // each word needs <= 12 significant folded bits.
+        let w0 = 0x0000_0321u32;
+        let w1 = (-0x0000_0456i32) as u32;
+        let enc = encode(&[w0, w1]);
+        assert!(!enc.raw);
+        assert_eq!(enc.msw, 1);
+        assert_eq!(enc.payload_len(), 3, "expected 5 of 8 bytes dropped");
+        assert_eq!(decode(&enc), vec![w0, w1]);
+    }
+
+    #[test]
+    fn incompressible_payload_abandons_to_raw() {
+        let words = [0xFFFF_FFFFu32 ^ 1, 0x7AAA_AAAA, 0x7555_5555, 0x7FFF_0001];
+        let enc = encode(&words);
+        assert!(enc.raw, "large-magnitude payload must abandon");
+        assert_eq!(enc.payload_len(), 16);
+        assert_eq!(decode(&enc), words.to_vec());
+    }
+
+    #[test]
+    fn middle_zero_words_are_preserved() {
+        let words = [5u32, 0, 7, 0];
+        let enc = encode(&words);
+        assert_eq!(enc.msw, 2);
+        assert_eq!(decode(&enc), words.to_vec());
+    }
+
+    #[test]
+    fn single_word_payloads() {
+        for w in [0u32, 1, 0x80, 0xFFFF_FFFF] {
+            let enc = encode(&[w]);
+            assert_eq!(decode(&enc), vec![w]);
+        }
+    }
+
+    #[test]
+    fn interleave_roundtrip_all_widths() {
+        for n in 1..=4usize {
+            let words: Vec<u32> = (0..n as u32).map(|i| 0x0101_0101u32 << i).collect();
+            let v = interleave(&words);
+            assert_eq!(deinterleave(&v, n), words);
+        }
+    }
+
+    #[test]
+    fn interleaving_multiplies_leading_zeros() {
+        // Three words each with 20 leading zero bits: the interleaved
+        // vector has ~60 leading zero bits -> 7 zero bytes of 12.
+        let words = [0xFFFu32, 0xABC, 0x123];
+        let enc = encode(&words);
+        assert!(!enc.raw);
+        assert!(enc.payload_len() <= 5, "got {} bytes", enc.payload_len());
+        assert_eq!(decode(&enc), words.to_vec());
+    }
+
+    #[test]
+    fn wire_len_helper() {
+        assert_eq!(wire_len(&[0, 0, 0], false), 13);
+        assert_eq!(wire_len(&[0, 0, 0], true), 1);
+        assert!(wire_len(&[1, -1i32 as u32, 2], true) < 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-4 words")]
+    fn rejects_oversized_payloads() {
+        let _ = encode(&[0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-4 words")]
+    fn rejects_empty_payloads() {
+        let _ = encode(&[]);
+    }
+
+    #[test]
+    fn dense_small_values_compress_hard() {
+        // Typical force payload: three ~16-bit magnitudes.
+        let f = [1500i32 as u32, (-2200i32) as u32, 900, 0];
+        let enc = encode(&f);
+        assert!(enc.wire_len() <= 8, "force payload should halve: {}", enc.wire_len());
+    }
+}

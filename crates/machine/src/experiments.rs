@@ -1,0 +1,199 @@
+//! The compression experiments: Figure 9 (traffic reduction + speedup)
+//! and Figure 12 (machine activity).
+
+use crate::mdrun::{MdNetworkRun, ACT_FORCE, ACT_POSITION};
+use anton_model::units::Ps;
+use anton_model::MachineConfig;
+use serde::Serialize;
+
+/// One Figure 9 point: a water system size with all three configurations.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig9Row {
+    /// Atom count of the water benchmark.
+    pub atoms: usize,
+    /// Traffic reduction with INZ alone, percent (paper: 32–40%).
+    pub inz_reduction_pct: f64,
+    /// Traffic reduction with INZ + particle cache, percent (paper:
+    /// 45–62%).
+    pub full_reduction_pct: f64,
+    /// Application-level speedup with all compression, × (paper:
+    /// 1.18–1.62).
+    pub app_speedup: f64,
+    /// Pairwise-phase step time without compression, ns.
+    pub base_step_ns: f64,
+    /// Pairwise-phase step time with compression, ns.
+    pub full_step_ns: f64,
+    /// Particle cache hit rate in the full configuration.
+    pub pcache_hit_rate: f64,
+}
+
+/// Runs the Figure 9 sweep on an 8-node (2×2×2) machine, the paper's
+/// configuration, for the given atom counts.
+pub fn fig9(atom_counts: &[usize], warmup: usize, measure: usize, seed: u64) -> Vec<Fig9Row> {
+    let base_cfg = MachineConfig::torus([2, 2, 2]);
+    atom_counts
+        .iter()
+        .map(|&atoms| {
+            let base = MdNetworkRun::new(base_cfg.without_compression(), atoms, seed, false)
+                .run(warmup, measure);
+            let inz =
+                MdNetworkRun::new(base_cfg.inz_only(), atoms, seed, false).run(warmup, measure);
+            let full = MdNetworkRun::new(base_cfg, atoms, seed, false).run(warmup, measure);
+            // Reductions are against the measured baseline bytes (the
+            // baseline run transmits exactly its baseline accounting).
+            debug_assert_eq!(base.stats.wire_bytes, base.stats.baseline_bytes);
+            Fig9Row {
+                atoms,
+                inz_reduction_pct: inz.stats.reduction() * 100.0,
+                full_reduction_pct: full.stats.reduction() * 100.0,
+                app_speedup: base.mean_app_step.as_ns() / full.mean_app_step.as_ns(),
+                base_step_ns: base.mean_pairwise_step.as_ns(),
+                full_step_ns: full.mean_pairwise_step.as_ns(),
+                pcache_hit_rate: full.pcache_hit_rate.unwrap_or(0.0),
+            }
+        })
+        .collect()
+}
+
+/// The Figure 12 activity matrix: occupancy per lane per time bucket.
+#[derive(Clone, Debug, Serialize)]
+pub struct ActivityMatrix {
+    /// Lane names in plot order.
+    pub lanes: Vec<String>,
+    /// Occupancy fraction per lane per bucket.
+    pub occupancy: Vec<Vec<f64>>,
+    /// Bucket width, ns.
+    pub bucket_ns: f64,
+    /// Mean step duration, ns.
+    pub step_ns: f64,
+}
+
+/// Runs the Figure 12 experiment: an MD run with activity tracing on,
+/// returning the bucketed activity matrix over the measured window.
+pub fn fig12(cfg: MachineConfig, atoms: usize, seed: u64) -> ActivityMatrix {
+    let mut run = MdNetworkRun::new(cfg, atoms, seed, true);
+    // Warm the caches before the traced window.
+    for _ in 0..4 {
+        run.step();
+    }
+    let t_start = run.clock();
+    let mut pair_acc = Ps::ZERO;
+    let steps = 3;
+    for _ in 0..steps {
+        pair_acc += run.step().pairwise_step;
+    }
+    let t_end = run.clock();
+    let buckets = 60usize;
+    let mut lanes = Vec::new();
+    let mut occupancy = Vec::new();
+    for lane_idx in 0..run.trace.lane_count() {
+        let lane = anton_sim::trace::LaneId(lane_idx as u32);
+        let name = run.trace.lane_name(lane).to_string();
+        // Channel lanes split by traffic kind, like the paper's red/green.
+        if name.starts_with("ch ") {
+            for (kind, tag) in [(ACT_POSITION, "pos"), (ACT_FORCE, "force")] {
+                let occ = run.trace.occupancy(lane, Some(kind), t_start, t_end, buckets);
+                if occ.iter().any(|&v| v > 0.0) {
+                    lanes.push(format!("{name} {tag}"));
+                    occupancy.push(occ);
+                }
+            }
+        } else {
+            let occ = run.trace.occupancy(lane, None, t_start, t_end, buckets);
+            lanes.push(name);
+            occupancy.push(occ);
+        }
+    }
+    ActivityMatrix {
+        lanes,
+        occupancy,
+        bucket_ns: (t_end - t_start).as_ns() / buckets as f64,
+        step_ns: (pair_acc / steps as u64).as_ns(),
+    }
+}
+
+impl ActivityMatrix {
+    /// Renders the matrix as ASCII art (rows = lanes, columns = time).
+    pub fn render(&self) -> String {
+        let shades = [' ', '.', ':', '+', '#'];
+        let mut out = String::new();
+        for (name, occ) in self.lanes.iter().zip(&self.occupancy) {
+            let bar: String = occ
+                .iter()
+                .map(|&v| shades[((v * (shades.len() - 1) as f64).round() as usize).min(4)])
+                .collect();
+            out.push_str(&format!("{name:>18} |{bar}|\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_reductions_in_paper_bands() {
+        let rows = fig9(&[3000, 8000], 4, 3, 17);
+        for r in &rows {
+            assert!(
+                (20.0..52.0).contains(&r.inz_reduction_pct),
+                "{} atoms: INZ reduction {:.1}% vs paper 32-40%",
+                r.atoms,
+                r.inz_reduction_pct
+            );
+            assert!(
+                r.full_reduction_pct > r.inz_reduction_pct,
+                "pcache must add savings"
+            );
+            assert!(
+                (1.05..2.2).contains(&r.app_speedup),
+                "{} atoms: speedup {:.2} vs paper 1.18-1.62",
+                r.atoms,
+                r.app_speedup
+            );
+        }
+    }
+
+    #[test]
+    fn pcache_benefit_shrinks_when_working_set_exceeds_capacity() {
+        // Paper: larger systems overflow the cache, so the pcache's extra
+        // reduction over INZ falls with atom count. At 8 nodes the
+        // hardware-size cache only saturates around a million atoms, so
+        // this test exercises the mechanism with a reduced cache (8 sets
+        // x 4 ways per CA) where 20k atoms already overflow it.
+        let cfg = MachineConfig::torus([2, 2, 2]).with_pcache_sets(8);
+        let small = MdNetworkRun::new(cfg, 2500, 23, false).run(4, 2);
+        let large = MdNetworkRun::new(cfg, 20000, 23, false).run(4, 2);
+        let hit_small = small.pcache_hit_rate.unwrap();
+        let hit_large = large.pcache_hit_rate.unwrap();
+        assert!(
+            hit_small > hit_large + 0.1,
+            "hit rate should collapse with working set: {hit_small:.2} -> {hit_large:.2}"
+        );
+        assert!(
+            small.stats.reduction() > large.stats.reduction(),
+            "traffic reduction should shrink: {:.3} -> {:.3}",
+            small.stats.reduction(),
+            large.stats.reduction()
+        );
+    }
+
+    #[test]
+    fn fig12_has_busy_channels_and_renders() {
+        let m = fig12(MachineConfig::torus([2, 2, 2]), 3000, 31);
+        assert!(!m.lanes.is_empty());
+        assert!(m.step_ns > 100.0);
+        let render = m.render();
+        assert!(render.contains("ch"));
+        assert!(render.contains("gc"));
+        // Some channel bucket must be visibly busy.
+        let max_occ = m
+            .occupancy
+            .iter()
+            .flat_map(|row| row.iter())
+            .cloned()
+            .fold(0.0f64, f64::max);
+        assert!(max_occ > 0.3, "peak occupancy {max_occ} too idle");
+    }
+}

@@ -1,0 +1,153 @@
+//! Full-machine assembly: one [`CaLink`] per (node, direction, Channel
+//! Adapter), shared torus geometry, and machine-wide statistics.
+
+use anton_model::asic::CAS_PER_NEIGHBOR;
+use anton_model::topology::{Direction, NodeId};
+use anton_model::MachineConfig;
+use anton_net::adapter::{CaLink, Compression};
+use anton_net::channel::LinkStats;
+
+/// All directed channel sub-links of a machine.
+///
+/// Each of a node's six neighbor directions is served by four Channel
+/// Adapters (two per chip side); each CA owns an independent 4-lane
+/// serializer and, when enabled, a particle-cache pair with the far end.
+#[derive(Clone, Debug)]
+pub struct NetworkMachine {
+    /// The machine configuration this network was built for.
+    pub cfg: MachineConfig,
+    links: Vec<CaLink>,
+}
+
+impl NetworkMachine {
+    /// Builds the directed-link array for `cfg`.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let comp = Compression { inz: cfg.inz_enabled, pcache: cfg.pcache_enabled };
+        let count = cfg.node_count() * 6 * CAS_PER_NEIGHBOR;
+        let links = (0..count)
+            .map(|_| CaLink::with_pcache_sets(&cfg.latency, comp, cfg.pcache_sets))
+            .collect();
+        NetworkMachine { cfg, links }
+    }
+
+    fn index(&self, node: NodeId, dir: Direction, ca: usize) -> usize {
+        assert!(ca < CAS_PER_NEIGHBOR, "CA index {ca} out of range");
+        (node.index() * 6 + dir.index()) * CAS_PER_NEIGHBOR + ca
+    }
+
+    /// The directed link leaving `node` toward `dir` through CA `ca`.
+    pub fn link_mut(&mut self, node: NodeId, dir: Direction, ca: usize) -> &mut CaLink {
+        let i = self.index(node, dir, ca);
+        &mut self.links[i]
+    }
+
+    /// Immutable access to a directed link.
+    pub fn link(&self, node: NodeId, dir: Direction, ca: usize) -> &CaLink {
+        let i = self.index(node, dir, ca);
+        &self.links[i]
+    }
+
+    /// Iterates over `(node, direction, ca, link)`.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, Direction, usize, &CaLink)> {
+        self.links.iter().enumerate().map(|(i, l)| {
+            let ca = i % CAS_PER_NEIGHBOR;
+            let rest = i / CAS_PER_NEIGHBOR;
+            let dir = Direction::from_index(rest % 6);
+            let node = NodeId((rest / 6) as u16);
+            (node, dir, ca, l)
+        })
+    }
+
+    /// Machine-wide traffic statistics, summed over every link.
+    pub fn total_stats(&self) -> LinkStats {
+        let mut total = LinkStats::default();
+        for l in &self.links {
+            total.merge(&l.stats());
+        }
+        total
+    }
+
+    /// Checks the particle-cache synchrony invariant on every link.
+    ///
+    /// # Panics
+    /// Panics if any cache pair diverged.
+    pub fn assert_pcaches_synchronized(&self) {
+        for l in &self.links {
+            l.assert_pcache_synchronized();
+        }
+    }
+
+    /// Aggregate send-side particle-cache hit rate across the machine, or
+    /// `None` when the cache is disabled.
+    pub fn pcache_hit_rate(&self) -> Option<f64> {
+        let mut hits = 0u64;
+        let mut lookups = 0u64;
+        for l in &self.links {
+            let s = l.pcache_stats()?;
+            hits += s.hits;
+            lookups += s.lookups();
+        }
+        Some(if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_compress::pcache::ParticleKey;
+    use anton_model::topology::Dim;
+    use anton_model::units::Ps;
+
+    #[test]
+    fn link_count_matches_geometry() {
+        let m = NetworkMachine::new(MachineConfig::torus([2, 2, 2]));
+        assert_eq!(m.links().count(), 8 * 6 * 4);
+    }
+
+    #[test]
+    fn links_are_independent() {
+        let mut m = NetworkMachine::new(MachineConfig::torus([2, 2, 2]));
+        let d = Direction::new(Dim::X, true);
+        m.link_mut(NodeId(0), d, 0).send_force(Ps::ZERO, [1, 1, 1]);
+        assert_eq!(m.link(NodeId(0), d, 0).stats().packets, 1);
+        assert_eq!(m.link(NodeId(0), d, 1).stats().packets, 0);
+        assert_eq!(m.link(NodeId(1), d, 0).stats().packets, 0);
+    }
+
+    #[test]
+    fn total_stats_sum() {
+        let mut m = NetworkMachine::new(MachineConfig::torus([2, 2, 2]));
+        for i in 0..6 {
+            let d = Direction::from_index(i);
+            m.link_mut(NodeId(3), d, i % 4).send_force(Ps::ZERO, [5, -5, 5]);
+        }
+        assert_eq!(m.total_stats().packets, 6);
+    }
+
+    #[test]
+    fn pcache_invariant_and_hit_rate() {
+        let mut m = NetworkMachine::new(MachineConfig::torus([2, 2, 2]));
+        let d = Direction::new(Dim::Z, false);
+        let link = m.link_mut(NodeId(7), d, 2);
+        link.send_position(Ps::ZERO, ParticleKey(1), [0, 0, 0]);
+        link.send_position(Ps::ZERO, ParticleKey(1), [1, 1, 1]);
+        m.assert_pcaches_synchronized();
+        let rate = m.pcache_hit_rate().unwrap();
+        assert!((rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_pcache_reports_none() {
+        let m = NetworkMachine::new(MachineConfig::torus([2, 2, 2]).without_compression());
+        assert!(m.pcache_hit_rate().is_none());
+    }
+
+    #[test]
+    fn iteration_order_roundtrips_indices() {
+        let m = NetworkMachine::new(MachineConfig::torus([2, 2, 2]));
+        for (node, dir, ca, _) in m.links() {
+            let idx = m.index(node, dir, ca);
+            assert_eq!(idx, (node.index() * 6 + dir.index()) * CAS_PER_NEIGHBOR + ca);
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! MD time steps over the simulated network — the engine behind
+//! Figures 9a, 9b and 12.
+//!
+//! Each step reproduces the three-phase dataflow of paper §II-C:
+//!
+//! 1. **Position export**: every atom's position is multicast along its
+//!    XYZ dimension-order tree to all nodes whose home boxes lie within
+//!    the cutoff. Positions hash to a fixed Channel Adapter so the
+//!    particle caches stay warm across steps; each tree edge pushes one
+//!    position packet through that CA's serializer (FIFO, compression
+//!    applied).
+//! 2. **Streaming + pairwise interactions**: ICBs stream arrived
+//!    positions across PPIM rows; stream-set forces return to the home
+//!    node as the interactions complete (overlapping the export phase).
+//!    A GC-to-ICB fence follows the last position on every channel — it
+//!    cannot overtake data because it shares the serializers — and gates
+//!    the unload of accumulated stored-set forces.
+//! 3. **Integration**: once all forces for its atoms have arrived
+//!    (blocking reads on counted force quads), each GC integrates. A
+//!    GC-to-GC fence at the machine diameter closes the step.
+
+use crate::barrier;
+use crate::machine::NetworkMachine;
+use anton_compress::pcache::ParticleKey;
+use anton_md::decomp::{multicast_tree, unicast_edges, Decomposition};
+use anton_md::integrate::Simulation;
+use anton_md::units::{exported_position, quantize_force};
+use anton_model::asic::{self, CAS_PER_NEIGHBOR};
+use anton_model::topology::{DimOrder, NodeId, TorusCoord};
+use anton_model::units::{Cycles, Ps};
+use anton_model::MachineConfig;
+use anton_net::channel::LinkStats;
+use anton_net::fence::{FencePattern, FenceSpec};
+use anton_net::packet::PacketKind;
+use anton_sim::trace::{ActivityKind, ActivityTrace, LaneId};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Activity kind: position packets on a channel (red in Figure 12).
+pub const ACT_POSITION: ActivityKind = ActivityKind(0);
+/// Activity kind: force packets on a channel (green in Figure 12).
+pub const ACT_FORCE: ActivityKind = ActivityKind(1);
+/// Activity kind: GC integration.
+pub const ACT_INTEGRATE: ActivityKind = ActivityKind(2);
+/// Activity kind: PPIM streaming/compute.
+pub const ACT_PPIM: ActivityKind = ActivityKind(3);
+
+/// Aggregate PPIM pairwise throughput per node, interactions per cycle
+/// (Table I: 5914 GOPS at 2.8 GHz).
+pub const PPIM_INTERACTIONS_PER_CYCLE: f64 = 2112.0;
+/// Positions streamed per cycle per node (12 PPIM rows, two streaming
+/// buses each).
+pub const STREAM_POSITIONS_PER_CYCLE: f64 = 24.0;
+/// GC integration cost per atom, cycles (force summation + velocity and
+/// position update on an MD-optimized core).
+pub const INTEGRATION_CYCLES_PER_ATOM: f64 = 40.0;
+/// Turnaround from a stream position's arrival at an ICB to its stream-set
+/// force entering the return channel, cycles (ICB buffer + row traversal).
+pub const FORCE_TURNAROUND_CYCLES: u64 = 90;
+/// Per-step time spent in phases outside the range-limited pairwise
+/// dataflow (bonded forces, constraints, long-range contribution), per
+/// atom per node, in cycles. These phases are compute-bound and identical
+/// with or without compression — they dilute the application-level
+/// speedup of Figure 9b relative to the pairwise-phase speedup visible in
+/// Figure 12.
+pub const OTHER_PHASE_CYCLES_PER_ATOM: f64 = 0.55;
+/// Fixed per-step overhead of the non-pairwise phases, cycles.
+pub const OTHER_PHASE_FIXED_CYCLES: f64 = 560.0;
+
+
+/// The 64-bit static field of an atom's position packet: the global atom
+/// id in the low word and a force-field parameter word (type, charge
+/// class, exclusion group) in the high word. The parameter word carries
+/// real entropy — on the wire it does not INZ-compress, which is exactly
+/// why the particle cache replaces the whole static field with a cache
+/// index on hits (§IV-B1).
+pub fn particle_static_field(atom: u32) -> ParticleKey {
+    let mut param = atom as u64;
+    param ^= param >> 16;
+    param = param.wrapping_mul(0x9E37_79B9).wrapping_add(0x85EB_CA6B);
+    ParticleKey(atom as u64 | (param << 32))
+}
+
+/// Timing of one simulated step.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct StepTiming {
+    /// Full step duration (pairwise dataflow + integration + barrier).
+    pub pairwise_step: Ps,
+    /// Step duration including the non-pairwise application phases.
+    pub app_step: Ps,
+}
+
+/// Result of a measured MD-over-network run.
+#[derive(Clone, Debug, Serialize)]
+pub struct MdRunResult {
+    /// Atom count.
+    pub atoms: usize,
+    /// Machine-wide traffic stats over the measured steps.
+    pub stats: LinkStats,
+    /// Mean pairwise-dataflow step time (the Figure 12 quantity).
+    pub mean_pairwise_step: Ps,
+    /// Mean application step time (the Figure 9b quantity).
+    pub mean_app_step: Ps,
+    /// Send-side particle cache hit rate, if enabled.
+    pub pcache_hit_rate: Option<f64>,
+}
+
+/// An MD simulation coupled to a simulated Anton 3 machine.
+pub struct MdNetworkRun {
+    /// The network under test.
+    pub machine: NetworkMachine,
+    /// The MD substrate driving the traffic.
+    pub sim: Simulation,
+    decomp: Decomposition,
+    atoms_per_node: Vec<u32>,
+    /// Busy-span recording for Figure 12 (disabled by default).
+    pub trace: ActivityTrace,
+    channel_lanes: Vec<LaneId>,
+    gc_lanes: Vec<LaneId>,
+    ppim_lanes: Vec<LaneId>,
+    clock: Ps,
+}
+
+impl MdNetworkRun {
+    /// Builds an `atoms`-atom water box decomposed across `cfg`'s torus.
+    pub fn new(cfg: MachineConfig, atoms: usize, seed: u64, traced: bool) -> Self {
+        let sim = Simulation::water(atoms, seed);
+        // Midpoint-method import: remote positions within half the cutoff.
+        let decomp = Decomposition::new(
+            cfg.torus,
+            sim.system.box_len,
+            sim.params.cutoff * 0.5,
+        );
+        let machine = NetworkMachine::new(cfg);
+        let mut trace = if traced { ActivityTrace::enabled() } else { ActivityTrace::disabled() };
+        let mut channel_lanes = Vec::new();
+        for node in cfg.torus.nodes() {
+            for dir in anton_model::topology::Direction::ALL {
+                channel_lanes.push(trace.register_lane(format!("ch {node} {dir}")));
+            }
+        }
+        let gc_lanes =
+            cfg.torus.nodes().map(|n| trace.register_lane(format!("gc {n}"))).collect();
+        let ppim_lanes =
+            cfg.torus.nodes().map(|n| trace.register_lane(format!("ppim {n}"))).collect();
+        let mut run = MdNetworkRun {
+            machine,
+            sim,
+            decomp,
+            atoms_per_node: vec![0; cfg.node_count()],
+            trace,
+            channel_lanes,
+            gc_lanes,
+            ppim_lanes,
+            clock: Ps::ZERO,
+        };
+        run.rebin_atoms();
+        run
+    }
+
+    fn rebin_atoms(&mut self) {
+        self.atoms_per_node.fill(0);
+        for pos in &self.sim.system.pos {
+            self.atoms_per_node[self.decomp.home_node(*pos).index()] += 1;
+        }
+    }
+
+    fn channel_lane(&self, node: NodeId, dir: anton_model::topology::Direction) -> LaneId {
+        self.channel_lanes[node.index() * 6 + dir.index()]
+    }
+
+    /// The current simulated wall-clock.
+    pub fn clock(&self) -> Ps {
+        self.clock
+    }
+
+    /// Atoms homed on each node.
+    pub fn atoms_per_node(&self) -> &[u32] {
+        &self.atoms_per_node
+    }
+
+    /// Runs one MD step through the network, returning its timing.
+    /// Advances the MD state afterwards so the next step sees new
+    /// positions.
+    pub fn step(&mut self) -> StepTiming {
+        let cfg = self.machine.cfg;
+        let lat = cfg.latency;
+        let torus = cfg.torus;
+        let t0 = self.clock;
+        let n_nodes = cfg.node_count();
+
+        // On-chip constants (averages; the channels dominate this phase).
+        let inject = lat.core_to_edge(asic::CORE_COLS as u32 / 2, 4);
+        let relay = lat.edge_hop.to_ps() * 3;
+        let turnaround = Cycles(FORCE_TURNAROUND_CYCLES).to_ps();
+
+        let mut pos_phase_start = vec![Ps::new(u64::MAX); n_nodes];
+        let mut last_pos_arrival = vec![t0; n_nodes];
+        let mut last_force_arrival = vec![t0; n_nodes];
+        let mut imports = vec![0u64; n_nodes];
+
+        // Phase 1: export positions along multicast trees, processed in
+        // tree-depth levels so each link transmits in ready-time order
+        // (the hardware CA arbitrates by arrival, not by atom index; a
+        // single per-atom pass would insert artificial idle bubbles).
+        struct PendingPos {
+            atom: u32,
+            edge: anton_md::decomp::TreeEdge,
+            ready: Ps,
+        }
+        // Per-atom tree structures and per-(atom, node) arrival times.
+        let mut trees: Vec<(u32, Vec<anton_md::decomp::TreeEdge>, Vec<anton_model::topology::NodeId>)> =
+            Vec::new();
+        let mut arrivals: Vec<HashMap<TorusCoord, Ps>> = Vec::new();
+        for atom in 0..self.sim.system.n {
+            let pos = self.sim.system.pos[atom];
+            let targets = self.decomp.export_targets(pos);
+            if targets.is_empty() {
+                continue;
+            }
+            let home_c = torus.coord(self.decomp.home_node(pos));
+            let order = DimOrder::ALL[atom % 6];
+            let edges = multicast_tree(&torus, home_c, &targets, order);
+            let mut map = HashMap::with_capacity(edges.len() + 1);
+            map.insert(home_c, t0 + inject);
+            trees.push((atom as u32, edges, targets));
+            arrivals.push(map);
+        }
+        let mut depth = 0usize;
+        loop {
+            let mut level: Vec<(usize, PendingPos)> = Vec::new();
+            // Depth-leveling by edge index is sufficient: multicast_tree
+            // emits edges in path order, so edge `depth` of a tree never
+            // depends on a later edge.
+            for (ti, (atom, edges, _)) in trees.iter().enumerate() {
+                if let Some(edge) = edges.get(depth) {
+                    let ready = arrivals[ti][&edge.from];
+                    level.push((ti, PendingPos { atom: *atom, edge: *edge, ready }));
+                }
+            }
+            if level.is_empty() {
+                break;
+            }
+            // Ready-time order per link: sort by (link, ready, atom).
+            level.sort_by_key(|(_, p)| {
+                let from_node = torus.node_id(p.edge.from);
+                ((from_node.index() * 6 + p.edge.dir.index()), p.ready, p.atom)
+            });
+            for (ti, p) in level {
+                let from_node = torus.node_id(p.edge.from);
+                let ca = p.atom as usize % CAS_PER_NEIGHBOR;
+                let pos = self.sim.system.pos[p.atom as usize];
+                let qpos = exported_position(
+                    pos,
+                    p.atom,
+                    self.sim.step_count,
+                    self.sim.params.dt,
+                );
+                let link = self.machine.link_mut(from_node, p.edge.dir, ca);
+                let key = particle_static_field(p.atom);
+                let (transit, _) = link.send_position(p.ready, key, qpos);
+                let ser_done = transit.arrive - link.crossing_fixed();
+                let lane = self.channel_lane(from_node, p.edge.dir);
+                self.trace.record(lane, ACT_POSITION, transit.depart, ser_done);
+                let to = torus.neighbor(p.edge.from, p.edge.dir);
+                arrivals[ti].insert(to, transit.arrive + relay);
+            }
+            depth += 1;
+        }
+
+        // Phase 2a: stream-set force returns, also in depth levels sorted
+        // by ready time. Each (atom, importing node) returns one force
+        // packet along the reverse XYZ path.
+        struct PendingForce {
+            atom: u32,
+            home: usize,
+            path: Vec<anton_md::decomp::TreeEdge>,
+            next: usize,
+            ready: Ps,
+        }
+        let mut pending: Vec<PendingForce> = Vec::new();
+        for (ti, (atom, _, targets)) in trees.iter().enumerate() {
+            let pos = self.sim.system.pos[*atom as usize];
+            let home = self.decomp.home_node(pos);
+            let home_c = torus.coord(home);
+            for &target in targets {
+                let tc = torus.coord(target);
+                let arr = arrivals[ti][&tc];
+                let ni = target.index();
+                imports[ni] += 1;
+                last_pos_arrival[ni] = last_pos_arrival[ni].max(arr);
+                pos_phase_start[ni] = pos_phase_start[ni].min(arr);
+                pending.push(PendingForce {
+                    atom: *atom,
+                    home: home.index(),
+                    path: unicast_edges(&torus, tc, home_c, DimOrder::ALL[*atom as usize % 6]),
+                    next: 0,
+                    ready: arr + turnaround,
+                });
+            }
+        }
+        loop {
+            let mut active: Vec<usize> = (0..pending.len())
+                .filter(|&i| pending[i].next < pending[i].path.len())
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            active.sort_by_key(|&i| {
+                let p = &pending[i];
+                let edge = p.path[p.next];
+                let from_node = torus.node_id(edge.from);
+                ((from_node.index() * 6 + edge.dir.index()), p.ready, p.atom)
+            });
+            for i in active {
+                let (edge, ready, atom) = {
+                    let p = &pending[i];
+                    (p.path[p.next], p.ready, p.atom)
+                };
+                let from_node = torus.node_id(edge.from);
+                let ca = atom as usize % CAS_PER_NEIGHBOR;
+                let qforce = quantize_force(self.sim.forces.f[atom as usize]);
+                let link = self.machine.link_mut(from_node, edge.dir, ca);
+                let transit = link.send_force(ready, qforce);
+                let ser_done = transit.arrive - link.crossing_fixed();
+                let lane = self.channel_lane(from_node, edge.dir);
+                self.trace.record(lane, ACT_FORCE, transit.depart, ser_done);
+                let p = &mut pending[i];
+                p.next += 1;
+                p.ready = transit.arrive + relay;
+            }
+        }
+        for p in &pending {
+            last_force_arrival[p.home] = last_force_arrival[p.home].max(p.ready);
+        }
+
+        // GC-to-ICB fence after the last position on every channel: it
+        // queues behind the data in the same serializers, so its arrival
+        // is the proof that streaming input is complete (§V).
+        let fence_sweep = barrier::fence_per_hop(&lat, cfg.inz_enabled)
+            - lat.channel_crossing_fixed(cfg.inz_enabled);
+        let mut fence_done = vec![t0; n_nodes];
+        for node in torus.nodes() {
+            for dir in anton_model::topology::Direction::ALL {
+                let neighbor = torus.node_id(torus.neighbor(torus.coord(node), dir));
+                for ca in 0..CAS_PER_NEIGHBOR {
+                    let link = self.machine.link_mut(node, dir, ca);
+                    let transit = link.send_marker(t0, PacketKind::Fence);
+                    let ni = neighbor.index();
+                    fence_done[ni] = fence_done[ni].max(transit.arrive + fence_sweep);
+                }
+            }
+        }
+
+        // Phase 2 timing: streaming and pairwise compute per node.
+        let total_pairs = self.sim.forces.pair_count as f64;
+        let total_atoms = self.sim.system.n as f64;
+        let mut unload_done = vec![t0; n_nodes];
+        for ni in 0..n_nodes {
+            let local = self.atoms_per_node[ni] as f64;
+            let streamed = local + imports[ni] as f64;
+            let interactions = total_pairs * local / total_atoms;
+            let compute_cycles = (streamed / STREAM_POSITIONS_PER_CYCLE)
+                .max(interactions / PPIM_INTERACTIONS_PER_CYCLE);
+            let compute = Ps::new((compute_cycles * 357.0) as u64);
+            let stream_done = last_pos_arrival[ni].max(t0 + compute);
+            // Stored-set force unload is gated by the fence.
+            unload_done[ni] = stream_done.max(fence_done[ni]);
+            let start = pos_phase_start[ni].min(t0 + inject);
+            self.trace.record(self.ppim_lanes[ni], ACT_PPIM, start, unload_done[ni]);
+        }
+
+        // Phase 3: integration once all forces (stream-set from remotes,
+        // stored-set after unload) are in.
+        let mut step_end = t0;
+        let mut app_extra = Ps::ZERO;
+        for ni in 0..n_nodes {
+            let forces_ready = last_force_arrival[ni].max(unload_done[ni]);
+            let local = self.atoms_per_node[ni] as f64;
+            let integ_cycles = local * INTEGRATION_CYCLES_PER_ATOM / asic::GCS_PER_ASIC as f64;
+            let integ = Ps::new((integ_cycles * 357.0) as u64);
+            let done = forces_ready + integ;
+            self.trace.record(self.gc_lanes[ni], ACT_INTEGRATE, forces_ready, done);
+            step_end = step_end.max(done);
+            let other_cycles =
+                OTHER_PHASE_FIXED_CYCLES + local * OTHER_PHASE_CYCLES_PER_ATOM;
+            app_extra = app_extra.max(Ps::new((other_cycles * 357.0) as u64));
+        }
+
+        // End-of-step markers advance the particle-cache epochs, and a
+        // global GC-to-GC fence closes the step.
+        for node in torus.nodes() {
+            for dir in anton_model::topology::Direction::ALL {
+                for ca in 0..CAS_PER_NEIGHBOR {
+                    self.machine.link_mut(node, dir, ca).send_marker(step_end, PacketKind::EndOfStep);
+                }
+            }
+        }
+        let barrier = barrier::barrier_latency(
+            &cfg,
+            FenceSpec { pattern: FencePattern::GcToGc, hops: torus.diameter() },
+        );
+        let pairwise_step = step_end + barrier - t0;
+        let timing = StepTiming { pairwise_step, app_step: pairwise_step + app_extra };
+
+        // Advance simulated time and the MD state.
+        self.clock = step_end + barrier + app_extra;
+        self.sim.step();
+        self.rebin_atoms();
+        timing
+    }
+
+    /// Runs `warmup` unmeasured steps (cache warm-up) then `measure`
+    /// measured steps, returning aggregate results.
+    pub fn run(&mut self, warmup: usize, measure: usize) -> MdRunResult {
+        for _ in 0..warmup {
+            self.step();
+        }
+        let stats_before = self.machine.total_stats();
+        let mut pair_acc = Ps::ZERO;
+        let mut app_acc = Ps::ZERO;
+        for _ in 0..measure {
+            let t = self.step();
+            pair_acc += t.pairwise_step;
+            app_acc += t.app_step;
+        }
+        let stats_after = self.machine.total_stats();
+        self.machine.assert_pcaches_synchronized();
+        let stats = LinkStats {
+            packets: stats_after.packets - stats_before.packets,
+            baseline_bytes: stats_after.baseline_bytes - stats_before.baseline_bytes,
+            wire_bytes: stats_after.wire_bytes - stats_before.wire_bytes,
+            position_bytes: stats_after.position_bytes - stats_before.position_bytes,
+            force_bytes: stats_after.force_bytes - stats_before.force_bytes,
+            other_bytes: stats_after.other_bytes - stats_before.other_bytes,
+        };
+        MdRunResult {
+            atoms: self.sim.system.n,
+            stats,
+            mean_pairwise_step: pair_acc / measure as u64,
+            mean_app_step: app_acc / measure as u64,
+            pcache_hit_rate: self.machine.pcache_hit_rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cfg: MachineConfig, atoms: usize) -> MdRunResult {
+        MdNetworkRun::new(cfg, atoms, 99, false).run(4, 3)
+    }
+
+    #[test]
+    fn compression_reduces_traffic() {
+        let base = run(MachineConfig::torus([2, 2, 2]).without_compression(), 4000);
+        let inz = run(MachineConfig::torus([2, 2, 2]).inz_only(), 4000);
+        let full = run(MachineConfig::torus([2, 2, 2]), 4000);
+        assert_eq!(base.stats.reduction(), 0.0, "baseline must be the reference");
+        assert!(
+            inz.stats.reduction() > 0.2,
+            "INZ-only reduction {} too small",
+            inz.stats.reduction()
+        );
+        assert!(
+            full.stats.reduction() > inz.stats.reduction(),
+            "pcache must add savings: {} vs {}",
+            full.stats.reduction(),
+            inz.stats.reduction()
+        );
+    }
+
+    #[test]
+    fn compression_speeds_up_steps() {
+        let base = run(MachineConfig::torus([2, 2, 2]).without_compression(), 4000);
+        let full = run(MachineConfig::torus([2, 2, 2]), 4000);
+        assert!(
+            full.mean_pairwise_step < base.mean_pairwise_step,
+            "compressed step {} !< baseline {}",
+            full.mean_pairwise_step,
+            base.mean_pairwise_step
+        );
+    }
+
+    #[test]
+    fn pcache_hit_rate_warm() {
+        let full = run(MachineConfig::torus([2, 2, 2]), 3000);
+        let rate = full.pcache_hit_rate.unwrap();
+        assert!(rate > 0.7, "warm hit rate {rate} too low");
+    }
+
+    #[test]
+    fn traffic_balances_across_nodes() {
+        let mut r = MdNetworkRun::new(MachineConfig::torus([2, 2, 2]), 4000, 5, false);
+        r.run(1, 2);
+        let per_node_atoms = r.atoms_per_node();
+        let mean = 4000.0 / 8.0;
+        for &a in per_node_atoms {
+            assert!(
+                (a as f64 - mean).abs() < mean * 0.35,
+                "atom imbalance: {a} vs mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_records_channel_activity() {
+        let mut r = MdNetworkRun::new(MachineConfig::torus([2, 2, 2]), 2500, 6, true);
+        r.run(0, 2);
+        let spans = r.trace.spans();
+        assert!(!spans.is_empty());
+        let has_pos = spans.iter().any(|s| s.kind == ACT_POSITION);
+        let has_force = spans.iter().any(|s| s.kind == ACT_FORCE);
+        let has_gc = spans.iter().any(|s| s.kind == ACT_INTEGRATE);
+        assert!(has_pos && has_force && has_gc);
+    }
+
+    #[test]
+    fn step_times_are_stable() {
+        let mut r = MdNetworkRun::new(MachineConfig::torus([2, 2, 2]), 3000, 7, false);
+        let a = r.step();
+        let b = r.step();
+        let ratio = a.pairwise_step.as_ns() / b.pairwise_step.as_ns();
+        assert!((0.5..2.0).contains(&ratio), "step jitter too large: {ratio}");
+    }
+}

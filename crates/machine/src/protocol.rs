@@ -1,0 +1,244 @@
+//! The counted-write protocol as discrete events: remote writes delivered
+//! through the network wake blocking reads in GC SRAM (paper §III-A/C).
+//!
+//! This module runs the ping-pong measurement as an *event simulation* —
+//! scheduled sends, in-flight packets, SRAM counter updates, blocking-read
+//! wakeups — rather than as the closed-form path sum of
+//! [`crate::pingpong`]. The two agree (see `event_pingpong_matches_formula`),
+//! which is the cross-check that the formula-based experiments rest on.
+
+use anton_mem::{CountedSram, QuadAddr, ReadOutcome};
+use anton_model::topology::{NodeId, Torus};
+use anton_model::units::Ps;
+use anton_model::MachineConfig;
+use anton_net::adapter::Compression;
+use anton_net::chip::ChipLoc;
+use anton_net::path;
+use anton_net::routing;
+use anton_sim::rng::SplitMix64;
+use anton_sim::Engine;
+
+/// A protocol-level event.
+#[derive(Clone, Copy, Debug)]
+pub enum Event {
+    /// A counted write arrives at `gc`'s SRAM.
+    WriteArrives {
+        /// Receiving GC (0 = ping side, 1 = pong side here).
+        gc: usize,
+        /// Target quad.
+        addr: QuadAddr,
+        /// Payload.
+        data: [u32; 4],
+    },
+    /// Software on `gc` issues its blocking read.
+    IssueRead {
+        /// Issuing GC.
+        gc: usize,
+        /// Quad to read.
+        addr: QuadAddr,
+        /// Counter threshold.
+        threshold: u8,
+    },
+}
+
+/// One GC endpoint of the event-level ping-pong.
+struct GcEndpoint {
+    node: NodeId,
+    loc: ChipLoc,
+    sram: CountedSram,
+    /// Completion times of satisfied blocking reads.
+    read_done: Vec<Ps>,
+}
+
+/// Runs `rounds` event-simulated ping-pongs between two GCs and returns
+/// the mean one-way latency (half the mean round trip).
+///
+/// # Panics
+/// Panics if the two endpoints are on the same node (use the Core Network
+/// path model for intra-node measurements).
+pub fn event_pingpong(
+    cfg: &MachineConfig,
+    a: (NodeId, ChipLoc),
+    b: (NodeId, ChipLoc),
+    rounds: u32,
+    seed: u64,
+) -> Ps {
+    assert_ne!(a.0, b.0, "event ping-pong measures inter-node paths");
+    let torus: Torus = cfg.torus;
+    let comp = Compression { inz: cfg.inz_enabled, pcache: cfg.pcache_enabled };
+    let mut rng = SplitMix64::new(seed);
+    let mut engine: Engine<Event> = Engine::new();
+    let mut gcs = [
+        GcEndpoint { node: a.0, loc: a.1, sram: CountedSram::new(64), read_done: Vec::new() },
+        GcEndpoint { node: b.0, loc: b.1, sram: CountedSram::new(64), read_done: Vec::new() },
+    ];
+    let addr = QuadAddr(3);
+
+    // Arm both sides' first blocking reads and launch the first ping.
+    engine.schedule_at(Ps::ZERO, Event::IssueRead { gc: 1, addr, threshold: 1 });
+    engine.schedule_at(Ps::ZERO, Event::IssueRead { gc: 0, addr, threshold: 1 });
+    let first_flight = one_way_time(cfg, &torus, comp, &gcs[0], &gcs[1], &mut rng);
+    engine.schedule_at(
+        first_flight,
+        Event::WriteArrives { gc: 1, addr, data: [1, 0, 0, 0] },
+    );
+
+    let mut completed_rounds = 0u32;
+    let t_start = Ps::ZERO;
+    while let Some((now, ev)) = engine.next_event() {
+        match ev {
+            Event::WriteArrives { gc, addr, data } => {
+                let woken = gcs[gc].sram.counted_write(addr, data);
+                for _token in woken {
+                    gcs[gc].read_done.push(now);
+                    let seq = data[0];
+                    // The ping side completes a round per pong received;
+                    // the measurement ends after `rounds` of them.
+                    if gc == 0 {
+                        completed_rounds += 1;
+                        if completed_rounds >= rounds {
+                            return (now - t_start) / (2 * rounds as u64);
+                        }
+                    }
+                    // Software turnaround: bounce the payload onward and
+                    // re-arm the blocking read for the next arrival.
+                    let peer = 1 - gc;
+                    let flight =
+                        one_way_time(cfg, &torus, comp, &gcs[gc], &gcs[peer], &mut rng);
+                    engine.schedule_in(
+                        flight,
+                        Event::WriteArrives { gc: peer, addr, data: [seq + 1, 0, 0, 0] },
+                    );
+                    engine.schedule_in(Ps::ZERO, Event::IssueRead { gc, addr, threshold: 1 });
+                }
+            }
+            Event::IssueRead { gc, addr, threshold } => {
+                // Reset-and-rearm: software consumes the counter, then
+                // blocks for the next arrival.
+                gcs[gc].sram.reset_counter(addr);
+                match gcs[gc].sram.blocking_read(addr, threshold, completed_rounds as u64) {
+                    ReadOutcome::Ready(_) => gcs[gc].read_done.push(engine.now()),
+                    ReadOutcome::Pending => {}
+                }
+            }
+        }
+    }
+    panic!("ping-pong did not complete {rounds} rounds");
+}
+
+fn one_way_time(
+    cfg: &MachineConfig,
+    torus: &Torus,
+    comp: Compression,
+    from: &GcEndpoint,
+    to: &GcEndpoint,
+    rng: &mut SplitMix64,
+) -> Ps {
+    let plan = routing::plan_request(torus, torus.coord(from.node), torus.coord(to.node), rng);
+    path::one_way(&cfg.latency, comp, from.loc, to.loc, &plan, 4).total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pingpong;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::torus([4, 4, 8]).without_compression()
+    }
+
+    #[test]
+    fn event_pingpong_matches_formula() {
+        // The event simulation and the closed-form average must agree for
+        // a fixed pair of endpoints (both draw random routes, so compare
+        // means over many rounds).
+        let cfg = cfg();
+        let a = (NodeId(0), ChipLoc::gc(3, 4, 0));
+        let b = (NodeId(1), ChipLoc::gc(10, 7, 1));
+        let event_mean = event_pingpong(&cfg, a, b, 200, 11).as_ns();
+        // Formula reference: average over the same route distribution.
+        let torus = cfg.torus;
+        let comp = Compression::NONE;
+        let mut rng = SplitMix64::new(12);
+        let mut acc = 0.0;
+        let n = 400;
+        for _ in 0..n {
+            let plan =
+                routing::plan_request(&torus, torus.coord(a.0), torus.coord(b.0), &mut rng);
+            acc += path::one_way(&cfg.latency, comp, a.1, b.1, &plan, 4).total().as_ns();
+        }
+        let formula_mean = acc / n as f64;
+        let err = (event_mean - formula_mean).abs() / formula_mean;
+        assert!(
+            err < 0.03,
+            "event {event_mean:.1} ns vs formula {formula_mean:.1} ns ({:.1}% apart)",
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn event_pingpong_is_deterministic() {
+        let cfg = cfg();
+        let a = (NodeId(0), ChipLoc::gc(0, 0, 0));
+        let b = (NodeId(4), ChipLoc::gc(5, 5, 0));
+        let x = event_pingpong(&cfg, a, b, 50, 42);
+        let y = event_pingpong(&cfg, a, b, 50, 42);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn multi_hop_pairs_cost_more() {
+        let cfg = cfg();
+        let near = event_pingpong(
+            &cfg,
+            (NodeId(0), ChipLoc::gc(2, 2, 0)),
+            (NodeId(1), ChipLoc::gc(2, 2, 0)),
+            50,
+            7,
+        );
+        // The antipode of node 0 on a 4x4x8 torus: coord (2,2,4), eight
+        // hops away under wraparound.
+        let antipode = cfg.torus.node_id(anton_model::topology::TorusCoord::new(2, 2, 4));
+        let far = event_pingpong(
+            &cfg,
+            (NodeId(0), ChipLoc::gc(2, 2, 0)),
+            (antipode, ChipLoc::gc(2, 2, 0)),
+            50,
+            7,
+        );
+        assert!(far > near * 3, "8-hop pair {far} vs 1-hop {near}");
+    }
+
+    #[test]
+    fn one_hop_event_mean_in_fig5_band() {
+        let cfg = cfg();
+        let row = pingpong::one_way_latency(&cfg, 1, 200, 3);
+        let ev = event_pingpong(
+            &cfg,
+            (NodeId(0), ChipLoc::gc(11, 5, 0)),
+            (NodeId(1), ChipLoc::gc(12, 6, 1)),
+            100,
+            3,
+        )
+        .as_ns();
+        assert!(
+            ev > row.min_ns && ev < row.max_ns,
+            "event mean {ev:.1} outside sampled band [{:.1}, {:.1}]",
+            row.min_ns,
+            row.max_ns
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inter-node")]
+    fn same_node_rejected() {
+        let cfg = cfg();
+        let _ = event_pingpong(
+            &cfg,
+            (NodeId(0), ChipLoc::gc(0, 0, 0)),
+            (NodeId(0), ChipLoc::gc(1, 1, 0)),
+            1,
+            1,
+        );
+    }
+}

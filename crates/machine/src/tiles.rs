@@ -1,0 +1,306 @@
+//! Tile-level compute models: Geometry Cores, PPIMs, ICBs and the Bond
+//! Calculator (paper §II-B), with the throughput accounting the timestep
+//! engine's aggregate constants are derived from.
+//!
+//! The full-machine MD runs use per-node aggregate rates
+//! ([`crate::mdrun::PPIM_INTERACTIONS_PER_CYCLE`] and friends); this
+//! module provides the per-unit models those aggregates roll up from, so
+//! the derivation is checkable rather than asserted.
+
+use anton_mem::{CountedSram, QuadAddr};
+use anton_model::asic;
+use anton_model::units::Cycles;
+
+/// One Pairwise Point Interaction Module: several arithmetic pipelines
+/// matching streamed positions against stored-set atoms.
+#[derive(Clone, Debug)]
+pub struct Ppim {
+    /// Stored-set atoms currently loaded.
+    stored: Vec<u32>,
+    /// Interactions evaluated since the last unload.
+    evaluated: u64,
+    /// Accumulated stored-set force per stored atom (fixed point).
+    accumulators: Vec<[i64; 3]>,
+}
+
+/// Interaction pipelines per PPIM. 576 PPIMs × this × ~1.9 evaluations
+/// per pipeline-cycle of specialization give the 2112 interactions/cycle
+/// aggregate implied by Table I's 5914 GOPS at 2.8 GHz.
+pub const PIPELINES_PER_PPIM: usize = 2;
+
+impl Default for Ppim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ppim {
+    /// An empty PPIM.
+    pub fn new() -> Self {
+        Ppim { stored: Vec::new(), evaluated: 0, accumulators: Vec::new() }
+    }
+
+    /// Loads the stored-set atoms for this time step.
+    pub fn load_stored(&mut self, atoms: &[u32]) {
+        self.stored = atoms.to_vec();
+        self.accumulators = vec![[0; 3]; atoms.len()];
+        self.evaluated = 0;
+    }
+
+    /// Number of stored-set atoms.
+    pub fn stored_count(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// Streams one position through the match pipelines: every stored atom
+    /// within range interacts. `in_range` decides the match (the hardware
+    /// uses low-precision distance checks); returns the stream-set force
+    /// contribution and the cycles consumed.
+    pub fn stream(
+        &mut self,
+        mut in_range: impl FnMut(u32) -> Option<[i32; 3]>,
+    ) -> ([i64; 3], Cycles) {
+        let mut stream_force = [0i64; 3];
+        let mut matched = 0u64;
+        for (slot, &atom) in self.stored.iter().enumerate() {
+            if let Some(f) = in_range(atom) {
+                matched += 1;
+                for k in 0..3 {
+                    // Newton's third law: stored accumulates +f, the
+                    // streamed atom gets -f.
+                    self.accumulators[slot][k] += f[k] as i64;
+                    stream_force[k] -= f[k] as i64;
+                }
+            }
+        }
+        self.evaluated += matched;
+        // One position per cycle enters the match units; evaluations run
+        // across the pipelines in parallel.
+        let cycles = 1 + matched / PIPELINES_PER_PPIM as u64;
+        (stream_force, Cycles(cycles))
+    }
+
+    /// Unloads the accumulated stored-set forces (gated by the GC-to-ICB
+    /// fence in the real dataflow).
+    pub fn unload(&mut self) -> Vec<(u32, [i64; 3])> {
+        let out = self.stored.iter().copied().zip(self.accumulators.drain(..)).collect();
+        self.stored.clear();
+        out
+    }
+
+    /// Interactions evaluated since the last load.
+    pub fn evaluated(&self) -> u64 {
+        self.evaluated
+    }
+}
+
+/// An Interaction Control Block: buffers stream-set positions arriving
+/// from the Edge Network and feeds its row's streaming bus.
+#[derive(Clone, Debug, Default)]
+pub struct Icb {
+    buffer: Vec<u32>,
+    streamed: u64,
+    fence_seen: bool,
+}
+
+impl Icb {
+    /// An empty ICB.
+    pub fn new() -> Self {
+        Icb::default()
+    }
+
+    /// Buffers an arriving stream-set position.
+    pub fn receive(&mut self, atom: u32) {
+        debug_assert!(!self.fence_seen, "positions after the fence belong to the next step");
+        self.buffer.push(atom);
+    }
+
+    /// The GC-to-ICB fence arrived: everything buffered is complete.
+    pub fn fence(&mut self) {
+        self.fence_seen = true;
+    }
+
+    /// Streams the next buffered position onto the row bus, if the fence
+    /// discipline allows an unload decision to be made.
+    pub fn stream_next(&mut self) -> Option<u32> {
+        let atom = if self.buffer.is_empty() { None } else { Some(self.buffer.remove(0)) };
+        if atom.is_some() {
+            self.streamed += 1;
+        }
+        atom
+    }
+
+    /// Whether streaming is complete for the step: the fence has arrived
+    /// *and* the buffer has drained — the condition for PPIM unload (§V).
+    pub fn step_complete(&self) -> bool {
+        self.fence_seen && self.buffer.is_empty()
+    }
+
+    /// Resets for the next time step.
+    pub fn next_step(&mut self) {
+        assert!(self.step_complete(), "next step before streaming completed");
+        self.fence_seen = false;
+        self.streamed = 0;
+    }
+
+    /// Positions streamed this step.
+    pub fn streamed(&self) -> u64 {
+        self.streamed
+    }
+}
+
+/// A Geometry Core: an MD-optimized processor with its counted SRAM block.
+#[derive(Debug)]
+pub struct GeometryCore {
+    /// The GC's 128 KB globally addressable SRAM.
+    pub sram: CountedSram,
+    /// Atoms this GC owns.
+    atoms: Vec<u32>,
+}
+
+impl Default for GeometryCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GeometryCore {
+    /// A GC with an empty atom set.
+    pub fn new() -> Self {
+        GeometryCore { sram: CountedSram::gc_block(), atoms: Vec::new() }
+    }
+
+    /// Assigns the atoms this GC integrates.
+    pub fn assign_atoms(&mut self, atoms: Vec<u32>) {
+        self.atoms = atoms;
+    }
+
+    /// Atoms owned.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// The force quad address for the i-th owned atom: software lays the
+    /// per-atom force accumulators out contiguously.
+    pub fn force_quad(&self, i: usize) -> QuadAddr {
+        QuadAddr(i as u32)
+    }
+
+    /// Integration cost for this GC's atoms
+    /// ([`crate::mdrun::INTEGRATION_CYCLES_PER_ATOM`] per atom).
+    pub fn integration_cycles(&self) -> Cycles {
+        Cycles((self.atoms.len() as f64 * crate::mdrun::INTEGRATION_CYCLES_PER_ATOM) as u64)
+    }
+}
+
+/// Checks that the aggregate per-node constants used by the timestep
+/// engine are consistent with the per-unit models and Table I.
+pub fn aggregate_consistency() -> (f64, f64) {
+    // Interactions per cycle per node from Table I's maximum throughput.
+    let table1 = anton_model::asic::anton3().pairwise_gops as f64 * 1e9
+        / (anton_model::asic::anton3().clock_ghz * 1e9);
+    // Streaming: each of the 12 rows has two buses fed by its ICBs, one
+    // position per bus per cycle.
+    let stream = (asic::CORE_ROWS * 2) as f64;
+    (table1, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppim_accumulates_and_reacts() {
+        let mut p = Ppim::new();
+        p.load_stored(&[10, 11, 12]);
+        // Stream one position interacting with atoms 10 and 12.
+        let (stream_f, cycles) = p.stream(|atom| match atom {
+            10 => Some([5, 0, -5]),
+            12 => Some([1, 2, 3]),
+            _ => None,
+        });
+        assert_eq!(stream_f, [-6, -2, 2], "stream force is the negated sum");
+        assert!(cycles.count() >= 1);
+        assert_eq!(p.evaluated(), 2);
+        let unloaded = p.unload();
+        assert_eq!(unloaded[0], (10, [5, 0, -5]));
+        assert_eq!(unloaded[1], (11, [0, 0, 0]));
+        assert_eq!(unloaded[2], (12, [1, 2, 3]));
+        assert_eq!(p.stored_count(), 0, "unload clears the stored set");
+    }
+
+    #[test]
+    fn ppim_newtons_third_law_balances() {
+        let mut p = Ppim::new();
+        p.load_stored(&[1, 2, 3, 4]);
+        let (stream_f, _) = p.stream(|a| Some([a as i32, -(a as i32), 7]));
+        let total_stored: [i64; 3] = p.unload().iter().fold([0; 3], |mut acc, (_, f)| {
+            for k in 0..3 {
+                acc[k] += f[k];
+            }
+            acc
+        });
+        for k in 0..3 {
+            assert_eq!(stream_f[k] + total_stored[k], 0, "forces must cancel");
+        }
+    }
+
+    #[test]
+    fn icb_fence_gating() {
+        let mut icb = Icb::new();
+        icb.receive(1);
+        icb.receive(2);
+        assert!(!icb.step_complete(), "no fence yet");
+        icb.fence();
+        assert!(!icb.step_complete(), "buffer not drained");
+        assert_eq!(icb.stream_next(), Some(1));
+        assert_eq!(icb.stream_next(), Some(2));
+        assert!(icb.step_complete());
+        assert_eq!(icb.streamed(), 2);
+        icb.next_step();
+        assert!(!icb.step_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "next step before streaming completed")]
+    fn icb_rejects_premature_step() {
+        let mut icb = Icb::new();
+        icb.receive(5);
+        icb.next_step();
+    }
+
+    #[test]
+    fn gc_sram_and_integration() {
+        let mut gc = GeometryCore::new();
+        gc.assign_atoms((0..7).collect());
+        assert_eq!(gc.atom_count(), 7);
+        assert_eq!(gc.integration_cycles().count(), 280);
+        // Force accumulation through the counted SRAM.
+        let q = gc.force_quad(3);
+        gc.sram.counted_accumulate(q, [10, 0, 0, 0]);
+        gc.sram.counted_accumulate(q, [5, 0, 0, 0]);
+        assert_eq!(gc.sram.read(q)[0], 15);
+        assert_eq!(gc.sram.counter(q), 2);
+    }
+
+    #[test]
+    fn aggregate_rates_match_engine_constants() {
+        let (interactions, stream) = aggregate_consistency();
+        assert!(
+            (interactions - crate::mdrun::PPIM_INTERACTIONS_PER_CYCLE).abs() < 1.0,
+            "Table I implies {interactions} interactions/cycle"
+        );
+        assert!((stream - crate::mdrun::STREAM_POSITIONS_PER_CYCLE).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ppim_cycle_cost_scales_with_matches() {
+        let mut p = Ppim::new();
+        p.load_stored(&(0..100).collect::<Vec<_>>());
+        let (_, few) = p.stream(|a| (a < 2).then_some([1, 1, 1]));
+        let mut p2 = Ppim::new();
+        p2.load_stored(&(0..100).collect::<Vec<_>>());
+        let (_, many) = p2.stream(|_| Some([1, 1, 1]));
+        assert!(many > few, "more matches cost more pipeline cycles");
+    }
+}

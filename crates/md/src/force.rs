@@ -1,0 +1,247 @@
+//! Range-limited pairwise forces with cell lists.
+//!
+//! The computation Anton 3's PPIMs accelerate (§II-A): for all atom pairs
+//! separated by less than the cutoff radius, evaluate a pairwise force.
+//! We use a cutoff-shifted Lennard-Jones potential (energy continuous at
+//! the cutoff) and a cell list so force evaluation is O(N).
+
+use crate::system::{System, WaterParams};
+
+/// The result of one force evaluation.
+#[derive(Clone, Debug)]
+pub struct Forces {
+    /// Per-atom total force, kcal/(mol·Å).
+    pub f: Vec<[f64; 3]>,
+    /// Total potential energy, kcal/mol.
+    pub potential: f64,
+    /// Number of interacting pairs found (the PPIM workload measure).
+    pub pair_count: u64,
+}
+
+/// A uniform-grid cell list over a periodic box.
+#[derive(Clone, Debug)]
+pub struct CellList {
+    dims: [usize; 3],
+    cells: Vec<Vec<u32>>,
+}
+
+impl CellList {
+    /// Bins atoms into cells at least `cutoff` wide.
+    ///
+    /// # Panics
+    /// Panics if the box is smaller than one cutoff in any dimension.
+    pub fn build(sys: &System, cutoff: f64) -> CellList {
+        let mut dims = [0usize; 3];
+        for k in 0..3 {
+            dims[k] = (sys.box_len[k] / cutoff).floor().max(1.0) as usize;
+            assert!(
+                sys.box_len[k] >= cutoff,
+                "box dimension {k} ({}) smaller than cutoff {cutoff}",
+                sys.box_len[k]
+            );
+        }
+        let mut cells = vec![Vec::new(); dims[0] * dims[1] * dims[2]];
+        for (i, r) in sys.pos.iter().enumerate() {
+            let mut c = [0usize; 3];
+            for k in 0..3 {
+                c[k] = ((r[k] / sys.box_len[k] * dims[k] as f64) as usize).min(dims[k] - 1);
+            }
+            cells[Self::index(dims, c)].push(i as u32);
+        }
+        CellList { dims, cells }
+    }
+
+    fn index(dims: [usize; 3], c: [usize; 3]) -> usize {
+        (c[2] * dims[1] + c[1]) * dims[0] + c[0]
+    }
+
+    /// Iterates over the 27-cell neighborhood (with wraparound) of cell
+    /// `c`, deduplicated when the grid is narrower than three cells.
+    fn neighborhood(&self, c: [usize; 3]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(27);
+        for dz in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let n = [
+                        (c[0] as i64 + dx).rem_euclid(self.dims[0] as i64) as usize,
+                        (c[1] as i64 + dy).rem_euclid(self.dims[1] as i64) as usize,
+                        (c[2] as i64 + dz).rem_euclid(self.dims[2] as i64) as usize,
+                    ];
+                    let idx = Self::index(self.dims, n);
+                    if !out.contains(&idx) {
+                        out.push(idx);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Evaluates cutoff-shifted Lennard-Jones forces using a cell list.
+pub fn compute_forces(sys: &System, params: &WaterParams) -> Forces {
+    let list = CellList::build(sys, params.cutoff);
+    let mut f = vec![[0.0f64; 3]; sys.n];
+    let mut potential = 0.0;
+    let mut pair_count = 0u64;
+    let rc2 = params.cutoff * params.cutoff;
+    let sigma2 = params.sigma * params.sigma;
+    // Energy shift so U(rc) = 0 keeps total energy well-defined.
+    let sr2_c = sigma2 / rc2;
+    let sr6_c = sr2_c * sr2_c * sr2_c;
+    let u_shift = 4.0 * params.epsilon * (sr6_c * sr6_c - sr6_c);
+
+    for cz in 0..list.dims[2] {
+        for cy in 0..list.dims[1] {
+            for cx in 0..list.dims[0] {
+                let home = CellList::index(list.dims, [cx, cy, cz]);
+                for &nb in &list.neighborhood([cx, cy, cz]) {
+                    // Visit each cell pair once (home <= nb); within the
+                    // home cell, use i < j.
+                    if nb < home {
+                        continue;
+                    }
+                    for (ai, &i) in list.cells[home].iter().enumerate() {
+                        let start = if nb == home { ai + 1 } else { 0 };
+                        for &j in &list.cells[nb][start..] {
+                            let (i, j) = (i as usize, j as usize);
+                            let d = sys.min_image(sys.pos[i], sys.pos[j]);
+                            let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                            if r2 >= rc2 || r2 == 0.0 {
+                                continue;
+                            }
+                            pair_count += 1;
+                            let sr2 = sigma2 / r2;
+                            let sr6 = sr2 * sr2 * sr2;
+                            let sr12 = sr6 * sr6;
+                            potential += 4.0 * params.epsilon * (sr12 - sr6) - u_shift;
+                            // F = -dU/dr; along d (i -> j), magnitude/r:
+                            let fmag_over_r =
+                                24.0 * params.epsilon * (2.0 * sr12 - sr6) / r2;
+                            for k in 0..3 {
+                                let fk = fmag_over_r * d[k];
+                                f[i][k] -= fk;
+                                f[j][k] += fk;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Forces { f, potential, pair_count }
+}
+
+/// Reference O(N²) force evaluation, used to validate the cell list.
+pub fn compute_forces_naive(sys: &System, params: &WaterParams) -> Forces {
+    let mut f = vec![[0.0f64; 3]; sys.n];
+    let mut potential = 0.0;
+    let mut pair_count = 0u64;
+    let rc2 = params.cutoff * params.cutoff;
+    let sigma2 = params.sigma * params.sigma;
+    let sr2_c = sigma2 / rc2;
+    let sr6_c = sr2_c * sr2_c * sr2_c;
+    let u_shift = 4.0 * params.epsilon * (sr6_c * sr6_c - sr6_c);
+    for i in 0..sys.n {
+        for j in (i + 1)..sys.n {
+            let d = sys.min_image(sys.pos[i], sys.pos[j]);
+            let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+            if r2 >= rc2 || r2 == 0.0 {
+                continue;
+            }
+            pair_count += 1;
+            let sr2 = sigma2 / r2;
+            let sr6 = sr2 * sr2 * sr2;
+            let sr12 = sr6 * sr6;
+            potential += 4.0 * params.epsilon * (sr12 - sr6) - u_shift;
+            let fmag_over_r = 24.0 * params.epsilon * (2.0 * sr12 - sr6) / r2;
+            for k in 0..3 {
+                let fk = fmag_over_r * d[k];
+                f[i][k] -= fk;
+                f[j][k] += fk;
+            }
+        }
+    }
+    Forces { f, potential, pair_count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::System;
+
+    fn small() -> (System, WaterParams) {
+        let p = WaterParams::default();
+        (System::water_box(300, &p, 7), p)
+    }
+
+    #[test]
+    fn newtons_third_law() {
+        let (sys, p) = small();
+        let forces = compute_forces(&sys, &p);
+        let mut sum = [0.0f64; 3];
+        for f in &forces.f {
+            for k in 0..3 {
+                sum[k] += f[k];
+            }
+        }
+        for s in sum {
+            assert!(s.abs() < 1e-9, "net force {s} violates Newton's third law");
+        }
+    }
+
+    #[test]
+    fn cell_list_matches_naive() {
+        let (sys, p) = small();
+        let fast = compute_forces(&sys, &p);
+        let slow = compute_forces_naive(&sys, &p);
+        assert_eq!(fast.pair_count, slow.pair_count, "pair counts differ");
+        assert!((fast.potential - slow.potential).abs() < 1e-9);
+        for (a, b) in fast.f.iter().zip(&slow.f) {
+            for k in 0..3 {
+                assert!((a[k] - b[k]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_count_scales_with_density() {
+        let p = WaterParams::default();
+        let sys = System::water_box(1000, &p, 8);
+        let forces = compute_forces(&sys, &p);
+        // Expected neighbors within cutoff: n * 4/3 pi rc^3 rho / 2.
+        let expected = sys.n as f64 * 4.0 / 3.0 * std::f64::consts::PI
+            * p.cutoff.powi(3)
+            * p.density
+            / 2.0;
+        let ratio = forces.pair_count as f64 / expected;
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "pair count {} vs expected {expected:.0}",
+            forces.pair_count
+        );
+    }
+
+    #[test]
+    fn forces_are_finite_and_bounded() {
+        let (sys, p) = small();
+        let forces = compute_forces(&sys, &p);
+        for f in &forces.f {
+            for k in 0..3 {
+                assert!(f[k].is_finite());
+                assert!(f[k].abs() < 1e4, "unphysical force {}", f[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn potential_is_negative_in_liquid() {
+        let (sys, p) = small();
+        let forces = compute_forces(&sys, &p);
+        assert!(
+            forces.potential < 0.0,
+            "liquid LJ potential should be cohesive, got {}",
+            forces.potential
+        );
+    }
+}

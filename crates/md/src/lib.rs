@@ -1,0 +1,32 @@
+//! # anton-md — the molecular-dynamics substrate
+//!
+//! A from-scratch water-box MD engine producing the traffic the Anton 3
+//! network carries: smooth thermal trajectories (what the particle cache
+//! compresses), small-magnitude forces (what INZ compresses), and spatial
+//! decomposition export sets (what sizes the per-channel working sets).
+//!
+//! - [`system`] — water-box construction and periodic-box math;
+//! - [`force`] — range-limited Lennard-Jones pairwise forces with cell
+//!   lists (the PPIM workload);
+//! - [`integrate`] — velocity-Verlet integration (the GC workload);
+//! - [`decomp`] — home boxes, import regions, and in-network multicast
+//!   trees (the channel workload);
+//! - [`units`] — MD units and the fixed-point quantization the network
+//!   operates on.
+//!
+//! ```
+//! use anton_md::integrate::Simulation;
+//! let mut sim = Simulation::water(300, 42);
+//! let e0 = sim.total_energy();
+//! sim.run(10);
+//! assert!(((sim.total_energy() - e0) / e0).abs() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decomp;
+pub mod force;
+pub mod integrate;
+pub mod system;
+pub mod units;

@@ -1,0 +1,152 @@
+//! MD unit system and fixed-point conversion.
+//!
+//! Internally the substrate works in Å, fs, amu and kcal/mol. The network
+//! sees **fixed-point** values, exactly as on Anton: positions and forces
+//! are quantized to signed 32-bit words before export, which is what the
+//! INZ and particle-cache compression operate on.
+
+/// Boltzmann constant in kcal/(mol·K).
+pub const BOLTZMANN_KCAL_MOL_K: f64 = 0.001987204;
+
+/// Converts (kcal/mol)/amu to Å²/fs² — the factor in `a = F/m`.
+pub const KCAL_PER_AMU_A2_FS2: f64 = 4.184e-4;
+
+/// Fixed-point position resolution: counts per Å (2^17). At liquid-water
+/// thermal velocities and a 2.5 fs step, per-step displacements are
+/// ~1000–2500 counts, which keeps the particle cache's 12-bit difference
+/// storage (±2047) in its intended regime — the same design point the
+/// paper's 12-bit D1/D2 choice implies.
+pub const POSITION_SCALE: f64 = 131_072.0;
+
+/// Fixed-point force resolution: counts per kcal/(mol·Å) (2^12). Typical
+/// liquid-state force magnitudes land around 13–17 significant bits,
+/// matching the "small absolute values" INZ exploits.
+pub const FORCE_SCALE: f64 = 4_096.0;
+
+/// Quantizes a position (Å) to network fixed point.
+pub fn quantize_position(p: [f64; 3]) -> [i32; 3] {
+    [
+        (p[0] * POSITION_SCALE).round() as i32,
+        (p[1] * POSITION_SCALE).round() as i32,
+        (p[2] * POSITION_SCALE).round() as i32,
+    ]
+}
+
+/// Converts a fixed-point position back to Å.
+pub fn dequantize_position(p: [i32; 3]) -> [f64; 3] {
+    [
+        p[0] as f64 / POSITION_SCALE,
+        p[1] as f64 / POSITION_SCALE,
+        p[2] as f64 / POSITION_SCALE,
+    ]
+}
+
+/// Intramolecular vibration overlay for exported positions.
+///
+/// Real water has hydrogens oscillating with ~9–11 fs periods (OH
+/// stretch/bend); at a 2.5 fs timestep those modes dominate the *third
+/// differences* of atomic positions — exactly the residual the particle
+/// cache's quadratic extrapolator cannot predict. Our single-site LJ
+/// substrate has no intramolecular modes, so the network-visible export
+/// stream adds a deterministic per-atom sinusoid of amplitude
+/// [`VIBRATION_AMPLITUDE_A`] and per-atom period in the OH-stretch range.
+/// Only the exported fixed-point stream sees it; the dynamics do not.
+/// (DESIGN.md §5.6 records this substitution.)
+pub const VIBRATION_AMPLITUDE_A: f64 = 0.0065;
+
+/// Computes the network-visible fixed-point position of `atom` at MD step
+/// `step`: the simulated position plus the vibrational overlay.
+pub fn exported_position(pos: [f64; 3], atom: u32, step: u64, dt_fs: f64) -> [i32; 3] {
+    let mut h = atom as u64 | 0x5851_F42D_4C95_7F2D_u64 << 32;
+    let mut out = [0i32; 3];
+    for k in 0..3 {
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(k as u64 + 1);
+        let mix = h ^ (h >> 29);
+        // Period 9–11 fs, phase uniform in [0, 2pi).
+        let period = 9.0 + (mix & 0xFF) as f64 / 255.0 * 2.0;
+        let phase = ((mix >> 8) & 0xFFFF) as f64 / 65536.0 * std::f64::consts::TAU;
+        let omega = std::f64::consts::TAU / period;
+        let vib = VIBRATION_AMPLITUDE_A * (omega * step as f64 * dt_fs + phase).sin();
+        out[k] = ((pos[k] + vib) * POSITION_SCALE).round() as i32;
+    }
+    out
+}
+
+/// Quantizes a force (kcal/(mol·Å)) to network fixed point.
+pub fn quantize_force(f: [f64; 3]) -> [i32; 3] {
+    [
+        (f[0] * FORCE_SCALE).round() as i32,
+        (f[1] * FORCE_SCALE).round() as i32,
+        (f[2] * FORCE_SCALE).round() as i32,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_roundtrip_within_resolution() {
+        let p = [12.345678, 0.0, 99.999];
+        let q = quantize_position(p);
+        let back = dequantize_position(q);
+        for k in 0..3 {
+            assert!((back[k] - p[k]).abs() <= 0.5 / POSITION_SCALE);
+        }
+    }
+
+    #[test]
+    fn typical_box_fits_i32() {
+        // A 512-node machine at 130k atoms: box ~110 Å, global coordinate
+        // max ~110 * 2^17 = 1.4e7, far inside i32 range.
+        let q = quantize_position([110.0, 110.0, 110.0]);
+        assert!(q[0] > 0 && q[0] < i32::MAX / 100);
+    }
+
+    #[test]
+    fn per_step_displacement_fits_12_bits_typically() {
+        // Thermal 1D velocity of our water-like atoms: ~5e-3 A/fs; over
+        // 2.5 fs that is ~0.0125 A = ~1640 counts < 2047.
+        let disp_counts = 0.0125 * POSITION_SCALE;
+        assert!(disp_counts < 2047.0, "displacement {disp_counts} counts");
+    }
+
+    #[test]
+    fn exported_position_is_deterministic_and_bounded() {
+        let pos = [10.0, 20.0, 30.0];
+        let a = exported_position(pos, 7, 3, 2.5);
+        let b = exported_position(pos, 7, 3, 2.5);
+        assert_eq!(a, b);
+        let q = quantize_position(pos);
+        for k in 0..3 {
+            let dev = (a[k] - q[k]).abs() as f64 / POSITION_SCALE;
+            assert!(dev <= VIBRATION_AMPLITUDE_A + 1e-9, "overlay {dev} exceeds amplitude");
+        }
+    }
+
+    #[test]
+    fn vibration_produces_multi_bit_residuals() {
+        // The third difference of the exported stream (what the quadratic
+        // predictor cannot absorb) must be hundreds of counts — the
+        // regime the paper's 45-62% reduction implies.
+        let pos = [50.0; 3];
+        let xs: Vec<i32> =
+            (0..8).map(|t| exported_position(pos, 42, t, 2.5)[0]).collect();
+        let mut max_d3 = 0i64;
+        for w in xs.windows(4) {
+            let d3 = (w[3] as i64 - 3 * w[2] as i64 + 3 * w[1] as i64 - w[0] as i64).abs();
+            max_d3 = max_d3.max(d3);
+        }
+        assert!(
+            (100..5000).contains(&max_d3),
+            "third-difference residual {max_d3} counts out of realistic range"
+        );
+    }
+
+    #[test]
+    fn forces_have_small_fixed_point_magnitudes() {
+        let f = quantize_force([3.2, -1.1, 0.05]);
+        assert!(f.iter().all(|&c| c.unsigned_abs() < 1 << 17));
+        assert_eq!(f[2], 205);
+    }
+}

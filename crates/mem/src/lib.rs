@@ -1,0 +1,319 @@
+//! # anton-mem — counted-write / blocking-read synchronized SRAM
+//!
+//! Counter-based fine-grained synchronization is the core communication
+//! paradigm of the Anton ASICs (paper §III-A). Every *quad* (four 32-bit
+//! values) in a GC's SRAM block carries an 8-bit hardware counter:
+//!
+//! - a **counted write** updates the quad and atomically increments its
+//!   counter;
+//! - a **counted accumulate** adds into the quad (force summation) and
+//!   increments the counter;
+//! - a **blocking read** names a quad and a threshold; it completes only
+//!   once the counter has reached the threshold, letting software start
+//!   running *before* its input data has arrived and minimizing
+//!   arrival-to-use latency.
+//!
+//! The simulator models blocking reads as registered waiters: a write that
+//! satisfies a waiter's threshold returns its token so the machine model
+//! can schedule the wake-up event.
+//!
+//! ```
+//! use anton_mem::{CountedSram, QuadAddr, ReadOutcome};
+//!
+//! let mut sram = CountedSram::new(16);
+//! let addr = QuadAddr(3);
+//! // The integrator expects two force contributions for this atom.
+//! assert!(matches!(
+//!     sram.blocking_read(addr, 2, 77),
+//!     ReadOutcome::Pending
+//! ));
+//! assert!(sram.counted_accumulate(addr, [1, 2, 3, 0]).is_empty());
+//! let woken = sram.counted_accumulate(addr, [10, 20, 30, 0]);
+//! assert_eq!(woken, vec![77]); // waiter 77 unblocks with the summed quad
+//! assert_eq!(sram.read(addr), [11, 22, 33, 0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+
+/// Bytes per quad: four 32-bit values (paper §III-A).
+pub const QUAD_BYTES: usize = 16;
+
+/// Quads in one 128 KB GC SRAM block.
+pub const QUADS_PER_GC_SRAM: usize = 128 * 1024 / QUAD_BYTES;
+
+/// The address of one quad within an SRAM block.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct QuadAddr(pub u32);
+
+impl fmt::Display for QuadAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{:#x}", self.0)
+    }
+}
+
+/// A caller-chosen token identifying a registered blocking read.
+pub type WaiterToken = u64;
+
+/// Result of issuing a blocking read.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReadOutcome {
+    /// The counter had already reached the threshold; data is available
+    /// immediately.
+    Ready([u32; 4]),
+    /// The read stalled; the token will be returned by the write that
+    /// satisfies it.
+    Pending,
+}
+
+#[derive(Clone, Debug)]
+struct Waiter {
+    addr: QuadAddr,
+    threshold: u8,
+    token: WaiterToken,
+}
+
+/// An SRAM block with an 8-bit counter per quad and blocking-read support.
+#[derive(Clone, Debug)]
+pub struct CountedSram {
+    quads: Vec<[u32; 4]>,
+    counters: Vec<u8>,
+    waiters: Vec<Waiter>,
+}
+
+impl CountedSram {
+    /// Creates a zeroed SRAM with `quad_count` quads.
+    ///
+    /// # Panics
+    /// Panics if `quad_count == 0`.
+    pub fn new(quad_count: usize) -> Self {
+        assert!(quad_count > 0, "SRAM must hold at least one quad");
+        CountedSram {
+            quads: vec![[0; 4]; quad_count],
+            counters: vec![0; quad_count],
+            waiters: Vec::new(),
+        }
+    }
+
+    /// A full 128 KB GC SRAM block (8192 quads).
+    pub fn gc_block() -> Self {
+        Self::new(QUADS_PER_GC_SRAM)
+    }
+
+    /// Number of quads.
+    pub fn quad_count(&self) -> usize {
+        self.quads.len()
+    }
+
+    fn check(&self, addr: QuadAddr) -> usize {
+        let i = addr.0 as usize;
+        assert!(i < self.quads.len(), "quad address {addr} out of range");
+        i
+    }
+
+    /// Reads a quad without any synchronization.
+    pub fn read(&self, addr: QuadAddr) -> [u32; 4] {
+        self.quads[self.check(addr)]
+    }
+
+    /// The current counter value for a quad.
+    pub fn counter(&self, addr: QuadAddr) -> u8 {
+        self.counters[self.check(addr)]
+    }
+
+    /// Plain (uncounted) write; does not touch the counter.
+    pub fn write(&mut self, addr: QuadAddr, data: [u32; 4]) {
+        let i = self.check(addr);
+        self.quads[i] = data;
+    }
+
+    /// Counted write: replaces the quad and increments its counter,
+    /// returning the tokens of any blocking reads this satisfies.
+    pub fn counted_write(&mut self, addr: QuadAddr, data: [u32; 4]) -> Vec<WaiterToken> {
+        let i = self.check(addr);
+        self.quads[i] = data;
+        self.bump(addr, i)
+    }
+
+    /// Counted accumulate: adds each 32-bit lane (two's-complement
+    /// wrapping, as fixed-point force accumulation hardware does) and
+    /// increments the counter.
+    pub fn counted_accumulate(&mut self, addr: QuadAddr, data: [u32; 4]) -> Vec<WaiterToken> {
+        let i = self.check(addr);
+        for (slot, v) in self.quads[i].iter_mut().zip(data) {
+            *slot = slot.wrapping_add(v);
+        }
+        self.bump(addr, i)
+    }
+
+    fn bump(&mut self, addr: QuadAddr, i: usize) -> Vec<WaiterToken> {
+        self.counters[i] = self.counters[i].wrapping_add(1);
+        let count = self.counters[i];
+        let mut woken = Vec::new();
+        self.waiters.retain(|w| {
+            if w.addr == addr && count >= w.threshold {
+                woken.push(w.token);
+                false
+            } else {
+                true
+            }
+        });
+        woken
+    }
+
+    /// Issues a blocking read: completes immediately if the counter has
+    /// reached `threshold`, otherwise registers `token` as a waiter.
+    pub fn blocking_read(
+        &mut self,
+        addr: QuadAddr,
+        threshold: u8,
+        token: WaiterToken,
+    ) -> ReadOutcome {
+        let i = self.check(addr);
+        if self.counters[i] >= threshold {
+            ReadOutcome::Ready(self.quads[i])
+        } else {
+            self.waiters.push(Waiter { addr, threshold, token });
+            ReadOutcome::Pending
+        }
+    }
+
+    /// Resets a quad's counter to zero (software does this between uses;
+    /// e.g. the integrator re-arms per-atom force quads each step).
+    pub fn reset_counter(&mut self, addr: QuadAddr) {
+        let i = self.check(addr);
+        self.counters[i] = 0;
+    }
+
+    /// Zeroes a quad's data and counter.
+    pub fn clear(&mut self, addr: QuadAddr) {
+        let i = self.check(addr);
+        self.quads[i] = [0; 4];
+        self.counters[i] = 0;
+    }
+
+    /// Number of currently stalled blocking reads.
+    pub fn pending_reads(&self) -> usize {
+        self.waiters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counted_write_increments_and_stores() {
+        let mut s = CountedSram::new(4);
+        let a = QuadAddr(0);
+        assert_eq!(s.counter(a), 0);
+        s.counted_write(a, [1, 2, 3, 4]);
+        assert_eq!(s.read(a), [1, 2, 3, 4]);
+        assert_eq!(s.counter(a), 1);
+        s.counted_write(a, [5, 6, 7, 8]);
+        assert_eq!(s.read(a), [5, 6, 7, 8]);
+        assert_eq!(s.counter(a), 2);
+    }
+
+    #[test]
+    fn plain_write_leaves_counter() {
+        let mut s = CountedSram::new(4);
+        s.write(QuadAddr(1), [9, 9, 9, 9]);
+        assert_eq!(s.counter(QuadAddr(1)), 0);
+        assert_eq!(s.read(QuadAddr(1)), [9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn accumulate_wraps_twos_complement() {
+        let mut s = CountedSram::new(1);
+        let a = QuadAddr(0);
+        // Accumulate a negative force in fixed point.
+        s.counted_accumulate(a, [100, (-30i32) as u32, 0, 0]);
+        s.counted_accumulate(a, [(-50i32) as u32, (-30i32) as u32, 0, 0]);
+        let q = s.read(a);
+        assert_eq!(q[0] as i32, 50);
+        assert_eq!(q[1] as i32, -60);
+        assert_eq!(s.counter(a), 2);
+    }
+
+    #[test]
+    fn blocking_read_ready_when_count_met() {
+        let mut s = CountedSram::new(2);
+        let a = QuadAddr(1);
+        s.counted_write(a, [7, 7, 7, 7]);
+        match s.blocking_read(a, 1, 5) {
+            ReadOutcome::Ready(q) => assert_eq!(q, [7, 7, 7, 7]),
+            ReadOutcome::Pending => panic!("should be ready"),
+        }
+        assert_eq!(s.pending_reads(), 0);
+    }
+
+    #[test]
+    fn blocking_read_wakes_in_order() {
+        let mut s = CountedSram::new(2);
+        let a = QuadAddr(0);
+        assert_eq!(s.blocking_read(a, 1, 10), ReadOutcome::Pending);
+        assert_eq!(s.blocking_read(a, 2, 20), ReadOutcome::Pending);
+        assert_eq!(s.pending_reads(), 2);
+        assert_eq!(s.counted_write(a, [1, 0, 0, 0]), vec![10]);
+        assert_eq!(s.counted_write(a, [2, 0, 0, 0]), vec![20]);
+        assert_eq!(s.pending_reads(), 0);
+    }
+
+    #[test]
+    fn waiters_on_different_quads_are_independent() {
+        let mut s = CountedSram::new(4);
+        assert_eq!(s.blocking_read(QuadAddr(0), 1, 1), ReadOutcome::Pending);
+        assert_eq!(s.blocking_read(QuadAddr(1), 1, 2), ReadOutcome::Pending);
+        let woken = s.counted_write(QuadAddr(1), [0; 4]);
+        assert_eq!(woken, vec![2]);
+        assert_eq!(s.pending_reads(), 1);
+    }
+
+    #[test]
+    fn one_write_can_wake_many() {
+        let mut s = CountedSram::new(1);
+        let a = QuadAddr(0);
+        for t in 0..5 {
+            assert_eq!(s.blocking_read(a, 1, t), ReadOutcome::Pending);
+        }
+        let woken = s.counted_write(a, [0; 4]);
+        assert_eq!(woken, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reset_and_clear() {
+        let mut s = CountedSram::new(1);
+        let a = QuadAddr(0);
+        s.counted_write(a, [1, 1, 1, 1]);
+        s.reset_counter(a);
+        assert_eq!(s.counter(a), 0);
+        assert_eq!(s.read(a), [1, 1, 1, 1]);
+        s.clear(a);
+        assert_eq!(s.read(a), [0; 4]);
+    }
+
+    #[test]
+    fn counter_is_8_bit_wrapping() {
+        let mut s = CountedSram::new(1);
+        let a = QuadAddr(0);
+        for _ in 0..256 {
+            s.counted_write(a, [0; 4]);
+        }
+        assert_eq!(s.counter(a), 0, "8-bit counter must wrap");
+    }
+
+    #[test]
+    fn gc_block_size() {
+        let s = CountedSram::gc_block();
+        assert_eq!(s.quad_count(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_read_panics() {
+        CountedSram::new(1).read(QuadAddr(1));
+    }
+}

@@ -1,0 +1,117 @@
+//! # anton-model — geometry, units and parameter models for the Anton 3 network
+//!
+//! This crate holds everything the rest of the workspace agrees on:
+//!
+//! - [`units`] — picosecond/cycle time types and bandwidth math;
+//! - [`topology`] — the inter-node 3D torus: coordinates, directions,
+//!   dimension orders, minimal-route algebra;
+//! - [`asic`] — the tiled ASIC geometry (Core/Edge tiles, SERDES lanes,
+//!   flit formats) and the generational data of the paper's Table I;
+//! - [`latency`] — the calibrated latency constants for every component on
+//!   an end-to-end message path;
+//! - [`area`] — the storage-dominated area model behind Tables II and III.
+//!
+//! ```
+//! use anton_model::{MachineConfig, topology::NodeId};
+//! let cfg = MachineConfig::torus([4, 4, 8]);
+//! assert_eq!(cfg.node_count(), 128);
+//! let a = cfg.torus.coord(NodeId(0));
+//! let b = cfg.torus.coord(NodeId(127));
+//! assert!(cfg.torus.hop_distance(a, b) <= cfg.torus.diameter());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod asic;
+pub mod latency;
+pub mod topology;
+pub mod units;
+
+use serde::{Deserialize, Serialize};
+use topology::Torus;
+
+/// Top-level description of one simulated Anton 3 machine.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Inter-node topology.
+    pub torus: Torus,
+    /// Latency constants used by every component model.
+    pub latency: latency::LatencyModel,
+    /// Whether INZ payload compression is enabled on channels.
+    pub inz_enabled: bool,
+    /// Whether the particle cache is enabled on channels.
+    pub pcache_enabled: bool,
+    /// Particle-cache sets per Channel Adapter cache (hardware: 256 sets
+    /// × 4 ways = 1024 entries). Reduced values support capacity
+    /// ablations.
+    pub pcache_sets: usize,
+}
+
+impl MachineConfig {
+    /// A machine with the given torus dimensions and default (calibrated)
+    /// latency constants, with both compression features enabled — the
+    /// production configuration.
+    ///
+    /// # Panics
+    /// Panics if the machine would exceed 512 nodes.
+    pub fn torus(dims: [u8; 3]) -> Self {
+        MachineConfig {
+            torus: Torus::new(dims),
+            latency: latency::LatencyModel::default(),
+            inz_enabled: true,
+            pcache_enabled: true,
+            pcache_sets: 256,
+        }
+    }
+
+    /// Returns a copy with a reduced particle-cache geometry (capacity
+    /// ablations; the hardware has 256 sets).
+    pub fn with_pcache_sets(mut self, sets: usize) -> Self {
+        self.pcache_sets = sets;
+        self
+    }
+
+    /// Number of nodes in the machine.
+    pub fn node_count(&self) -> usize {
+        self.torus.node_count()
+    }
+
+    /// Returns a copy with both compression features disabled (the paper's
+    /// baseline configuration for Figures 9 and 12).
+    pub fn without_compression(mut self) -> Self {
+        self.inz_enabled = false;
+        self.pcache_enabled = false;
+        self
+    }
+
+    /// Returns a copy with INZ enabled but the particle cache disabled
+    /// (the paper's "INZ only" configuration in Figure 9a).
+    pub fn inz_only(mut self) -> Self {
+        self.inz_enabled = true;
+        self.pcache_enabled = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_config_has_compression() {
+        let c = MachineConfig::torus([2, 2, 2]);
+        assert!(c.inz_enabled && c.pcache_enabled);
+        assert_eq!(c.node_count(), 8);
+    }
+
+    #[test]
+    fn feature_toggles() {
+        let c = MachineConfig::torus([2, 2, 2]);
+        let off = c.without_compression();
+        assert!(!off.inz_enabled && !off.pcache_enabled);
+        let inz = c.inz_only();
+        assert!(inz.inz_enabled && !inz.pcache_enabled);
+    }
+}

@@ -1,0 +1,169 @@
+//! SERDES channel-slice model: serialization timing and traffic accounting.
+//!
+//! Each torus neighbor is reached over 16 SERDES lanes at 29 Gb/s,
+//! organized as two 8-lane slices; each slice is served by two Channel
+//! Adapters of 4 lanes each (paper §II-B). This module models one CA's
+//! share of the channel: a serializer with FIFO occupancy (`busy_until`)
+//! and byte/bit counters for the Figure 9a accounting.
+
+use anton_compress::frame::{FRAME_BYTES, FRAME_PAYLOAD_BYTES};
+use anton_model::units::{serialization_time, Ps, SERDES_GBPS};
+use serde::Serialize;
+
+/// Traffic counters for one directed channel (or CA sub-channel).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize)]
+pub struct LinkStats {
+    /// Packets transmitted.
+    pub packets: u64,
+    /// Bytes that would have crossed with compression disabled
+    /// (flit-granular: full 24-byte flits).
+    pub baseline_bytes: u64,
+    /// Bytes actually transmitted under the active configuration,
+    /// before frame-overhead amortization.
+    pub wire_bytes: u64,
+    /// Wire bytes attributable to position traffic (full + compressed).
+    pub position_bytes: u64,
+    /// Wire bytes attributable to force traffic.
+    pub force_bytes: u64,
+    /// Wire bytes attributable to everything else.
+    pub other_bytes: u64,
+}
+
+impl LinkStats {
+    /// Fraction of baseline traffic eliminated, in `[0, 1]`.
+    pub fn reduction(&self) -> f64 {
+        if self.baseline_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.wire_bytes as f64 / self.baseline_bytes as f64
+        }
+    }
+
+    /// Accumulates another stats block into this one.
+    pub fn merge(&mut self, other: &LinkStats) {
+        self.packets += other.packets;
+        self.baseline_bytes += other.baseline_bytes;
+        self.wire_bytes += other.wire_bytes;
+        self.position_bytes += other.position_bytes;
+        self.force_bytes += other.force_bytes;
+        self.other_bytes += other.other_bytes;
+    }
+}
+
+/// A serializing transmitter: `lanes` SERDES lanes shared FIFO-fashion.
+#[derive(Clone, Debug)]
+pub struct Serializer {
+    lanes: u32,
+    busy_until: Ps,
+    busy_total: Ps,
+}
+
+impl Serializer {
+    /// Creates an idle serializer over `lanes` lanes at 29 Gb/s.
+    ///
+    /// # Panics
+    /// Panics if `lanes == 0`.
+    pub fn new(lanes: u32) -> Self {
+        assert!(lanes > 0, "serializer needs lanes");
+        Serializer { lanes, busy_until: Ps::ZERO, busy_total: Ps::ZERO }
+    }
+
+    /// Time to serialize `bytes` (after frame-overhead amortization).
+    pub fn serialize_time(&self, bytes: usize) -> Ps {
+        // Fixed-length frames carry FRAME_PAYLOAD of every FRAME_BYTES;
+        // amortize the framing overhead smoothly over the byte stream.
+        let framed_bits = bytes as u64 * 8 * FRAME_BYTES as u64 / FRAME_PAYLOAD_BYTES as u64;
+        serialization_time(framed_bits, self.lanes, SERDES_GBPS)
+    }
+
+    /// Enqueues a transmission at `now`; returns `(start, done)` where
+    /// `start` is when serialization begins (after queued predecessors —
+    /// this FIFO order is what fence ordering builds on) and `done` is
+    /// when the last bit leaves the transmitter.
+    pub fn transmit(&mut self, now: Ps, bytes: usize) -> (Ps, Ps) {
+        let start = now.max(self.busy_until);
+        let done = start + self.serialize_time(bytes);
+        self.busy_total += done - start;
+        self.busy_until = done;
+        (start, done)
+    }
+
+    /// When the transmitter becomes idle.
+    pub fn busy_until(&self) -> Ps {
+        self.busy_until
+    }
+
+    /// Total time spent transmitting.
+    pub fn busy_total(&self) -> Ps {
+        self.busy_total
+    }
+
+    /// Resets occupancy (between independent experiment phases).
+    pub fn reset(&mut self) {
+        self.busy_until = Ps::ZERO;
+        self.busy_total = Ps::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialize_time_scales_with_lanes() {
+        let four = Serializer::new(4);
+        let eight = Serializer::new(8);
+        let t4 = four.serialize_time(48);
+        let t8 = eight.serialize_time(48);
+        assert!(t4 > t8);
+        // 48 bytes over 4x29 Gb/s with 64/62 framing: ~3.42 ns.
+        assert!((t4.as_ns() - 3.42).abs() < 0.1, "got {}", t4.as_ns());
+    }
+
+    #[test]
+    fn transmissions_serialize_fifo() {
+        let mut s = Serializer::new(4);
+        let (a0, a1) = s.transmit(Ps::ZERO, 24);
+        let (b0, b1) = s.transmit(Ps::ZERO, 24);
+        assert_eq!(a0, Ps::ZERO);
+        assert_eq!(b0, a1, "second packet waits for the first");
+        assert!(b1 > a1);
+        assert_eq!(s.busy_total(), b1);
+    }
+
+    #[test]
+    fn idle_gap_is_not_busy() {
+        let mut s = Serializer::new(4);
+        let (_, a1) = s.transmit(Ps::ZERO, 24);
+        let later = a1 + Ps::from_ns(100.0);
+        let (b0, b1) = s.transmit(later, 24);
+        assert_eq!(b0, later);
+        assert_eq!(s.busy_total(), (a1 - Ps::ZERO) + (b1 - b0));
+    }
+
+    #[test]
+    fn stats_reduction() {
+        let mut st = LinkStats { baseline_bytes: 100, wire_bytes: 55, ..Default::default() };
+        assert!((st.reduction() - 0.45).abs() < 1e-12);
+        let other = LinkStats { baseline_bytes: 100, wire_bytes: 65, packets: 2, ..Default::default() };
+        st.merge(&other);
+        assert_eq!(st.baseline_bytes, 200);
+        assert_eq!(st.wire_bytes, 120);
+        assert_eq!(st.packets, 2);
+        assert!((st.reduction() - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_reduction_is_zero() {
+        assert_eq!(LinkStats::default().reduction(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_occupancy() {
+        let mut s = Serializer::new(8);
+        s.transmit(Ps::ZERO, 1000);
+        s.reset();
+        assert_eq!(s.busy_until(), Ps::ZERO);
+        assert_eq!(s.busy_total(), Ps::ZERO);
+    }
+}

@@ -1,0 +1,268 @@
+//! Inter-node torus routing — paper §III-B2.
+//!
+//! Requests use **minimal oblivious routing**: each packet independently
+//! draws one of the six dimension orders (XYZ … ZYX) and one of the two
+//! physical channel slices, randomizing load without consulting network
+//! state. Four virtual channels avoid torus deadlock via datelines.
+//!
+//! Responses are restricted to the **XYZ order on non-wraparound links**
+//! (the torus treated as a mesh), which makes a single response VC
+//! sufficient — the trick that gets the Edge Router down to five VCs and a
+//! three-cycle hop.
+
+use anton_model::asic::SLICES_PER_NEIGHBOR;
+use anton_model::topology::{DimOrder, Direction, Torus, TorusCoord};
+use anton_sim::rng::SplitMix64;
+
+/// Number of request-class VCs (paper: torus routing would normally need
+/// four per class).
+pub const REQUEST_VCS: u8 = 4;
+/// The single response-class VC index.
+pub const RESPONSE_VC: u8 = 4;
+
+/// One hop of a planned route: the direction taken and the VC occupied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Hop {
+    /// Torus direction of this hop.
+    pub dir: Direction,
+    /// Virtual channel for this hop (`0..4` request, `4` response).
+    pub vc: u8,
+    /// Whether this hop traverses a wraparound (dateline) link.
+    pub wraps: bool,
+}
+
+/// A complete inter-node route for one packet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RoutePlan {
+    /// The dimension order the packet follows.
+    pub order: DimOrder,
+    /// The channel slice (0 or 1) used on every hop.
+    pub slice: usize,
+    /// Which of each direction's two CA rows on the slice's side the
+    /// packet uses (address-interleaved in hardware, so uniform — not
+    /// proximity-based).
+    pub ca: usize,
+    /// The hops in order; empty for an intra-node destination.
+    pub hops: Vec<Hop>,
+}
+
+impl RoutePlan {
+    /// Number of inter-node hops.
+    pub fn hop_count(&self) -> u32 {
+        self.hops.len() as u32
+    }
+}
+
+/// Whether moving from `from` in direction `d` crosses the wraparound link
+/// of that ring.
+pub fn crosses_dateline(torus: &Torus, from: TorusCoord, d: Direction) -> bool {
+    let ext = torus.extent(d.dim());
+    let c = from.get(d.dim());
+    if d.is_positive() {
+        c == ext - 1
+    } else {
+        c == 0
+    }
+}
+
+fn assign_request_vcs(torus: &Torus, src: TorusCoord, dirs: &[Direction], base: u8) -> Vec<Hop> {
+    debug_assert!(base < 2, "request base VC is one bit");
+    let mut hops = Vec::with_capacity(dirs.len());
+    let mut cur = src;
+    let mut crossed = false;
+    for &dir in dirs {
+        let wraps = crosses_dateline(torus, cur, dir);
+        // Dateline scheme: VCs {base} before any wraparound crossing,
+        // {base + 2} after, giving four request VCs across the two base
+        // choices while keeping the channel-dependency graph acyclic.
+        let vc = if crossed { base + 2 } else { base };
+        hops.push(Hop { dir, vc, wraps });
+        crossed |= wraps;
+        cur = torus.neighbor(cur, dir);
+    }
+    hops
+}
+
+/// Plans a request route from `src` to `dst` with randomized dimension
+/// order, slice, and base VC drawn from `rng`.
+pub fn plan_request(
+    torus: &Torus,
+    src: TorusCoord,
+    dst: TorusCoord,
+    rng: &mut SplitMix64,
+) -> RoutePlan {
+    let order = *rng.choose(&DimOrder::ALL);
+    let slice = rng.next_below(SLICES_PER_NEIGHBOR as u64) as usize;
+    let ca = rng.next_below(2) as usize;
+    let base = rng.next_below(2) as u8;
+    let dirs = torus.route(src, dst, order);
+    RoutePlan { order, slice, ca, hops: assign_request_vcs(torus, src, &dirs, base) }
+}
+
+/// Plans a request route with a *fixed* order/slice/base (used by
+/// deterministic experiments and by position exports, which must reuse the
+/// same channels every step so the particle caches stay warm).
+pub fn plan_request_fixed(
+    torus: &Torus,
+    src: TorusCoord,
+    dst: TorusCoord,
+    order: DimOrder,
+    slice: usize,
+    base_vc: u8,
+) -> RoutePlan {
+    assert!(slice < SLICES_PER_NEIGHBOR, "slice {slice} out of range");
+    assert!(base_vc < 2, "base VC must be 0 or 1");
+    let dirs = torus.route(src, dst, order);
+    RoutePlan { order, slice, ca: 0, hops: assign_request_vcs(torus, src, &dirs, base_vc) }
+}
+
+/// Plans a response route: XYZ dimension order on non-wraparound links
+/// only (mesh restriction), single response VC.
+pub fn plan_response(
+    torus: &Torus,
+    src: TorusCoord,
+    dst: TorusCoord,
+    rng: &mut SplitMix64,
+) -> RoutePlan {
+    let slice = rng.next_below(SLICES_PER_NEIGHBOR as u64) as usize;
+    let mut hops = Vec::new();
+    let mut cur = src;
+    for dim in DimOrder::XYZ.0 {
+        // Plain (non-modular) displacement: the mesh path never wraps.
+        let delta = dst.get(dim) as i32 - cur.get(dim) as i32;
+        let dir = Direction::new(dim, delta > 0);
+        for _ in 0..delta.unsigned_abs() {
+            debug_assert!(!crosses_dateline(torus, cur, dir), "response route wrapped");
+            hops.push(Hop { dir, vc: RESPONSE_VC, wraps: false });
+            cur = torus.neighbor(cur, dir);
+        }
+    }
+    debug_assert_eq!(cur, dst);
+    RoutePlan { order: DimOrder::XYZ, slice, ca: rng.next_below(2) as usize, hops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_model::topology::{Dim, NodeId};
+
+    fn torus() -> Torus {
+        Torus::new([4, 4, 8])
+    }
+
+    #[test]
+    fn request_routes_are_minimal() {
+        let t = torus();
+        let mut rng = SplitMix64::new(1);
+        for i in 0..64u16 {
+            let a = t.coord(NodeId(i));
+            let b = t.coord(NodeId(127 - i));
+            let plan = plan_request(&t, a, b, &mut rng);
+            assert_eq!(plan.hop_count(), t.hop_distance(a, b));
+        }
+    }
+
+    #[test]
+    fn request_randomization_covers_orders_and_slices() {
+        let t = torus();
+        let mut rng = SplitMix64::new(2);
+        let a = t.coord(NodeId(0));
+        let b = t.coord(NodeId(127));
+        let mut orders = std::collections::HashSet::new();
+        let mut slices = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let plan = plan_request(&t, a, b, &mut rng);
+            orders.insert(format!("{}", plan.order));
+            slices.insert(plan.slice);
+        }
+        assert_eq!(orders.len(), 6, "all six dimension orders must be drawn");
+        assert_eq!(slices.len(), 2, "both channel slices must be drawn");
+    }
+
+    #[test]
+    fn request_vcs_switch_at_dateline() {
+        let t = Torus::new([4, 1, 1]);
+        let a = t.coord(NodeId(3));
+        let b = t.coord(NodeId(1));
+        // Minimal route from x=3 to x=1 goes +x through the wraparound.
+        let plan =
+            plan_request_fixed(&t, a, b, DimOrder::XYZ, 0, 0);
+        assert_eq!(plan.hops.len(), 2);
+        assert!(plan.hops[0].wraps, "first hop crosses x=3 -> x=0 dateline");
+        assert_eq!(plan.hops[0].vc, 0, "dateline hop still uses pre-crossing VC");
+        assert_eq!(plan.hops[1].vc, 2, "post-crossing hops switch VC set");
+    }
+
+    #[test]
+    fn request_vcs_stay_in_class() {
+        let t = torus();
+        let mut rng = SplitMix64::new(3);
+        for i in 0..128u16 {
+            let a = t.coord(NodeId(i));
+            let b = t.coord(NodeId((i * 37 + 11) % 128));
+            let plan = plan_request(&t, a, b, &mut rng);
+            for hop in &plan.hops {
+                assert!(hop.vc < REQUEST_VCS, "request VC {} out of class", hop.vc);
+            }
+        }
+    }
+
+    #[test]
+    fn response_routes_never_wrap() {
+        let t = torus();
+        let mut rng = SplitMix64::new(4);
+        for i in 0..128u16 {
+            let a = t.coord(NodeId(i));
+            let b = t.coord(NodeId(127 - i));
+            let plan = plan_response(&t, a, b, &mut rng);
+            for hop in &plan.hops {
+                assert!(!hop.wraps);
+                assert_eq!(hop.vc, RESPONSE_VC);
+            }
+            // Mesh routes can exceed the torus-minimal distance but are
+            // bounded by the sum of coordinate displacements.
+            assert!(plan.hop_count() >= t.hop_distance(a, b));
+        }
+    }
+
+    #[test]
+    fn response_routes_follow_xyz() {
+        let t = torus();
+        let mut rng = SplitMix64::new(5);
+        let a = t.coord(NodeId(0));
+        let b = TorusCoord::new(3, 2, 6);
+        let plan = plan_response(&t, a, b, &mut rng);
+        let dims: Vec<Dim> = plan.hops.iter().map(|h| h.dir.dim()).collect();
+        let mut sorted = dims.clone();
+        sorted.sort_by_key(|d| d.index());
+        assert_eq!(dims, sorted, "response hops must be in XYZ order");
+    }
+
+    #[test]
+    fn zero_hop_plans_are_empty() {
+        let t = torus();
+        let mut rng = SplitMix64::new(6);
+        let a = t.coord(NodeId(5));
+        assert_eq!(plan_request(&t, a, a, &mut rng).hop_count(), 0);
+        assert_eq!(plan_response(&t, a, a, &mut rng).hop_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice 7 out of range")]
+    fn fixed_plan_validates_slice() {
+        let t = torus();
+        let a = t.coord(NodeId(0));
+        let _ = plan_request_fixed(&t, a, a, DimOrder::XYZ, 7, 0);
+    }
+
+    #[test]
+    fn dateline_detection() {
+        let t = Torus::new([4, 4, 8]);
+        let edge = TorusCoord::new(3, 0, 0);
+        assert!(crosses_dateline(&t, edge, Direction::new(Dim::X, true)));
+        assert!(!crosses_dateline(&t, edge, Direction::new(Dim::X, false)));
+        let origin = TorusCoord::new(0, 0, 0);
+        assert!(crosses_dateline(&t, origin, Direction::new(Dim::X, false)));
+        assert!(!crosses_dateline(&t, origin, Direction::new(Dim::X, true)));
+    }
+}

@@ -1,0 +1,145 @@
+//! The event queue at the heart of the discrete-event engine.
+//!
+//! Events are ordered by `(time, sequence)` where the sequence number is a
+//! monotonically increasing tie-breaker, making execution order fully
+//! deterministic regardless of hash-map iteration or allocation order.
+
+use anton_model::units::Ps;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the event queue: a payload scheduled for a point in time.
+#[derive(Debug)]
+struct Entry<E> {
+    time: Ps,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// ```
+/// use anton_sim::event::EventQueue;
+/// use anton_model::units::Ps;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Ps::new(20), "late");
+/// q.push(Ps::new(10), "early");
+/// q.push(Ps::new(10), "early-second"); // same time: FIFO by insertion
+/// assert_eq!(q.pop(), Some((Ps::new(10), "early")));
+/// assert_eq!(q.pop(), Some((Ps::new(10), "early-second")));
+/// assert_eq!(q.pop(), Some((Ps::new(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    pushed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, pushed: 0 }
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    pub fn push(&mut self, time: Ps, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(Ps, E)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Ps> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (for statistics).
+    pub fn total_scheduled(&self) -> u64 {
+        self.pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Ps::new(30), 3);
+        q.push(Ps::new(10), 1);
+        q.push(Ps::new(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Ps::new(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Ps::new(7), ());
+        assert_eq!(q.peek_time(), Some(Ps::new(7)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.total_scheduled(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.total_scheduled(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! A small deterministic RNG (SplitMix64) for simulation decisions.
+//!
+//! The paper's inter-node routing is *oblivious* but randomized: each
+//! packet draws a dimension order and a channel slice independently of
+//! network load (§III-B2). The simulator needs those draws to be fast and
+//! reproducible across platforms, so we implement SplitMix64 directly
+//! rather than depending on a RNG crate's stability guarantees in the hot
+//! path.
+
+/// SplitMix64: a tiny, high-quality, splittable PRNG.
+///
+/// ```
+/// use anton_sim::rng::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Derives an independent stream for a labeled subcomponent, so that
+    /// adding RNG consumers in one component never perturbs another.
+    pub fn split(&self, label: u64) -> SplitMix64 {
+        let mut child = SplitMix64::new(self.state ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Burn one output to decorrelate the seed.
+        child.next_u64();
+        child
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..bound`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift rejection-free mapping (small bias is irrelevant
+        // for routing decisions and keeps the hot path branch-free).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Chooses a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot choose from an empty slice");
+        &items[self.next_below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_streams_differ() {
+        let root = SplitMix64::new(7);
+        let mut a = root.split(1);
+        let mut b = root.split(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn bounded_values_in_range() {
+        let mut r = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            assert!(r.next_below(6) < 6);
+        }
+    }
+
+    #[test]
+    fn bounded_values_cover_range() {
+        let mut r = SplitMix64::new(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[r.next_below(6) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all dimension orders should be drawn");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn choose_returns_members() {
+        let mut r = SplitMix64::new(5);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(r.choose(&items)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut r = SplitMix64::new(1234);
+        let mut buckets = [0u32; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            buckets[r.next_below(8) as usize] += 1;
+        }
+        for b in buckets {
+            let expected = n as f64 / 8.0;
+            assert!((b as f64 - expected).abs() < expected * 0.05);
+        }
+    }
+}

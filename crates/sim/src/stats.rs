@@ -1,0 +1,227 @@
+//! Statistics helpers for experiments: online accumulators, histograms and
+//! the least-squares fits the paper uses to report latency (e.g. the
+//! "55.9 ns + 34.2 ns/hop" line of Figure 5).
+
+use anton_model::units::Ps;
+
+/// Online mean/min/max accumulator.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Accumulator {
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator { n: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, v: f64) {
+        self.n += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds a duration sample in nanoseconds.
+    pub fn add_ps(&mut self, v: Ps) {
+        self.add(v.as_ns());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the samples.
+    ///
+    /// # Panics
+    /// Panics if no samples have been added.
+    pub fn mean(&self) -> f64 {
+        assert!(self.n > 0, "mean of empty accumulator");
+        self.sum / self.n as f64
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// Result of a simple linear regression `y = intercept + slope * x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// The y-intercept.
+    pub intercept: f64,
+    /// The slope.
+    pub slope: f64,
+    /// Coefficient of determination (R²).
+    pub r2: f64,
+}
+
+/// Least-squares fit over `(x, y)` points.
+///
+/// # Panics
+/// Panics with fewer than two points or when all x are identical.
+///
+/// ```
+/// use anton_sim::stats::linear_fit;
+/// let fit = linear_fit(&[(1.0, 90.1), (2.0, 124.3), (3.0, 158.5)]);
+/// assert!((fit.slope - 34.2).abs() < 1e-9);
+/// assert!((fit.intercept - 55.9).abs() < 1e-9);
+/// ```
+pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "degenerate x values in linear fit");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 =
+        points.iter().map(|p| (p.1 - (intercept + slope * p.0)).powi(2)).sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    LinearFit { intercept, slope, r2 }
+}
+
+/// Fixed-width histogram over non-negative values.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    width: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    samples: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of the given `width`.
+    ///
+    /// # Panics
+    /// Panics if `width <= 0` or `buckets == 0`.
+    pub fn new(width: f64, buckets: usize) -> Self {
+        assert!(width > 0.0 && buckets > 0, "invalid histogram shape");
+        Histogram { width, buckets: vec![0; buckets], overflow: 0, samples: 0 }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, v: f64) {
+        self.samples += 1;
+        let idx = (v / self.width) as usize;
+        if v < 0.0 || idx >= self.buckets.len() {
+            self.overflow += 1;
+        } else {
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Samples that fell outside the bucketed range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples added.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The value below which `q` (0..=1) of the samples fall, estimated
+    /// from bucket boundaries.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        let target = (q * self.samples as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (i as f64 + 1.0) * self.width;
+            }
+        }
+        self.buckets.len() as f64 * self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_tracks_moments() {
+        let mut a = Accumulator::new();
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            a.add(v);
+        }
+        assert_eq!(a.count(), 4);
+        assert!((a.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(10.0));
+    }
+
+    #[test]
+    fn accumulator_accepts_ps() {
+        let mut a = Accumulator::new();
+        a.add_ps(Ps::from_ns(55.0));
+        assert!((a.mean() - 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean of empty")]
+    fn empty_mean_panics() {
+        Accumulator::new().mean();
+    }
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> =
+            (0..10).map(|i| (i as f64, 91.2 + 51.8 * i as f64)).collect();
+        let fit = linear_fit(&pts);
+        assert!((fit.slope - 51.8).abs() < 1e-9);
+        assert!((fit.intercept - 91.2).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_r2_below_one_with_noise() {
+        let pts = [(0.0, 0.0), (1.0, 2.0), (2.0, 1.0), (3.0, 4.0)];
+        let fit = linear_fit(&pts);
+        assert!(fit.r2 < 1.0 && fit.r2 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn fit_requires_points() {
+        let _ = linear_fit(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(10.0, 10);
+        for v in 0..100 {
+            h.add(v as f64);
+        }
+        assert_eq!(h.samples(), 100);
+        assert_eq!(h.bucket(0), 10);
+        assert_eq!(h.overflow(), 0);
+        assert!((h.quantile(0.5) - 50.0).abs() < 10.0);
+        h.add(1e9);
+        assert_eq!(h.overflow(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! The compression pipeline of paper §IV, end to end: follow one particle
+//! across an I/O channel for several time steps and watch the particle
+//! cache turn a 28-byte full position packet into a handful of bytes once
+//! the quadratic extrapolator has history.
+//!
+//! Run with: `cargo run --release --example compression_pipeline`
+
+use anton3::compress::inz;
+use anton3::compress::pcache::{ChannelPcache, ParticleKey, PositionWire};
+use anton3::md::units::{exported_position, POSITION_SCALE};
+
+fn main() {
+    // A particle drifting thermally with an intramolecular vibration —
+    // the motion profile of a water atom at a 2.5 fs time step.
+    let mut channel = ChannelPcache::default();
+    let key = ParticleKey(0xAB00_0000_0000_2A07);
+    let mut pos = [31.4, 12.9, 44.1];
+    let vel = [0.0051, -0.0032, 0.0044]; // Å/fs, thermal
+
+    println!("particle {key} crossing one channel, step by step:\n");
+    println!(
+        "{:>4} {:>34} {:>12} {:>14}",
+        "step", "wire form", "delta bytes", "exact?"
+    );
+    for step in 0..8u64 {
+        let q = exported_position(pos, 0x2A07, step, 2.5);
+        let wire = channel.transmit(key, q);
+        let (rk, rq) = channel.receive(wire);
+        assert_eq!((rk, rq), (key, q), "particle cache must be lossless");
+        let desc = match wire {
+            PositionWire::Full { .. } => ("FULL position + static field".to_string(), "-".to_string()),
+            PositionWire::Compressed { delta, .. } => {
+                let words = [delta[0] as u32, delta[1] as u32, delta[2] as u32];
+                let enc = inz::encode(&words);
+                (
+                    format!("compressed: index + delta {delta:?}"),
+                    format!("{}", enc.wire_len()),
+                )
+            }
+        };
+        println!("{step:>4} {:>34} {:>12} {:>14}", desc.0, desc.1, "reconstructed");
+        for k in 0..3 {
+            pos[k] += vel[k] * 2.5;
+        }
+        channel.end_of_step();
+    }
+    channel.assert_synchronized();
+    println!(
+        "\nfixed-point resolution: {:.1e} Å/count; both cache ends verified identical",
+        1.0 / POSITION_SCALE
+    );
+}

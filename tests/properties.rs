@@ -1,0 +1,170 @@
+//! Property-based tests (proptest) over the core invariants: INZ
+//! roundtrips, particle-cache losslessness and synchrony, frame codec
+//! integrity, routing legality, and torus algebra.
+
+use anton3::compress::frame::{self, WireItem};
+use anton3::compress::inz;
+use anton3::compress::pcache::{ChannelPcache, ParticleKey};
+use anton3::model::topology::{DimOrder, NodeId, Torus};
+use anton3::net::routing;
+use anton3::sim::rng::SplitMix64;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn inz_roundtrips_any_payload(words in prop::collection::vec(any::<u32>(), 1..=4)) {
+        let enc = inz::encode(&words);
+        prop_assert_eq!(inz::decode(&enc), words.clone());
+        // Wire length is bounded: descriptor + at most the raw payload.
+        prop_assert!(enc.wire_len() <= 1 + 4 * words.len());
+    }
+
+    #[test]
+    fn inz_never_expands_beyond_raw(words in prop::collection::vec(any::<u32>(), 1..=4)) {
+        let enc = inz::encode(&words);
+        prop_assert!(enc.payload_len() <= 4 * words.len());
+    }
+
+    #[test]
+    fn inz_small_values_always_save(
+        a in -1000i32..1000,
+        b in -1000i32..1000,
+        c in -1000i32..1000,
+    ) {
+        let words = [a as u32, b as u32, c as u32];
+        let enc = inz::encode(&words);
+        prop_assert!(enc.wire_len() < 13, "got {} bytes", enc.wire_len());
+        prop_assert_eq!(inz::decode(&enc), words.to_vec());
+    }
+
+    #[test]
+    fn sign_fold_is_bijective(w in any::<u32>()) {
+        prop_assert_eq!(inz::uninvert_word(inz::invert_word(w)), w);
+    }
+
+    #[test]
+    fn pcache_is_lossless_for_arbitrary_streams(
+        ops in prop::collection::vec(
+            (0u64..64, any::<[i32; 3]>(), any::<bool>()),
+            1..200,
+        )
+    ) {
+        let mut ch = ChannelPcache::new(2);
+        for (key, pos, end_step) in ops {
+            let wire = ch.transmit(ParticleKey(key), pos);
+            let (rk, rp) = ch.receive(wire);
+            prop_assert_eq!(rk, ParticleKey(key));
+            prop_assert_eq!(rp, pos);
+            if end_step {
+                ch.end_of_step();
+            }
+        }
+        ch.assert_synchronized();
+    }
+
+    #[test]
+    fn frame_codec_roundtrips(
+        payloads in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 0..=8),
+             prop::collection::vec(any::<u32>(), 1..=4)),
+            0..40,
+        )
+    ) {
+        let items: Vec<WireItem> = payloads
+            .iter()
+            .map(|(h, w)| WireItem { header: h.clone(), payload: inz::encode(w) })
+            .collect();
+        let meta: Vec<(usize, usize)> =
+            payloads.iter().map(|(h, w)| (h.len(), w.len())).collect();
+        let (frames, _) = frame::pack(&items);
+        let out = frame::unpack(&frames, |i| meta[i].0, |i| meta[i].1);
+        prop_assert_eq!(out, items);
+    }
+
+    #[test]
+    fn request_routes_are_minimal_and_legal(
+        src in 0u16..128,
+        dst in 0u16..128,
+        seed in any::<u64>(),
+    ) {
+        let torus = Torus::new([4, 4, 8]);
+        let a = torus.coord(NodeId(src));
+        let b = torus.coord(NodeId(dst));
+        let mut rng = SplitMix64::new(seed);
+        let plan = routing::plan_request(&torus, a, b, &mut rng);
+        prop_assert_eq!(plan.hop_count(), torus.hop_distance(a, b));
+        // Walk the route; every hop must use a request VC and the walk
+        // must terminate at the destination.
+        let mut cur = a;
+        let mut crossed = false;
+        for hop in &plan.hops {
+            prop_assert!(hop.vc < routing::REQUEST_VCS);
+            if crossed {
+                prop_assert!(hop.vc >= 2, "post-dateline hops must use the upper VC set");
+            }
+            crossed |= hop.wraps;
+            cur = torus.neighbor(cur, hop.dir);
+        }
+        prop_assert_eq!(cur, b);
+    }
+
+    #[test]
+    fn response_routes_reach_without_wrapping(
+        src in 0u16..128,
+        dst in 0u16..128,
+        seed in any::<u64>(),
+    ) {
+        let torus = Torus::new([4, 4, 8]);
+        let a = torus.coord(NodeId(src));
+        let b = torus.coord(NodeId(dst));
+        let mut rng = SplitMix64::new(seed);
+        let plan = routing::plan_response(&torus, a, b, &mut rng);
+        let mut cur = a;
+        for hop in &plan.hops {
+            prop_assert!(!hop.wraps, "response crossed a dateline");
+            prop_assert_eq!(hop.vc, routing::RESPONSE_VC);
+            cur = torus.neighbor(cur, hop.dir);
+        }
+        prop_assert_eq!(cur, b);
+    }
+
+    #[test]
+    fn torus_routes_are_minimal_under_every_order(
+        src in 0u16..128,
+        dst in 0u16..128,
+        order_idx in 0usize..6,
+    ) {
+        let torus = Torus::new([4, 4, 8]);
+        let a = torus.coord(NodeId(src));
+        let b = torus.coord(NodeId(dst));
+        let order = DimOrder::ALL[order_idx];
+        let route = torus.route(a, b, order);
+        prop_assert_eq!(route.len() as u32, torus.hop_distance(a, b));
+        let mut cur = a;
+        for d in route {
+            cur = torus.neighbor(cur, d);
+        }
+        prop_assert_eq!(cur, b);
+    }
+
+    #[test]
+    fn hop_distance_is_a_metric(
+        x in 0u16..128,
+        y in 0u16..128,
+        z in 0u16..128,
+    ) {
+        let torus = Torus::new([4, 4, 8]);
+        let (a, b, c) =
+            (torus.coord(NodeId(x)), torus.coord(NodeId(y)), torus.coord(NodeId(z)));
+        let ab = torus.hop_distance(a, b);
+        let ba = torus.hop_distance(b, a);
+        prop_assert_eq!(ab, ba, "symmetry");
+        prop_assert_eq!(torus.hop_distance(a, a), 0, "identity");
+        prop_assert!(
+            torus.hop_distance(a, c) <= ab + torus.hop_distance(b, c),
+            "triangle inequality"
+        );
+    }
+}
