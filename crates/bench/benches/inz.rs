@@ -12,8 +12,12 @@ fn bench_inz(c: &mut Criterion) {
     let zero = [0u32; 4];
 
     let mut g = c.benchmark_group("inz_encode");
-    g.bench_function("typical_force", |b| b.iter(|| inz::encode(black_box(&force))));
-    g.bench_function("incompressible", |b| b.iter(|| inz::encode(black_box(&incompressible))));
+    g.bench_function("typical_force", |b| {
+        b.iter(|| inz::encode(black_box(&force)))
+    });
+    g.bench_function("incompressible", |b| {
+        b.iter(|| inz::encode(black_box(&incompressible)))
+    });
     g.bench_function("all_zero", |b| b.iter(|| inz::encode(black_box(&zero))));
     g.finish();
 
@@ -21,7 +25,9 @@ fn bench_inz(c: &mut Criterion) {
     let enc_raw = inz::encode(&incompressible);
     let mut g = c.benchmark_group("inz_decode");
     g.bench_function("typical_force", |b| b.iter(|| inz::decode(black_box(&enc))));
-    g.bench_function("raw_fallback", |b| b.iter(|| inz::decode(black_box(&enc_raw))));
+    g.bench_function("raw_fallback", |b| {
+        b.iter(|| inz::decode(black_box(&enc_raw)))
+    });
     g.finish();
 
     c.bench_function("inz_wire_len_batch_64", |b| {

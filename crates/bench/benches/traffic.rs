@@ -1,0 +1,60 @@
+//! Criterion benchmarks for the cycle-level torus fabric and the traffic
+//! sweep harness: fabric stepping at idle and under load, and a full
+//! small sweep point.
+
+use anton_model::latency::LatencyModel;
+use anton_model::topology::{NodeId, Torus};
+use anton_net::fabric3d::{FabricParams, TorusFabric};
+use anton_sim::rng::SplitMix64;
+use anton_traffic::patterns::UniformRandom;
+use anton_traffic::sweep::{run_point, SweepConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_traffic(c: &mut Criterion) {
+    let params = FabricParams::calibrated(&LatencyModel::default());
+
+    c.bench_function("fabric_step_idle_128_nodes", |b| {
+        let mut fabric = TorusFabric::new(Torus::new([4, 4, 8]), params);
+        b.iter(|| {
+            fabric.step();
+            black_box(fabric.cycle())
+        })
+    });
+
+    c.bench_function("fabric_step_loaded_128_nodes", |b| {
+        let mut fabric = TorusFabric::new(Torus::new([4, 4, 8]), params);
+        let mut rng = SplitMix64::new(5);
+        let mut id = 0u64;
+        b.iter(|| {
+            for node in 0..8u16 {
+                let dst = NodeId(rng.next_below(128) as u16);
+                let src = NodeId(node * 16);
+                if src != dst {
+                    let _ = fabric.inject_packet_random(src, dst, id, 2, &mut rng);
+                    id += 1;
+                }
+            }
+            fabric.step();
+            black_box(fabric.occupancy())
+        })
+    });
+
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+    g.bench_function("uniform_point_2x2x4_load_0.3", |b| {
+        let cfg = SweepConfig {
+            dims: [2, 2, 4],
+            flits_per_packet: 2,
+            warmup_cycles: 300,
+            measure_cycles: 600,
+            drain_cycles: 8_000,
+            seed: 3,
+            loads: vec![],
+        };
+        b.iter(|| black_box(run_point(&UniformRandom, &cfg, params, 0.3, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_traffic);
+criterion_main!(benches);

@@ -22,7 +22,10 @@ use serde::Serialize;
 /// zero bytes (per-word length nibbles assumed free, favoring the
 /// ablation baseline).
 fn per_word_lz_bytes(words: &[u32]) -> usize {
-    words.iter().map(|&w| 4 - w.leading_zeros() as usize / 8).sum()
+    words
+        .iter()
+        .map(|&w| 4 - w.leading_zeros() as usize / 8)
+        .sum()
 }
 
 #[derive(Serialize)]
@@ -48,8 +51,11 @@ fn main() {
 
     let n = payloads.len() as f64;
     let raw = 12.0;
-    let lz_only: f64 =
-        payloads.iter().map(|p| per_word_lz_bytes(p) as f64).sum::<f64>() / n;
+    let lz_only: f64 = payloads
+        .iter()
+        .map(|p| per_word_lz_bytes(p) as f64)
+        .sum::<f64>()
+        / n;
     let fold_only: f64 = payloads
         .iter()
         .map(|p| {
@@ -58,11 +64,18 @@ fn main() {
         })
         .sum::<f64>()
         / n;
-    let full: f64 =
-        payloads.iter().map(|p| inz::encode(p).payload_len() as f64).sum::<f64>() / n;
+    let full: f64 = payloads
+        .iter()
+        .map(|p| inz::encode(p).payload_len() as f64)
+        .sum::<f64>()
+        / n;
 
     let rows = [
-        Row { encoder: "raw", mean_payload_bytes: raw, reduction_pct: 0.0 },
+        Row {
+            encoder: "raw",
+            mean_payload_bytes: raw,
+            reduction_pct: 0.0,
+        },
         Row {
             encoder: "leading-zero drop only",
             mean_payload_bytes: lz_only,
@@ -79,13 +92,24 @@ fn main() {
             reduction_pct: (1.0 - full / raw) * 100.0,
         },
     ];
-    if anton_bench::maybe_json(&rows.iter().map(|r| (r.encoder, r.mean_payload_bytes)).collect::<Vec<_>>()) {
+    if anton_bench::maybe_json(
+        &rows
+            .iter()
+            .map(|r| (r.encoder, r.mean_payload_bytes))
+            .collect::<Vec<_>>(),
+    ) {
         return;
     }
-    println!("ABLATION: INZ design choices on {0} real force payloads", payloads.len());
+    println!(
+        "ABLATION: INZ design choices on {0} real force payloads",
+        payloads.len()
+    );
     println!("{:<32} {:>14} {:>12}", "encoder", "mean bytes", "reduction");
     for r in rows {
-        println!("{:<32} {:>14.2} {:>11.1}%", r.encoder, r.mean_payload_bytes, r.reduction_pct);
+        println!(
+            "{:<32} {:>14.2} {:>11.1}%",
+            r.encoder, r.mean_payload_bytes, r.reduction_pct
+        );
     }
     println!("\n(sign folding rescues negative values; interleaving pools the leading");
     println!(" zeros of same-magnitude words that per-word byte-dropping strands)");

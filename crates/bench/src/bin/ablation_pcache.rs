@@ -23,9 +23,9 @@ fn delta_bytes(history: &[[i32; 3]], order: usize) -> f64 {
         let mut delta = [0u32; 3];
         for k in 0..3 {
             let pred = match order {
-                0 => a[k],                                  // constant
-                1 => 2 * a[k] - b[k],                       // linear
-                _ => 3 * a[k] - 3 * b[k] + c[k],            // quadratic
+                0 => a[k],                       // constant
+                1 => 2 * a[k] - b[k],            // linear
+                _ => 3 * a[k] - 3 * b[k] + c[k], // quadratic
             };
             delta[k] = (history[t][k].wrapping_sub(pred)) as u32;
         }
@@ -51,18 +51,25 @@ fn main() {
     let mut smooth: Vec<Vec<[i32; 3]>> = vec![Vec::new(); 64];
     for step in 0..10u64 {
         for atom in 0..64usize {
-            vib[atom].push(exported_position(sim.system.pos[atom], atom as u32, step, 2.5));
+            vib[atom].push(exported_position(
+                sim.system.pos[atom],
+                atom as u32,
+                step,
+                2.5,
+            ));
             smooth[atom].push(anton_md::units::quantize_position(sim.system.pos[atom]));
         }
         sim.step();
     }
     println!("ABLATION A: predictor order (mean INZ delta bytes, 64 atoms x 7 steps)");
-    println!("{:<12} {:>22} {:>24}", "predictor", "smooth trajectory", "with H-vibration");
+    println!(
+        "{:<12} {:>22} {:>24}",
+        "predictor", "smooth trajectory", "with H-vibration"
+    );
     for (order, name) in [(0, "constant"), (1, "linear"), (2, "quadratic")] {
         let m_smooth: f64 =
             smooth.iter().map(|h| delta_bytes(h, order)).sum::<f64>() / smooth.len() as f64;
-        let m_vib: f64 =
-            vib.iter().map(|h| delta_bytes(h, order)).sum::<f64>() / vib.len() as f64;
+        let m_vib: f64 = vib.iter().map(|h| delta_bytes(h, order)).sum::<f64>() / vib.len() as f64;
         println!("{name:<12} {m_smooth:>22.2} {m_vib:>24.2}");
     }
     println!("(higher orders pay off on the smooth thermal drift; the ~10 fs");
@@ -73,7 +80,10 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let atoms = if quick { 6_000 } else { 20_000 };
     println!("\nABLATION B: cache capacity ({atoms}-atom water, 2x2x2)");
-    println!("{:<8} {:>14} {:>10} {:>12}", "sets", "entries/CA", "hit rate", "reduction");
+    println!(
+        "{:<8} {:>14} {:>10} {:>12}",
+        "sets", "entries/CA", "hit rate", "reduction"
+    );
     let mut rows = Vec::new();
     for sets in [8usize, 32, 128, 256, 512] {
         let cfg = MachineConfig::torus([2, 2, 2]).with_pcache_sets(sets);

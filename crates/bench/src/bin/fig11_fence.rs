@@ -17,14 +17,33 @@ fn main() {
     for r in &rows {
         println!("{:>5} {:>13.1}", r.hops, r.latency_ns);
     }
-    let pts: Vec<(f64, f64)> =
-        rows.iter().filter(|r| r.hops >= 1).map(|r| (r.hops as f64, r.latency_ns)).collect();
+    let pts: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|r| r.hops >= 1)
+        .map(|r| (r.hops as f64, r.latency_ns))
+        .collect();
     let fit = linear_fit(&pts);
     println!();
-    anton_bench::compare("intra-node (0-hop) barrier", "~51.5 ns", &format!("{:.1} ns", rows[0].latency_ns));
-    anton_bench::compare("fit: fixed overhead", "91.2 ns", &format!("{:.1} ns", fit.intercept));
-    anton_bench::compare("fit: per-hop latency", "51.8 ns", &format!("{:.1} ns (r2={:.5})", fit.slope, fit.r2));
-    anton_bench::compare("global (8-hop) barrier", "~504 ns", &format!("{:.1} ns", rows[8].latency_ns));
+    anton_bench::compare(
+        "intra-node (0-hop) barrier",
+        "~51.5 ns",
+        &format!("{:.1} ns", rows[0].latency_ns),
+    );
+    anton_bench::compare(
+        "fit: fixed overhead",
+        "91.2 ns",
+        &format!("{:.1} ns", fit.intercept),
+    );
+    anton_bench::compare(
+        "fit: per-hop latency",
+        "51.8 ns",
+        &format!("{:.1} ns (r2={:.5})", fit.slope, fit.r2),
+    );
+    anton_bench::compare(
+        "global (8-hop) barrier",
+        "~504 ns",
+        &format!("{:.1} ns", rows[8].latency_ns),
+    );
     anton_bench::compare(
         "fence per-hop premium over unicast",
         "17.6 ns",

@@ -32,9 +32,15 @@ fn main() {
     }
     println!("FIGURE 12. Machine activity, {atoms}-atom water on 8 nodes");
     println!();
-    println!("(a) compression DISABLED — step = {:.0} ns (paper ~2000 ns)", disabled.step_ns);
+    println!(
+        "(a) compression DISABLED — step = {:.0} ns (paper ~2000 ns)",
+        disabled.step_ns
+    );
     println!("{}", render_summary(&disabled));
-    println!("(b) compression ENABLED — step = {:.0} ns (paper ~900 ns)", enabled.step_ns);
+    println!(
+        "(b) compression ENABLED — step = {:.0} ns (paper ~900 ns)",
+        enabled.step_ns
+    );
     println!("{}", render_summary(&enabled));
     anton_bench::compare(
         "step-time ratio (disabled/enabled)",
@@ -48,8 +54,7 @@ fn render_summary(m: &experiments::ActivityMatrix) -> String {
     let shades = [' ', '.', ':', '+', '#'];
     let mut out = String::new();
     for (name, occ) in m.lanes.iter().zip(&m.occupancy) {
-        if !(name.starts_with("ch n0 ") || name.starts_with("gc ") || name.starts_with("ppim "))
-        {
+        if !(name.starts_with("ch n0 ") || name.starts_with("gc ") || name.starts_with("ppim ")) {
             continue;
         }
         let bar: String = occ

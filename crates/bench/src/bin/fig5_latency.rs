@@ -12,13 +12,27 @@ fn main() {
         return;
     }
     println!("FIGURE 5. One-way end-to-end latency vs inter-node hops (4x4x8, 16B payload)");
-    println!("{:>5} {:>12} {:>10} {:>10} {:>9}", "hops", "mean (ns)", "min (ns)", "max (ns)", "samples");
+    println!(
+        "{:>5} {:>12} {:>10} {:>10} {:>9}",
+        "hops", "mean (ns)", "min (ns)", "max (ns)", "samples"
+    );
     for r in &result.rows {
-        println!("{:>5} {:>12.1} {:>10.1} {:>10.1} {:>9}", r.hops, r.mean_ns, r.min_ns, r.max_ns, r.samples);
+        println!(
+            "{:>5} {:>12.1} {:>10.1} {:>10.1} {:>9}",
+            r.hops, r.mean_ns, r.min_ns, r.max_ns, r.samples
+        );
     }
     println!();
-    anton_bench::compare("linear fit: fixed overhead", "55.9 ns", &format!("{:.1} ns", result.fixed_ns));
-    anton_bench::compare("linear fit: per-hop latency", "34.2 ns", &format!("{:.1} ns (r2={:.4})", result.per_hop_ns, result.r2));
+    anton_bench::compare(
+        "linear fit: fixed overhead",
+        "55.9 ns",
+        &format!("{:.1} ns", result.fixed_ns),
+    );
+    anton_bench::compare(
+        "linear fit: per-hop latency",
+        "34.2 ns",
+        &format!("{:.1} ns (r2={:.4})", result.per_hop_ns, result.r2),
+    );
     anton_bench::compare(
         "minimum 1-hop latency",
         "~55 ns",

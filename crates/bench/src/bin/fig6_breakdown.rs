@@ -17,7 +17,10 @@ fn main() {
     let rows: Vec<Row> = b
         .segments
         .iter()
-        .map(|s| Row { component: s.name.to_string(), ns: s.time.as_ns() })
+        .map(|s| Row {
+            component: s.name.to_string(),
+            ns: s.time.as_ns(),
+        })
         .collect();
     if anton_bench::maybe_json(&rows) {
         return;
@@ -30,5 +33,9 @@ fn main() {
         println!("  {:<42} {:>6.2} ns  {}", s.name, ns, bar);
     }
     println!("  {:-<42} {:->9}", "", "");
-    anton_bench::compare("total minimum one-way latency", "~55 ns", &format!("{total:.1} ns"));
+    anton_bench::compare(
+        "total minimum one-way latency",
+        "~55 ns",
+        &format!("{total:.1} ns"),
+    );
 }

@@ -27,12 +27,32 @@ fn main() {
         return;
     }
     println!("FIGURE 7. INZ encoding example");
-    println!("  input words:              {:#010x} {:#010x} (8 bytes raw)", words[0], words[1]);
+    println!(
+        "  input words:              {:#010x} {:#010x} (8 bytes raw)",
+        words[0], words[1]
+    );
     for (i, &w) in unsigned.iter().enumerate() {
-        println!("  sign-folded word {i}:       {:#010x}", inz::invert_word(w));
+        println!(
+            "  sign-folded word {i}:       {:#010x}",
+            inz::invert_word(w)
+        );
     }
-    println!("  interleaved valid bytes:  {} (descriptor carries msw={})", enc.payload_len(), enc.msw);
-    println!("  decoded:                  {:?}", inz::decode(&enc).iter().map(|&w| w as i32).collect::<Vec<_>>());
+    println!(
+        "  interleaved valid bytes:  {} (descriptor carries msw={})",
+        enc.payload_len(),
+        enc.msw
+    );
+    println!(
+        "  decoded:                  {:?}",
+        inz::decode(&enc)
+            .iter()
+            .map(|&w| w as i32)
+            .collect::<Vec<_>>()
+    );
     println!();
-    anton_bench::compare("leading zero bytes eliminated", "5 of 8", &format!("{} of 8", demo.bytes_saved));
+    anton_bench::compare(
+        "leading zero bytes eliminated",
+        "5 of 8",
+        &format!("{} of 8", demo.bytes_saved),
+    );
 }

@@ -1,0 +1,81 @@
+//! Latency–throughput sweep of the cycle-level 3D torus fabric under the
+//! synthetic workload suite (uniform random, nearest-neighbor halo,
+//! bit-complement, transpose, hotspot, fence-storm) on the paper's
+//! 128-node 4x4x8 machine.
+//!
+//! For each pattern the binary prints a saturation curve — offered vs
+//! delivered flits/node/cycle with mean and p99 packet latency — and
+//! cross-checks the fabric's low-load per-hop latency against the
+//! analytic `path` model (the Figure 5 constant). `--json` emits the
+//! full report; `--quick` runs a coarse load axis for smoke testing.
+
+use anton_model::latency::LatencyModel;
+use anton_model::units::PS_PER_CORE_CYCLE;
+use anton_net::fabric3d::FabricParams;
+use anton_traffic::patterns::standard_suite;
+use anton_traffic::sweep::{run_sweep, SweepConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = SweepConfig::new([4, 4, 8]);
+    if quick {
+        cfg.loads = vec![0.02, 0.2, 0.5, 0.8];
+        cfg.warmup_cycles = 1_000;
+        cfg.measure_cycles = 2_000;
+        cfg.drain_cycles = 15_000;
+    }
+    let params = FabricParams::calibrated(&LatencyModel::default());
+    let report = run_sweep(&standard_suite(), &cfg, params);
+
+    if anton_bench::maybe_json(&report) {
+        return;
+    }
+
+    println!(
+        "TRAFFIC SWEEP. {}x{}x{} torus, {}-flit packets, seed {:#x}",
+        cfg.dims[0], cfg.dims[1], cfg.dims[2], cfg.flits_per_packet, cfg.seed
+    );
+    println!(
+        "fabric: {} router + {} link cycles/hop = {:.2} ns/hop (analytic {:.2} ns)",
+        report.router_cycles,
+        report.link_latency_cycles,
+        (report.router_cycles + report.link_latency_cycles) as f64 * PS_PER_CORE_CYCLE as f64
+            / 1000.0,
+        report.analytic_per_hop_ns,
+    );
+    for curve in &report.curves {
+        println!();
+        println!("pattern: {}", curve.pattern);
+        println!(
+            "{:>8} {:>10} {:>11} {:>11} {:>11} {:>9} {:>6}",
+            "offered", "delivered", "mean (cyc)", "p99 (cyc)", "mean (ns)", "packets", "sat"
+        );
+        for p in &curve.points {
+            println!(
+                "{:>8.3} {:>10.3} {:>11.1} {:>11.1} {:>11.1} {:>9} {:>6}",
+                p.offered,
+                p.delivered,
+                p.mean_latency_cycles,
+                p.p99_latency_cycles,
+                p.mean_latency_ns,
+                p.packets_measured,
+                if p.saturated { "yes" } else { "" }
+            );
+        }
+        println!(
+            "  saturation throughput: {:.3} flits/node/cycle",
+            curve.saturation_throughput()
+        );
+        if let Some(low) = curve
+            .points
+            .iter()
+            .find(|p| !p.saturated && p.mean_hops > 0.0)
+        {
+            anton_bench::compare(
+                &format!("{}: low-load per-hop latency", curve.pattern),
+                &format!("{:.1} ns (analytic)", report.analytic_per_hop_ns),
+                &format!("{:.1} ns", low.measured_per_hop_ns),
+            );
+        }
+    }
+}

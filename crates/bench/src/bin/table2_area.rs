@@ -16,17 +16,27 @@ fn main() {
     let t = TechConstants::default();
     let rows: Vec<Row> = table2_rows()
         .iter()
-        .map(|r| Row { component: r.name, count: r.count, pct_of_die: r.pct_of_die(&t) })
+        .map(|r| Row {
+            component: r.name,
+            count: r.count,
+            pct_of_die: r.pct_of_die(&t),
+        })
         .collect();
     if anton_bench::maybe_json(&rows) {
         return;
     }
     println!("TABLE II. Network component contributions to the total die area");
-    println!("{:<20} {:>7} {:>16} {:>10}", "Component", "count", "% of die (ours)", "(paper)");
+    println!(
+        "{:<20} {:>7} {:>16} {:>10}",
+        "Component", "count", "% of die (ours)", "(paper)"
+    );
     let paper = [9.4, 1.4, 2.8, 0.5];
     let mut total = 0.0;
     for (r, p) in rows.iter().zip(paper) {
-        println!("{:<20} {:>7} {:>15.1}% {:>9.1}%", r.component, r.count, r.pct_of_die, p);
+        println!(
+            "{:<20} {:>7} {:>15.1}% {:>9.1}%",
+            r.component, r.count, r.pct_of_die, p
+        );
         total += r.pct_of_die;
     }
     println!("{:<20} {:>7} {:>15.1}% {:>9.1}%", "Total", "", total, 14.1);

@@ -14,13 +14,19 @@ fn main() {
     let t = TechConstants::default();
     let rows: Vec<Row> = table3_rows()
         .iter()
-        .map(|r| Row { feature: r.name, pct_of_die: r.pct_of_die(&t) })
+        .map(|r| Row {
+            feature: r.name,
+            pct_of_die: r.pct_of_die(&t),
+        })
         .collect();
     if anton_bench::maybe_json(&rows) {
         return;
     }
     println!("TABLE III. Implementation costs of network features");
-    println!("{:<20} {:>16} {:>10}", "Feature", "% of die (ours)", "(paper)");
+    println!(
+        "{:<20} {:>16} {:>10}",
+        "Feature", "% of die (ours)", "(paper)"
+    );
     let paper = [1.6, 0.2];
     let mut total = 0.0;
     for (r, p) in rows.iter().zip(paper) {

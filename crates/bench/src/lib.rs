@@ -14,7 +14,10 @@ use serde::Serialize;
 /// returning whether it did.
 pub fn maybe_json<T: Serialize>(value: &T) -> bool {
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(value).expect("serializable result"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(value).expect("serializable result")
+        );
         true
     } else {
         false

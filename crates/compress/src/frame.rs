@@ -110,7 +110,12 @@ pub fn unpack(
         pos += valid;
         items.push(WireItem {
             header,
-            payload: Encoded { msw, raw, bytes, word_count: word_count(index) as u8 },
+            payload: Encoded {
+                msw,
+                raw,
+                bytes,
+                word_count: word_count(index) as u8,
+            },
         });
         index += 1;
     }
@@ -131,7 +136,10 @@ mod tests {
     use crate::inz::encode;
 
     fn item(header: &[u8], words: &[u32]) -> WireItem {
-        WireItem { header: header.to_vec(), payload: encode(words) }
+        WireItem {
+            header: header.to_vec(),
+            payload: encode(words),
+        }
     }
 
     #[test]
@@ -149,7 +157,10 @@ mod tests {
         // Enough raw 16-byte payloads to cross several frame boundaries.
         let items: Vec<WireItem> = (0..20)
             .map(|i| {
-                item(&[i as u8; 8], &[0xDEAD_BEEF, 0xFFFF_0000 | i, 0x7FFF_FFFF, 0x8000_0001])
+                item(
+                    &[i as u8; 8],
+                    &[0xDEAD_BEEF, 0xFFFF_0000 | i, 0x7FFF_FFFF, 0x8000_0001],
+                )
             })
             .collect();
         let (frames, _) = pack(&items);
@@ -161,7 +172,7 @@ mod tests {
     #[test]
     fn mixed_header_lengths() {
         let items = vec![
-            item(&[9, 9], &[5, 5, 5]),       // compressed-position: 2B header
+            item(&[9, 9], &[5, 5, 5]), // compressed-position: 2B header
             item(&[1, 2, 3, 4, 5, 6, 7, 8], &[0, 0, 0]), // full header
         ];
         let (frames, _) = pack(&items);
@@ -197,6 +208,9 @@ mod tests {
     fn frame_geometry() {
         assert_eq!(FRAME_PAYLOAD_BYTES + FRAME_OVERHEAD_BYTES, FRAME_BYTES);
         // A raw quad payload with full header fits in one frame.
-        assert!(1 + 8 + 16 < FRAME_PAYLOAD_BYTES);
+        #[allow(clippy::assertions_on_constants)] // documents the layout
+        {
+            assert!(1 + 8 + 16 < FRAME_PAYLOAD_BYTES);
+        }
     }
 }

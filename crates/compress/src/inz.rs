@@ -131,7 +131,12 @@ pub fn encode(words: &[u32]) -> Encoded {
     let msw = match words.iter().rposition(|&w| w != 0) {
         None => {
             // All-zero payload: zero valid bytes.
-            return Encoded { msw: 0, raw: false, bytes: Vec::new(), word_count };
+            return Encoded {
+                msw: 0,
+                raw: false,
+                bytes: Vec::new(),
+                word_count,
+            };
         }
         Some(m) => m,
     };
@@ -151,9 +156,19 @@ pub fn encode(words: &[u32]) -> Encoded {
         for &w in words {
             bytes.extend_from_slice(&w.to_le_bytes());
         }
-        return Encoded { msw: msw as u8, raw: true, bytes, word_count };
+        return Encoded {
+            msw: msw as u8,
+            raw: true,
+            bytes,
+            word_count,
+        };
     }
-    Encoded { msw: msw as u8, raw: false, bytes: vector[..valid].to_vec(), word_count }
+    Encoded {
+        msw: msw as u8,
+        raw: false,
+        bytes: vector[..valid].to_vec(),
+        word_count,
+    }
 }
 
 /// Decodes an [`Encoded`] payload back to its original words.
@@ -168,7 +183,11 @@ pub fn decode(enc: &Encoded) -> Vec<u32> {
         "corrupt descriptor: {word_count} words"
     );
     if enc.raw {
-        assert_eq!(enc.bytes.len(), 4 * word_count, "raw payload length mismatch");
+        assert_eq!(
+            enc.bytes.len(),
+            4 * word_count,
+            "raw payload length mismatch"
+        );
         return enc
             .bytes
             .chunks_exact(4)
@@ -180,7 +199,10 @@ pub fn decode(enc: &Encoded) -> Vec<u32> {
     }
     let n = enc.msw as usize + 1;
     assert!(n <= word_count, "msw beyond payload");
-    assert!(enc.bytes.len() <= 4 * n, "more valid bytes than vector size");
+    assert!(
+        enc.bytes.len() <= 4 * n,
+        "more valid bytes than vector size"
+    );
     let mut vector = [0u8; 16];
     vector[..enc.bytes.len()].copy_from_slice(&enc.bytes);
     let folded = deinterleave(&vector, n);
@@ -206,7 +228,16 @@ mod tests {
 
     #[test]
     fn invert_word_involutes_via_inverse() {
-        for w in [0u32, 1, 2, 0x7FFF_FFFF, 0x8000_0000, 0xFFFF_FFFF, 12345, !12345] {
+        for w in [
+            0u32,
+            1,
+            2,
+            0x7FFF_FFFF,
+            0x8000_0000,
+            0xFFFF_FFFF,
+            12345,
+            !12345,
+        ] {
             assert_eq!(uninvert_word(invert_word(w)), w);
         }
     }
@@ -311,6 +342,10 @@ mod tests {
         // Typical force payload: three ~16-bit magnitudes.
         let f = [1500i32 as u32, (-2200i32) as u32, 900, 0];
         let enc = encode(&f);
-        assert!(enc.wire_len() <= 8, "force payload should halve: {}", enc.wire_len());
+        assert!(
+            enc.wire_len() <= 8,
+            "force payload should halve: {}",
+            enc.wire_len()
+        );
     }
 }

@@ -39,7 +39,7 @@ fn sat12(v: i32) -> i16 {
 
 /// A particle's identifying static field (atom ID, type, charge class...).
 /// The low bits of the ID select the cache set.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct ParticleKey(pub u64);
 
 impl ParticleKey {
@@ -73,17 +73,11 @@ struct Entry {
     epoch: u8,
 }
 
-impl Default for ParticleKey {
-    fn default() -> Self {
-        ParticleKey(0)
-    }
-}
-
 impl Entry {
     fn predict(&self) -> FixedPos {
         let mut p = [0i32; 3];
-        for i in 0..3 {
-            p[i] = self.d0[i]
+        for (i, pi) in p.iter_mut().enumerate() {
+            *pi = self.d0[i]
                 .wrapping_add(self.d1[i] as i32)
                 .wrapping_add(self.d2[i] as i32);
         }
@@ -91,12 +85,12 @@ impl Entry {
     }
 
     fn update(&mut self, x: FixedPos, epoch: u8) {
-        for i in 0..3 {
+        for (i, &xi) in x.iter().enumerate() {
             let old_d0 = self.d0[i];
             let old_d1 = self.d1[i] as i32;
-            self.d1[i] = sat12(x[i].wrapping_sub(old_d0));
-            self.d2[i] = sat12(x[i].wrapping_sub(old_d0).wrapping_sub(old_d1));
-            self.d0[i] = x[i];
+            self.d1[i] = sat12(xi.wrapping_sub(old_d0));
+            self.d2[i] = sat12(xi.wrapping_sub(old_d0).wrapping_sub(old_d1));
+            self.d0[i] = xi;
         }
         self.epoch = epoch;
     }
@@ -104,7 +98,14 @@ impl Entry {
     fn initialize(&mut self, key: ParticleKey, x: FixedPos, epoch: u8) {
         // New entries start as a constant predictor (D1 = D2 = 0) and
         // automatically become linear, then quadratic, as history accrues.
-        *self = Entry { valid: true, key, d0: x, d1: [0; 3], d2: [0; 3], epoch };
+        *self = Entry {
+            valid: true,
+            key,
+            d0: x,
+            d1: [0; 3],
+            d2: [0; 3],
+            epoch,
+        };
     }
 }
 
@@ -231,7 +232,10 @@ impl ParticleCache {
             }
             entry.update(pos, self.epoch);
             self.stats.hits += 1;
-            return Outcome::Hit { index: (set_idx * WAYS + way) as u16, delta };
+            return Outcome::Hit {
+                index: (set_idx * WAYS + way) as u16,
+                delta,
+            };
         }
         // Miss: free way?
         if let Some(way) = set.iter().position(|e| !e.valid) {
@@ -266,7 +270,10 @@ impl ParticleCache {
     pub fn receive_compressed(&mut self, index: u16, delta: [i32; 3]) -> (ParticleKey, FixedPos) {
         let (set_idx, way) = (index as usize / WAYS, index as usize % WAYS);
         let entry = &mut self.sets[set_idx][way];
-        assert!(entry.valid, "compressed packet references invalid entry {index}");
+        assert!(
+            entry.valid,
+            "compressed packet references invalid entry {index}"
+        );
         let predicted = entry.predict();
         let mut pos = [0i32; 3];
         for i in 0..3 {
@@ -379,8 +386,14 @@ impl ChannelPcache {
     /// # Panics
     /// Panics if any entry differs.
     pub fn assert_synchronized(&self) {
-        assert_eq!(self.send.sets, self.recv.sets, "particle caches desynchronized");
-        assert_eq!(self.send.epoch, self.recv.epoch, "epoch counters desynchronized");
+        assert_eq!(
+            self.send.sets, self.recv.sets,
+            "particle caches desynchronized"
+        );
+        assert_eq!(
+            self.send.epoch, self.recv.epoch,
+            "epoch counters desynchronized"
+        );
     }
 }
 
@@ -408,7 +421,10 @@ mod tests {
     #[test]
     fn first_touch_misses_then_hits() {
         let mut ch = ChannelPcache::default();
-        assert!(matches!(roundtrip(&mut ch, 1, [10, 20, 30]), PositionWire::Full { .. }));
+        assert!(matches!(
+            roundtrip(&mut ch, 1, [10, 20, 30]),
+            PositionWire::Full { .. }
+        ));
         ch.end_of_step();
         assert!(matches!(
             roundtrip(&mut ch, 1, [11, 21, 31]),

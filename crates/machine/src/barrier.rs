@@ -64,7 +64,11 @@ pub fn fence_per_hop(lat: &LatencyModel, inz: bool) -> Ps {
     let ser = Serializer::new(LANES_PER_CA as u32);
     // One fence flit header per request VC through each of the two CAs
     // serving the slice side; the slowest CA's drain bounds the wave.
-    let fence_bytes = if inz { PacketKind::Fence.wire_header_bytes() } else { 24 };
+    let fence_bytes = if inz {
+        PacketKind::Fence.wire_header_bytes()
+    } else {
+        24
+    };
     let vc_sweep = ser.serialize_time(fence_bytes * REQUEST_VCS as usize) * 2;
     let edge_sweep = lat.edge_hop.to_ps() * (asic::EDGE_ROWS as u64 + 2);
     lat.channel_crossing_fixed(inz) + vc_sweep + edge_sweep + lat.fence_merge.to_ps() * 2
@@ -103,7 +107,11 @@ pub fn intra_node_barrier(lat: &LatencyModel) -> Ps {
 /// Panics if the spec is not a GC-to-GC pattern (other patterns complete
 /// inside the MD timestep model, not as standalone barriers).
 pub fn barrier_latency(cfg: &MachineConfig, spec: FenceSpec) -> Ps {
-    assert_eq!(spec.pattern, FencePattern::GcToGc, "barrier requires GC-to-GC");
+    assert_eq!(
+        spec.pattern,
+        FencePattern::GcToGc,
+        "barrier requires GC-to-GC"
+    );
     let lat = &cfg.latency;
     if spec.hops == 0 {
         return intra_node_barrier(lat);
@@ -118,8 +126,14 @@ pub fn fig11(cfg: &MachineConfig) -> Vec<Fig11Row> {
     (0..=cfg.torus.diameter())
         .map(|hops| Fig11Row {
             hops,
-            latency_ns: barrier_latency(cfg, FenceSpec { pattern: FencePattern::GcToGc, hops })
-                .as_ns(),
+            latency_ns: barrier_latency(
+                cfg,
+                FenceSpec {
+                    pattern: FencePattern::GcToGc,
+                    hops,
+                },
+            )
+            .as_ns(),
         })
         .collect()
 }
@@ -190,7 +204,13 @@ mod tests {
     #[test]
     fn global_barrier_on_128_nodes_near_504ns() {
         let cfg = cfg_128();
-        let t = barrier_latency(&cfg, FenceSpec { pattern: FencePattern::GcToGc, hops: 8 });
+        let t = barrier_latency(
+            &cfg,
+            FenceSpec {
+                pattern: FencePattern::GcToGc,
+                hops: 8,
+            },
+        );
         assert!(
             (430.0..560.0).contains(&t.as_ns()),
             "global barrier {} ns vs paper's ~504 ns",
@@ -202,10 +222,17 @@ mod tests {
     fn fig11_is_linear_in_hops() {
         let rows = fig11(&cfg_128());
         assert_eq!(rows.len(), 9);
-        let pts: Vec<(f64, f64)> =
-            rows.iter().filter(|r| r.hops >= 1).map(|r| (r.hops as f64, r.latency_ns)).collect();
+        let pts: Vec<(f64, f64)> = rows
+            .iter()
+            .filter(|r| r.hops >= 1)
+            .map(|r| (r.hops as f64, r.latency_ns))
+            .collect();
         let fit = linear_fit(&pts);
-        assert!(fit.r2 > 0.999, "fence latency must scale linearly, r2={}", fit.r2);
+        assert!(
+            fit.r2 > 0.999,
+            "fence latency must scale linearly, r2={}",
+            fit.r2
+        );
         assert!(
             (47.0..56.0).contains(&fit.slope),
             "fit slope {} vs paper's 51.8 ns/hop",
@@ -235,7 +262,10 @@ mod tests {
     fn non_barrier_pattern_rejected() {
         let _ = barrier_latency(
             &cfg_128(),
-            FenceSpec { pattern: FencePattern::GcToIcb, hops: 1 },
+            FenceSpec {
+                pattern: FencePattern::GcToIcb,
+                hops: 1,
+            },
         );
     }
 }

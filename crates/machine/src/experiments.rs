@@ -92,7 +92,9 @@ pub fn fig12(cfg: MachineConfig, atoms: usize, seed: u64) -> ActivityMatrix {
         // Channel lanes split by traffic kind, like the paper's red/green.
         if name.starts_with("ch ") {
             for (kind, tag) in [(ACT_POSITION, "pos"), (ACT_FORCE, "force")] {
-                let occ = run.trace.occupancy(lane, Some(kind), t_start, t_end, buckets);
+                let occ = run
+                    .trace
+                    .occupancy(lane, Some(kind), t_start, t_end, buckets);
                 if occ.iter().any(|&v| v > 0.0) {
                     lanes.push(format!("{name} {tag}"));
                     occupancy.push(occ);

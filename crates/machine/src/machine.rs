@@ -22,7 +22,10 @@ pub struct NetworkMachine {
 impl NetworkMachine {
     /// Builds the directed-link array for `cfg`.
     pub fn new(cfg: MachineConfig) -> Self {
-        let comp = Compression { inz: cfg.inz_enabled, pcache: cfg.pcache_enabled };
+        let comp = Compression {
+            inz: cfg.inz_enabled,
+            pcache: cfg.pcache_enabled,
+        };
         let count = cfg.node_count() * 6 * CAS_PER_NEIGHBOR;
         let links = (0..count)
             .map(|_| CaLink::with_pcache_sets(&cfg.latency, comp, cfg.pcache_sets))
@@ -87,7 +90,11 @@ impl NetworkMachine {
             hits += s.hits;
             lookups += s.lookups();
         }
-        Some(if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 })
+        Some(if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        })
     }
 }
 
@@ -119,7 +126,8 @@ mod tests {
         let mut m = NetworkMachine::new(MachineConfig::torus([2, 2, 2]));
         for i in 0..6 {
             let d = Direction::from_index(i);
-            m.link_mut(NodeId(3), d, i % 4).send_force(Ps::ZERO, [5, -5, 5]);
+            m.link_mut(NodeId(3), d, i % 4)
+                .send_force(Ps::ZERO, [5, -5, 5]);
         }
         assert_eq!(m.total_stats().packets, 6);
     }
@@ -147,7 +155,10 @@ mod tests {
         let m = NetworkMachine::new(MachineConfig::torus([2, 2, 2]));
         for (node, dir, ca, _) in m.links() {
             let idx = m.index(node, dir, ca);
-            assert_eq!(idx, (node.index() * 6 + dir.index()) * CAS_PER_NEIGHBOR + ca);
+            assert_eq!(
+                idx,
+                (node.index() * 6 + dir.index()) * CAS_PER_NEIGHBOR + ca
+            );
         }
     }
 }

@@ -67,7 +67,6 @@ pub const OTHER_PHASE_CYCLES_PER_ATOM: f64 = 0.55;
 /// Fixed per-step overhead of the non-pairwise phases, cycles.
 pub const OTHER_PHASE_FIXED_CYCLES: f64 = 560.0;
 
-
 /// The 64-bit static field of an atom's position packet: the global atom
 /// id in the low word and a force-field parameter word (type, charge
 /// class, exclusion group) in the high word. The parameter word carries
@@ -126,23 +125,29 @@ impl MdNetworkRun {
     pub fn new(cfg: MachineConfig, atoms: usize, seed: u64, traced: bool) -> Self {
         let sim = Simulation::water(atoms, seed);
         // Midpoint-method import: remote positions within half the cutoff.
-        let decomp = Decomposition::new(
-            cfg.torus,
-            sim.system.box_len,
-            sim.params.cutoff * 0.5,
-        );
+        let decomp = Decomposition::new(cfg.torus, sim.system.box_len, sim.params.cutoff * 0.5);
         let machine = NetworkMachine::new(cfg);
-        let mut trace = if traced { ActivityTrace::enabled() } else { ActivityTrace::disabled() };
+        let mut trace = if traced {
+            ActivityTrace::enabled()
+        } else {
+            ActivityTrace::disabled()
+        };
         let mut channel_lanes = Vec::new();
         for node in cfg.torus.nodes() {
             for dir in anton_model::topology::Direction::ALL {
                 channel_lanes.push(trace.register_lane(format!("ch {node} {dir}")));
             }
         }
-        let gc_lanes =
-            cfg.torus.nodes().map(|n| trace.register_lane(format!("gc {n}"))).collect();
-        let ppim_lanes =
-            cfg.torus.nodes().map(|n| trace.register_lane(format!("ppim {n}"))).collect();
+        let gc_lanes = cfg
+            .torus
+            .nodes()
+            .map(|n| trace.register_lane(format!("gc {n}")))
+            .collect();
+        let ppim_lanes = cfg
+            .torus
+            .nodes()
+            .map(|n| trace.register_lane(format!("ppim {n}")))
+            .collect();
         let mut run = MdNetworkRun {
             machine,
             sim,
@@ -209,8 +214,11 @@ impl MdNetworkRun {
             ready: Ps,
         }
         // Per-atom tree structures and per-(atom, node) arrival times.
-        let mut trees: Vec<(u32, Vec<anton_md::decomp::TreeEdge>, Vec<anton_model::topology::NodeId>)> =
-            Vec::new();
+        let mut trees: Vec<(
+            u32,
+            Vec<anton_md::decomp::TreeEdge>,
+            Vec<anton_model::topology::NodeId>,
+        )> = Vec::new();
         let mut arrivals: Vec<HashMap<TorusCoord, Ps>> = Vec::new();
         for atom in 0..self.sim.system.n {
             let pos = self.sim.system.pos[atom];
@@ -235,7 +243,14 @@ impl MdNetworkRun {
             for (ti, (atom, edges, _)) in trees.iter().enumerate() {
                 if let Some(edge) = edges.get(depth) {
                     let ready = arrivals[ti][&edge.from];
-                    level.push((ti, PendingPos { atom: *atom, edge: *edge, ready }));
+                    level.push((
+                        ti,
+                        PendingPos {
+                            atom: *atom,
+                            edge: *edge,
+                            ready,
+                        },
+                    ));
                 }
             }
             if level.is_empty() {
@@ -244,24 +259,24 @@ impl MdNetworkRun {
             // Ready-time order per link: sort by (link, ready, atom).
             level.sort_by_key(|(_, p)| {
                 let from_node = torus.node_id(p.edge.from);
-                ((from_node.index() * 6 + p.edge.dir.index()), p.ready, p.atom)
+                (
+                    (from_node.index() * 6 + p.edge.dir.index()),
+                    p.ready,
+                    p.atom,
+                )
             });
             for (ti, p) in level {
                 let from_node = torus.node_id(p.edge.from);
                 let ca = p.atom as usize % CAS_PER_NEIGHBOR;
                 let pos = self.sim.system.pos[p.atom as usize];
-                let qpos = exported_position(
-                    pos,
-                    p.atom,
-                    self.sim.step_count,
-                    self.sim.params.dt,
-                );
+                let qpos = exported_position(pos, p.atom, self.sim.step_count, self.sim.params.dt);
                 let link = self.machine.link_mut(from_node, p.edge.dir, ca);
                 let key = particle_static_field(p.atom);
                 let (transit, _) = link.send_position(p.ready, key, qpos);
                 let ser_done = transit.arrive - link.crossing_fixed();
                 let lane = self.channel_lane(from_node, p.edge.dir);
-                self.trace.record(lane, ACT_POSITION, transit.depart, ser_done);
+                self.trace
+                    .record(lane, ACT_POSITION, transit.depart, ser_done);
                 let to = torus.neighbor(p.edge.from, p.edge.dir);
                 arrivals[ti].insert(to, transit.arrive + relay);
             }
@@ -367,7 +382,8 @@ impl MdNetworkRun {
             // Stored-set force unload is gated by the fence.
             unload_done[ni] = stream_done.max(fence_done[ni]);
             let start = pos_phase_start[ni].min(t0 + inject);
-            self.trace.record(self.ppim_lanes[ni], ACT_PPIM, start, unload_done[ni]);
+            self.trace
+                .record(self.ppim_lanes[ni], ACT_PPIM, start, unload_done[ni]);
         }
 
         // Phase 3: integration once all forces (stream-set from remotes,
@@ -380,10 +396,10 @@ impl MdNetworkRun {
             let integ_cycles = local * INTEGRATION_CYCLES_PER_ATOM / asic::GCS_PER_ASIC as f64;
             let integ = Ps::new((integ_cycles * 357.0) as u64);
             let done = forces_ready + integ;
-            self.trace.record(self.gc_lanes[ni], ACT_INTEGRATE, forces_ready, done);
+            self.trace
+                .record(self.gc_lanes[ni], ACT_INTEGRATE, forces_ready, done);
             step_end = step_end.max(done);
-            let other_cycles =
-                OTHER_PHASE_FIXED_CYCLES + local * OTHER_PHASE_CYCLES_PER_ATOM;
+            let other_cycles = OTHER_PHASE_FIXED_CYCLES + local * OTHER_PHASE_CYCLES_PER_ATOM;
             app_extra = app_extra.max(Ps::new((other_cycles * 357.0) as u64));
         }
 
@@ -392,16 +408,24 @@ impl MdNetworkRun {
         for node in torus.nodes() {
             for dir in anton_model::topology::Direction::ALL {
                 for ca in 0..CAS_PER_NEIGHBOR {
-                    self.machine.link_mut(node, dir, ca).send_marker(step_end, PacketKind::EndOfStep);
+                    self.machine
+                        .link_mut(node, dir, ca)
+                        .send_marker(step_end, PacketKind::EndOfStep);
                 }
             }
         }
         let barrier = barrier::barrier_latency(
             &cfg,
-            FenceSpec { pattern: FencePattern::GcToGc, hops: torus.diameter() },
+            FenceSpec {
+                pattern: FencePattern::GcToGc,
+                hops: torus.diameter(),
+            },
         );
         let pairwise_step = step_end + barrier - t0;
-        let timing = StepTiming { pairwise_step, app_step: pairwise_step + app_extra };
+        let timing = StepTiming {
+            pairwise_step,
+            app_step: pairwise_step + app_extra,
+        };
 
         // Advance simulated time and the MD state.
         self.clock = step_end + barrier + app_extra;
@@ -457,7 +481,11 @@ mod tests {
         let base = run(MachineConfig::torus([2, 2, 2]).without_compression(), 4000);
         let inz = run(MachineConfig::torus([2, 2, 2]).inz_only(), 4000);
         let full = run(MachineConfig::torus([2, 2, 2]), 4000);
-        assert_eq!(base.stats.reduction(), 0.0, "baseline must be the reference");
+        assert_eq!(
+            base.stats.reduction(),
+            0.0,
+            "baseline must be the reference"
+        );
         assert!(
             inz.stats.reduction() > 0.2,
             "INZ-only reduction {} too small",
@@ -522,6 +550,9 @@ mod tests {
         let a = r.step();
         let b = r.step();
         let ratio = a.pairwise_step.as_ns() / b.pairwise_step.as_ns();
-        assert!((0.5..2.0).contains(&ratio), "step jitter too large: {ratio}");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "step jitter too large: {ratio}"
+        );
     }
 }

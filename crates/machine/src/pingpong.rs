@@ -50,7 +50,10 @@ pub struct Fig5Result {
 }
 
 fn compression_of(cfg: &MachineConfig) -> Compression {
-    Compression { inz: cfg.inz_enabled, pcache: cfg.pcache_enabled }
+    Compression {
+        inz: cfg.inz_enabled,
+        pcache: cfg.pcache_enabled,
+    }
 }
 
 /// Measures the average one-way latency for GC pairs exactly `hops` apart,
@@ -83,10 +86,8 @@ pub fn one_way_latency(cfg: &MachineConfig, hops: u32, samples: u32, seed: u64) 
         // Ping and pong each draw an independent oblivious route.
         let ping = routing::plan_request(&torus, ca, cb, &mut rng);
         let pong = routing::plan_request(&torus, cb, ca, &mut rng);
-        let t_ping =
-            path::one_way(&cfg.latency, comp, src, dst, &ping, PING_PAYLOAD_WORDS).total();
-        let t_pong =
-            path::one_way(&cfg.latency, comp, dst, src, &pong, PING_PAYLOAD_WORDS).total();
+        let t_ping = path::one_way(&cfg.latency, comp, src, dst, &ping, PING_PAYLOAD_WORDS).total();
+        let t_pong = path::one_way(&cfg.latency, comp, dst, src, &pong, PING_PAYLOAD_WORDS).total();
         // One-way latency as the paper computes it: half the round trip.
         acc.add(((t_ping + t_pong) / 2).as_ns());
     }
@@ -106,10 +107,22 @@ pub fn fig5(cfg: &MachineConfig, samples_per_hop: u32, seed: u64) -> Fig5Result 
     let rows: Vec<Fig5Row> = (0..=max_hops)
         .map(|h| one_way_latency(cfg, h, samples_per_hop, seed ^ (h as u64) << 32))
         .collect();
-    let points: Vec<(f64, f64)> =
-        rows.iter().filter(|r| r.hops >= 1).map(|r| (r.hops as f64, r.mean_ns)).collect();
-    let LinearFit { intercept, slope, r2 } = linear_fit(&points);
-    Fig5Result { rows, fixed_ns: intercept, per_hop_ns: slope, r2 }
+    let points: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|r| r.hops >= 1)
+        .map(|r| (r.hops as f64, r.mean_ns))
+        .collect();
+    let LinearFit {
+        intercept,
+        slope,
+        r2,
+    } = linear_fit(&points);
+    Fig5Result {
+        rows,
+        fixed_ns: intercept,
+        per_hop_ns: slope,
+        r2,
+    }
 }
 
 /// The Figure 6 experiment: the minimum-latency single-hop configuration
@@ -119,18 +132,22 @@ pub fn fig6_breakdown(cfg: &MachineConfig) -> PathBreakdown {
     let torus = cfg.torus;
     let a = torus.coord(anton_model::topology::NodeId(0));
     // The +x neighbor.
-    let b = torus.neighbor(a, anton_model::topology::Direction::new(anton_model::topology::Dim::X, true));
-    let plan = routing::plan_request_fixed(
-        &torus,
+    let b = torus.neighbor(
         a,
-        b,
-        anton_model::topology::DimOrder::XYZ,
-        0,
-        0,
+        anton_model::topology::Direction::new(anton_model::topology::Dim::X, true),
     );
+    let plan =
+        routing::plan_request_fixed(&torus, a, b, anton_model::topology::DimOrder::XYZ, 0, 0);
     let src = path::best_case_gc(anton_model::asic::Side::Left, 0);
     let dst = path::best_case_gc(anton_model::asic::Side::Left, 1);
-    path::one_way(&cfg.latency, compression_of(cfg), src, dst, &plan, PING_PAYLOAD_WORDS)
+    path::one_way(
+        &cfg.latency,
+        compression_of(cfg),
+        src,
+        dst,
+        &plan,
+        PING_PAYLOAD_WORDS,
+    )
 }
 
 /// The paper's headline number: minimum one-way inter-node latency.
@@ -160,7 +177,11 @@ mod tests {
             "fixed overhead {} ns vs paper 55.9",
             r.fixed_ns
         );
-        assert!(r.r2 > 0.99, "latency must be essentially linear, r2 = {}", r.r2);
+        assert!(
+            r.r2 > 0.99,
+            "latency must be essentially linear, r2 = {}",
+            r.r2
+        );
     }
 
     #[test]

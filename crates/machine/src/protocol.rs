@@ -65,22 +65,53 @@ pub fn event_pingpong(
 ) -> Ps {
     assert_ne!(a.0, b.0, "event ping-pong measures inter-node paths");
     let torus: Torus = cfg.torus;
-    let comp = Compression { inz: cfg.inz_enabled, pcache: cfg.pcache_enabled };
+    let comp = Compression {
+        inz: cfg.inz_enabled,
+        pcache: cfg.pcache_enabled,
+    };
     let mut rng = SplitMix64::new(seed);
     let mut engine: Engine<Event> = Engine::new();
     let mut gcs = [
-        GcEndpoint { node: a.0, loc: a.1, sram: CountedSram::new(64), read_done: Vec::new() },
-        GcEndpoint { node: b.0, loc: b.1, sram: CountedSram::new(64), read_done: Vec::new() },
+        GcEndpoint {
+            node: a.0,
+            loc: a.1,
+            sram: CountedSram::new(64),
+            read_done: Vec::new(),
+        },
+        GcEndpoint {
+            node: b.0,
+            loc: b.1,
+            sram: CountedSram::new(64),
+            read_done: Vec::new(),
+        },
     ];
     let addr = QuadAddr(3);
 
     // Arm both sides' first blocking reads and launch the first ping.
-    engine.schedule_at(Ps::ZERO, Event::IssueRead { gc: 1, addr, threshold: 1 });
-    engine.schedule_at(Ps::ZERO, Event::IssueRead { gc: 0, addr, threshold: 1 });
+    engine.schedule_at(
+        Ps::ZERO,
+        Event::IssueRead {
+            gc: 1,
+            addr,
+            threshold: 1,
+        },
+    );
+    engine.schedule_at(
+        Ps::ZERO,
+        Event::IssueRead {
+            gc: 0,
+            addr,
+            threshold: 1,
+        },
+    );
     let first_flight = one_way_time(cfg, &torus, comp, &gcs[0], &gcs[1], &mut rng);
     engine.schedule_at(
         first_flight,
-        Event::WriteArrives { gc: 1, addr, data: [1, 0, 0, 0] },
+        Event::WriteArrives {
+            gc: 1,
+            addr,
+            data: [1, 0, 0, 0],
+        },
     );
 
     let mut completed_rounds = 0u32;
@@ -103,20 +134,37 @@ pub fn event_pingpong(
                     // Software turnaround: bounce the payload onward and
                     // re-arm the blocking read for the next arrival.
                     let peer = 1 - gc;
-                    let flight =
-                        one_way_time(cfg, &torus, comp, &gcs[gc], &gcs[peer], &mut rng);
+                    let flight = one_way_time(cfg, &torus, comp, &gcs[gc], &gcs[peer], &mut rng);
                     engine.schedule_in(
                         flight,
-                        Event::WriteArrives { gc: peer, addr, data: [seq + 1, 0, 0, 0] },
+                        Event::WriteArrives {
+                            gc: peer,
+                            addr,
+                            data: [seq + 1, 0, 0, 0],
+                        },
                     );
-                    engine.schedule_in(Ps::ZERO, Event::IssueRead { gc, addr, threshold: 1 });
+                    engine.schedule_in(
+                        Ps::ZERO,
+                        Event::IssueRead {
+                            gc,
+                            addr,
+                            threshold: 1,
+                        },
+                    );
                 }
             }
-            Event::IssueRead { gc, addr, threshold } => {
+            Event::IssueRead {
+                gc,
+                addr,
+                threshold,
+            } => {
                 // Reset-and-rearm: software consumes the counter, then
                 // blocks for the next arrival.
                 gcs[gc].sram.reset_counter(addr);
-                match gcs[gc].sram.blocking_read(addr, threshold, completed_rounds as u64) {
+                match gcs[gc]
+                    .sram
+                    .blocking_read(addr, threshold, completed_rounds as u64)
+                {
                     ReadOutcome::Ready(_) => gcs[gc].read_done.push(engine.now()),
                     ReadOutcome::Pending => {}
                 }
@@ -163,9 +211,10 @@ mod tests {
         let mut acc = 0.0;
         let n = 400;
         for _ in 0..n {
-            let plan =
-                routing::plan_request(&torus, torus.coord(a.0), torus.coord(b.0), &mut rng);
-            acc += path::one_way(&cfg.latency, comp, a.1, b.1, &plan, 4).total().as_ns();
+            let plan = routing::plan_request(&torus, torus.coord(a.0), torus.coord(b.0), &mut rng);
+            acc += path::one_way(&cfg.latency, comp, a.1, b.1, &plan, 4)
+                .total()
+                .as_ns();
         }
         let formula_mean = acc / n as f64;
         let err = (event_mean - formula_mean).abs() / formula_mean;
@@ -198,7 +247,9 @@ mod tests {
         );
         // The antipode of node 0 on a 4x4x8 torus: coord (2,2,4), eight
         // hops away under wraparound.
-        let antipode = cfg.torus.node_id(anton_model::topology::TorusCoord::new(2, 2, 4));
+        let antipode = cfg
+            .torus
+            .node_id(anton_model::topology::TorusCoord::new(2, 2, 4));
         let far = event_pingpong(
             &cfg,
             (NodeId(0), ChipLoc::gc(2, 2, 0)),

@@ -37,7 +37,11 @@ impl Default for Ppim {
 impl Ppim {
     /// An empty PPIM.
     pub fn new() -> Self {
-        Ppim { stored: Vec::new(), evaluated: 0, accumulators: Vec::new() }
+        Ppim {
+            stored: Vec::new(),
+            evaluated: 0,
+            accumulators: Vec::new(),
+        }
     }
 
     /// Loads the stored-set atoms for this time step.
@@ -83,7 +87,12 @@ impl Ppim {
     /// Unloads the accumulated stored-set forces (gated by the GC-to-ICB
     /// fence in the real dataflow).
     pub fn unload(&mut self) -> Vec<(u32, [i64; 3])> {
-        let out = self.stored.iter().copied().zip(self.accumulators.drain(..)).collect();
+        let out = self
+            .stored
+            .iter()
+            .copied()
+            .zip(self.accumulators.drain(..))
+            .collect();
         self.stored.clear();
         out
     }
@@ -111,7 +120,10 @@ impl Icb {
 
     /// Buffers an arriving stream-set position.
     pub fn receive(&mut self, atom: u32) {
-        debug_assert!(!self.fence_seen, "positions after the fence belong to the next step");
+        debug_assert!(
+            !self.fence_seen,
+            "positions after the fence belong to the next step"
+        );
         self.buffer.push(atom);
     }
 
@@ -123,7 +135,11 @@ impl Icb {
     /// Streams the next buffered position onto the row bus, if the fence
     /// discipline allows an unload decision to be made.
     pub fn stream_next(&mut self) -> Option<u32> {
-        let atom = if self.buffer.is_empty() { None } else { Some(self.buffer.remove(0)) };
+        let atom = if self.buffer.is_empty() {
+            None
+        } else {
+            Some(self.buffer.remove(0))
+        };
         if atom.is_some() {
             self.streamed += 1;
         }
@@ -167,7 +183,10 @@ impl Default for GeometryCore {
 impl GeometryCore {
     /// A GC with an empty atom set.
     pub fn new() -> Self {
-        GeometryCore { sram: CountedSram::gc_block(), atoms: Vec::new() }
+        GeometryCore {
+            sram: CountedSram::gc_block(),
+            atoms: Vec::new(),
+        }
     }
 
     /// Assigns the atoms this GC integrates.

@@ -43,7 +43,12 @@ impl Decomposition {
             node_box.iter().all(|&w| w > 0.0) && import_radius > 0.0,
             "degenerate decomposition"
         );
-        Decomposition { torus, box_len, node_box, import_radius }
+        Decomposition {
+            torus,
+            box_len,
+            node_box,
+            import_radius,
+        }
     }
 
     /// The torus this decomposition spans.
@@ -71,6 +76,7 @@ impl Decomposition {
     /// dimension; zero inside the box.
     fn box_distance(&self, pos: [f64; 3], node: TorusCoord) -> f64 {
         let mut d2 = 0.0;
+        #[allow(clippy::needless_range_loop)] // three index-parallel arrays
         for k in 0..3 {
             let w = self.node_box[k];
             let l = self.box_len[k];
@@ -184,7 +190,10 @@ mod tests {
         let d = decomp_2x2x2(40.0, 6.5);
         // 1 A from the +x face of node 0, centered in y, z.
         let targets = d.export_targets([19.0, 10.0, 10.0]);
-        assert!(targets.contains(&NodeId(1)), "must export across +x face: {targets:?}");
+        assert!(
+            targets.contains(&NodeId(1)),
+            "must export across +x face: {targets:?}"
+        );
         assert!(!targets.contains(&NodeId(2)));
         assert!(!targets.contains(&NodeId(7)));
     }
@@ -195,7 +204,11 @@ mod tests {
         // 1 A inside node 0's corner at (20, 20, 20).
         let targets = d.export_targets([19.0, 19.0, 19.0]);
         // Every other node's box touches that corner in a 2x2x2.
-        assert_eq!(targets.len(), 7, "corner atom reaches all 7 remotes: {targets:?}");
+        assert_eq!(
+            targets.len(),
+            7,
+            "corner atom reaches all 7 remotes: {targets:?}"
+        );
     }
 
     #[test]
@@ -203,7 +216,10 @@ mod tests {
         let d = decomp_2x2x2(40.0, 6.5);
         // 1 A from the x=0 face: reaches node 1 through the periodic wrap.
         let targets = d.export_targets([1.0, 10.0, 10.0]);
-        assert!(targets.contains(&NodeId(1)), "wrap export missing: {targets:?}");
+        assert!(
+            targets.contains(&NodeId(1)),
+            "wrap export missing: {targets:?}"
+        );
     }
 
     #[test]
@@ -238,11 +254,17 @@ mod tests {
         reached.insert(home);
         // Iterate to fixpoint (edges are in path order, so one pass works).
         for e in &edges {
-            assert!(reached.contains(&e.from), "edge {e:?} disconnected from tree");
+            assert!(
+                reached.contains(&e.from),
+                "edge {e:?} disconnected from tree"
+            );
             reached.insert(t.neighbor(e.from, e.dir));
         }
         for d in &dests {
-            assert!(reached.contains(&t.coord(*d)), "destination {d} not reached");
+            assert!(
+                reached.contains(&t.coord(*d)),
+                "destination {d} not reached"
+            );
         }
     }
 

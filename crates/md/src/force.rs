@@ -32,8 +32,8 @@ impl CellList {
     /// Panics if the box is smaller than one cutoff in any dimension.
     pub fn build(sys: &System, cutoff: f64) -> CellList {
         let mut dims = [0usize; 3];
-        for k in 0..3 {
-            dims[k] = (sys.box_len[k] / cutoff).floor().max(1.0) as usize;
+        for (k, dk) in dims.iter_mut().enumerate() {
+            *dk = (sys.box_len[k] / cutoff).floor().max(1.0) as usize;
             assert!(
                 sys.box_len[k] >= cutoff,
                 "box dimension {k} ({}) smaller than cutoff {cutoff}",
@@ -116,8 +116,7 @@ pub fn compute_forces(sys: &System, params: &WaterParams) -> Forces {
                             let sr12 = sr6 * sr6;
                             potential += 4.0 * params.epsilon * (sr12 - sr6) - u_shift;
                             // F = -dU/dr; along d (i -> j), magnitude/r:
-                            let fmag_over_r =
-                                24.0 * params.epsilon * (2.0 * sr12 - sr6) / r2;
+                            let fmag_over_r = 24.0 * params.epsilon * (2.0 * sr12 - sr6) / r2;
                             for k in 0..3 {
                                 let fk = fmag_over_r * d[k];
                                 f[i][k] -= fk;
@@ -129,7 +128,11 @@ pub fn compute_forces(sys: &System, params: &WaterParams) -> Forces {
             }
         }
     }
-    Forces { f, potential, pair_count }
+    Forces {
+        f,
+        potential,
+        pair_count,
+    }
 }
 
 /// Reference O(N²) force evaluation, used to validate the cell list.
@@ -162,7 +165,11 @@ pub fn compute_forces_naive(sys: &System, params: &WaterParams) -> Forces {
             }
         }
     }
-    Forces { f, potential, pair_count }
+    Forces {
+        f,
+        potential,
+        pair_count,
+    }
 }
 
 #[cfg(test)]
@@ -210,10 +217,8 @@ mod tests {
         let sys = System::water_box(1000, &p, 8);
         let forces = compute_forces(&sys, &p);
         // Expected neighbors within cutoff: n * 4/3 pi rc^3 rho / 2.
-        let expected = sys.n as f64 * 4.0 / 3.0 * std::f64::consts::PI
-            * p.cutoff.powi(3)
-            * p.density
-            / 2.0;
+        let expected =
+            sys.n as f64 * 4.0 / 3.0 * std::f64::consts::PI * p.cutoff.powi(3) * p.density / 2.0;
         let ratio = forces.pair_count as f64 / expected;
         assert!(
             (0.8..1.2).contains(&ratio),
@@ -227,9 +232,9 @@ mod tests {
         let (sys, p) = small();
         let forces = compute_forces(&sys, &p);
         for f in &forces.f {
-            for k in 0..3 {
-                assert!(f[k].is_finite());
-                assert!(f[k].abs() < 1e4, "unphysical force {}", f[k]);
+            for fk in f {
+                assert!(fk.is_finite());
+                assert!(fk.abs() < 1e4, "unphysical force {fk}");
             }
         }
     }

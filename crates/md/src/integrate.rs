@@ -21,7 +21,12 @@ impl Simulation {
     /// Creates a simulation and evaluates initial forces.
     pub fn new(system: System, params: WaterParams) -> Simulation {
         let forces = compute_forces(&system, &params);
-        Simulation { system, params, forces, step_count: 0 }
+        Simulation {
+            system,
+            params,
+            forces,
+            step_count: 0,
+        }
     }
 
     /// Convenience: build an `n`-atom water box and wrap it.
@@ -40,8 +45,7 @@ impl Simulation {
         for i in 0..n {
             for k in 0..3 {
                 self.system.vel[i][k] += 0.5 * dt * self.forces.f[i][k] * inv_m;
-                self.system.pos[i][k] = (self.system.pos[i][k]
-                    + dt * self.system.vel[i][k])
+                self.system.pos[i][k] = (self.system.pos[i][k] + dt * self.system.vel[i][k])
                     .rem_euclid(self.system.box_len[k]);
             }
         }
@@ -70,8 +74,8 @@ impl Simulation {
         }
         let s = (target / current).sqrt();
         for v in &mut self.system.vel {
-            for k in 0..3 {
-                v[k] *= s;
+            for vk in v.iter_mut() {
+                *vk *= s;
             }
         }
     }
@@ -94,7 +98,11 @@ mod tests {
         sim.run(100);
         let e1 = sim.total_energy();
         let drift = ((e1 - e0) / e0).abs();
-        assert!(drift < 0.02, "energy drift {:.4} over 100 steps (e0={e0:.2}, e1={e1:.2})", drift);
+        assert!(
+            drift < 0.02,
+            "energy drift {:.4} over 100 steps (e0={e0:.2}, e1={e1:.2})",
+            drift
+        );
     }
 
     #[test]
@@ -111,8 +119,14 @@ mod tests {
             mean_disp += disp / sim.system.n as f64;
         }
         // Thermal speeds ~9e-3 A/fs over 2.5 fs: ~0.02 A mean displacement.
-        assert!((0.005..0.1).contains(&mean_disp), "mean displacement {mean_disp} Å");
-        assert!(max_disp < 0.5, "max displacement {max_disp} Å too large for dt");
+        assert!(
+            (0.005..0.1).contains(&mean_disp),
+            "mean displacement {mean_disp} Å"
+        );
+        assert!(
+            max_disp < 0.5,
+            "max displacement {max_disp} Å too large for dt"
+        );
     }
 
     #[test]
@@ -131,6 +145,7 @@ mod tests {
         let mut step_disp = 0.0f64;
         let n = sim.system.n;
         let t = hist.len() - 1;
+        #[allow(clippy::needless_range_loop)] // index-parallel history rows
         for i in 0..n {
             for k in 0..3 {
                 // Unwrapped small motions: consecutive-step displacements

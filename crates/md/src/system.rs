@@ -118,7 +118,12 @@ impl System {
                 v[k] -= com[k] / n as f64;
             }
         }
-        System { n, box_len: [l, l, l], pos, vel }
+        System {
+            n,
+            box_len: [l, l, l],
+            pos,
+            vel,
+        }
     }
 
     /// Minimum-image displacement from `a` to `b` under periodic
@@ -136,7 +141,11 @@ impl System {
 
     /// Instantaneous kinetic energy, kcal/mol.
     pub fn kinetic_energy(&self, mass: f64) -> f64 {
-        let sum_v2: f64 = self.vel.iter().map(|v| v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sum();
+        let sum_v2: f64 = self
+            .vel
+            .iter()
+            .map(|v| v[0] * v[0] + v[1] * v[1] + v[2] * v[2])
+            .sum();
         0.5 * mass * sum_v2 / KCAL_PER_AMU_A2_FS2
     }
 
@@ -171,8 +180,8 @@ mod tests {
         let p = WaterParams::default();
         let sys = System::water_box(777, &p, 2);
         for r in &sys.pos {
-            for k in 0..3 {
-                assert!((0.0..sys.box_len[k]).contains(&r[k]));
+            for (k, rk) in r.iter().enumerate() {
+                assert!((0.0..sys.box_len[k]).contains(rk));
             }
         }
     }
@@ -228,7 +237,11 @@ mod tests {
         let sys = System::water_box(8, &p, 6);
         let l = sys.box_len[0];
         let d = sys.min_image([0.1, 0.0, 0.0], [l - 0.1, 0.0, 0.0]);
-        assert!((d[0] + 0.2).abs() < 1e-9, "wrap distance should be -0.2, got {}", d[0]);
+        assert!(
+            (d[0] + 0.2).abs() < 1e-9,
+            "wrap distance should be -0.2, got {}",
+            d[0]
+        );
     }
 
     #[test]

@@ -60,7 +60,9 @@ pub fn exported_position(pos: [f64; 3], atom: u32, step: u64, dt_fs: f64) -> [i3
     let mut h = atom as u64 | 0x5851_F42D_4C95_7F2D_u64 << 32;
     let mut out = [0i32; 3];
     for k in 0..3 {
-        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(k as u64 + 1);
+        h = h
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(k as u64 + 1);
         let mix = h ^ (h >> 29);
         // Period 9–11 fs, phase uniform in [0, 2pi).
         let period = 9.0 + (mix & 0xFF) as f64 / 255.0 * 2.0;
@@ -120,7 +122,10 @@ mod tests {
         let q = quantize_position(pos);
         for k in 0..3 {
             let dev = (a[k] - q[k]).abs() as f64 / POSITION_SCALE;
-            assert!(dev <= VIBRATION_AMPLITUDE_A + 1e-9, "overlay {dev} exceeds amplitude");
+            assert!(
+                dev <= VIBRATION_AMPLITUDE_A + 1e-9,
+                "overlay {dev} exceeds amplitude"
+            );
         }
     }
 
@@ -130,8 +135,9 @@ mod tests {
         // predictor cannot absorb) must be hundreds of counts — the
         // regime the paper's 45-62% reduction implies.
         let pos = [50.0; 3];
-        let xs: Vec<i32> =
-            (0..8).map(|t| exported_position(pos, 42, t, 2.5)[0]).collect();
+        let xs: Vec<i32> = (0..8)
+            .map(|t| exported_position(pos, 42, t, 2.5)[0])
+            .collect();
         let mut max_d3 = 0i64;
         for w in xs.windows(4) {
             let d3 = (w[3] as i64 - 3 * w[2] as i64 + 3 * w[1] as i64 - w[0] as i64).abs();

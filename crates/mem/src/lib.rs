@@ -175,7 +175,11 @@ impl CountedSram {
         if self.counters[i] >= threshold {
             ReadOutcome::Ready(self.quads[i])
         } else {
-            self.waiters.push(Waiter { addr, threshold, token });
+            self.waiters.push(Waiter {
+                addr,
+                threshold,
+                token,
+            });
             ReadOutcome::Pending
         }
     }

@@ -99,14 +99,13 @@ impl AreaRow {
 /// plus crossbar/allocator logic and the 14-slot fence counter array.
 pub fn core_router_budget() -> ComponentBudget {
     let ports_per_subrouter = 4;
-    let queue_bits = (ports_per_subrouter
-        * asic::CORE_VCS
-        * asic::INPUT_QUEUE_FLITS
-        * asic::FLIT_BITS
-        * 4) as u64; // 4 sub-routers
-    // Fence state: 14 fence ids x 8 fence-carrying ports x (4-bit counter +
-    // 4-bit expected count), plus a 4-bit output mask per id and port.
-    let fence_bits = (asic::MAX_CONCURRENT_FENCES * 8 * (4 + 4) + asic::MAX_CONCURRENT_FENCES * 8 * 4) as u64;
+    let queue_bits =
+        (ports_per_subrouter * asic::CORE_VCS * asic::INPUT_QUEUE_FLITS * asic::FLIT_BITS * 4)
+            as u64; // 4 sub-routers
+                    // Fence state: 14 fence ids x 8 fence-carrying ports x (4-bit counter +
+                    // 4-bit expected count), plus a 4-bit output mask per id and port.
+    let fence_bits =
+        (asic::MAX_CONCURRENT_FENCES * 8 * (4 + 4) + asic::MAX_CONCURRENT_FENCES * 8 * 4) as u64;
     // Crossbars: per sub-router a 4-output x 192-bit mux tree (~3 gates per
     // bit-mux), plus routing/arbitration/credit logic and the GC/BC/stream
     // bus interfaces that make the Core Router the largest network block.
@@ -133,7 +132,11 @@ pub fn edge_router_budget() -> ComponentBudget {
         + asic::MAX_CONCURRENT_FENCES * 8) as u64;
     let crossbar_gates = (ports * asic::FLIT_BITS) as u64 * 3;
     let control_gates = 10_000;
-    ComponentBudget { sram_bits: 0, flop_bits: queue_bits + fence_bits, logic_gates: crossbar_gates + control_gates }
+    ComponentBudget {
+        sram_bits: 0,
+        flop_bits: queue_bits + fence_bits,
+        logic_gates: crossbar_gates + control_gates,
+    }
 }
 
 /// Bits in one particle-cache entry: 3×32-bit D0 plus 3×12-bit D1 and D2,
@@ -160,22 +163,30 @@ pub fn pcache_budget() -> ComponentBudget {
 pub fn channel_adapter_base_budget() -> ComponentBudget {
     // Frame buffers for 4 lanes each direction plus INZ pipeline registers.
     let frame_bits = 2 * 4 * 2 * 256 * 8u64; // double-buffered 256B frames
-    ComponentBudget { sram_bits: 0, flop_bits: frame_bits, logic_gates: 120_000 }
+    ComponentBudget {
+        sram_bits: 0,
+        flop_bits: frame_bits,
+        logic_gates: 120_000,
+    }
 }
 
 /// Per-instance budget of a Row Adapter.
 pub fn row_adapter_budget() -> ComponentBudget {
     let queue_bits = (2 * asic::EDGE_VCS * asic::INPUT_QUEUE_FLITS * asic::FLIT_BITS) as u64;
-    ComponentBudget { sram_bits: 0, flop_bits: queue_bits, logic_gates: 9_000 }
+    ComponentBudget {
+        sram_bits: 0,
+        flop_bits: queue_bits,
+        logic_gates: 9_000,
+    }
 }
 
 /// Fence-feature budget aggregated over the whole ASIC (the Table III row):
 /// counter arrays in all routers plus adapter flow-control state.
 pub fn fence_feature_bits_per_asic() -> u64 {
-    let per_core = (asic::MAX_CONCURRENT_FENCES * 8 * (4 + 4)
-        + asic::MAX_CONCURRENT_FENCES * 8 * 4) as u64;
-    let per_edge = (7 * asic::FENCE_COUNTERS_PER_EDGE_PORT * (3 + 3)
-        + asic::MAX_CONCURRENT_FENCES * 8) as u64;
+    let per_core =
+        (asic::MAX_CONCURRENT_FENCES * 8 * (4 + 4) + asic::MAX_CONCURRENT_FENCES * 8 * 4) as u64;
+    let per_edge =
+        (7 * asic::FENCE_COUNTERS_PER_EDGE_PORT * (3 + 3) + asic::MAX_CONCURRENT_FENCES * 8) as u64;
     let core = asic::CORE_ROUTERS as u64 * per_core;
     let edge = asic::ERTRS_PER_ASIC as u64 * per_edge;
     // Injection flow-control state in the Channel and Row Adapters (§V-D).
@@ -186,8 +197,16 @@ pub fn fence_feature_bits_per_asic() -> u64 {
 /// The four rows of Table II.
 pub fn table2_rows() -> [AreaRow; 4] {
     [
-        AreaRow { name: "Core Routers", count: asic::CORE_ROUTERS, budget: core_router_budget() },
-        AreaRow { name: "Edge Routers", count: asic::ERTRS_PER_ASIC, budget: edge_router_budget() },
+        AreaRow {
+            name: "Core Routers",
+            count: asic::CORE_ROUTERS,
+            budget: core_router_budget(),
+        },
+        AreaRow {
+            name: "Edge Routers",
+            count: asic::ERTRS_PER_ASIC,
+            budget: edge_router_budget(),
+        },
         AreaRow {
             name: "Channel Adapters",
             count: asic::CHANNEL_ADAPTERS,
@@ -201,14 +220,22 @@ pub fn table2_rows() -> [AreaRow; 4] {
                 }
             },
         },
-        AreaRow { name: "Row Adapters", count: asic::ROW_ADAPTERS, budget: row_adapter_budget() },
+        AreaRow {
+            name: "Row Adapters",
+            count: asic::ROW_ADAPTERS,
+            budget: row_adapter_budget(),
+        },
     ]
 }
 
 /// The two rows of Table III.
 pub fn table3_rows() -> [AreaRow; 2] {
     [
-        AreaRow { name: "Particle Cache", count: asic::CHANNEL_ADAPTERS, budget: pcache_budget() },
+        AreaRow {
+            name: "Particle Cache",
+            count: asic::CHANNEL_ADAPTERS,
+            budget: pcache_budget(),
+        },
         AreaRow {
             name: "Network Fence",
             count: 1,
@@ -267,8 +294,7 @@ mod tests {
         // 96 data + 72 difference + 64 static + 29 bookkeeping bits.
         assert_eq!(PCACHE_ENTRY_BITS, 261);
         // Two caches per CA, 24 CAs: total pcache storage ~12.8 Mbit.
-        let total_mbit =
-            2.0 * PCACHE_ENTRIES as f64 * PCACHE_ENTRY_BITS as f64 * 24.0 / 1e6;
+        let total_mbit = 2.0 * PCACHE_ENTRIES as f64 * PCACHE_ENTRY_BITS as f64 * 24.0 / 1e6;
         assert!((12.0..14.0).contains(&total_mbit));
     }
 
@@ -286,7 +312,11 @@ mod tests {
         let row = AreaRow {
             name: "x",
             count: 10,
-            budget: ComponentBudget { sram_bits: 1_000_000, flop_bits: 0, logic_gates: 0 },
+            budget: ComponentBudget {
+                sram_bits: 1_000_000,
+                flop_bits: 0,
+                logic_gates: 0,
+            },
         };
         let a = row.total_mm2(&t());
         assert!((a - 10.0 * t().mm2_per_mbit_sram).abs() < 1e-9);

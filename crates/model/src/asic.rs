@@ -272,7 +272,11 @@ mod tests {
                 assert!(used.insert(r), "row {r} double-booked");
             }
         }
-        assert_eq!(used.len(), EDGE_ROWS, "every edge tile hosts exactly one CA");
+        assert_eq!(
+            used.len(),
+            EDGE_ROWS,
+            "every edge tile hosts exactly one CA"
+        );
     }
 
     #[test]

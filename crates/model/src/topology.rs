@@ -69,12 +69,30 @@ pub struct Direction {
 impl Direction {
     /// All six directions in the canonical order X+, X−, Y+, Y−, Z+, Z−.
     pub const ALL: [Direction; 6] = [
-        Direction { dim: Dim::X, positive: true },
-        Direction { dim: Dim::X, positive: false },
-        Direction { dim: Dim::Y, positive: true },
-        Direction { dim: Dim::Y, positive: false },
-        Direction { dim: Dim::Z, positive: true },
-        Direction { dim: Dim::Z, positive: false },
+        Direction {
+            dim: Dim::X,
+            positive: true,
+        },
+        Direction {
+            dim: Dim::X,
+            positive: false,
+        },
+        Direction {
+            dim: Dim::Y,
+            positive: true,
+        },
+        Direction {
+            dim: Dim::Y,
+            positive: false,
+        },
+        Direction {
+            dim: Dim::Z,
+            positive: true,
+        },
+        Direction {
+            dim: Dim::Z,
+            positive: false,
+        },
     ];
 
     /// Creates a direction from a dimension and a sign.
@@ -94,7 +112,10 @@ impl Direction {
 
     /// The opposite direction (same dimension, flipped sign).
     pub const fn opposite(self) -> Direction {
-        Direction { dim: self.dim, positive: !self.positive }
+        Direction {
+            dim: self.dim,
+            positive: !self.positive,
+        }
     }
 
     /// A stable dense index in `0..6`, matching the order of [`Self::ALL`].
@@ -189,7 +210,9 @@ impl fmt::Display for TorusCoord {
 }
 
 /// A dense node identifier, `0..node_count`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct NodeId(pub u16);
 
 impl NodeId {
@@ -227,9 +250,15 @@ impl Torus {
     /// Panics if any dimension is zero or the machine exceeds 512 nodes
     /// (the maximum Anton 3 configuration).
     pub fn new(dims: [u8; 3]) -> Self {
-        assert!(dims.iter().all(|&d| d >= 1), "torus dimensions must be >= 1");
+        assert!(
+            dims.iter().all(|&d| d >= 1),
+            "torus dimensions must be >= 1"
+        );
         let n: u32 = dims.iter().map(|&d| d as u32).product();
-        assert!(n <= 512, "Anton 3 machines comprise up to 512 nodes, got {n}");
+        assert!(
+            n <= 512,
+            "Anton 3 machines comprise up to 512 nodes, got {n}"
+        );
         Torus { dims }
     }
 
@@ -288,7 +317,11 @@ impl Torus {
     pub fn neighbor(&self, c: TorusCoord, d: Direction) -> TorusCoord {
         let ext = self.extent(d.dim()) as i16;
         let cur = c.get(d.dim()) as i16;
-        let next = if d.is_positive() { (cur + 1).rem_euclid(ext) } else { (cur - 1).rem_euclid(ext) };
+        let next = if d.is_positive() {
+            (cur + 1).rem_euclid(ext)
+        } else {
+            (cur - 1).rem_euclid(ext)
+        };
         c.with(d.dim(), next as u8)
     }
 
@@ -351,7 +384,11 @@ impl Torus {
 
 impl fmt::Display for Torus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{}x{} torus", self.dims[0], self.dims[1], self.dims[2])
+        write!(
+            f,
+            "{}x{}x{} torus",
+            self.dims[0], self.dims[1], self.dims[2]
+        )
     }
 }
 
@@ -372,8 +409,10 @@ mod tests {
     #[test]
     fn dim_orders_are_all_permutations() {
         use std::collections::HashSet;
-        let set: HashSet<[usize; 3]> =
-            DimOrder::ALL.iter().map(|o| [o.0[0].index(), o.0[1].index(), o.0[2].index()]).collect();
+        let set: HashSet<[usize; 3]> = DimOrder::ALL
+            .iter()
+            .map(|o| [o.0[0].index(), o.0[1].index(), o.0[2].index()])
+            .collect();
         assert_eq!(set.len(), 6);
         for p in &set {
             let mut s = *p;
@@ -434,13 +473,20 @@ mod tests {
         let b = TorusCoord::new(1, 3, 2);
         for order in DimOrder::ALL {
             let route = t.route(a, b, order);
-            assert_eq!(route.len() as u32, t.hop_distance(a, b), "route under {order} not minimal");
+            assert_eq!(
+                route.len() as u32,
+                t.hop_distance(a, b),
+                "route under {order} not minimal"
+            );
             // Dimensions appear in the order's sequence.
             let mut cur = a;
             let mut last_stage = 0;
             for d in &route {
                 let stage = order.0.iter().position(|&x| x == d.dim()).unwrap();
-                assert!(stage >= last_stage, "route violates dimension order {order}");
+                assert!(
+                    stage >= last_stage,
+                    "route violates dimension order {order}"
+                );
                 last_stage = stage;
                 cur = t.neighbor(cur, *d);
             }

@@ -43,11 +43,20 @@ pub struct Compression {
 
 impl Compression {
     /// Both features on (the production configuration).
-    pub const FULL: Compression = Compression { inz: true, pcache: true };
+    pub const FULL: Compression = Compression {
+        inz: true,
+        pcache: true,
+    };
     /// INZ only (Figure 9a middle bars).
-    pub const INZ_ONLY: Compression = Compression { inz: true, pcache: false };
+    pub const INZ_ONLY: Compression = Compression {
+        inz: true,
+        pcache: false,
+    };
     /// Baseline: nothing (Figure 9a reference).
-    pub const NONE: Compression = Compression { inz: false, pcache: false };
+    pub const NONE: Compression = Compression {
+        inz: false,
+        pcache: false,
+    };
 }
 
 /// Baseline (uncompressed) wire cost of a packet with `payload_words`
@@ -175,7 +184,11 @@ impl CaLink {
             PacketKind::Force => self.stats.force_bytes += wire_bytes as u64,
             _ => self.stats.other_bytes += wire_bytes as u64,
         }
-        Transit { depart, arrive: done + self.crossing_fixed, wire_bytes }
+        Transit {
+            depart,
+            arrive: done + self.crossing_fixed,
+            wire_bytes,
+        }
     }
 
     /// Transmits a position export. Consults the particle cache (when
@@ -219,7 +232,12 @@ impl CaLink {
     /// signed 32-bit values", §IV-A).
     pub fn send_force(&mut self, now: Ps, force: [i32; 3]) -> Transit {
         let energy = force[0].wrapping_add(force[1]).wrapping_sub(force[2] >> 1);
-        let words = [force[0] as u32, force[1] as u32, force[2] as u32, energy as u32];
+        let words = [
+            force[0] as u32,
+            force[1] as u32,
+            force[2] as u32,
+            energy as u32,
+        ];
         let bytes = generic_wire_bytes(PacketKind::Force, &[&words], self.comp);
         self.push(now, bytes, baseline_bytes(4), PacketKind::Force)
     }
@@ -240,7 +258,11 @@ impl CaLink {
                 pc.end_of_step();
             }
         }
-        let bytes = if self.comp.inz { kind.wire_header_bytes() } else { FLIT_WIRE_BYTES };
+        let bytes = if self.comp.inz {
+            kind.wire_header_bytes()
+        } else {
+            FLIT_WIRE_BYTES
+        };
         self.push(now, bytes, FLIT_WIRE_BYTES, kind)
     }
 
@@ -307,7 +329,10 @@ mod tests {
         assert!(matches!(w0, PositionWire::Full { .. }));
         let (t1, w1) = l.send_position(t0.arrive, key, [1_000_040, 1_999_980, 3_000_000]);
         assert!(matches!(w1, PositionWire::Compressed { .. }));
-        assert!(t1.wire_bytes < t0.wire_bytes, "hit must be smaller than miss");
+        assert!(
+            t1.wire_bytes < t0.wire_bytes,
+            "hit must be smaller than miss"
+        );
         l.assert_pcache_synchronized();
     }
 
@@ -322,7 +347,10 @@ mod tests {
         assert!(s.position_bytes > 0);
         assert!(s.force_bytes > 0);
         assert!(s.other_bytes > 0);
-        assert!(s.wire_bytes < s.baseline_bytes, "compression must save bytes");
+        assert!(
+            s.wire_bytes < s.baseline_bytes,
+            "compression must save bytes"
+        );
     }
 
     #[test]
@@ -370,7 +398,10 @@ mod tests {
 
     #[test]
     fn pcache_without_inz_still_saves() {
-        let comp = Compression { inz: false, pcache: true };
+        let comp = Compression {
+            inz: false,
+            pcache: true,
+        };
         let mut l = link(comp);
         let key = ParticleKey(4);
         let (a, _) = l.send_position(Ps::ZERO, key, [500, 500, 500]);

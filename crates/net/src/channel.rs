@@ -65,7 +65,11 @@ impl Serializer {
     /// Panics if `lanes == 0`.
     pub fn new(lanes: u32) -> Self {
         assert!(lanes > 0, "serializer needs lanes");
-        Serializer { lanes, busy_until: Ps::ZERO, busy_total: Ps::ZERO }
+        Serializer {
+            lanes,
+            busy_until: Ps::ZERO,
+            busy_total: Ps::ZERO,
+        }
     }
 
     /// Time to serialize `bytes` (after frame-overhead amortization).
@@ -143,9 +147,18 @@ mod tests {
 
     #[test]
     fn stats_reduction() {
-        let mut st = LinkStats { baseline_bytes: 100, wire_bytes: 55, ..Default::default() };
+        let mut st = LinkStats {
+            baseline_bytes: 100,
+            wire_bytes: 55,
+            ..Default::default()
+        };
         assert!((st.reduction() - 0.45).abs() < 1e-12);
-        let other = LinkStats { baseline_bytes: 100, wire_bytes: 65, packets: 2, ..Default::default() };
+        let other = LinkStats {
+            baseline_bytes: 100,
+            wire_bytes: 65,
+            packets: 2,
+            ..Default::default()
+        };
         st.merge(&other);
         assert_eq!(st.baseline_bytes, 200);
         assert_eq!(st.wire_bytes, 120);

@@ -49,9 +49,18 @@ impl ChipLoc {
     /// # Panics
     /// Panics if any coordinate is out of range.
     pub fn gc(col: u8, row: u8, which: u8) -> Self {
-        assert!((col as usize) < asic::CORE_COLS, "GC column {col} out of range");
-        assert!((row as usize) < asic::CORE_ROWS, "GC row {row} out of range");
-        assert!((which as usize) < asic::GCS_PER_TILE, "GC index {which} out of range");
+        assert!(
+            (col as usize) < asic::CORE_COLS,
+            "GC column {col} out of range"
+        );
+        assert!(
+            (row as usize) < asic::CORE_ROWS,
+            "GC row {row} out of range"
+        );
+        assert!(
+            (which as usize) < asic::GCS_PER_TILE,
+            "GC index {which} out of range"
+        );
         ChipLoc::Gc { col, row, which }
     }
 
@@ -60,8 +69,14 @@ impl ChipLoc {
     /// # Panics
     /// Panics if any coordinate is out of range.
     pub fn icb(side: Side, row: u8, which: u8) -> Self {
-        assert!((row as usize) < asic::EDGE_ROWS, "ICB row {row} out of range");
-        assert!((which as usize) < asic::ICBS_PER_EDGE_TILE, "ICB index {which} out of range");
+        assert!(
+            (row as usize) < asic::EDGE_ROWS,
+            "ICB row {row} out of range"
+        );
+        assert!(
+            (which as usize) < asic::ICBS_PER_EDGE_TILE,
+            "ICB index {which} out of range"
+        );
         ChipLoc::Icb { side, row, which }
     }
 
@@ -168,11 +183,16 @@ pub fn source_to_ca(lat: &LatencyModel, loc: ChipLoc, side: Side, ca_row: u8) ->
             let u = u_hops_to_side(col, side);
             lat.core_to_edge(u, edge_hops_inject(row, ca_row))
         }
-        ChipLoc::Icb { side: icb_side, row, .. } => {
+        ChipLoc::Icb {
+            side: icb_side,
+            row,
+            ..
+        } => {
             // ICBs connect to their side's Edge Network through their own
             // Row Adapter; reaching the other side crosses the Core mesh.
             if icb_side == side {
-                lat.row_adapter.to_ps() + lat.edge_hop.to_ps() * edge_hops_inject(row, ca_row) as u64
+                lat.row_adapter.to_ps()
+                    + lat.edge_hop.to_ps() * edge_hops_inject(row, ca_row) as u64
             } else {
                 let u = asic::CORE_COLS as u32 + 1;
                 lat.core_to_edge(u, edge_hops_inject(row, ca_row)) + lat.row_adapter.to_ps()
@@ -193,7 +213,11 @@ pub fn ca_to_dest(lat: &LatencyModel, side: Side, ca_row: u8, loc: ChipLoc) -> P
                 + lat.core_u_hop.to_ps() * u as u64
                 + lat.trtr.to_ps()
         }
-        ChipLoc::Icb { side: icb_side, row, .. } => {
+        ChipLoc::Icb {
+            side: icb_side,
+            row,
+            ..
+        } => {
             if icb_side == side {
                 lat.edge_hop.to_ps() * edge_hops_eject(ca_row, row) as u64 + lat.row_adapter.to_ps()
             } else {
@@ -210,16 +234,38 @@ pub fn ca_to_dest(lat: &LatencyModel, side: Side, ca_row: u8, loc: ChipLoc) -> P
 /// Network (U→V dimension order through the mesh).
 pub fn loc_to_loc(lat: &LatencyModel, a: ChipLoc, b: ChipLoc) -> Ps {
     match (a, b) {
-        (ChipLoc::Gc { col: c1, row: r1, .. }, ChipLoc::Gc { col: c2, row: r2, .. })
-        | (ChipLoc::Gc { col: c1, row: r1, .. }, ChipLoc::Bc { col: c2, row: r2 })
-        | (ChipLoc::Bc { col: c1, row: r1 }, ChipLoc::Gc { col: c2, row: r2, .. }) => {
+        (
+            ChipLoc::Gc {
+                col: c1, row: r1, ..
+            },
+            ChipLoc::Gc {
+                col: c2, row: r2, ..
+            },
+        )
+        | (
+            ChipLoc::Gc {
+                col: c1, row: r1, ..
+            },
+            ChipLoc::Bc { col: c2, row: r2 },
+        )
+        | (
+            ChipLoc::Bc { col: c1, row: r1 },
+            ChipLoc::Gc {
+                col: c2, row: r2, ..
+            },
+        ) => {
             let u = (c1 as i32 - c2 as i32).unsigned_abs();
             let v = (r1 as i32 - r2 as i32).unsigned_abs();
             lat.trtr.to_ps() * 2
                 + lat.core_u_hop.to_ps() * u as u64
                 + lat.core_v_hop.to_ps() * v as u64
         }
-        (ChipLoc::Gc { col, row, .. }, ChipLoc::Icb { side, row: irow, .. }) => {
+        (
+            ChipLoc::Gc { col, row, .. },
+            ChipLoc::Icb {
+                side, row: irow, ..
+            },
+        ) => {
             let u = u_hops_to_side(col, side);
             lat.trtr.to_ps()
                 + lat.core_u_hop.to_ps() * u as u64
@@ -244,7 +290,14 @@ mod tests {
         for i in (0..asic::GCS_PER_ASIC).step_by(7) {
             assert_eq!(ChipLoc::gc_from_index(i).gc_index(), i);
         }
-        assert_eq!(ChipLoc::gc_from_index(0), ChipLoc::Gc { col: 0, row: 0, which: 0 });
+        assert_eq!(
+            ChipLoc::gc_from_index(0),
+            ChipLoc::Gc {
+                col: 0,
+                row: 0,
+                which: 0
+            }
+        );
     }
 
     #[test]
@@ -282,10 +335,8 @@ mod tests {
         let far = source_to_ca(&l, ChipLoc::gc(23, 11, 0), Side::Left, 0);
         assert!(far > near);
         // Nearest-possible GC: 1 U hop + 2 edge hops.
-        let expect = l.trtr.to_ps()
-            + l.core_u_hop.to_ps()
-            + l.row_adapter.to_ps()
-            + l.edge_hop.to_ps() * 2;
+        let expect =
+            l.trtr.to_ps() + l.core_u_hop.to_ps() + l.row_adapter.to_ps() + l.edge_hop.to_ps() * 2;
         assert_eq!(near, expect);
     }
 
@@ -301,8 +352,7 @@ mod tests {
     fn loc_to_loc_gc_pair() {
         let l = lat();
         let t = loc_to_loc(&l, ChipLoc::gc(0, 0, 0), ChipLoc::gc(3, 2, 1));
-        let expect =
-            l.trtr.to_ps() * 2 + l.core_u_hop.to_ps() * 3 + l.core_v_hop.to_ps() * 2;
+        let expect = l.trtr.to_ps() * 2 + l.core_u_hop.to_ps() * 3 + l.core_v_hop.to_ps() * 2;
         assert_eq!(t, expect);
     }
 

@@ -9,7 +9,7 @@
 //! validate the closed-form hop counts in [`crate::chip`] against the
 //! cycle-accurate microarchitecture.
 
-use crate::router::{CycleRouter, Flit, PortLink, RouterFabric};
+use crate::router::{CycleRouter, Flit, PortLink, RouteDecision, RouterFabric};
 use anton_model::asic::{EDGE_COLS, EDGE_ROWS, EDGE_VCS};
 
 /// Port numbering inside an edge router: 0 = row-up (toward row 0),
@@ -52,32 +52,54 @@ pub fn build_edge_network() -> RouterFabric {
         for col in 0..EDGE_COLS {
             routers.push(CycleRouter::new(router_id(row, col), 5, EDGE_VCS, 3));
             let up = if row > 0 {
-                PortLink::Router { router: router_id(row - 1, col), port: PORT_DOWN }
+                PortLink::Router {
+                    router: router_id(row - 1, col),
+                    port: PORT_DOWN,
+                }
             } else {
                 PortLink::Endpoint(u32::MAX)
             };
             let down = if row + 1 < EDGE_ROWS {
-                PortLink::Router { router: router_id(row + 1, col), port: PORT_UP }
+                PortLink::Router {
+                    router: router_id(row + 1, col),
+                    port: PORT_UP,
+                }
             } else {
                 PortLink::Endpoint(u32::MAX)
             };
             let out = if col > 0 {
-                PortLink::Router { router: router_id(row, col - 1), port: PORT_IN }
+                PortLink::Router {
+                    router: router_id(row, col - 1),
+                    port: PORT_IN,
+                }
             } else {
                 PortLink::Endpoint(u32::MAX)
             };
             let inw = if col + 1 < EDGE_COLS {
-                PortLink::Router { router: router_id(row, col + 1), port: PORT_OUT }
+                PortLink::Router {
+                    router: router_id(row, col + 1),
+                    port: PORT_OUT,
+                }
             } else {
                 PortLink::Endpoint(u32::MAX)
             };
-            wiring.push(vec![up, down, out, inw, PortLink::Endpoint(router_id(row, col) as u32)]);
+            wiring.push(vec![
+                up,
+                down,
+                out,
+                inw,
+                PortLink::Endpoint(router_id(row, col) as u32),
+            ]);
         }
     }
-    let route = Box::new(|dest: u32, router: usize| {
-        let (drow, dcol) = ((dest as usize) / EDGE_COLS % EDGE_ROWS, (dest as usize) % EDGE_COLS);
+    let route = Box::new(|f: &Flit, router: usize| {
+        let dest = f.dest;
+        let (drow, dcol) = (
+            (dest as usize) / EDGE_COLS % EDGE_ROWS,
+            (dest as usize) % EDGE_COLS,
+        );
         let (row, col) = (router / EDGE_COLS, router % EDGE_COLS);
-        if col != dcol {
+        let port = if col != dcol {
             // Column travel first (into the lane class for this traffic).
             if dcol < col {
                 PORT_OUT
@@ -92,18 +114,15 @@ pub fn build_edge_network() -> RouterFabric {
             }
         } else {
             PORT_LOCAL
-        }
+        };
+        RouteDecision::keep(port, f)
     });
     RouterFabric::new(routers, wiring, route)
 }
 
 /// Measures the unloaded flit latency (in cycles) from an injection at
 /// `(src_row, src_col)` to ejection at `(dst_row, dst_col)`.
-pub fn measure_hop_cycles(
-    src: (usize, usize),
-    dst: (usize, usize),
-    vc: u8,
-) -> u64 {
+pub fn measure_hop_cycles(src: (usize, usize), dst: (usize, usize), vc: u8) -> u64 {
     let mut fabric = build_edge_network();
     let flit = Flit {
         packet: 1,
@@ -111,9 +130,12 @@ pub fn measure_hop_cycles(
         of: 1,
         dest: dest_id(dst.0, dst.1),
         vc,
+        tag: 0,
         injected_at: 0,
     };
-    assert!(fabric.inject(router_id(src.0, src.1), PORT_LOCAL, flit));
+    assert!(fabric
+        .inject(router_id(src.0, src.1), PORT_LOCAL, flit)
+        .is_ok());
     assert!(fabric.run_until_drained(10_000), "edge fabric must drain");
     let (cycle, f) = fabric.delivered()[0];
     cycle - f.injected_at
@@ -134,8 +156,7 @@ mod tests {
         // (row b, col 0) — the Figure 4 blue route in the outer column.
         for (a, b) in [(0usize, 1usize), (0, 6), (4, 5), (0, 11)] {
             let cycles = measure_hop_cycles((a, 0), (b, 0), 0);
-            let formula = chip::edge_hops_transit(a as u8, b as u8) as u64
-                * lat.edge_hop.count();
+            let formula = chip::edge_hops_transit(a as u8, b as u8) as u64 * lat.edge_hop.count();
             assert_eq!(cycles, formula, "transit rows {a}->{b}");
         }
     }
@@ -147,8 +168,7 @@ mod tests {
         // — the Figure 4 red/green shapes through the inner columns.
         for (r, c) in [(0usize, 0usize), (3, 7), (11, 0), (5, 5)] {
             let cycles = measure_hop_cycles((r, 1), (c, 0), 1);
-            let formula =
-                chip::edge_hops_inject(r as u8, c as u8) as u64 * lat.edge_hop.count();
+            let formula = chip::edge_hops_inject(r as u8, c as u8) as u64 * lat.edge_hop.count();
             assert_eq!(cycles, formula, "inject row {r} -> CA row {c}");
         }
     }
@@ -158,8 +178,7 @@ mod tests {
         let lat = LatencyModel::default();
         for (c, r) in [(1usize, 1usize), (6, 0), (11, 11)] {
             let cycles = measure_hop_cycles((c, 0), (r, 1), 4);
-            let formula =
-                chip::edge_hops_eject(c as u8, r as u8) as u64 * lat.edge_hop.count();
+            let formula = chip::edge_hops_eject(c as u8, r as u8) as u64 * lat.edge_hop.count();
             assert_eq!(cycles, formula, "eject CA row {c} -> row {r}");
         }
     }
@@ -186,14 +205,22 @@ mod tests {
         // arrive (the column partitioning keeps them mostly disjoint).
         let mut fabric = build_edge_network();
         let flits = [
-            (router_id(0, 0), dest_id(1, 0)),  // transit
-            (router_id(5, 1), dest_id(2, 0)),  // inject
-            (router_id(8, 0), dest_id(3, 2)),  // eject
-            (router_id(4, 1), dest_id(9, 1)),  // inner-column travel
+            (router_id(0, 0), dest_id(1, 0)), // transit
+            (router_id(5, 1), dest_id(2, 0)), // inject
+            (router_id(8, 0), dest_id(3, 2)), // eject
+            (router_id(4, 1), dest_id(9, 1)), // inner-column travel
         ];
         for (i, (src, dest)) in flits.iter().enumerate() {
-            let f = Flit { packet: i as u64, index: 0, of: 1, dest: *dest, vc: (i % 4) as u8, injected_at: 0 };
-            assert!(fabric.inject(*src, PORT_LOCAL, f));
+            let f = Flit {
+                packet: i as u64,
+                index: 0,
+                of: 1,
+                dest: *dest,
+                vc: (i % 4) as u8,
+                tag: 0,
+                injected_at: 0,
+            };
+            assert!(fabric.inject(*src, PORT_LOCAL, f).is_ok());
         }
         assert!(fabric.run_until_drained(10_000));
         assert_eq!(fabric.delivered().len(), flits.len());

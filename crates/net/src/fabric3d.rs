@@ -1,0 +1,477 @@
+//! The full inter-node 3D torus as a cycle-level router fabric.
+//!
+//! [`crate::router::build_row`] models a single on-chip row; this module
+//! scales the same microarchitecture to a whole machine: one
+//! node-granular router per torus node (standing in for the node's Edge
+//! Network + Channel Adapters), six neighbor links per node with the
+//! calibrated SERDES + wire latency, and per-hop route computation that
+//! reproduces [`crate::routing::plan_request`] exactly — the six
+//! randomized dimension orders and the dateline VC switch — from state
+//! carried in each flit's [`Flit::tag`].
+//!
+//! Calibration ([`FabricParams::calibrated`]) splits the analytic
+//! per-hop latency of [`crate::path::one_way`] into a short router
+//! pipeline (CA processing + INZ + two Edge Router hops, where the
+//! paper's 8-flit credit loop applies) and a long credit-reserved link
+//! delay line (SERDES PHYs + wire), so that under zero load the cycle
+//! fabric and the closed-form model agree on the per-hop constant, while
+//! under load the fabric exhibits real contention: arbitration, HOL
+//! blocking, credit exhaustion and saturation. The two physical channel
+//! slices per neighbor (paper §V-C) are aggregated into one link whose
+//! serialization interval is one flit per cycle — 192 bits over 16 lanes
+//! at 29 Gb/s is 1.16 core cycles, so the aggregate link sustains just
+//! about one flit per 2.8 GHz cycle.
+//!
+//! ```
+//! use anton_model::latency::LatencyModel;
+//! use anton_model::topology::{NodeId, Torus};
+//! use anton_net::fabric3d::{FabricParams, TorusFabric};
+//! use anton_sim::rng::SplitMix64;
+//!
+//! let params = FabricParams::calibrated(&LatencyModel::default());
+//! let mut fabric = TorusFabric::new(Torus::new([2, 2, 2]), params);
+//! let mut rng = SplitMix64::new(7);
+//! fabric
+//!     .inject_packet_random(NodeId(0), NodeId(7), 1, 2, &mut rng)
+//!     .expect("empty fabric has credits");
+//! assert!(fabric.run_until_drained(10_000));
+//! assert_eq!(fabric.delivered().len(), 2); // both flits arrived
+//! ```
+
+use crate::router::{
+    CycleRouter, Flit, InjectError, LinkSpec, PortLink, RouteDecision, RouterFabric,
+};
+use crate::routing::{self, RoutePlan};
+use crate::{chip::ChipLoc, path};
+use anton_model::asic::EDGE_VCS;
+use anton_model::latency::LatencyModel;
+use anton_model::topology::{DimOrder, Direction, NodeId, Torus, TorusCoord};
+use anton_model::units::{Ps, PS_PER_CORE_CYCLE};
+use anton_sim::rng::SplitMix64;
+
+/// Input port used for injection at each node router.
+pub const INJECT_PORT: usize = 6;
+/// Output port used for ejection at each node router.
+pub const EJECT_PORT: usize = 7;
+/// Ports per node router: six neighbors + inject + eject.
+pub const NODE_PORTS: usize = 8;
+
+/// Packs the per-packet routing state carried in [`Flit::tag`]:
+/// bits 0–2 the dimension-order index, bit 3 the base VC, bit 4 whether a
+/// dateline has been crossed.
+pub fn encode_tag(order_idx: usize, base_vc: u8, crossed: bool) -> u8 {
+    debug_assert!(order_idx < 6 && base_vc < 2);
+    (order_idx as u8) | (base_vc << 3) | ((crossed as u8) << 4)
+}
+
+/// Unpacks a routing tag into `(order index, base VC, crossed)`.
+pub fn decode_tag(tag: u8) -> (usize, u8, bool) {
+    ((tag & 0b111) as usize, (tag >> 3) & 1, tag & 0b1_0000 != 0)
+}
+
+/// Cycle-granularity parameters of the torus fabric, split so that
+/// credits apply at the router queues while the long wire stays a
+/// pipelined delay line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FabricParams {
+    /// Virtual channels per input port (the Edge Router's five).
+    pub vcs: usize,
+    /// Router pipeline cycles per hop (CA + INZ + Edge Network share).
+    pub router_cycles: u64,
+    /// Link flight cycles per hop (SERDES PHYs + wire share).
+    pub link_latency: u64,
+    /// Serialization interval: cycles between flits entering one link.
+    pub link_interval: u64,
+}
+
+impl FabricParams {
+    /// Derives the fabric constants from the analytic latency model so
+    /// the two stay consistent by construction: the per-hop total is the
+    /// measured increment of [`path::one_way`] along a straight walk
+    /// (the paper's 34.2 ns/hop fit), rounded to whole cycles.
+    pub fn calibrated(lat: &LatencyModel) -> Self {
+        // Increment between a 1-hop and a 2-hop path; endpoint and
+        // source/destination chip traversals cancel in the difference.
+        let t = Torus::new([4, 4, 8]);
+        let origin = t.coord(NodeId(0));
+        let src = ChipLoc::gc(4, 5, 0);
+        let dst = ChipLoc::gc(12, 6, 0);
+        let total = |h: u8| -> Ps {
+            let plan = routing::plan_request_fixed(
+                &t,
+                origin,
+                TorusCoord::new(0, 0, h),
+                DimOrder::XYZ,
+                0,
+                0,
+            );
+            path::one_way(lat, crate::adapter::Compression::NONE, src, dst, &plan, 4).total()
+        };
+        let per_hop = total(2) - total(1);
+        let per_hop_cycles = ((per_hop.as_ps() + PS_PER_CORE_CYCLE / 2) / PS_PER_CORE_CYCLE).max(2);
+        // The credit-gated router share: CA processing, INZ, and the two
+        // Edge Router transit hops between adjacent CA rows.
+        let router_cycles = (lat.ca_tx.count()
+            + lat.inz_encode.count()
+            + lat.ca_rx.count()
+            + lat.inz_decode.count()
+            + 2 * lat.edge_hop.count())
+        .clamp(1, per_hop_cycles - 1);
+        FabricParams {
+            vcs: EDGE_VCS,
+            router_cycles,
+            link_latency: per_hop_cycles - router_cycles,
+            link_interval: 1,
+        }
+    }
+
+    /// Total cycles one inter-node hop adds to a packet's latency.
+    pub fn per_hop_cycles(&self) -> u64 {
+        self.router_cycles + self.link_latency
+    }
+
+    /// The per-hop latency in picoseconds (at the 2.8 GHz core clock).
+    pub fn per_hop_time(&self) -> Ps {
+        Ps::new(self.per_hop_cycles() * PS_PER_CORE_CYCLE)
+    }
+}
+
+impl Default for FabricParams {
+    fn default() -> Self {
+        FabricParams::calibrated(&LatencyModel::default())
+    }
+}
+
+/// A whole machine's inter-node network stepped cycle by cycle: one
+/// router per node, six latency-calibrated neighbor links each, and the
+/// oblivious routing of [`crate::routing`] evaluated hop by hop.
+pub struct TorusFabric {
+    torus: Torus,
+    params: FabricParams,
+    fabric: RouterFabric,
+}
+
+impl TorusFabric {
+    /// Builds the fabric for `torus` with the given parameters.
+    pub fn new(torus: Torus, params: FabricParams) -> Self {
+        let n = torus.node_count();
+        let routers: Vec<CycleRouter> = (0..n)
+            .map(|i| CycleRouter::new(i, NODE_PORTS, params.vcs, params.router_cycles))
+            .collect();
+        let mut wiring: Vec<Vec<PortLink>> = Vec::with_capacity(n);
+        for node in torus.nodes() {
+            let c = torus.coord(node);
+            let mut row: Vec<PortLink> = Direction::ALL
+                .iter()
+                .map(|&d| PortLink::Router {
+                    router: torus.node_id(torus.neighbor(c, d)).index(),
+                    port: d.opposite().index(),
+                })
+                .collect();
+            row.push(PortLink::Endpoint(u32::MAX)); // INJECT_PORT is input-only
+            row.push(PortLink::Endpoint(node.0 as u32)); // EJECT_PORT
+            wiring.push(row);
+        }
+        let t = torus;
+        let route = Box::new(move |f: &Flit, router: usize| torus_route(&t, f, router));
+        let mut fabric = RouterFabric::new(routers, wiring, route);
+        let spec = LinkSpec {
+            latency: params.link_latency,
+            interval: params.link_interval,
+        };
+        // Neighbor inputs model the Channel Adapter's receive buffering,
+        // so their credit window must cover the link's bandwidth-delay
+        // product (latency + router pipeline, plus slack for the tail
+        // flit) or the wire idles waiting on credit returns. The
+        // injection port keeps the bare 8-flit router queue: that is
+        // where fabric backpressure meets the source.
+        let depth = (params.link_latency + params.router_cycles + 4) as usize;
+        for r in 0..n {
+            for d in Direction::ALL {
+                fabric.set_link_spec(r, d.index(), spec);
+                fabric.set_input_depth(r, d.index(), depth);
+            }
+        }
+        TorusFabric {
+            torus,
+            params,
+            fabric,
+        }
+    }
+
+    /// The machine shape.
+    pub fn torus(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// The calibrated cycle parameters.
+    pub fn params(&self) -> &FabricParams {
+        &self.params
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.fabric.cycle()
+    }
+
+    /// Flits delivered so far, with delivery cycles.
+    pub fn delivered(&self) -> &[(u64, Flit)] {
+        self.fabric.delivered()
+    }
+
+    /// Drains the delivery log (sweeps consume it window by window).
+    pub fn take_delivered(&mut self) -> Vec<(u64, Flit)> {
+        self.fabric.take_delivered()
+    }
+
+    /// Flits resident in queues and links.
+    pub fn occupancy(&self) -> usize {
+        self.fabric.occupancy()
+    }
+
+    /// Advances one cycle.
+    pub fn step(&mut self) {
+        self.fabric.step();
+    }
+
+    /// Steps until empty or `max_cycles`; returns whether it drained.
+    pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
+        self.fabric.run_until_drained(max_cycles)
+    }
+
+    /// Injects an `nflits`-flit request packet from `src` to `dst` using
+    /// a fixed dimension order and base VC (deterministic experiments).
+    /// All flits enter atomically or none do.
+    ///
+    /// # Errors
+    /// [`InjectError::NoCredit`] when the injection queue lacks room for
+    /// the whole packet (fabric backpressure at the source).
+    ///
+    /// # Panics
+    /// Panics if `order_idx > 5`, `base_vc > 1`, or `nflits == 0`.
+    pub fn inject_packet(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        packet: u64,
+        nflits: u8,
+        order_idx: usize,
+        base_vc: u8,
+    ) -> Result<(), InjectError> {
+        assert!(
+            order_idx < 6,
+            "dimension order index {order_idx} out of range"
+        );
+        assert!(base_vc < 2, "base VC must be 0 or 1");
+        assert!(nflits >= 1, "packets carry at least one flit");
+        let router = src.index();
+        let vc = base_vc; // no dateline crossed before the first hop
+        let free = self.fabric.inject_capacity(router, INJECT_PORT, vc);
+        if free < nflits as usize {
+            return Err(InjectError::NoCredit {
+                router,
+                port: INJECT_PORT,
+                vc,
+                occupancy: self.fabric.queue_len(router, INJECT_PORT, vc),
+            });
+        }
+        let tag = encode_tag(order_idx, base_vc, false);
+        for index in 0..nflits {
+            let flit = Flit {
+                packet,
+                index,
+                of: nflits,
+                dest: dst.0 as u32,
+                vc,
+                tag,
+                injected_at: 0, // stamped by inject()
+            };
+            self.fabric
+                .inject(router, INJECT_PORT, flit)
+                .expect("capacity was checked for the whole packet");
+        }
+        Ok(())
+    }
+
+    /// Injects a packet with the dimension order and base VC drawn from
+    /// `rng`, mirroring the randomization of
+    /// [`crate::routing::plan_request`].
+    ///
+    /// # Errors
+    /// [`InjectError::NoCredit`] as for [`Self::inject_packet`]; the
+    /// random draws are consumed either way, keeping the stream aligned
+    /// across retries.
+    pub fn inject_packet_random(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        packet: u64,
+        nflits: u8,
+        rng: &mut SplitMix64,
+    ) -> Result<(), InjectError> {
+        let order_idx = rng.next_below(6) as usize;
+        let base_vc = rng.next_below(2) as u8;
+        self.inject_packet(src, dst, packet, nflits, order_idx, base_vc)
+    }
+
+    /// The route plan the fabric will follow for the given draw —
+    /// identical to [`routing::plan_request_fixed`]; exposed so tests
+    /// and harnesses can cross-check hop counts and VC sequences.
+    pub fn plan(&self, src: NodeId, dst: NodeId, order_idx: usize, base_vc: u8) -> RoutePlan {
+        routing::plan_request_fixed(
+            &self.torus,
+            self.torus.coord(src),
+            self.torus.coord(dst),
+            DimOrder::ALL[order_idx],
+            0,
+            base_vc,
+        )
+    }
+}
+
+/// Per-hop route computation: reproduces `assign_request_vcs` from the
+/// flit's carried state — VC `base` before any dateline crossing,
+/// `base + 2` after, with the crossing recorded as the flit enters the
+/// wraparound link.
+fn torus_route(torus: &Torus, f: &Flit, router: usize) -> RouteDecision {
+    let cur = torus.coord(NodeId(router as u16));
+    let dest = torus.coord(NodeId(f.dest as u16));
+    let (order_idx, base, crossed) = decode_tag(f.tag);
+    match torus.first_hop(cur, dest, DimOrder::ALL[order_idx]) {
+        None => RouteDecision::keep(EJECT_PORT, f),
+        Some(dir) => {
+            let wraps = routing::crosses_dateline(torus, cur, dir);
+            RouteDecision {
+                port: dir.index(),
+                vc: routing::dateline_vc(base, crossed),
+                tag: encode_tag(order_idx, base, crossed || wraps),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(dims: [u8; 3]) -> TorusFabric {
+        TorusFabric::new(
+            Torus::new(dims),
+            FabricParams::calibrated(&LatencyModel::default()),
+        )
+    }
+
+    #[test]
+    fn tag_roundtrips() {
+        for order in 0..6 {
+            for base in 0..2u8 {
+                for crossed in [false, true] {
+                    assert_eq!(
+                        decode_tag(encode_tag(order, base, crossed)),
+                        (order, base, crossed)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_matches_analytic_per_hop_within_rounding() {
+        let lat = LatencyModel::default();
+        let p = FabricParams::calibrated(&lat);
+        // Paper fit: 34.2 ns/hop; rounding to whole cycles stays within
+        // one cycle (0.36 ns).
+        let ns = p.per_hop_time().as_ns();
+        assert!((30.0..39.0).contains(&ns), "per-hop {ns} ns out of band");
+        assert!(p.router_cycles >= 1 && p.link_latency >= 1);
+    }
+
+    #[test]
+    fn unloaded_latency_is_affine_in_hops() {
+        // A straight Z walk: latency must be exactly
+        // (h+1)*router_cycles + h*link_latency.
+        let mut f = fabric([4, 4, 8]);
+        let p = *f.params();
+        for h in 1..=4u16 {
+            let dst = f.torus().node_id(TorusCoord::new(0, 0, h as u8));
+            f.inject_packet(NodeId(0), dst, h as u64, 1, 0, 0).unwrap();
+            assert!(f.run_until_drained(100_000));
+            let (cycle, flit) = *f.take_delivered().last().unwrap();
+            assert_eq!(
+                cycle - flit.injected_at,
+                (h as u64 + 1) * p.router_cycles + h as u64 * p.link_latency,
+                "h={h}"
+            );
+        }
+    }
+
+    #[test]
+    fn hop_counts_match_route_plans_for_all_orders() {
+        let mut f = fabric([4, 4, 8]);
+        let p = *f.params();
+        let t = *f.torus();
+        let mut id = 0u64;
+        for order in 0..6 {
+            for (a, b) in [(0u16, 127u16), (5, 90), (17, 64), (33, 34)] {
+                f.inject_packet(NodeId(a), NodeId(b), id, 1, order, (id % 2) as u8)
+                    .unwrap();
+                assert!(f.run_until_drained(1_000_000));
+                let (cycle, flit) = *f.take_delivered().last().unwrap();
+                let latency = cycle - flit.injected_at;
+                let hops = (latency - p.router_cycles) / p.per_hop_cycles();
+                assert_eq!(
+                    hops,
+                    t.hop_distance(t.coord(NodeId(a)), t.coord(NodeId(b))) as u64,
+                    "order {order}, {a}->{b}"
+                );
+                id += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn dateline_crossing_switches_to_upper_vc() {
+        // 4-ring: 3 -> 1 via the +x wraparound; the final hop must ride
+        // VC base+2, exactly as the route plan says.
+        let mut f = fabric([4, 1, 1]);
+        let plan = f.plan(NodeId(3), NodeId(1), 0, 0);
+        assert!(plan.hops[0].wraps && plan.hops[1].vc == 2);
+        f.inject_packet(NodeId(3), NodeId(1), 1, 1, 0, 0).unwrap();
+        assert!(f.run_until_drained(100_000));
+        let (_, flit) = f.delivered()[0];
+        assert_eq!(flit.vc, 2, "delivered flit must carry the post-dateline VC");
+    }
+
+    #[test]
+    fn two_flit_packets_arrive_contiguously() {
+        let mut f = fabric([4, 4, 8]);
+        f.inject_packet(NodeId(0), NodeId(127), 9, 2, 3, 1).unwrap();
+        assert!(f.run_until_drained(1_000_000));
+        let d = f.delivered();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[1].0 - d[0].0, 1, "tail streams one cycle behind head");
+        assert_eq!((d[0].1.index, d[1].1.index), (0, 1));
+    }
+
+    #[test]
+    fn random_load_is_never_lost() {
+        let mut f = fabric([3, 3, 3]);
+        let mut rng = SplitMix64::new(42);
+        let n = f.torus().node_count() as u64;
+        let mut accepted = 0u32;
+        for p in 0..400u64 {
+            let src = NodeId((p % n) as u16);
+            let dst = NodeId(rng.next_below(n) as u16);
+            if src != dst && f.inject_packet_random(src, dst, p, 2, &mut rng).is_ok() {
+                accepted += 1;
+            }
+            f.step();
+        }
+        assert!(f.run_until_drained(2_000_000), "fabric must drain");
+        assert_eq!(
+            f.delivered().len() as u32,
+            accepted * 2,
+            "every flit exactly once"
+        );
+    }
+}

@@ -76,7 +76,11 @@ impl RouterFence {
     /// Panics if either dimension is zero.
     pub fn new(ports: usize, vcs: usize) -> Self {
         assert!(ports > 0 && vcs > 0, "router must have ports and VCs");
-        RouterFence { ports, vcs, state: vec![MergeState::default(); ports * vcs] }
+        RouterFence {
+            ports,
+            vcs,
+            state: vec![MergeState::default(); ports * vcs],
+        }
     }
 
     fn idx(&self, port: usize, vc: usize) -> usize {
@@ -90,7 +94,11 @@ impl RouterFence {
     pub fn configure(&mut self, port: usize, vc: usize, expected: u8, output_mask: u16) {
         assert!(expected > 0, "expected count must be positive");
         let i = self.idx(port, vc);
-        self.state[i] = MergeState { counter: 0, expected, output_mask };
+        self.state[i] = MergeState {
+            counter: 0,
+            expected,
+            output_mask,
+        };
     }
 
     /// A fence packet arrives at `(port, vc)`. Returns `Some(mask)` when
@@ -105,7 +113,10 @@ impl RouterFence {
     pub fn receive(&mut self, port: usize, vc: usize) -> Option<u16> {
         let i = self.idx(port, vc);
         let s = &mut self.state[i];
-        assert!(s.expected > 0, "fence packet at unconfigured port {port} vc {vc}");
+        assert!(
+            s.expected > 0,
+            "fence packet at unconfigured port {port} vc {vc}"
+        );
         s.counter += 1;
         if s.counter == s.expected {
             s.counter = 0;
@@ -146,7 +157,11 @@ impl Default for FenceAllocator {
 impl FenceAllocator {
     /// Creates an allocator with all slots free.
     pub fn new() -> Self {
-        FenceAllocator { in_flight: [false; MAX_CONCURRENT_FENCES], active: 0, peak: 0 }
+        FenceAllocator {
+            in_flight: [false; MAX_CONCURRENT_FENCES],
+            active: 0,
+            peak: 0,
+        }
     }
 
     /// Attempts to begin a new fence; `None` when all 14 slots are in
@@ -274,7 +289,10 @@ mod tests {
 
     #[test]
     fn fence_spec_shapes() {
-        let f = FenceSpec { pattern: FencePattern::GcToIcb, hops: 3 };
+        let f = FenceSpec {
+            pattern: FencePattern::GcToIcb,
+            hops: 3,
+        };
         assert_eq!(f.hops, 3);
         assert_ne!(FencePattern::GcToGc, FencePattern::GcToIcb);
     }

@@ -16,7 +16,12 @@
 //! - [`fence`] — fence merge counters, multicast masks, and the
 //!   14-slot concurrent-fence allocator;
 //! - [`path`] — composed end-to-end latency with per-component breakdown
-//!   (Figures 5 and 6).
+//!   (Figures 5 and 6);
+//! - [`router`] — the flit-granular cycle-level router microarchitecture
+//!   (credit flow control, cut-through, per-link latency channels);
+//! - [`fabric3d`] — the full inter-node 3D torus as a cycle fabric,
+//!   calibrated against [`path`] and driven by the `anton-traffic`
+//!   workload generators.
 //!
 //! ```
 //! use anton_net::{adapter::Compression, chip::ChipLoc, path, routing};
@@ -50,9 +55,10 @@ pub mod adapter;
 pub mod channel;
 pub mod chip;
 pub mod edge;
+pub mod fabric3d;
 pub mod fence;
 pub mod packet;
 pub mod path;
-pub mod router;
 pub mod reduction;
+pub mod router;
 pub mod routing;

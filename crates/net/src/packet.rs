@@ -125,8 +125,16 @@ impl Packet {
     /// # Panics
     /// Panics if the payload exceeds two flits (8 words).
     pub fn new(kind: PacketKind, src: Endpoint, dst: Endpoint, payload: Vec<u32>) -> Self {
-        assert!(payload.len() <= 8, "packets are at most two flits (8 payload words)");
-        Packet { kind, src, dst, payload }
+        assert!(
+            payload.len() <= 8,
+            "packets are at most two flits (8 payload words)"
+        );
+        Packet {
+            kind,
+            src,
+            dst,
+            payload,
+        }
     }
 
     /// Number of flits: one or two, depending on payload size (§III-B).
@@ -155,7 +163,10 @@ mod tests {
     use crate::chip::ChipLoc;
 
     fn ep(node: u16) -> Endpoint {
-        Endpoint { node: NodeId(node), loc: ChipLoc::gc(0, 0, 0) }
+        Endpoint {
+            node: NodeId(node),
+            loc: ChipLoc::gc(0, 0, 0),
+        }
     }
 
     #[test]

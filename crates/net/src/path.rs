@@ -50,11 +50,13 @@ impl PathBreakdown {
 
     /// Sums the segments whose names contain `needle` (e.g. "SERDES").
     pub fn component(&self, needle: &str) -> Ps {
-        self.segments.iter().filter(|s| s.name.contains(needle)).map(|s| s.time).sum()
+        self.segments
+            .iter()
+            .filter(|s| s.name.contains(needle))
+            .map(|s| s.time)
+            .sum()
     }
 }
-
-
 
 /// Computes the unloaded one-way latency of a `payload`-word packet from
 /// `src_loc` (on the source node) to `dst_loc` (on the destination node)
@@ -75,7 +77,10 @@ pub fn one_way(
     b.push("GC send (issue + packetize)", lat.send_overhead());
 
     if plan.hops.is_empty() {
-        b.push("Core Network (intra-node)", chip::loc_to_loc(lat, src_loc, dst_loc));
+        b.push(
+            "Core Network (intra-node)",
+            chip::loc_to_loc(lat, src_loc, dst_loc),
+        );
         b.push("SRAM write + counter", lat.sram_write.to_ps());
         b.push("Blocking-read wake", lat.blocking_read_wake.to_ps());
         return b;
@@ -83,7 +88,11 @@ pub fn one_way(
 
     let side = asic::side_for_slice(plan.slice);
     let wire_bytes = if comp.inz {
-        generic_wire_bytes(PacketKind::CountedWrite, &[&vec![0u32; payload_words]], comp)
+        generic_wire_bytes(
+            PacketKind::CountedWrite,
+            &[&vec![0u32; payload_words]],
+            comp,
+        )
     } else {
         baseline_bytes(payload_words)
     };
@@ -165,14 +174,16 @@ mod tests {
         let (t, lat) = setup();
         let a = t.coord(NodeId(0));
         let plan0 = plan_request_fixed(&t, a, a, DimOrder::XYZ, 0, 0);
-        let plan1 =
-            plan_request_fixed(&t, a, t.coord(NodeId(1)), DimOrder::XYZ, 0, 0);
+        let plan1 = plan_request_fixed(&t, a, t.coord(NodeId(1)), DimOrder::XYZ, 0, 0);
         let src = ChipLoc::gc(3, 4, 0);
         let dst = ChipLoc::gc(10, 8, 1);
         let t0 = one_way(&lat, Compression::NONE, src, dst, &plan0, 4).total();
         let t1 = one_way(&lat, Compression::NONE, src, dst, &plan1, 4).total();
         assert!(t0 < t1, "0-hop {t0} must undercut 1-hop {t1}");
-        assert!(t0 < Ps::from_ns(40.0), "0-hop should be well under 40 ns, got {t0}");
+        assert!(
+            t0 < Ps::from_ns(40.0),
+            "0-hop should be well under 40 ns, got {t0}"
+        );
     }
 
     #[test]

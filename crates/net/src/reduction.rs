@@ -43,7 +43,10 @@ impl ReductionNode {
     pub fn arm(&mut self, atom: u64, count: u32) {
         assert!(count > 0, "a reduction needs at least one contribution");
         let prev = self.pending.insert(atom, ([0; 3], count));
-        assert!(prev.is_none(), "atom {atom} already has a reduction in flight");
+        assert!(
+            prev.is_none(),
+            "atom {atom} already has a reduction in flight"
+        );
     }
 
     /// Delivers one contribution; returns the completed sum when this was
@@ -53,9 +56,12 @@ impl ReductionNode {
     /// Panics if the atom was never armed — a protocol error equivalent
     /// to a fence packet at an unconfigured port.
     pub fn contribute(&mut self, atom: u64, force: ForceVec) -> Option<ForceVec> {
-        let entry = self.pending.get_mut(&atom).expect("contribution to unarmed atom");
-        for k in 0..3 {
-            entry.0[k] = entry.0[k].wrapping_add(force[k]);
+        let entry = self
+            .pending
+            .get_mut(&atom)
+            .expect("contribution to unarmed atom");
+        for (acc, f) in entry.0.iter_mut().zip(force) {
+            *acc = acc.wrapping_add(f);
         }
         entry.1 -= 1;
         if entry.1 == 0 {
@@ -115,7 +121,7 @@ pub fn reduction_plan(
     }
     // Order nodes leaves-first: sort by tree depth descending.
     let mut depth: HashMap<TorusCoord, u32> = HashMap::new();
-    for (&node, _) in &parent {
+    for &node in parent.keys() {
         let mut d = 0;
         let mut cur = node;
         while let Some(&p) = parent.get(&cur) {
@@ -131,11 +137,17 @@ pub fn reduction_plan(
     let merge_counts = nodes
         .iter()
         .map(|&n| {
-            (n, contributes.get(&n).copied().unwrap_or(0) + children.get(&n).copied().unwrap_or(0))
+            (
+                n,
+                contributes.get(&n).copied().unwrap_or(0) + children.get(&n).copied().unwrap_or(0),
+            )
         })
         .collect();
     let edges = nodes.iter().map(|&n| (n, parent[&n])).collect();
-    ReductionPlan { merge_counts, edges }
+    ReductionPlan {
+        merge_counts,
+        edges,
+    }
 }
 
 impl ReductionPlan {
@@ -222,7 +234,10 @@ mod tests {
         // total at home.
         let t = torus();
         let home = TorusCoord::new(1, 1, 1);
-        let dests: Vec<NodeId> = (0..30u16).map(NodeId).filter(|n| t.coord(*n) != home).collect();
+        let dests: Vec<NodeId> = (0..30u16)
+            .map(NodeId)
+            .filter(|n| t.coord(*n) != home)
+            .collect();
         let plan = reduction_plan(&t, home, &dests, DimOrder::XYZ);
 
         // Contribution per destination: its node id as a force.

@@ -12,14 +12,22 @@
 //!   round-robin output arbitration across (port, VC), cut-through
 //!   forwarding, credit return;
 //! - [`RouterFabric`] — a network of routers wired port-to-port, stepped
-//!   cycle by cycle, with injection/ejection endpoints.
+//!   cycle by cycle, with injection/ejection endpoints and per-link
+//!   latency/bandwidth channels ([`LinkSpec`]) for modeling the long
+//!   SERDES + wire crossings between nodes.
 //!
-//! The latency-formula models in [`crate::path`] are calibrated against
-//! this implementation (see the `hop_latencies_match_paper` tests): the
+//! Route decisions are computed per hop by a [`RouteFn`] from the head
+//! flit itself: each [`Flit`] carries an opaque [`Flit::tag`] so routing
+//! schemes with per-packet state — the randomized dimension orders and
+//! dateline VC switches of [`crate::routing`], built into a full torus by
+//! [`crate::fabric3d`] — can thread that state through the fabric. The
+//! latency-formula models in [`crate::path`] are calibrated against this
+//! implementation (see the `hop_latencies_match_paper` tests): the
 //! formulas are what the large experiments use; the cycle model is the
 //! ground truth for the per-hop constants.
 
 use anton_model::asic::INPUT_QUEUE_FLITS;
+use core::fmt;
 use std::collections::VecDeque;
 
 /// A flit in flight through the fabric: routing state plus bookkeeping.
@@ -33,8 +41,14 @@ pub struct Flit {
     pub of: u8,
     /// Destination endpoint id (fabric-level).
     pub dest: u32,
-    /// Virtual channel.
+    /// Virtual channel (of the input queue currently holding the flit;
+    /// rewritten on each hop from the [`RouteDecision`]).
     pub vc: u8,
+    /// Opaque per-packet routing state, carried untouched by the routers
+    /// and interpreted/updated only by the fabric's [`RouteFn`] (e.g.
+    /// dimension order and dateline-crossing bits in
+    /// [`crate::fabric3d`]). Zero for fabrics that don't need it.
+    pub tag: u8,
     /// Cycle the flit was injected (for latency measurement).
     pub injected_at: u64,
 }
@@ -51,19 +65,37 @@ impl Flit {
     }
 }
 
-/// One per-VC input queue with the paper's 8-flit depth. Entries carry
-/// their arrival cycle so pipeline latency and queue occupancy stay
-/// decoupled: the router is fully pipelined (one flit per cycle per
-/// output) with a fixed traversal latency.
-#[derive(Clone, Debug, Default)]
+/// One per-VC input queue, defaulting to the paper's 8-flit router
+/// depth; ports standing in for bigger buffers (the Channel Adapter's
+/// receive buffering on inter-node links) get a deeper capacity via
+/// [`CycleRouter::set_input_depth`]. Entries carry their arrival cycle
+/// so pipeline latency and queue occupancy stay decoupled: the router is
+/// fully pipelined (one flit per cycle per output) with a fixed
+/// traversal latency.
+#[derive(Clone, Debug)]
 pub struct VcQueue {
     flits: VecDeque<(Flit, u64)>,
+    cap: usize,
+}
+
+impl Default for VcQueue {
+    fn default() -> Self {
+        VcQueue {
+            flits: VecDeque::new(),
+            cap: INPUT_QUEUE_FLITS,
+        }
+    }
 }
 
 impl VcQueue {
     /// Whether another flit may be accepted (credit available upstream).
     pub fn has_space(&self) -> bool {
-        self.flits.len() < INPUT_QUEUE_FLITS
+        self.flits.len() < self.cap
+    }
+
+    /// Free flit slots (credits not yet consumed).
+    pub fn free_slots(&self) -> usize {
+        self.cap - self.flits.len()
     }
 
     /// Occupancy in flits.
@@ -90,8 +122,45 @@ impl VcQueue {
     }
 }
 
-/// The routing decision for a head flit at a router: which output port.
-pub type RouteFn = dyn Fn(u32 /*dest*/, usize /*router id*/) -> usize;
+/// The routing decision for a head flit at a router: the output port plus
+/// the VC and tag the flit carries on the *outgoing* link (dateline
+/// schemes switch VCs between hops; see [`crate::routing`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RouteDecision {
+    /// Output port the packet leaves through.
+    pub port: usize,
+    /// Virtual channel on the outgoing link (the downstream input queue).
+    pub vc: u8,
+    /// Updated routing tag for the downstream hop.
+    pub tag: u8,
+}
+
+impl RouteDecision {
+    /// A decision that keeps the flit's current VC and tag — the common
+    /// case for fabrics without per-hop VC switching.
+    pub fn keep(port: usize, f: &Flit) -> Self {
+        RouteDecision {
+            port,
+            vc: f.vc,
+            tag: f.tag,
+        }
+    }
+}
+
+/// The per-hop routing function: maps a head flit at a router to the
+/// output port / outgoing VC / updated tag.
+pub type RouteFn = dyn Fn(&Flit, usize /*router id*/) -> RouteDecision;
+
+/// The (input port, input VC, outgoing VC, outgoing tag) of the packet
+/// currently owning an output port.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct OutputOwner {
+    packet: u64,
+    in_port: usize,
+    in_vc: u8,
+    out_vc: u8,
+    out_tag: u8,
+}
 
 /// An input-queued, credit-flow-controlled router stepped per cycle.
 #[derive(Clone)]
@@ -102,12 +171,20 @@ pub struct CycleRouter {
     /// In-flight VC allocation: which (input port, vc) currently owns each
     /// output port (packet-granular cut-through: interleaving flits of
     /// different packets on one output VC is not allowed).
-    output_owner: Vec<Option<(usize, u8)>>,
+    output_owner: Vec<Option<OutputOwner>>,
     /// Round-robin arbitration pointer per output port.
     rr: Vec<usize>,
     /// Pipeline latency in cycles from head arrival to head departure.
     pub pipeline: u64,
     vcs: usize,
+    /// Total flits across all input queues (kept incrementally so the
+    /// per-cycle idle check is O(1) — large fabrics are mostly idle).
+    queued: usize,
+    /// Output ports currently owned by an in-flight packet.
+    owned: usize,
+    /// Per-cycle head-flit route snapshot (`[port * vcs + vc]`), reused
+    /// across ticks to avoid per-cycle allocation.
+    decision_scratch: Vec<Option<(usize, u8, u8)>>,
 }
 
 impl CycleRouter {
@@ -121,12 +198,45 @@ impl CycleRouter {
             rr: vec![0; ports],
             pipeline,
             vcs,
+            queued: 0,
+            owned: 0,
+            decision_scratch: Vec::new(),
+        }
+    }
+
+    /// Whether this router can do no work this cycle (no queued flits
+    /// and no output owned by a packet still streaming through).
+    pub fn is_idle(&self) -> bool {
+        self.queued == 0 && self.owned == 0
+    }
+
+    /// Resizes the input buffers of one port (all VCs) to `depth` flits.
+    /// Ports that model a whole Channel Adapter receive path rather than
+    /// a bare Edge Router queue need a credit window covering the link's
+    /// bandwidth-delay product, or the wire idles waiting on credits.
+    ///
+    /// # Panics
+    /// Panics if the port already holds more flits than `depth`.
+    pub fn set_input_depth(&mut self, port: usize, depth: usize) {
+        for q in &mut self.inputs[port] {
+            assert!(q.len() <= depth, "cannot shrink below occupancy");
+            q.cap = depth;
         }
     }
 
     /// Whether input `(port, vc)` can accept a flit this cycle.
     pub fn can_accept(&self, port: usize, vc: u8) -> bool {
         self.inputs[port][vc as usize].has_space()
+    }
+
+    /// Free slots on input `(port, vc)` — the upstream credit count.
+    pub fn free_slots(&self, port: usize, vc: u8) -> usize {
+        self.inputs[port][vc as usize].free_slots()
+    }
+
+    /// Flits currently queued on input `(port, vc)`.
+    pub fn queue_len(&self, port: usize, vc: u8) -> usize {
+        self.inputs[port][vc as usize].len()
     }
 
     /// Delivers a flit to input `(port, vc)` at `cycle`.
@@ -136,17 +246,29 @@ impl CycleRouter {
     /// [`Self::can_accept`], exactly as the upstream credit counter would.
     pub fn accept(&mut self, port: usize, vc: u8, flit: Flit, cycle: u64) {
         self.inputs[port][vc as usize].push(flit, cycle);
+        self.queued += 1;
     }
 
     /// Total queued flits (for drain checks).
     pub fn occupancy(&self) -> usize {
-        self.inputs.iter().flatten().map(VcQueue::len).sum()
+        debug_assert_eq!(
+            self.queued,
+            self.inputs
+                .iter()
+                .flatten()
+                .map(VcQueue::len)
+                .sum::<usize>(),
+            "incremental occupancy diverged"
+        );
+        self.queued
     }
 
-    /// One arbitration cycle: selects at most one flit per output port and
-    /// returns the departures as `(output_port, flit)`. `downstream_ok`
-    /// reports whether the downstream queue for `(output_port, vc)` has a
-    /// credit.
+    /// One arbitration cycle: selects at most one flit per output port
+    /// (and at most one per input VC queue — a single queue read port)
+    /// and returns the departures as `(output_port, flit)` with the
+    /// outgoing VC/tag already applied. `downstream_ok` reports whether
+    /// the downstream queue for `(output_port, outgoing vc)` has a credit
+    /// and the link is free to serialize.
     pub fn tick(
         &mut self,
         cycle: u64,
@@ -155,49 +277,92 @@ impl CycleRouter {
     ) -> Vec<(usize, Flit)> {
         let ports = self.inputs.len();
         let mut sent = Vec::new();
+        if self.is_idle() {
+            return sent;
+        }
+        // Route computation runs once per eligible head flit per cycle
+        // (it is a pure function of the flit, so the snapshot stays valid
+        // through the per-output arbitration below). An entry is cleared
+        // when its flit departs, which also enforces the single read port
+        // per input queue.
+        let mut decisions = std::mem::take(&mut self.decision_scratch);
+        decisions.clear();
+        decisions.resize(ports * self.vcs, None);
+        for p in 0..ports {
+            for v in 0..self.vcs {
+                if let Some(&(head, arrived)) = self.inputs[p][v].front() {
+                    if head.is_head() && arrived + self.pipeline <= cycle {
+                        let d = route(&head, self.id);
+                        decisions[p * self.vcs + v] = Some((d.port, d.vc, d.tag));
+                    }
+                }
+            }
+        }
         for out in 0..ports {
-            // If an owner holds the output, it continues its packet.
-            let candidates: Vec<(usize, u8)> = match self.output_owner[out] {
-                Some((p, v)) => vec![(p, v)],
+            // If an owner holds the output, it continues its packet;
+            // otherwise round-robin over (port, vc) pairs whose head flit
+            // routes to this output, has cleared the pipeline, and can be
+            // accepted downstream.
+            let depart: Option<(usize, u8, u8, u8)> = match self.output_owner[out] {
+                Some(o) => match self.inputs[o.in_port][o.in_vc as usize].front() {
+                    Some(&(body, arrived))
+                        if arrived + self.pipeline <= cycle && downstream_ok(out, o.out_vc) =>
+                    {
+                        // Cut-through owners continue their own packet:
+                        // sources must keep a packet's flits contiguous
+                        // per (port, VC) — see [`RouterFabric::inject`].
+                        debug_assert_eq!(
+                            body.packet, o.packet,
+                            "interleaved flits of two packets on one input VC"
+                        );
+                        Some((o.in_port, o.in_vc, o.out_vc, o.out_tag))
+                    }
+                    _ => None,
+                },
                 None => {
-                    // Round-robin over (port, vc) pairs whose head flit
-                    // routes to this output and has cleared the pipeline.
-                    let mut c = Vec::new();
+                    let mut found = None;
                     for i in 0..ports * self.vcs {
                         let idx = (self.rr[out] + i) % (ports * self.vcs);
-                        let (p, v) = (idx / self.vcs, (idx % self.vcs) as u8);
-                        if let Some((head, arrived)) = self.inputs[p][v as usize].front() {
-                            if head.is_head()
-                                && route(head.dest, self.id) == out
-                                && arrived + self.pipeline <= cycle
-                            {
-                                c.push((p, v));
+                        if let Some((dout, dvc, dtag)) = decisions[idx] {
+                            if dout == out && downstream_ok(out, dvc) {
+                                decisions[idx] = None;
+                                found = Some((idx / self.vcs, (idx % self.vcs) as u8, dvc, dtag));
+                                break;
                             }
                         }
                     }
-                    c
+                    found
                 }
             };
-            for (p, v) in candidates {
-                let Some(&(head, arrived)) = self.inputs[p][v as usize].front() else {
-                    continue;
+            if let Some((p, v, out_vc, out_tag)) = depart {
+                let mut flit = self.inputs[p][v as usize].pop().expect("front exists");
+                self.queued -= 1;
+                flit.vc = out_vc;
+                flit.tag = out_tag;
+                let was_owned = self.output_owner[out].is_some();
+                self.output_owner[out] = if flit.is_tail() {
+                    None
+                } else {
+                    Some(OutputOwner {
+                        packet: flit.packet,
+                        in_port: p,
+                        in_vc: v,
+                        out_vc,
+                        out_tag,
+                    })
                 };
-                if arrived + self.pipeline > cycle {
-                    continue;
+                match (was_owned, flit.is_tail()) {
+                    (false, false) => self.owned += 1,
+                    (true, true) => self.owned -= 1,
+                    _ => {}
                 }
-                if !downstream_ok(out, head.vc) {
-                    continue;
-                }
-                let flit = self.inputs[p][v as usize].pop().expect("front exists");
-                self.output_owner[out] =
-                    if flit.is_tail() { None } else { Some((p, v)) };
                 if flit.is_tail() {
                     self.rr[out] = (p * self.vcs + v as usize + 1) % (ports * self.vcs);
                 }
                 sent.push((out, flit));
-                break;
             }
         }
+        self.decision_scratch = decisions;
         sent
     }
 }
@@ -217,28 +382,180 @@ pub enum PortLink {
     Endpoint(u32),
 }
 
+/// Latency/bandwidth parameters of one physical link.
+///
+/// On-chip links are effectively instantaneous at this model's
+/// granularity (`latency == 0`: arrival lands the same cycle, matching
+/// the paper's inclusive per-hop cycle counts). The inter-node SERDES +
+/// wire crossing is tens of nanoseconds long and pipelined, so it is
+/// modeled as a delay line: flits depart at most one per `interval`
+/// cycles (serialization bandwidth) and arrive `latency` cycles later.
+/// Credits are reserved at departure — queued plus in-flight flits never
+/// exceed the 8-flit downstream queue, exactly as a hardware credit loop
+/// sized to the round trip would behave.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinkSpec {
+    /// Flight cycles from departure to arrival at the downstream queue.
+    pub latency: u64,
+    /// Minimum cycles between consecutive flits entering the link.
+    pub interval: u64,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec {
+            latency: 0,
+            interval: 1,
+        }
+    }
+}
+
+/// One link's in-flight state: the delay line plus reserved credits.
+#[derive(Clone, Debug, Default)]
+struct ChannelState {
+    spec: LinkSpec,
+    /// FIFO of (arrival cycle, flit); fixed latency keeps it ordered.
+    in_flight: VecDeque<(u64, Flit)>,
+    /// Credits reserved per downstream VC by flits still in flight.
+    reserved: Vec<u32>,
+    /// First cycle the link can accept another flit (serialization).
+    next_free: u64,
+}
+
+/// Why [`RouterFabric::inject`] refused a flit. Callers (injection
+/// harnesses, endpoint models) use this to distinguish *source queuing* —
+/// the local input port is busy but the fabric is fine — from genuine
+/// fabric saturation visible as persistently exhausted credits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InjectError {
+    /// The input VC queue has no credit: every slot of its configured
+    /// depth (default [`INPUT_QUEUE_FLITS`], see
+    /// [`CycleRouter::set_input_depth`]) is occupied or reserved, so the
+    /// fabric is backpressuring the source.
+    NoCredit {
+        /// Router whose input port refused the flit.
+        router: usize,
+        /// Input port that refused the flit.
+        port: usize,
+        /// Virtual channel with exhausted credits.
+        vc: u8,
+        /// Flits queued on that VC when the injection was refused.
+        occupancy: usize,
+    },
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectError::NoCredit {
+                router,
+                port,
+                vc,
+                occupancy,
+            } => write!(
+                f,
+                "no credit on router {router} port {port} vc {vc} ({occupancy} flits queued)"
+            ),
+        }
+    }
+}
+
 /// A fabric of cycle routers plus its wiring, stepped together.
 pub struct RouterFabric {
     routers: Vec<CycleRouter>,
     /// `wiring[router][output_port]`.
     wiring: Vec<Vec<PortLink>>,
+    /// `channels[router][output_port]`, parallel to `wiring`.
+    channels: Vec<Vec<ChannelState>>,
     route: Box<RouteFn>,
     cycle: u64,
     delivered: Vec<(u64, Flit)>, // (cycle, flit)
+    /// Flits currently inside link delay lines (skip arrival scans at 0).
+    in_flight_total: usize,
+    /// Channels whose delay line is non-empty — the arrival scan visits
+    /// only these instead of every router x port each cycle.
+    busy_channels: Vec<(usize, usize)>,
+    /// Reusable per-router credit-snapshot buffer (`[out * vcs + vc]`).
+    scratch_ok: Vec<bool>,
 }
 
 impl RouterFabric {
-    /// Builds a fabric from routers, wiring, and a routing function.
+    /// Builds a fabric from routers, wiring, and a routing function. All
+    /// links default to [`LinkSpec::default`] (same-cycle, full-rate);
+    /// override long links with [`Self::set_link_spec`].
     ///
     /// # Panics
     /// Panics if the wiring table shape does not match the routers.
-    pub fn new(
-        routers: Vec<CycleRouter>,
-        wiring: Vec<Vec<PortLink>>,
-        route: Box<RouteFn>,
-    ) -> Self {
-        assert_eq!(routers.len(), wiring.len(), "wiring rows must match routers");
-        RouterFabric { routers, wiring, route, cycle: 0, delivered: Vec::new() }
+    pub fn new(routers: Vec<CycleRouter>, wiring: Vec<Vec<PortLink>>, route: Box<RouteFn>) -> Self {
+        assert_eq!(
+            routers.len(),
+            wiring.len(),
+            "wiring rows must match routers"
+        );
+        let channels = wiring
+            .iter()
+            .enumerate()
+            .map(|(r, row)| {
+                row.iter()
+                    .map(|link| {
+                        let vcs = match link {
+                            PortLink::Router { router, .. } => routers[*router].vcs,
+                            PortLink::Endpoint(_) => routers[r].vcs,
+                        };
+                        ChannelState {
+                            spec: LinkSpec::default(),
+                            in_flight: VecDeque::new(),
+                            reserved: vec![0; vcs],
+                            next_free: 0,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        RouterFabric {
+            routers,
+            wiring,
+            channels,
+            route,
+            cycle: 0,
+            delivered: Vec::new(),
+            in_flight_total: 0,
+            busy_channels: Vec::new(),
+            scratch_ok: Vec::new(),
+        }
+    }
+
+    /// Overrides the latency/bandwidth of the link leaving `router` via
+    /// `port` (e.g. the inter-node SERDES crossings of a torus fabric).
+    pub fn set_link_spec(&mut self, router: usize, port: usize, spec: LinkSpec) {
+        assert!(
+            spec.interval >= 1,
+            "link interval must be at least one cycle"
+        );
+        self.channels[router][port].spec = spec;
+    }
+
+    /// Resizes the input buffers of `(router, port)` — see
+    /// [`CycleRouter::set_input_depth`]. A setup-time operation: credits
+    /// already reserved by flits in flight on the feeding link would
+    /// outlive a shrink and overflow the smaller queue, so resizing a
+    /// port whose link has traffic in flight is rejected.
+    ///
+    /// # Panics
+    /// Panics if the feeding link has flits in flight, or if the port
+    /// already holds more flits than `depth`.
+    pub fn set_input_depth(&mut self, router: usize, port: usize, depth: usize) {
+        for (r, row) in self.wiring.iter().enumerate() {
+            for (out, link) in row.iter().enumerate() {
+                if *link == (PortLink::Router { router, port }) {
+                    assert!(
+                        self.channels[r][out].in_flight.is_empty(),
+                        "cannot resize input ({router}, {port}): feeding link has flits in flight holding reserved credits"
+                    );
+                }
+            }
+        }
+        self.routers[router].set_input_depth(port, depth);
     }
 
     /// Current cycle.
@@ -251,69 +568,185 @@ impl RouterFabric {
         &self.delivered
     }
 
+    /// Drops all delivery records (long sweeps drain these per window to
+    /// bound memory).
+    pub fn take_delivered(&mut self) -> Vec<(u64, Flit)> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Free credit slots on injection port `(router, port, vc)` — lets
+    /// sources check room for a whole packet before injecting any flit.
+    pub fn inject_capacity(&self, router: usize, port: usize, vc: u8) -> usize {
+        self.routers[router].free_slots(port, vc)
+    }
+
+    /// Flits currently queued on input `(router, port, vc)`.
+    pub fn queue_len(&self, router: usize, port: usize, vc: u8) -> usize {
+        self.routers[router].queue_len(port, vc)
+    }
+
     /// Injects a flit into a router input port if a credit is available.
-    /// Returns whether the flit was accepted.
-    pub fn inject(&mut self, router: usize, port: usize, mut flit: Flit) -> bool {
+    ///
+    /// Multi-flit packets must be injected with their flits contiguous
+    /// on one `(port, vc)` — interleaving two packets' flits on the same
+    /// input VC violates the cut-through ownership protocol (checked by
+    /// a debug assertion at the downstream arbiter).
+    ///
+    /// # Errors
+    /// Returns [`InjectError::NoCredit`] (and does not take the flit)
+    /// when the input VC queue is full — i.e. the fabric is
+    /// backpressuring this source.
+    pub fn inject(
+        &mut self,
+        router: usize,
+        port: usize,
+        mut flit: Flit,
+    ) -> Result<(), InjectError> {
         flit.injected_at = self.cycle;
         if self.routers[router].can_accept(port, flit.vc) {
             let cycle = self.cycle;
             self.routers[router].accept(port, flit.vc, flit, cycle);
-            true
+            Ok(())
         } else {
-            false
+            Err(InjectError::NoCredit {
+                router,
+                port,
+                vc: flit.vc,
+                occupancy: self.routers[router].queue_len(port, flit.vc),
+            })
         }
     }
 
-    /// Advances the fabric one cycle: every router arbitrates, departures
-    /// move across links (arriving next cycle), ejections are recorded.
+    /// Advances the fabric one cycle: link arrivals land, every router
+    /// arbitrates, departures enter their links (same-cycle for latency-0
+    /// links), ejections are recorded.
     pub fn step(&mut self) {
         let cycle = self.cycle;
+
+        // 1. Deliver link arrivals due this cycle, visiting only the
+        //    channels with flits in flight. Credits were reserved at
+        //    departure, so acceptance cannot overflow the queue.
+        if self.in_flight_total > 0 {
+            let mut busy = std::mem::take(&mut self.busy_channels);
+            busy.retain(|&(r, port)| {
+                while let Some(&(arrival, flit)) = self.channels[r][port].in_flight.front() {
+                    if arrival > cycle {
+                        break;
+                    }
+                    self.channels[r][port].in_flight.pop_front();
+                    self.in_flight_total -= 1;
+                    match self.wiring[r][port] {
+                        PortLink::Router {
+                            router,
+                            port: dport,
+                        } => {
+                            self.channels[r][port].reserved[flit.vc as usize] -= 1;
+                            self.routers[router].accept(dport, flit.vc, flit, cycle);
+                        }
+                        PortLink::Endpoint(_) => self.delivered.push((arrival, flit)),
+                    }
+                }
+                !self.channels[r][port].in_flight.is_empty()
+            });
+            self.busy_channels = busy;
+        }
+
+        // 2. Arbitration. Downstream-credit checks run against a
+        //    snapshot (single-cycle credit latency is folded into the
+        //    pipeline constant) and count credits reserved by in-flight
+        //    flits on the link. The snapshot buffer is reused across
+        //    routers and cycles; idle routers are skipped entirely.
+        let mut scratch = std::mem::take(&mut self.scratch_ok);
         let mut moves: Vec<(usize, usize, Flit)> = Vec::new(); // (router, out, flit)
         for r in 0..self.routers.len() {
-            // Split-borrow: collect downstream-credit checks against a
-            // snapshot (single-cycle credit latency is folded into the
-            // pipeline constant).
-            let wiring = self.wiring[r].clone();
-            let occupancy_ok: Vec<Vec<bool>> = wiring
-                .iter()
-                .map(|link| match link {
-                    PortLink::Router { router, port } => (0..self.routers[*router].vcs)
-                        .map(|vc| self.routers[*router].can_accept(*port, vc as u8))
-                        .collect(),
-                    PortLink::Endpoint(_) => vec![true; self.routers[r].vcs],
-                })
-                .collect();
+            if self.routers[r].is_idle() {
+                continue;
+            }
+            let vcs = self.routers[r].vcs;
+            scratch.clear();
+            scratch.resize(self.wiring[r].len() * vcs, false);
+            for (out, (link, ch)) in self.wiring[r].iter().zip(&self.channels[r]).enumerate() {
+                let serializable = ch.next_free <= cycle;
+                match link {
+                    PortLink::Router { router, port } => {
+                        for vc in 0..vcs {
+                            scratch[out * vcs + vc] = serializable
+                                && (ch.reserved[vc] as usize)
+                                    < self.routers[*router].free_slots(*port, vc as u8);
+                        }
+                    }
+                    PortLink::Endpoint(_) => {
+                        for vc in 0..vcs {
+                            scratch[out * vcs + vc] = serializable;
+                        }
+                    }
+                }
+            }
             let sent = self.routers[r].tick(cycle, &*self.route, |out, vc| {
-                occupancy_ok[out][vc as usize]
+                scratch[out * vcs + vc as usize]
             });
             for (out, flit) in sent {
                 moves.push((r, out, flit));
             }
         }
+        self.scratch_ok = scratch;
+
+        // 3. Departures enter their links.
         for (r, out, flit) in moves {
+            let spec = self.channels[r][out].spec;
+            self.channels[r][out].next_free = cycle + spec.interval;
             match self.wiring[r][out] {
-                PortLink::Router { router, port } => {
+                PortLink::Router { router, port } if spec.latency == 0 => {
                     // Link flight is folded into the downstream pipeline
                     // constant (the paper's per-hop cycle counts are
                     // inclusive), so arrival lands this cycle.
                     self.routers[router].accept(port, flit.vc, flit, cycle);
                 }
-                PortLink::Endpoint(_) => self.delivered.push((cycle, flit)),
+                PortLink::Router { .. } => {
+                    let ch = &mut self.channels[r][out];
+                    ch.reserved[flit.vc as usize] += 1;
+                    if ch.in_flight.is_empty() {
+                        self.busy_channels.push((r, out));
+                    }
+                    ch.in_flight.push_back((cycle + spec.latency, flit));
+                    self.in_flight_total += 1;
+                }
+                PortLink::Endpoint(_) if spec.latency == 0 => {
+                    self.delivered.push((cycle, flit));
+                }
+                PortLink::Endpoint(_) => {
+                    let ch = &mut self.channels[r][out];
+                    if ch.in_flight.is_empty() {
+                        self.busy_channels.push((r, out));
+                    }
+                    ch.in_flight.push_back((cycle + spec.latency, flit));
+                    self.in_flight_total += 1;
+                }
             }
         }
         self.cycle += 1;
+    }
+
+    /// Total flits resident in the fabric: router queues plus link
+    /// delay lines.
+    pub fn occupancy(&self) -> usize {
+        self.routers
+            .iter()
+            .map(CycleRouter::occupancy)
+            .sum::<usize>()
+            + self.in_flight_total
     }
 
     /// Steps until all queues drain or `max_cycles` pass; returns whether
     /// the fabric drained (useful as a no-deadlock/no-livelock check).
     pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
         for _ in 0..max_cycles {
-            if self.routers.iter().all(|r| r.occupancy() == 0) {
+            if self.occupancy() == 0 {
                 return true;
             }
             self.step();
         }
-        self.routers.iter().all(|r| r.occupancy() == 0)
+        self.occupancy() == 0
     }
 }
 
@@ -321,14 +754,18 @@ impl RouterFabric {
 /// is injection, port 1 goes right, port 2 ejects at the last router.
 /// Routing: forward right until the destination router, then eject.
 pub fn build_row(n: usize, vcs: usize, pipeline: u64) -> RouterFabric {
-    let routers: Vec<CycleRouter> =
-        (0..n).map(|i| CycleRouter::new(i, 3, vcs, pipeline)).collect();
+    let routers: Vec<CycleRouter> = (0..n)
+        .map(|i| CycleRouter::new(i, 3, vcs, pipeline))
+        .collect();
     let wiring: Vec<Vec<PortLink>> = (0..n)
         .map(|i| {
             vec![
                 PortLink::Endpoint(u32::MAX), // port 0 is input-only
                 if i + 1 < n {
-                    PortLink::Router { router: i + 1, port: 0 }
+                    PortLink::Router {
+                        router: i + 1,
+                        port: 0,
+                    }
                 } else {
                     PortLink::Endpoint(0)
                 },
@@ -336,11 +773,11 @@ pub fn build_row(n: usize, vcs: usize, pipeline: u64) -> RouterFabric {
             ]
         })
         .collect();
-    let route = Box::new(move |dest: u32, router: usize| {
-        if dest as usize == router {
-            2 // eject
+    let route = Box::new(move |f: &Flit, router: usize| {
+        if f.dest as usize == router {
+            RouteDecision::keep(2, f) // eject
         } else {
-            1 // continue along the row
+            RouteDecision::keep(1, f) // continue along the row
         }
     });
     RouterFabric::new(routers, wiring, route)
@@ -351,7 +788,15 @@ mod tests {
     use super::*;
 
     fn flit(packet: u64, index: u8, of: u8, dest: u32, vc: u8) -> Flit {
-        Flit { packet, index, of, dest, vc, injected_at: 0 }
+        Flit {
+            packet,
+            index,
+            of,
+            dest,
+            vc,
+            tag: 0,
+            injected_at: 0,
+        }
     }
 
     #[test]
@@ -360,7 +805,7 @@ mod tests {
         // flit crossing k routers takes ~2k cycles.
         for hops in 1..=6usize {
             let mut fabric = build_row(8, 2, 2);
-            assert!(fabric.inject(0, 0, flit(1, 0, 1, hops as u32, 0)));
+            assert!(fabric.inject(0, 0, flit(1, 0, 1, hops as u32, 0)).is_ok());
             assert!(fabric.run_until_drained(200));
             let (cycle, f) = fabric.delivered()[0];
             assert_eq!(f.packet, 1);
@@ -375,7 +820,7 @@ mod tests {
     #[test]
     fn edge_router_pipeline_is_three_cycles() {
         let mut fabric = build_row(4, 5, 3);
-        assert!(fabric.inject(0, 0, flit(9, 0, 1, 2, 4)));
+        assert!(fabric.inject(0, 0, flit(9, 0, 1, 2, 4)).is_ok());
         assert!(fabric.run_until_drained(100));
         let (cycle, f) = fabric.delivered()[0];
         assert_eq!(cycle - f.injected_at, 3 * 3);
@@ -384,8 +829,8 @@ mod tests {
     #[test]
     fn two_flit_packets_cut_through_back_to_back() {
         let mut fabric = build_row(4, 2, 2);
-        assert!(fabric.inject(0, 0, flit(5, 0, 2, 3, 0)));
-        assert!(fabric.inject(0, 0, flit(5, 1, 2, 3, 0)));
+        assert!(fabric.inject(0, 0, flit(5, 0, 2, 3, 0)).is_ok());
+        assert!(fabric.inject(0, 0, flit(5, 1, 2, 3, 0)).is_ok());
         assert!(fabric.run_until_drained(100));
         let d = fabric.delivered();
         assert_eq!(d.len(), 2);
@@ -398,11 +843,15 @@ mod tests {
     fn packets_on_one_vc_stay_ordered() {
         let mut fabric = build_row(6, 2, 2);
         for p in 0..5u64 {
-            assert!(fabric.inject(0, 0, flit(p, 0, 1, 5, 0)));
+            assert!(fabric.inject(0, 0, flit(p, 0, 1, 5, 0)).is_ok());
         }
         assert!(fabric.run_until_drained(300));
         let order: Vec<u64> = fabric.delivered().iter().map(|(_, f)| f.packet).collect();
-        assert_eq!(order, vec![0, 1, 2, 3, 4], "per-VC FIFO order is the fence foundation");
+        assert_eq!(
+            order,
+            vec![0, 1, 2, 3, 4],
+            "per-VC FIFO order is the fence foundation"
+        );
     }
 
     #[test]
@@ -411,11 +860,13 @@ mod tests {
         // still arrives exactly once.
         let mut fabric = build_row(3, 2, 2);
         let mut injected = 0u64;
-        let mut pending: Vec<Flit> = (0..40u64).map(|p| flit(p, 0, 1, 2, (p % 2) as u8)).collect();
+        let mut pending: Vec<Flit> = (0..40u64)
+            .map(|p| flit(p, 0, 1, 2, (p % 2) as u8))
+            .collect();
         pending.reverse();
         for _ in 0..600 {
             if let Some(f) = pending.last().copied() {
-                if fabric.inject(0, 0, f) {
+                if fabric.inject(0, 0, f).is_ok() {
                     pending.pop();
                     injected += 1;
                 }
@@ -427,6 +878,25 @@ mod tests {
         let mut seen: Vec<u64> = fabric.delivered().iter().map(|(_, f)| f.packet).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..40).collect::<Vec<_>>(), "no loss, no duplication");
+    }
+
+    #[test]
+    fn rejection_reports_the_full_queue() {
+        let mut fabric = build_row(2, 1, 2);
+        for p in 0..INPUT_QUEUE_FLITS as u64 {
+            assert!(fabric.inject(0, 0, flit(p, 0, 1, 1, 0)).is_ok());
+        }
+        let err = fabric.inject(0, 0, flit(99, 0, 1, 1, 0)).unwrap_err();
+        assert_eq!(
+            err,
+            InjectError::NoCredit {
+                router: 0,
+                port: 0,
+                vc: 0,
+                occupancy: INPUT_QUEUE_FLITS
+            }
+        );
+        assert!(err.to_string().contains("no credit"));
     }
 
     #[test]
@@ -450,13 +920,13 @@ mod tests {
         vc0_backlog.reverse();
         for _ in 0..4 {
             if let Some(f) = vc0_backlog.last().copied() {
-                if fabric.inject(0, 0, f) {
+                if fabric.inject(0, 0, f).is_ok() {
                     vc0_backlog.pop();
                 }
             }
         }
         // One VC1 packet injected behind the VC0 burst.
-        assert!(fabric.inject(0, 0, flit(100, 0, 1, 2, 1)));
+        assert!(fabric.inject(0, 0, flit(100, 0, 1, 2, 1)).is_ok());
         assert!(fabric.run_until_drained(400));
         let vc1_delivery = fabric
             .delivered()
@@ -483,10 +953,120 @@ mod tests {
         // ring this would be livelock); run_until_drained must return
         // false rather than hang.
         let routers = vec![CycleRouter::new(0, 2, 1, 1)];
-        let wiring = vec![vec![PortLink::Router { router: 0, port: 0 }, PortLink::Endpoint(0)]];
-        let route = Box::new(|_dest: u32, _router: usize| 0usize); // self-loop
+        let wiring = vec![vec![
+            PortLink::Router { router: 0, port: 0 },
+            PortLink::Endpoint(0),
+        ]];
+        let route = Box::new(|f: &Flit, _router: usize| RouteDecision::keep(0, f)); // self-loop
         let mut fabric = RouterFabric::new(routers, wiring, route);
-        assert!(fabric.inject(0, 0, flit(1, 0, 1, 9, 0)));
-        assert!(!fabric.run_until_drained(50), "self-looping flit never drains");
+        assert!(fabric.inject(0, 0, flit(1, 0, 1, 9, 0)).is_ok());
+        assert!(
+            !fabric.run_until_drained(50),
+            "self-looping flit never drains"
+        );
+    }
+
+    #[test]
+    fn link_latency_delays_arrival_without_costing_bandwidth() {
+        // A 20-cycle link between two 2-cycle routers: latency adds to
+        // the end-to-end time, but back-to-back flits still stream at one
+        // per cycle because credits are reserved, not round-tripped.
+        let mut fabric = build_row(2, 2, 2);
+        fabric.set_link_spec(
+            0,
+            1,
+            LinkSpec {
+                latency: 20,
+                interval: 1,
+            },
+        );
+        for p in 0..8u64 {
+            assert!(fabric.inject(0, 0, flit(p, 0, 1, 1, 0)).is_ok());
+        }
+        assert!(fabric.run_until_drained(500));
+        let d = fabric.delivered();
+        assert_eq!(d.len(), 8);
+        // First packet: 2 (router 0) + 20 (link) + 2 (router 1) cycles.
+        assert_eq!(d[0].0 - d[0].1.injected_at, 24);
+        // Streaming: deliveries one cycle apart despite the long link.
+        for w in d.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, 1, "long link must pipeline");
+        }
+    }
+
+    #[test]
+    fn link_interval_caps_throughput() {
+        // interval = 3 serializes one flit every 3 cycles.
+        let mut fabric = build_row(2, 2, 2);
+        fabric.set_link_spec(
+            0,
+            1,
+            LinkSpec {
+                latency: 5,
+                interval: 3,
+            },
+        );
+        for p in 0..6u64 {
+            assert!(fabric.inject(0, 0, flit(p, 0, 1, 1, 0)).is_ok());
+        }
+        assert!(fabric.run_until_drained(500));
+        let d = fabric.delivered();
+        assert_eq!(d.len(), 6);
+        for w in d.windows(2) {
+            assert!(w[1].0 - w[0].0 >= 3, "serialization interval violated");
+        }
+    }
+
+    #[test]
+    fn in_flight_flits_reserve_downstream_credits() {
+        // With a long link and a blocked destination router, at most
+        // 8 flits (the queue depth) may ever be queued-or-in-flight
+        // toward one (port, vc).
+        let routers = vec![CycleRouter::new(0, 2, 1, 1), CycleRouter::new(1, 2, 1, 1)];
+        let wiring = vec![
+            vec![
+                PortLink::Endpoint(u32::MAX),
+                PortLink::Router { router: 1, port: 0 },
+            ],
+            // Router 1 self-loops every flit back into its own input
+            // port, so its queue stays (nearly) full forever.
+            vec![
+                PortLink::Router { router: 1, port: 0 },
+                PortLink::Endpoint(9),
+            ],
+        ];
+        let route = Box::new(|f: &Flit, router: usize| {
+            if router == 0 {
+                RouteDecision::keep(1, f)
+            } else {
+                RouteDecision::keep(0, f)
+            }
+        });
+        let mut fabric = RouterFabric::new(routers, wiring, route);
+        fabric.set_link_spec(
+            0,
+            1,
+            LinkSpec {
+                latency: 30,
+                interval: 1,
+            },
+        );
+        let mut accepted = 0u32;
+        for p in 0..64u64 {
+            if fabric.inject(0, 0, flit(p, 0, 1, 9, 0)).is_ok() {
+                accepted += 1;
+            }
+            fabric.step();
+        }
+        for _ in 0..200 {
+            fabric.step();
+        }
+        // Nothing is ever lost or duplicated: every accepted flit is
+        // still resident (accept() would have panicked in debug had a
+        // credit been violated), and the long link plus both queues
+        // absorbed well over one queue's worth.
+        assert!(accepted >= 8 + 8, "link + queue should absorb two windows");
+        assert_eq!(fabric.delivered().len(), 0, "self-loop never ejects");
+        assert_eq!(fabric.occupancy() as u32, accepted);
     }
 }

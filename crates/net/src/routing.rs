@@ -53,6 +53,21 @@ impl RoutePlan {
     }
 }
 
+/// The request VC for a hop given the packet's base VC and whether a
+/// dateline has been crossed: VCs `{base}` before any wraparound
+/// crossing, `{base + 2}` after. This single rule is the torus
+/// deadlock-avoidance invariant — shared by the route planner
+/// ([`plan_request`]) and the cycle fabric
+/// ([`crate::fabric3d`]) so the two cannot diverge.
+pub fn dateline_vc(base: u8, crossed: bool) -> u8 {
+    debug_assert!(base < 2, "request base VC is one bit");
+    if crossed {
+        base + 2
+    } else {
+        base
+    }
+}
+
 /// Whether moving from `from` in direction `d` crosses the wraparound link
 /// of that ring.
 pub fn crosses_dateline(torus: &Torus, from: TorusCoord, d: Direction) -> bool {
@@ -75,7 +90,7 @@ fn assign_request_vcs(torus: &Torus, src: TorusCoord, dirs: &[Direction], base: 
         // Dateline scheme: VCs {base} before any wraparound crossing,
         // {base + 2} after, giving four request VCs across the two base
         // choices while keeping the channel-dependency graph acyclic.
-        let vc = if crossed { base + 2 } else { base };
+        let vc = dateline_vc(base, crossed);
         hops.push(Hop { dir, vc, wraps });
         crossed |= wraps;
         cur = torus.neighbor(cur, dir);
@@ -96,7 +111,12 @@ pub fn plan_request(
     let ca = rng.next_below(2) as usize;
     let base = rng.next_below(2) as u8;
     let dirs = torus.route(src, dst, order);
-    RoutePlan { order, slice, ca, hops: assign_request_vcs(torus, src, &dirs, base) }
+    RoutePlan {
+        order,
+        slice,
+        ca,
+        hops: assign_request_vcs(torus, src, &dirs, base),
+    }
 }
 
 /// Plans a request route with a *fixed* order/slice/base (used by
@@ -113,7 +133,12 @@ pub fn plan_request_fixed(
     assert!(slice < SLICES_PER_NEIGHBOR, "slice {slice} out of range");
     assert!(base_vc < 2, "base VC must be 0 or 1");
     let dirs = torus.route(src, dst, order);
-    RoutePlan { order, slice, ca: 0, hops: assign_request_vcs(torus, src, &dirs, base_vc) }
+    RoutePlan {
+        order,
+        slice,
+        ca: 0,
+        hops: assign_request_vcs(torus, src, &dirs, base_vc),
+    }
 }
 
 /// Plans a response route: XYZ dimension order on non-wraparound links
@@ -133,12 +158,21 @@ pub fn plan_response(
         let dir = Direction::new(dim, delta > 0);
         for _ in 0..delta.unsigned_abs() {
             debug_assert!(!crosses_dateline(torus, cur, dir), "response route wrapped");
-            hops.push(Hop { dir, vc: RESPONSE_VC, wraps: false });
+            hops.push(Hop {
+                dir,
+                vc: RESPONSE_VC,
+                wraps: false,
+            });
             cur = torus.neighbor(cur, dir);
         }
     }
     debug_assert_eq!(cur, dst);
-    RoutePlan { order: DimOrder::XYZ, slice, ca: rng.next_below(2) as usize, hops }
+    RoutePlan {
+        order: DimOrder::XYZ,
+        slice,
+        ca: rng.next_below(2) as usize,
+        hops,
+    }
 }
 
 #[cfg(test)]
@@ -185,11 +219,13 @@ mod tests {
         let a = t.coord(NodeId(3));
         let b = t.coord(NodeId(1));
         // Minimal route from x=3 to x=1 goes +x through the wraparound.
-        let plan =
-            plan_request_fixed(&t, a, b, DimOrder::XYZ, 0, 0);
+        let plan = plan_request_fixed(&t, a, b, DimOrder::XYZ, 0, 0);
         assert_eq!(plan.hops.len(), 2);
         assert!(plan.hops[0].wraps, "first hop crosses x=3 -> x=0 dateline");
-        assert_eq!(plan.hops[0].vc, 0, "dateline hop still uses pre-crossing VC");
+        assert_eq!(
+            plan.hops[0].vc, 0,
+            "dateline hop still uses pre-crossing VC"
+        );
         assert_eq!(plan.hops[1].vc, 2, "post-crossing hops switch VC set");
     }
 

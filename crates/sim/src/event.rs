@@ -68,7 +68,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, pushed: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pushed: 0,
+        }
     }
 
     /// Schedules `payload` at absolute time `time`.

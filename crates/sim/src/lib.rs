@@ -61,7 +61,10 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// Creates an engine at time zero with an empty queue.
     pub fn new() -> Self {
-        Engine { queue: EventQueue::new(), now: Ps::ZERO }
+        Engine {
+            queue: EventQueue::new(),
+            now: Ps::ZERO,
+        }
     }
 
     /// The current simulated time (the timestamp of the most recently
@@ -75,7 +78,11 @@ impl<E> Engine<E> {
     /// # Panics
     /// Panics if `time` is in the past — events may not travel backwards.
     pub fn schedule_at(&mut self, time: Ps, payload: E) {
-        assert!(time >= self.now, "cannot schedule into the past ({time} < {})", self.now);
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
         self.queue.push(time, payload);
     }
 

@@ -107,7 +107,10 @@ mod tests {
         for _ in 0..1000 {
             seen[r.next_below(6) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all dimension orders should be drawn");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all dimension orders should be drawn"
+        );
     }
 
     #[test]

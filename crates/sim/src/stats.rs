@@ -16,7 +16,12 @@ pub struct Accumulator {
 impl Accumulator {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Accumulator { n: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Accumulator {
+            n: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one sample.
@@ -92,10 +97,20 @@ pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
     let intercept = (sy - slope * sx) / n;
     let mean_y = sy / n;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
-    let ss_res: f64 =
-        points.iter().map(|p| (p.1 - (intercept + slope * p.0)).powi(2)).sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
-    LinearFit { intercept, slope, r2 }
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
+        .sum();
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    LinearFit {
+        intercept,
+        slope,
+        r2,
+    }
 }
 
 /// Fixed-width histogram over non-negative values.
@@ -114,7 +129,12 @@ impl Histogram {
     /// Panics if `width <= 0` or `buckets == 0`.
     pub fn new(width: f64, buckets: usize) -> Self {
         assert!(width > 0.0 && buckets > 0, "invalid histogram shape");
-        Histogram { width, buckets: vec![0; buckets], overflow: 0, samples: 0 }
+        Histogram {
+            width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            samples: 0,
+        }
     }
 
     /// Adds one sample.
@@ -190,8 +210,9 @@ mod tests {
 
     #[test]
     fn fit_recovers_exact_line() {
-        let pts: Vec<(f64, f64)> =
-            (0..10).map(|i| (i as f64, 91.2 + 51.8 * i as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..10)
+            .map(|i| (i as f64, 91.2 + 51.8 * i as f64))
+            .collect();
         let fit = linear_fit(&pts);
         assert!((fit.slope - 51.8).abs() < 1e-9);
         assert!((fit.intercept - 91.2).abs() < 1e-9);

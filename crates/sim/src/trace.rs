@@ -49,7 +49,11 @@ impl ActivityTrace {
 
     /// Creates an enabled trace.
     pub fn enabled() -> Self {
-        ActivityTrace { enabled: true, lanes: Vec::new(), spans: Vec::new() }
+        ActivityTrace {
+            enabled: true,
+            lanes: Vec::new(),
+            spans: Vec::new(),
+        }
     }
 
     /// Whether spans are being recorded.
@@ -79,7 +83,12 @@ impl ActivityTrace {
     pub fn record(&mut self, lane: LaneId, kind: ActivityKind, start: Ps, end: Ps) {
         debug_assert!(end >= start, "span ends before it starts");
         if self.enabled && end > start {
-            self.spans.push(Span { lane, kind, start, end });
+            self.spans.push(Span {
+                lane,
+                kind,
+                start,
+                end,
+            });
         }
     }
 

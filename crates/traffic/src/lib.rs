@@ -1,0 +1,38 @@
+//! # anton-traffic — synthetic workloads for the Anton 3 network model
+//!
+//! The paper's headline results (§III, Figures 5–6) are about latency
+//! *under real torus contention*. This crate supplies the contention:
+//!
+//! - [`patterns`] — a trait-based suite of synthetic traffic patterns
+//!   (uniform random, MD-style nearest-neighbor halo, bit-complement,
+//!   transpose, hotspot, fence-storm), all deterministic under
+//!   [`anton_sim::rng::SplitMix64`];
+//! - [`sweep`] — an offered-load sweep harness that drives the
+//!   cycle-level 3D torus of [`anton_net::fabric3d`], measuring
+//!   delivered throughput and mean/p99 packet latency per load point and
+//!   emitting latency–throughput curves as JSON.
+//!
+//! The sweep doubles as a calibration check: at low load the measured
+//! per-hop latency must match the analytic [`anton_net::path`] constant
+//! the fabric was derived from, giving every future model change a
+//! contention-aware ground truth to validate against.
+//!
+//! ```
+//! use anton_model::latency::LatencyModel;
+//! use anton_net::fabric3d::FabricParams;
+//! use anton_traffic::patterns::UniformRandom;
+//! use anton_traffic::sweep::{run_point, SweepConfig};
+//!
+//! let mut cfg = SweepConfig::new([2, 2, 2]);
+//! cfg.warmup_cycles = 200;
+//! cfg.measure_cycles = 500;
+//! let params = FabricParams::calibrated(&LatencyModel::default());
+//! let point = run_point(&UniformRandom, &cfg, params, 0.05, 1);
+//! assert!(point.packets_incomplete == 0 && point.delivered > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod patterns;
+pub mod sweep;

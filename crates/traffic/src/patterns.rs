@@ -1,0 +1,345 @@
+//! Synthetic traffic patterns over the 3D torus.
+//!
+//! Each pattern maps a source node (plus cycle and RNG draw) to a
+//! destination. The classics — uniform random, bit/coordinate
+//! complement, transpose, hotspot — are the standard stress set for
+//! k-ary n-cube evaluation; nearest-neighbor mirrors an MD halo
+//! exchange (the paper's dominant position/force traffic, §II-A), and
+//! fence-storm mirrors the synchronization bursts that motivate §V.
+//!
+//! All randomness flows through the caller's [`SplitMix64`], so a fixed
+//! sweep seed reproduces identical workloads bit for bit.
+
+use anton_model::topology::{Dim, Direction, NodeId, Torus};
+use anton_sim::rng::SplitMix64;
+
+/// A destination generator for one traffic workload.
+pub trait TrafficPattern {
+    /// Short stable name used in reports and JSON output.
+    fn name(&self) -> &'static str;
+
+    /// The destination for a packet generated at `src` on `cycle`, or
+    /// `None` when this pattern generates nothing for that opportunity
+    /// (self-addressed destinations and off-phase storm cycles).
+    fn dest(&self, torus: &Torus, src: NodeId, cycle: u64, rng: &mut SplitMix64) -> Option<NodeId>;
+}
+
+/// Uniform random: every other node equally likely — the canonical
+/// average-case load.
+pub struct UniformRandom;
+
+impl TrafficPattern for UniformRandom {
+    fn name(&self) -> &'static str {
+        "uniform_random"
+    }
+
+    fn dest(
+        &self,
+        torus: &Torus,
+        src: NodeId,
+        _cycle: u64,
+        rng: &mut SplitMix64,
+    ) -> Option<NodeId> {
+        let n = torus.node_count() as u64;
+        if n < 2 {
+            return None;
+        }
+        // Draw from n-1 and skip over `src` so self-traffic never occurs.
+        let d = rng.next_below(n - 1);
+        let d = if d >= src.0 as u64 { d + 1 } else { d };
+        Some(NodeId(d as u16))
+    }
+}
+
+/// Nearest-neighbor halo exchange: each packet goes to one of the six
+/// torus neighbors, drawn uniformly — the MD import-region traffic shape.
+pub struct NearestNeighbor;
+
+impl TrafficPattern for NearestNeighbor {
+    fn name(&self) -> &'static str {
+        "nearest_neighbor"
+    }
+
+    fn dest(
+        &self,
+        torus: &Torus,
+        src: NodeId,
+        _cycle: u64,
+        rng: &mut SplitMix64,
+    ) -> Option<NodeId> {
+        let c = torus.coord(src);
+        // Only dimensions with a ring longer than one have neighbors.
+        let dir = *rng.choose(&Direction::ALL);
+        if torus.extent(dir.dim()) < 2 {
+            return None;
+        }
+        Some(torus.node_id(torus.neighbor(c, dir)))
+    }
+}
+
+/// Coordinate complement (the torus generalization of bit-complement):
+/// `(x, y, z) -> (X-1-x, Y-1-y, Z-1-z)`. A fixed mirror permutation:
+/// every node exchanges with its image, moving in all three dimensions
+/// at once and pinning many routes onto the dateline links.
+pub struct BitComplement;
+
+impl TrafficPattern for BitComplement {
+    fn name(&self) -> &'static str {
+        "bit_complement"
+    }
+
+    fn dest(
+        &self,
+        torus: &Torus,
+        src: NodeId,
+        _cycle: u64,
+        _rng: &mut SplitMix64,
+    ) -> Option<NodeId> {
+        let c = torus.coord(src);
+        let mut d = c;
+        for dim in Dim::ALL {
+            d = d.with(dim, torus.extent(dim) - 1 - c.get(dim));
+        }
+        (d != c).then(|| torus.node_id(d))
+    }
+}
+
+/// Transpose: coordinates rotate one dimension, rescaled between unequal
+/// extents (`x' = y·X/Y`, `y' = z·Y/Z`, `z' = x·Z/X`). On a cubic torus
+/// this is a fixed permutation; with unequal extents the rescaling is
+/// many-to-one (on 4×4×8, a 2:1 concentration onto even-z' nodes), so
+/// treat its curve as an adversarial fixed-mapping workload rather than
+/// a strict permutation — either way it pins traffic no single
+/// dimension order can spread, which is what the randomized orders are
+/// for.
+pub struct Transpose;
+
+impl TrafficPattern for Transpose {
+    fn name(&self) -> &'static str {
+        "transpose"
+    }
+
+    fn dest(
+        &self,
+        torus: &Torus,
+        src: NodeId,
+        _cycle: u64,
+        _rng: &mut SplitMix64,
+    ) -> Option<NodeId> {
+        let c = torus.coord(src);
+        let [ex, ey, ez] = torus.dims().map(|d| d as usize);
+        let d = anton_model::topology::TorusCoord::new(
+            (c.y as usize * ex / ey) as u8,
+            (c.z as usize * ey / ez) as u8,
+            (c.x as usize * ez / ex) as u8,
+        );
+        (d != c).then(|| torus.node_id(d))
+    }
+}
+
+/// Hotspot: a fraction of all packets converge on one node; the rest are
+/// uniform random. Models a popular reduction root or I/O node.
+pub struct Hotspot {
+    /// The congested node.
+    pub hot: NodeId,
+    /// Fraction of packets addressed to [`Self::hot`] (0..1).
+    pub fraction: f64,
+}
+
+impl TrafficPattern for Hotspot {
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+
+    fn dest(&self, torus: &Torus, src: NodeId, cycle: u64, rng: &mut SplitMix64) -> Option<NodeId> {
+        if rng.next_f64() < self.fraction && src != self.hot {
+            Some(self.hot)
+        } else {
+            // The hot node itself (and the background share) sends
+            // uniform traffic, so every node offers the same load.
+            UniformRandom.dest(torus, src, cycle, rng)
+        }
+    }
+}
+
+/// Fence storm: every `period` cycles, all nodes burst packets at the
+/// fence merge root for `burst` cycles, then go quiet — the §V
+/// synchronization traffic shape at its most bunched.
+pub struct FenceStorm {
+    /// The fence merge root every storm converges on.
+    pub root: NodeId,
+    /// Cycles between storm onsets (must be nonzero).
+    pub period: u64,
+    /// Storm duration in cycles; `burst >= period` degenerates to an
+    /// always-on all-to-one stream.
+    pub burst: u64,
+}
+
+impl TrafficPattern for FenceStorm {
+    fn name(&self) -> &'static str {
+        "fence_storm"
+    }
+
+    fn dest(
+        &self,
+        _torus: &Torus,
+        src: NodeId,
+        cycle: u64,
+        _rng: &mut SplitMix64,
+    ) -> Option<NodeId> {
+        assert!(self.period > 0, "fence storm period must be nonzero");
+        if cycle % self.period < self.burst && src != self.root {
+            Some(self.root)
+        } else {
+            None
+        }
+    }
+}
+
+/// The standard six-pattern evaluation suite at default knobs.
+pub fn standard_suite() -> Vec<Box<dyn TrafficPattern>> {
+    vec![
+        Box::new(UniformRandom),
+        Box::new(NearestNeighbor),
+        Box::new(BitComplement),
+        Box::new(Transpose),
+        Box::new(Hotspot {
+            hot: NodeId(0),
+            fraction: 0.1,
+        }),
+        Box::new(FenceStorm {
+            root: NodeId(0),
+            period: 512,
+            burst: 64,
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torus() -> Torus {
+        Torus::new([4, 4, 8])
+    }
+
+    #[test]
+    fn uniform_never_self_addresses_and_covers_nodes() {
+        let t = torus();
+        let mut rng = SplitMix64::new(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let d = UniformRandom.dest(&t, NodeId(17), 0, &mut rng).unwrap();
+            assert_ne!(d, NodeId(17));
+            seen.insert(d.0);
+        }
+        assert!(seen.len() > 100, "uniform should cover most of 127 nodes");
+    }
+
+    #[test]
+    fn nearest_neighbor_is_one_hop() {
+        let t = torus();
+        let mut rng = SplitMix64::new(2);
+        for src in [0u16, 31, 127] {
+            for _ in 0..100 {
+                let d = NearestNeighbor.dest(&t, NodeId(src), 0, &mut rng).unwrap();
+                assert_eq!(t.hop_distance(t.coord(NodeId(src)), t.coord(d)), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn complement_is_an_involution_at_full_distance() {
+        let t = torus();
+        let mut rng = SplitMix64::new(3);
+        for src in t.nodes() {
+            if let Some(d) = BitComplement.dest(&t, src, 0, &mut rng) {
+                let back = BitComplement.dest(&t, d, 0, &mut rng).unwrap();
+                assert_eq!(back, src, "complement twice is identity");
+                // Mirror pairs move in every dimension (even extents have
+                // no fixed points), so the distance is at least one hop
+                // per dimension.
+                assert!(t.hop_distance(t.coord(src), t.coord(d)) >= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_deterministic_and_in_range() {
+        let t = torus();
+        let mut rng = SplitMix64::new(4);
+        for src in t.nodes() {
+            let a = Transpose.dest(&t, src, 0, &mut rng);
+            let b = Transpose.dest(&t, src, 99, &mut rng);
+            assert_eq!(a, b, "transpose ignores cycle and rng");
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_the_requested_fraction() {
+        let t = torus();
+        let mut rng = SplitMix64::new(5);
+        let h = Hotspot {
+            hot: NodeId(0),
+            fraction: 0.3,
+        };
+        let mut hot = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if h.dest(&t, NodeId(9), 0, &mut rng) == Some(NodeId(0)) {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / n as f64;
+        // Uniform background also lands on node 0 occasionally (~0.55%).
+        assert!((0.28..0.34).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn hot_node_still_offers_uniform_load() {
+        let t = torus();
+        let mut rng = SplitMix64::new(8);
+        let h = Hotspot {
+            hot: NodeId(0),
+            fraction: 0.5,
+        };
+        let hits = (0..1000)
+            .filter(|_| h.dest(&t, NodeId(0), 0, &mut rng).is_some())
+            .count();
+        assert_eq!(hits, 1000, "the hot node must not drop generation slots");
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be nonzero")]
+    fn fence_storm_rejects_zero_period() {
+        let f = FenceStorm {
+            root: NodeId(0),
+            period: 0,
+            burst: 0,
+        };
+        let _ = f.dest(&torus(), NodeId(1), 0, &mut SplitMix64::new(1));
+    }
+
+    #[test]
+    fn fence_storm_fires_only_in_bursts() {
+        let t = torus();
+        let mut rng = SplitMix64::new(6);
+        let f = FenceStorm {
+            root: NodeId(0),
+            period: 100,
+            burst: 10,
+        };
+        assert_eq!(f.dest(&t, NodeId(3), 5, &mut rng), Some(NodeId(0)));
+        assert_eq!(f.dest(&t, NodeId(3), 50, &mut rng), None);
+        assert_eq!(f.dest(&t, NodeId(0), 5, &mut rng), None, "root stays quiet");
+        assert_eq!(f.dest(&t, NodeId(3), 105, &mut rng), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn suite_has_unique_names() {
+        let suite = standard_suite();
+        let names: std::collections::HashSet<_> = suite.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), suite.len());
+        assert!(names.len() >= 6);
+    }
+}

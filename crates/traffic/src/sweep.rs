@@ -1,0 +1,475 @@
+//! Offered-load sweeps: latency–throughput curves over the cycle fabric.
+//!
+//! For each offered load (flits per node per cycle), every node runs a
+//! Bernoulli packet generator feeding a source queue; packets inject
+//! into the [`TorusFabric`] as credits allow, with the dimension order
+//! and base VC drawn once per packet at generation time, exactly like
+//! [`anton_net::routing::plan_request`] (a blocked injection retries
+//! with the *same* draw, so backpressure cannot bias the oblivious
+//! randomization toward uncongested VCs). After a warmup window, packets
+//! generated during the measurement window are tracked to delivery;
+//! the sweep reports delivered throughput, mean/median/p99 latency, and
+//! a low-load cross-check of the per-hop constant against the analytic
+//! [`anton_net::path`] model the fabric was calibrated from.
+//!
+//! Everything is deterministic under the configured seed: node streams
+//! are split from one root [`SplitMix64`], and the fabric itself is
+//! seed-free.
+
+use crate::patterns::TrafficPattern;
+use anton_model::topology::{NodeId, Torus};
+use anton_model::units::PS_PER_CORE_CYCLE;
+use anton_net::fabric3d::{FabricParams, TorusFabric};
+use anton_sim::rng::SplitMix64;
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Configuration of one latency–throughput sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepConfig {
+    /// Torus extents.
+    pub dims: [u8; 3],
+    /// Flits per packet (the paper's packets are one or two flits).
+    pub flits_per_packet: u8,
+    /// Cycles of warmup before the measurement window opens.
+    pub warmup_cycles: u64,
+    /// Cycles of the measurement window.
+    pub measure_cycles: u64,
+    /// Maximum extra cycles to wait for window packets to drain.
+    pub drain_cycles: u64,
+    /// Root seed; every node stream and routing draw derives from it.
+    pub seed: u64,
+    /// Offered loads to sweep, in flits per node per cycle.
+    pub loads: Vec<f64>,
+}
+
+impl SweepConfig {
+    /// A standard sweep over `dims` with the default windows, seed, and
+    /// load axis.
+    pub fn new(dims: [u8; 3]) -> Self {
+        SweepConfig {
+            dims,
+            flits_per_packet: 2,
+            warmup_cycles: 3_000,
+            measure_cycles: 6_000,
+            drain_cycles: 40_000,
+            seed: 0xA3_70_03,
+            loads: Self::default_loads(),
+        }
+    }
+
+    /// The default offered-load axis: dense enough to show the knee.
+    pub fn default_loads() -> Vec<f64> {
+        vec![0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+    }
+}
+
+/// Measurements at one offered load.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LoadPoint {
+    /// Offered load, flits per node per cycle.
+    pub offered: f64,
+    /// Flits per node per cycle actually generated in the window (equal
+    /// to offered for always-on patterns; lower for duty-cycled ones
+    /// like fence-storm).
+    pub generated: f64,
+    /// Delivered throughput, flits per node per cycle, over the window.
+    pub delivered: f64,
+    /// Packets generated in the window.
+    pub packets_measured: u64,
+    /// Window packets still undelivered when the drain budget expired
+    /// (nonzero means the fabric is saturated at this load).
+    pub packets_incomplete: u64,
+    /// Mean generation-to-delivery latency in cycles (completed packets).
+    pub mean_latency_cycles: f64,
+    /// Median latency in cycles.
+    pub p50_latency_cycles: f64,
+    /// 99th-percentile latency in cycles.
+    pub p99_latency_cycles: f64,
+    /// Mean latency in nanoseconds at the 2.8 GHz core clock.
+    pub mean_latency_ns: f64,
+    /// Mean injection-to-delivery (network-only) latency in cycles.
+    pub mean_network_latency_cycles: f64,
+    /// Mean minimal hop count of measured packets.
+    pub mean_hops: f64,
+    /// Per-hop latency inferred from the network latency and hop counts,
+    /// in nanoseconds — converges to the analytic constant at low load.
+    pub measured_per_hop_ns: f64,
+    /// Injection attempts refused by fabric credits during the window.
+    pub backpressure_rejections: u64,
+    /// Whether this point is past saturation (incomplete packets or
+    /// delivered notably below offered).
+    pub saturated: bool,
+}
+
+/// One pattern's full latency–throughput curve.
+#[derive(Clone, Debug, Serialize)]
+pub struct PatternCurve {
+    /// Pattern name.
+    pub pattern: String,
+    /// One entry per offered load.
+    pub points: Vec<LoadPoint>,
+}
+
+impl PatternCurve {
+    /// The delivered throughput at saturation: the maximum over the curve
+    /// (delivered throughput is non-decreasing until the knee, flat or
+    /// falling after).
+    pub fn saturation_throughput(&self) -> f64 {
+        self.points.iter().map(|p| p.delivered).fold(0.0, f64::max)
+    }
+}
+
+/// A full multi-pattern sweep report (the JSON artifact).
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepReport {
+    /// Sweep configuration echo.
+    pub config: SweepConfig,
+    /// Calibrated router pipeline cycles per hop.
+    pub router_cycles: u64,
+    /// Calibrated link flight cycles per hop.
+    pub link_latency_cycles: u64,
+    /// The analytic per-hop constant the fabric was calibrated to, ns.
+    pub analytic_per_hop_ns: f64,
+    /// One curve per traffic pattern.
+    pub curves: Vec<PatternCurve>,
+}
+
+/// Per-packet bookkeeping (indexed by packet id).
+#[derive(Clone, Copy)]
+struct PacketInfo {
+    generated_at: u64,
+    injected_at: u64,
+    delivered_at: u64,
+    hops: u32,
+    tracked: bool,
+}
+
+const PENDING: u64 = u64::MAX;
+
+/// Runs one pattern at one offered load; `stream` decorrelates the RNG
+/// across points while staying reproducible from the config seed.
+pub fn run_point(
+    pattern: &dyn TrafficPattern,
+    cfg: &SweepConfig,
+    params: FabricParams,
+    offered: f64,
+    stream: u64,
+) -> LoadPoint {
+    assert!(cfg.flits_per_packet >= 1, "packets carry at least one flit");
+    assert!(
+        (0.0..=1.0 + 1e-9).contains(&offered),
+        "offered load {offered} out of range"
+    );
+    let torus = Torus::new(cfg.dims);
+    let mut fabric = TorusFabric::new(torus, params);
+    let n = torus.node_count();
+    let p_packet = offered / cfg.flits_per_packet as f64;
+
+    let root = SplitMix64::new(cfg.seed).split(stream);
+    let mut node_rng: Vec<SplitMix64> = (0..n as u64).map(|i| root.split(i)).collect();
+    // Source queue entry: a generated packet with its routing draw made
+    // once, at generation time — retried injections reuse the same
+    // order/VC so backpressure cannot bias the oblivious randomization.
+    struct Queued {
+        id: u64,
+        dst: NodeId,
+        order_idx: usize,
+        base_vc: u8,
+    }
+    let mut queues: Vec<VecDeque<Queued>> = Vec::new();
+    queues.resize_with(n, VecDeque::new);
+    let mut packets: Vec<PacketInfo> = Vec::new();
+
+    let window = cfg.warmup_cycles..cfg.warmup_cycles + cfg.measure_cycles;
+    let gen_end = window.end;
+    let horizon = gen_end + cfg.drain_cycles;
+    let mut outstanding: u64 = 0; // tracked packets not yet delivered
+    let mut window_flits: u64 = 0; // flits delivered inside the window
+    let mut backpressure: u64 = 0;
+
+    let mut cycle = 0u64;
+    while cycle < horizon {
+        // Generation: Bernoulli per node, destination from the pattern.
+        if cycle < gen_end {
+            for node in 0..n {
+                let rng = &mut node_rng[node];
+                if rng.next_f64() >= p_packet {
+                    continue;
+                }
+                let src = NodeId(node as u16);
+                if let Some(dst) = pattern.dest(&torus, src, cycle, rng) {
+                    let id = packets.len() as u64;
+                    let tracked = window.contains(&cycle);
+                    packets.push(PacketInfo {
+                        generated_at: cycle,
+                        injected_at: PENDING,
+                        delivered_at: PENDING,
+                        hops: torus.hop_distance(torus.coord(src), torus.coord(dst)),
+                        tracked,
+                    });
+                    if tracked {
+                        outstanding += 1;
+                    }
+                    queues[node].push_back(Queued {
+                        id,
+                        dst,
+                        order_idx: rng.next_below(6) as usize,
+                        base_vc: rng.next_below(2) as u8,
+                    });
+                }
+            }
+        }
+
+        // Injection: head-of-line packet per node, as credits allow,
+        // with the draw fixed at generation time.
+        for (node, queue) in queues.iter_mut().enumerate() {
+            let Some(q) = queue.front() else {
+                continue;
+            };
+            match fabric.inject_packet(
+                NodeId(node as u16),
+                q.dst,
+                q.id,
+                cfg.flits_per_packet,
+                q.order_idx,
+                q.base_vc,
+            ) {
+                Ok(()) => {
+                    packets[q.id as usize].injected_at = cycle;
+                    queue.pop_front();
+                }
+                Err(_) => {
+                    if window.contains(&cycle) {
+                        backpressure += 1;
+                    }
+                }
+            }
+        }
+
+        fabric.step();
+        cycle = fabric.cycle();
+
+        // Collect deliveries in batches.
+        if cycle.is_multiple_of(64) || cycle >= horizon {
+            for (at, flit) in fabric.take_delivered() {
+                if window.contains(&at) {
+                    window_flits += 1;
+                }
+                if flit.is_tail() {
+                    let info = &mut packets[flit.packet as usize];
+                    info.delivered_at = at;
+                    if info.tracked {
+                        outstanding -= 1;
+                    }
+                }
+            }
+            // Once the window closed and every tracked packet landed,
+            // the point is done — no need to burn the full drain budget.
+            if cycle >= gen_end && outstanding == 0 {
+                break;
+            }
+        }
+    }
+    for (at, flit) in fabric.take_delivered() {
+        if window.contains(&at) {
+            window_flits += 1;
+        }
+        if flit.is_tail() {
+            let info = &mut packets[flit.packet as usize];
+            info.delivered_at = at;
+            if info.tracked {
+                outstanding -= 1;
+            }
+        }
+    }
+
+    // Statistics over tracked (window-generated) packets.
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut net_sum, mut hop_sum, mut total_sum) = (0f64, 0f64, 0f64);
+    let mut measured = 0u64;
+    for info in packets.iter().filter(|i| i.tracked) {
+        measured += 1;
+        if info.delivered_at == PENDING {
+            continue;
+        }
+        latencies.push(info.delivered_at - info.generated_at);
+        total_sum += (info.delivered_at - info.generated_at) as f64;
+        net_sum += (info.delivered_at - info.injected_at) as f64;
+        hop_sum += info.hops as f64;
+    }
+    latencies.sort_unstable();
+    let completed = latencies.len() as f64;
+    let pct = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            0.0
+        } else {
+            latencies[((completed - 1.0) * q).round() as usize] as f64
+        }
+    };
+    let mean_latency = if completed > 0.0 {
+        total_sum / completed
+    } else {
+        0.0
+    };
+    let mean_net = if completed > 0.0 {
+        net_sum / completed
+    } else {
+        0.0
+    };
+    let mean_hops = if completed > 0.0 {
+        hop_sum / completed
+    } else {
+        0.0
+    };
+    let cycle_ns = PS_PER_CORE_CYCLE as f64 / 1000.0;
+    let measured_per_hop_ns = if mean_hops > 0.0 {
+        (mean_net - params.router_cycles as f64) / mean_hops * cycle_ns
+    } else {
+        0.0
+    };
+    let delivered = window_flits as f64 / (n as f64 * cfg.measure_cycles as f64);
+    let generated =
+        measured as f64 * cfg.flits_per_packet as f64 / (n as f64 * cfg.measure_cycles as f64);
+    LoadPoint {
+        offered,
+        generated,
+        delivered,
+        packets_measured: measured,
+        packets_incomplete: outstanding,
+        mean_latency_cycles: mean_latency,
+        p50_latency_cycles: pct(0.50),
+        p99_latency_cycles: pct(0.99),
+        mean_latency_ns: mean_latency * cycle_ns,
+        mean_network_latency_cycles: mean_net,
+        mean_hops,
+        measured_per_hop_ns,
+        backpressure_rejections: backpressure,
+        saturated: outstanding > 0 || delivered < generated * 0.90 - 1e-3,
+    }
+}
+
+/// Runs a pattern across the whole load axis.
+pub fn run_curve(
+    pattern: &dyn TrafficPattern,
+    cfg: &SweepConfig,
+    params: FabricParams,
+    stream: u64,
+) -> PatternCurve {
+    let points = cfg
+        .loads
+        .iter()
+        .enumerate()
+        .map(|(i, &load)| run_point(pattern, cfg, params, load, stream * 1024 + i as u64))
+        .collect();
+    PatternCurve {
+        pattern: pattern.name().to_string(),
+        points,
+    }
+}
+
+/// Runs every pattern in `patterns` and assembles the report.
+pub fn run_sweep(
+    patterns: &[Box<dyn TrafficPattern>],
+    cfg: &SweepConfig,
+    params: FabricParams,
+) -> SweepReport {
+    let curves = patterns
+        .iter()
+        .enumerate()
+        .map(|(i, p)| run_curve(p.as_ref(), cfg, params, i as u64 + 1))
+        .collect();
+    SweepReport {
+        config: cfg.clone(),
+        router_cycles: params.router_cycles,
+        link_latency_cycles: params.link_latency,
+        analytic_per_hop_ns: params.per_hop_time().as_ns(),
+        curves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::{NearestNeighbor, UniformRandom};
+    use anton_model::latency::LatencyModel;
+
+    fn small_cfg() -> SweepConfig {
+        SweepConfig {
+            dims: [2, 2, 4],
+            flits_per_packet: 2,
+            warmup_cycles: 800,
+            measure_cycles: 1_500,
+            drain_cycles: 20_000,
+            seed: 11,
+            loads: vec![],
+        }
+    }
+
+    fn params() -> FabricParams {
+        FabricParams::calibrated(&LatencyModel::default())
+    }
+
+    #[test]
+    fn low_load_latency_matches_analytic_per_hop() {
+        let cfg = small_cfg();
+        let p = params();
+        let point = run_point(&UniformRandom, &cfg, p, 0.02, 1);
+        assert!(point.packets_measured > 20, "too few packets to judge");
+        assert_eq!(point.packets_incomplete, 0, "low load must fully drain");
+        let analytic = p.per_hop_time().as_ns();
+        let rel = (point.measured_per_hop_ns - analytic).abs() / analytic;
+        assert!(
+            rel < 0.10,
+            "per-hop {} ns vs analytic {analytic} ns ({}% off)",
+            point.measured_per_hop_ns,
+            rel * 100.0
+        );
+    }
+
+    #[test]
+    fn throughput_rises_with_offered_load_before_saturation() {
+        let cfg = small_cfg();
+        let p = params();
+        let lo = run_point(&NearestNeighbor, &cfg, p, 0.05, 2);
+        let hi = run_point(&NearestNeighbor, &cfg, p, 0.3, 3);
+        assert!(lo.delivered > 0.03 && lo.delivered < 0.08);
+        assert!(hi.delivered > lo.delivered * 3.0, "throughput must scale");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_curve() {
+        let cfg = small_cfg();
+        let p = params();
+        let a = run_point(&UniformRandom, &cfg, p, 0.2, 7);
+        let b = run_point(&UniformRandom, &cfg, p, 0.2, 7);
+        assert_eq!(a.packets_measured, b.packets_measured);
+        assert_eq!(a.mean_latency_cycles, b.mean_latency_cycles);
+        assert_eq!(a.p99_latency_cycles, b.p99_latency_cycles);
+        assert_eq!(a.delivered, b.delivered);
+    }
+
+    #[test]
+    fn overload_saturates_and_reports_it() {
+        let mut cfg = small_cfg();
+        cfg.drain_cycles = 4_000; // don't wait out the overload backlog
+        let p = params();
+        let point = run_point(&UniformRandom, &cfg, p, 1.0, 4);
+        assert!(point.saturated, "offered 1.0 must saturate a [2,2,4] torus");
+        assert!(point.delivered < 1.0);
+        assert!(point.backpressure_rejections > 0, "credits must push back");
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let mut cfg = small_cfg();
+        cfg.loads = vec![0.05];
+        cfg.warmup_cycles = 200;
+        cfg.measure_cycles = 400;
+        let suite: Vec<Box<dyn crate::patterns::TrafficPattern>> = vec![Box::new(UniformRandom)];
+        let report = run_sweep(&suite, &cfg, params());
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"uniform_random\""));
+        assert!(json.contains("\"analytic_per_hop_ns\""));
+    }
+}

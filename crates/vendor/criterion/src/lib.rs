@@ -1,0 +1,163 @@
+//! Minimal local replacement for `criterion`, vendored because the build
+//! container has no crates.io access.
+//!
+//! It implements the narrow API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], benchmark groups with `sample_size`, the
+//! `criterion_group!` / `criterion_main!` macros and [`black_box`] — with
+//! a simple calibrated timing loop instead of criterion's statistics.
+//! Each benchmark prints one `name ... time per iter` line.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized; accepted for API compatibility, the
+/// vendored runner treats every variant the same.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// One routine call per setup output, small input.
+    SmallInput,
+    /// One routine call per setup output, large input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Drives timing for a single benchmark target.
+pub struct Bencher {
+    /// Measured wall time per iteration, filled by `iter*`.
+    elapsed_per_iter: Duration,
+    target_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up and then running a fixed number
+    /// of measured iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        for _ in 0..self.target_iters.div_ceil(10).max(1) {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.target_iters {
+            black_box(routine());
+        }
+        self.elapsed_per_iter = start.elapsed() / self.target_iters.max(1) as u32;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.target_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed_per_iter = total / self.target_iters.max(1) as u32;
+    }
+}
+
+fn run_one(name: &str, sample_iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed_per_iter: Duration::ZERO,
+        target_iters: sample_iters,
+    };
+    f(&mut b);
+    let ns = b.elapsed_per_iter.as_nanos();
+    let human = if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    };
+    println!("bench: {name:<48} {human}/iter ({sample_iters} iters)");
+}
+
+/// The benchmark driver (a drastically simplified `criterion::Criterion`).
+pub struct Criterion {
+    sample_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Quick-mode-style default so `cargo bench` stays fast even for
+        // the heavier fabric benches.
+        Criterion { sample_iters: 30 }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_iters, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_iters: self.sample_iters,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks with its own sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_iters: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_iters = n.max(1) as u64;
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, name),
+            self.sample_iters,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,153 @@
+//! The JSON tree that [`crate::Serialize`] lowers into, plus renderers.
+
+use core::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any integer (kept exact; JSON numbers in this workspace fit i128).
+    Int(i128),
+    /// A floating-point number (non-finite values render as `null`).
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Json {
+    /// Renders without any whitespace.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with two-space indentation (serde_json pretty style).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_close, colon) = match indent {
+            Some(w) => (
+                "\n",
+                " ".repeat(w * (depth + 1)),
+                " ".repeat(w * depth),
+                ": ",
+            ),
+            None => ("", String::new(), String::new(), ":"),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) if f.is_finite() => {
+                let mut s = format!("{f}");
+                // Ensure the value reads back as a float, not an integer.
+                if !s.contains('.') && !s.contains('e') {
+                    s.push_str(".0");
+                }
+                out.push_str(&s);
+            }
+            Json::Float(_) => out.push_str("null"),
+            Json::String(s) => escape_into(s, out),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push(']');
+            }
+            Json::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    escape_into(k, out);
+                    out.push_str(colon);
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_roundtrip_shapes() {
+        let v = Json::Object(vec![
+            ("a".into(), Json::Int(1)),
+            ("b".into(), Json::Array(vec![Json::Float(0.5), Json::Null])),
+        ]);
+        assert_eq!(v.render_compact(), r#"{"a":1,"b":[0.5,null]}"#);
+        let pretty = v.render_pretty();
+        assert!(pretty.contains("\n  \"a\": 1"));
+    }
+
+    #[test]
+    fn floats_always_carry_a_decimal_point() {
+        assert_eq!(Json::Float(2.0).render_compact(), "2.0");
+        assert_eq!(Json::Float(0.25).render_compact(), "0.25");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            Json::String("a\"b\\c\n".into()).render_compact(),
+            r#""a\"b\\c\n""#
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Minimal local replacement for `serde`, vendored because the build
+//! container has no crates.io access.
+//!
+//! It reproduces exactly the surface this workspace uses:
+//!
+//! - `#[derive(Serialize, Deserialize)]` (re-exported from the local
+//!   `serde_derive` stub);
+//! - a [`Serialize`] trait — here simplified to "lower yourself to a
+//!   [`json::Json`] tree", which is all the `--json` output paths need;
+//! - a [`Deserialize`] marker trait (nothing in the workspace reads
+//!   serialized data back).
+//!
+//! The companion `serde_json` vendor crate renders [`json::Json`] trees
+//! as compact or pretty JSON text.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Types that can lower themselves to a [`json::Json`] tree.
+///
+/// This deliberately collapses real serde's `Serializer` abstraction:
+/// the only sink in this workspace is JSON text.
+pub trait Serialize {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> json::Json;
+}
+
+/// Marker trait standing in for serde's `Deserialize`; the derive emits
+/// an empty impl and nothing in the workspace deserializes.
+pub trait Deserialize {}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Json {
+                json::Json::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Json {
+                json::Json::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> json::Json {
+        json::Json::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for str {
+    fn to_json(&self) -> json::Json {
+        json::Json::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> json::Json {
+        json::Json::String(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for char {
+    fn to_json(&self) -> json::Json {
+        json::Json::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> json::Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> json::Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => json::Json::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> json::Json {
+        json::Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> json::Json {
+        json::Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> json::Json {
+        json::Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> json::Json {
+        json::Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json(&self) -> json::Json {
+        json::Json::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower() {
+        assert_eq!(7u32.to_json(), json::Json::Int(7));
+        assert_eq!(true.to_json(), json::Json::Bool(true));
+        assert_eq!("x".to_json(), json::Json::String("x".into()));
+        assert_eq!(None::<u8>.to_json(), json::Json::Null);
+    }
+
+    #[test]
+    fn collections_lower() {
+        let v = vec![1u8, 2];
+        assert_eq!(
+            v.to_json(),
+            json::Json::Array(vec![json::Json::Int(1), json::Json::Int(2)])
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Minimal local replacement for the `serde_derive` proc-macro crate.
+//!
+//! The build container has no access to a crates.io mirror, so the
+//! workspace vendors the small slice of serde it actually uses: a
+//! `Serialize` derive that lowers a type to the [`serde::json::Json`]
+//! tree (named structs → objects, newtypes → their inner value, tuple
+//! structs → arrays, field-less enums → variant-name strings) and a
+//! `Deserialize` derive that emits only the marker impl. Generic types
+//! and data-carrying enum variants are rejected at compile time; nothing
+//! in this workspace needs them.
+//!
+//! The parser walks raw `TokenTree`s (no `syn`/`quote`), which is enough
+//! for the plain `struct`/`enum` items the workspace derives on.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What shape of type the derive input declared.
+enum Shape {
+    /// `struct S { a: T, b: U }` with the field names in order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` with the number of fields.
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+    /// `enum E { A, B }` with the variant names (all field-less).
+    UnitEnum(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(t) if is_punct(t, '#') => *i += 2, // `#` + bracket group
+            Some(t) if is_ident(t, "pub") => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field list body on commas that sit outside `<...>` generics.
+/// Bracketed/parenthesised subtrees arrive pre-grouped, so only angle
+/// brackets need explicit depth tracking.
+fn count_top_level_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle = 0i32;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => fields += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma opens a phantom last field; detect it.
+    if let Some(last) = body.last() {
+        if is_punct(last, ',') {
+            fields -= 1;
+        }
+    }
+    fields
+}
+
+/// Extracts the field names of a named-struct body.
+fn named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        let Some(TokenTree::Ident(id)) = body.get(i) else {
+            break;
+        };
+        names.push(id.to_string());
+        i += 1;
+        assert!(
+            matches!(body.get(i), Some(t) if is_punct(t, ':')),
+            "serde_derive stub: expected `:` after field `{}`",
+            names.last().unwrap()
+        );
+        // Skip the type until a top-level comma.
+        let mut angle = 0i32;
+        while let Some(t) = body.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Extracts the variant names of an enum body, rejecting data-carrying
+/// variants (nothing in the workspace serializes those).
+fn enum_variants(body: &[TokenTree], name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        let Some(TokenTree::Ident(id)) = body.get(i) else {
+            break;
+        };
+        variants.push(id.to_string());
+        i += 1;
+        match body.get(i) {
+            None => break,
+            Some(t) if is_punct(t, ',') => i += 1,
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive stub: enum `{name}` has a data-carrying variant \
+                 `{}`; only field-less enums are supported",
+                variants.last().unwrap()
+            ),
+            Some(other) => panic!("serde_derive stub: unexpected token {other} in enum `{name}`"),
+        }
+    }
+    variants
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        panic!(
+            "serde_derive stub: expected `struct` or `enum`, got {}",
+            toks[i]
+        );
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("serde_derive stub: expected type name, got {}", toks[i]);
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(toks.get(i), Some(t) if is_punct(t, '<')) {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    let shape = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if is_enum {
+                Shape::UnitEnum(enum_variants(&body, &name))
+            } else {
+                Shape::Named(named_fields(&body))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::Tuple(count_top_level_fields(&body))
+        }
+        Some(t) if is_punct(t, ';') => Shape::Unit,
+        other => panic!("serde_derive stub: unexpected item body for `{name}`: {other:?}"),
+    };
+    Parsed { name, shape }
+}
+
+/// Derives `serde::Serialize` by lowering the type to a `Json` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, shape } = parse(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_json(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut obj: Vec<(String, ::serde::json::Json)> = Vec::new();\
+                 {pushes} ::serde::json::Json::Object(obj)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_json(&self.{k}),"))
+                .collect();
+            format!("::serde::json::Json::Array(vec![{items}])")
+        }
+        Shape::Unit => "::serde::json::Json::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!("::serde::json::Json::String(match self {{ {arms} }}.to_string())")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn to_json(&self) -> ::serde::json::Json {{ {body} }}\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl must parse")
+}
+
+/// Derives the `serde::Deserialize` marker (nothing in the workspace
+/// actually deserializes, so the impl is empty).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, .. } = parse(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub: generated impl must parse")
+}

@@ -1,0 +1,42 @@
+//! Minimal local replacement for `serde_json`, vendored because the
+//! build container has no crates.io access. Renders the [`serde::json::Json`]
+//! tree produced by the vendored `serde` stub as JSON text.
+
+#![forbid(unsafe_code)]
+
+use core::fmt;
+
+/// Serialization error. The vendored serializer is infallible, so this
+/// type exists only to keep `serde_json`'s `Result` signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().render_compact())
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().render_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn vec_of_pairs_pretty_prints() {
+        let v: Vec<(u32, f64)> = vec![(1, 0.5), (2, 1.0)];
+        let s = super::to_string_pretty(&v).unwrap();
+        assert!(s.starts_with('['));
+        assert!(s.contains("0.5"));
+        assert_eq!(super::to_string(&v).unwrap(), "[[1,0.5],[2,1.0]]");
+    }
+}

@@ -28,7 +28,9 @@ fn main() {
         let (rk, rq) = channel.receive(wire);
         assert_eq!((rk, rq), (key, q), "particle cache must be lossless");
         let desc = match wire {
-            PositionWire::Full { .. } => ("FULL position + static field".to_string(), "-".to_string()),
+            PositionWire::Full { .. } => {
+                ("FULL position + static field".to_string(), "-".to_string())
+            }
             PositionWire::Compressed { delta, .. } => {
                 let words = [delta[0] as u32, delta[1] as u32, delta[2] as u32];
                 let enc = inz::encode(&words);
@@ -38,7 +40,10 @@ fn main() {
                 )
             }
         };
-        println!("{step:>4} {:>34} {:>12} {:>14}", desc.0, desc.1, "reconstructed");
+        println!(
+            "{step:>4} {:>34} {:>12} {:>14}",
+            desc.0, desc.1, "reconstructed"
+        );
         for k in 0..3 {
             pos[k] += vel[k] * 2.5;
         }

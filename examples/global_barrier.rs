@@ -10,9 +10,18 @@ use anton3::net::fence::{FenceAllocator, FencePattern, FenceSpec, RouterFence};
 
 fn main() {
     let cfg = MachineConfig::torus([4, 4, 8]);
-    println!("GC-to-GC fence barrier latency on a {} machine:\n", cfg.torus);
+    println!(
+        "GC-to-GC fence barrier latency on a {} machine:\n",
+        cfg.torus
+    );
     for hops in 0..=cfg.torus.diameter() {
-        let t = barrier::barrier_latency(&cfg, FenceSpec { pattern: FencePattern::GcToGc, hops });
+        let t = barrier::barrier_latency(
+            &cfg,
+            FenceSpec {
+                pattern: FencePattern::GcToGc,
+                hops,
+            },
+        );
         let label = match hops {
             0 => " (intra-node)",
             h if h == cfg.torus.diameter() => " (global barrier)",
@@ -27,11 +36,20 @@ fn main() {
     println!("\nFigure 10 merge mechanics:");
     let mut rf = RouterFence::new(4, 1);
     rf.configure(0, 0, 2, 0b1010);
-    println!("  first fence packet at port 0: fires = {:?}", rf.receive(0, 0));
-    println!("  second fence packet at port 0: fires = {:?} (multicast mask)", rf.receive(0, 0));
+    println!(
+        "  first fence packet at port 0: fires = {:?}",
+        rf.receive(0, 0)
+    );
+    println!(
+        "  second fence packet at port 0: fires = {:?} (multicast mask)",
+        rf.receive(0, 0)
+    );
 
     // Concurrent-fence flow control (§V-D): at most 14 in flight.
     let mut alloc = FenceAllocator::new();
     let slots: Vec<_> = std::iter::from_fn(|| alloc.try_acquire()).collect();
-    println!("\nconcurrent fences acquired before the adapter stalls: {}", slots.len());
+    println!(
+        "\nconcurrent fences acquired before the adapter stalls: {}",
+        slots.len()
+    );
 }

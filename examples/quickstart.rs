@@ -21,10 +21,16 @@ fn main() {
     // The receiver arms a blocking read expecting two force contributions.
     let mut sram = CountedSram::gc_block();
     let quad = QuadAddr(0x40);
-    assert!(matches!(sram.blocking_read(quad, 2, 1), ReadOutcome::Pending));
+    assert!(matches!(
+        sram.blocking_read(quad, 2, 1),
+        ReadOutcome::Pending
+    ));
     sram.counted_accumulate(quad, [10, 0, 0, 0]);
     let woken = sram.counted_accumulate(quad, [32, 0, 0, 0]);
-    println!("blocking read unblocked by write: waiters {woken:?}, quad = {:?}", sram.read(quad));
+    println!(
+        "blocking read unblocked by write: waiters {woken:?}, quad = {:?}",
+        sram.read(quad)
+    );
 
     // --- an end-to-end message between neighboring nodes (§III-C) -------
     let mut rng = SplitMix64::new(7);
@@ -33,16 +39,29 @@ fn main() {
     let plan = routing::plan_request(&cfg.torus, src, dst, &mut rng);
     let breakdown = path::one_way(
         &cfg.latency,
-        Compression { inz: cfg.inz_enabled, pcache: cfg.pcache_enabled },
+        Compression {
+            inz: cfg.inz_enabled,
+            pcache: cfg.pcache_enabled,
+        },
         ChipLoc::gc(2, 3, 0),
         ChipLoc::gc(20, 8, 1),
         &plan,
         4, // one quad of payload
     );
-    println!("\ncounted write {} -> {} ({} hop(s), order {}):", NodeId(0), NodeId(1), plan.hop_count(), plan.order);
+    println!(
+        "\ncounted write {} -> {} ({} hop(s), order {}):",
+        NodeId(0),
+        NodeId(1),
+        plan.hop_count(),
+        plan.order
+    );
     for seg in &breakdown.segments {
         println!("  {:<44} {:>7.2} ns", seg.name, seg.time.as_ns());
     }
-    println!("  {:<44} {:>7.2} ns", "TOTAL one-way", breakdown.total().as_ns());
+    println!(
+        "  {:<44} {:>7.2} ns",
+        "TOTAL one-way",
+        breakdown.total().as_ns()
+    );
     println!("\n(the paper's 128-node machine measures 55.9 ns + 34.2 ns/hop)");
 }

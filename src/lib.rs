@@ -7,9 +7,12 @@
 //! - [`sim`] — deterministic discrete-event simulation engine
 //! - [`compress`] — INZ encoding and the particle cache
 //! - [`mem`] — counted-write / blocking-read SRAM
-//! - [`net`] — routers, adapters, channels, torus routing, network fences
+//! - [`net`] — routers, adapters, channels, torus routing, network fences,
+//!   and the cycle-level 3D torus fabric
 //! - [`md`] — the water-box molecular-dynamics substrate
 //! - [`machine`] — full-system assembly and the paper's experiments
+//! - [`traffic`] — synthetic workload generators and latency–throughput
+//!   sweeps over the cycle fabric
 //!
 //! ```
 //! use anton3::model::MachineConfig;
@@ -23,3 +26,4 @@ pub use anton_mem as mem;
 pub use anton_model as model;
 pub use anton_net as net;
 pub use anton_sim as sim;
+pub use anton_traffic as traffic;

@@ -71,9 +71,15 @@ fn frame_roundtrip_of_mixed_md_traffic() {
         let f = quantize_force(sim.forces.f[atom]);
         let pos_words = [q[0] as u32, q[1] as u32, q[2] as u32];
         let force_words = [f[0] as u32, f[1] as u32, f[2] as u32];
-        items.push(frame::WireItem { header: vec![atom as u8; 8], payload: inz::encode(&pos_words) });
+        items.push(frame::WireItem {
+            header: vec![atom as u8; 8],
+            payload: inz::encode(&pos_words),
+        });
         meta.push((8usize, 3usize));
-        items.push(frame::WireItem { header: vec![atom as u8; 2], payload: inz::encode(&force_words) });
+        items.push(frame::WireItem {
+            header: vec![atom as u8; 2],
+            payload: inz::encode(&force_words),
+        });
         meta.push((2usize, 3usize));
     }
     let (frames, padding) = frame::pack(&items);
@@ -91,8 +97,13 @@ fn full_run_keeps_every_cache_pair_synchronized() {
 
 #[test]
 fn reduction_bands_match_figure_9a() {
-    let base = MdNetworkRun::new(MachineConfig::torus([2, 2, 2]).without_compression(), 6000, 8, false)
-        .run(4, 3);
+    let base = MdNetworkRun::new(
+        MachineConfig::torus([2, 2, 2]).without_compression(),
+        6000,
+        8,
+        false,
+    )
+    .run(4, 3);
     let inz_only =
         MdNetworkRun::new(MachineConfig::torus([2, 2, 2]).inz_only(), 6000, 8, false).run(4, 3);
     let full = MdNetworkRun::new(MachineConfig::torus([2, 2, 2]), 6000, 8, false).run(4, 3);
@@ -102,8 +113,14 @@ fn reduction_bands_match_figure_9a() {
     // Paper: 32-40% and 45-62%; our substrate sits in (or within ~2pp of)
     // those bands — see EXPERIMENTS.md for the per-size table.
     assert!((30.0..44.0).contains(&inz_pct), "INZ-only {inz_pct:.1}%");
-    assert!((45.0..66.0).contains(&full_pct), "INZ+pcache {full_pct:.1}%");
-    assert!(full_pct > inz_pct + 10.0, "the pcache must contribute substantially");
+    assert!(
+        (45.0..66.0).contains(&full_pct),
+        "INZ+pcache {full_pct:.1}%"
+    );
+    assert!(
+        full_pct > inz_pct + 10.0,
+        "the pcache must contribute substantially"
+    );
 }
 
 #[test]

@@ -18,8 +18,16 @@ fn fig5_shape_full_sweep() {
     let r = pingpong::fig5(&cfg128(), 200, 99);
     // Paper: 55.9 + 34.2/hop. Slope must land tight; the intercept of our
     // reconstruction sits lower (see EXPERIMENTS.md) but within 25%.
-    assert!((32.0..38.0).contains(&r.per_hop_ns), "slope {}", r.per_hop_ns);
-    assert!((42.0..62.0).contains(&r.fixed_ns), "intercept {}", r.fixed_ns);
+    assert!(
+        (32.0..38.0).contains(&r.per_hop_ns),
+        "slope {}",
+        r.per_hop_ns
+    );
+    assert!(
+        (42.0..62.0).contains(&r.fixed_ns),
+        "intercept {}",
+        r.fixed_ns
+    );
     assert!(r.r2 > 0.999);
     // 0-hop undercuts the fit (the paper's note on Figure 5).
     assert!(r.rows[0].mean_ns < r.fixed_ns);
@@ -36,14 +44,20 @@ fn minimum_latency_beats_commodity_networks() {
     assert!(min < Ps::from_ns(60.0));
     assert!(min > Ps::from_ns(45.0));
     let tofu_min = Ps::from_ns(490.0);
-    assert!(tofu_min.as_ns() / min.as_ns() > 8.0, "should be ~9x faster than Tofu-D");
+    assert!(
+        tofu_min.as_ns() / min.as_ns() > 8.0,
+        "should be ~9x faster than Tofu-D"
+    );
 }
 
 #[test]
 fn latency_averages_are_reproducible() {
     let a = pingpong::one_way_latency(&cfg128(), 3, 150, 7);
     let b = pingpong::one_way_latency(&cfg128(), 3, 150, 7);
-    assert_eq!(a.mean_ns, b.mean_ns, "same seed must give identical results");
+    assert_eq!(
+        a.mean_ns, b.mean_ns,
+        "same seed must give identical results"
+    );
 }
 
 #[test]
@@ -64,8 +78,12 @@ fn response_paths_are_longer_or_equal_on_average() {
         let dst = ChipLoc::gc(9, 9, 0);
         let req = routing::plan_request(&torus, a, b, &mut rng);
         let resp = routing::plan_response(&torus, a, b, &mut rng);
-        req_total += path::one_way(&cfg.latency, comp, src, dst, &req, 4).total().as_ns();
-        resp_total += path::one_way(&cfg.latency, comp, src, dst, &resp, 4).total().as_ns();
+        req_total += path::one_way(&cfg.latency, comp, src, dst, &req, 4)
+            .total()
+            .as_ns();
+        resp_total += path::one_way(&cfg.latency, comp, src, dst, &resp, 4)
+            .total()
+            .as_ns();
     }
     assert!(
         resp_total >= req_total,
@@ -82,7 +100,10 @@ fn compression_latency_cost_is_negligible() {
     let r_base = pingpong::one_way_latency(&base, 1, 100, 5);
     let r_full = pingpong::one_way_latency(&full, 1, 100, 5);
     let delta = r_full.mean_ns - r_base.mean_ns;
-    assert!((0.0..4.0).contains(&delta), "compression adds {delta} ns to 1-hop latency");
+    assert!(
+        (0.0..4.0).contains(&delta),
+        "compression adds {delta} ns to 1-hop latency"
+    );
 }
 
 #[test]

@@ -47,25 +47,31 @@ fn fence_sweeps_a_router_chain_exactly_once() {
             fired += 1;
         }
     }
-    assert_eq!(fired, 1, "one merged fence leaves the middle router per wave");
-    assert_eq!(dest.receive(0, 0), Some(0b1), "destination sees exactly one fence");
+    assert_eq!(
+        fired, 1,
+        "one merged fence leaves the middle router per wave"
+    );
+    assert_eq!(
+        dest.receive(0, 0),
+        Some(0b1),
+        "destination sees exactly one fence"
+    );
 }
 
 #[test]
 fn fence_never_overtakes_posted_writes() {
     // The memory-fence property of §V-E: a fence sent after N counted
     // writes on a link arrives after all of them, for any N.
-    let mut m = NetworkMachine::new(MachineConfig::torus([2, 2, 2]));
+    let m = NetworkMachine::new(MachineConfig::torus([2, 2, 2]));
     for n in [0usize, 1, 7, 64, 300] {
         let mut machine = m.clone();
-        let (last_data, fence) = barrier::fence_flushes_link(
-            &mut machine,
-            NodeId(2),
-            Direction::new(Dim::Y, false),
-            n,
-        );
+        let (last_data, fence) =
+            barrier::fence_flushes_link(&mut machine, NodeId(2), Direction::new(Dim::Y, false), n);
         if n > 0 {
-            assert!(fence > last_data, "n={n}: fence {fence} vs data {last_data}");
+            assert!(
+                fence > last_data,
+                "n={n}: fence {fence} vs data {last_data}"
+            );
         }
     }
     // Keep the original machine unused-warning-free.
@@ -77,10 +83,21 @@ fn barrier_latency_scales_linearly_and_matches_paper() {
     let cfg = MachineConfig::torus([4, 4, 8]);
     let rows = barrier::fig11(&cfg);
     // Paper: 51.5 ns intra-node, ~504 ns global, 51.8 ns/hop.
-    assert!((47.0..58.0).contains(&rows[0].latency_ns), "0-hop {}", rows[0].latency_ns);
-    assert!((450.0..540.0).contains(&rows[8].latency_ns), "8-hop {}", rows[8].latency_ns);
-    let increments: Vec<f64> =
-        rows.windows(2).skip(1).map(|w| w[1].latency_ns - w[0].latency_ns).collect();
+    assert!(
+        (47.0..58.0).contains(&rows[0].latency_ns),
+        "0-hop {}",
+        rows[0].latency_ns
+    );
+    assert!(
+        (450.0..540.0).contains(&rows[8].latency_ns),
+        "8-hop {}",
+        rows[8].latency_ns
+    );
+    let increments: Vec<f64> = rows
+        .windows(2)
+        .skip(1)
+        .map(|w| w[1].latency_ns - w[0].latency_ns)
+        .collect();
     for inc in &increments {
         assert!((47.0..56.0).contains(inc), "per-hop increment {inc}");
     }
@@ -92,14 +109,23 @@ fn smaller_machines_have_cheaper_global_barriers() {
     let large = MachineConfig::torus([4, 4, 8]);
     let t_small = barrier::barrier_latency(
         &small,
-        FenceSpec { pattern: FencePattern::GcToGc, hops: small.torus.diameter() },
+        FenceSpec {
+            pattern: FencePattern::GcToGc,
+            hops: small.torus.diameter(),
+        },
     );
     let t_large = barrier::barrier_latency(
         &large,
-        FenceSpec { pattern: FencePattern::GcToGc, hops: large.torus.diameter() },
+        FenceSpec {
+            pattern: FencePattern::GcToGc,
+            hops: large.torus.diameter(),
+        },
     );
     assert!(t_small < t_large);
-    assert!(t_small > Ps::from_ns(100.0), "2x2x2 barrier still crosses channels");
+    assert!(
+        t_small > Ps::from_ns(100.0),
+        "2x2x2 barrier still crosses channels"
+    );
 }
 
 #[test]
@@ -109,7 +135,10 @@ fn hop_limited_fences_price_proportionally() {
     // equals the cost of a 3-hop fence on any machine.
     let a = MachineConfig::torus([4, 4, 8]);
     let b = MachineConfig::torus([8, 8, 8]);
-    let spec = FenceSpec { pattern: FencePattern::GcToGc, hops: 3 };
+    let spec = FenceSpec {
+        pattern: FencePattern::GcToGc,
+        hops: 3,
+    };
     assert_eq!(
         barrier::barrier_latency(&a, spec),
         barrier::barrier_latency(&b, spec),
@@ -144,7 +173,11 @@ fn end_of_step_markers_share_fence_ordering() {
     let mut m = NetworkMachine::new(MachineConfig::torus([2, 2, 2]));
     let link = m.link_mut(NodeId(0), Direction::new(Dim::Z, true), 1);
     let t_pos = link
-        .send_position(Ps::ZERO, anton3::compress::pcache::ParticleKey(9), [5, 5, 5])
+        .send_position(
+            Ps::ZERO,
+            anton3::compress::pcache::ParticleKey(9),
+            [5, 5, 5],
+        )
         .0;
     let t_eos = link.send_marker(Ps::ZERO, PacketKind::EndOfStep);
     assert!(t_eos.depart >= t_pos.depart + (t_pos.arrive - t_pos.depart) - link.crossing_fixed());

@@ -21,6 +21,7 @@ fn every_cutoff_pair_is_computable_somewhere() {
     // availability[node] = set of atoms whose position node holds.
     let n_atoms = sim.system.n;
     let mut available: Vec<Vec<bool>> = vec![vec![false; n_atoms]; torus.node_count()];
+    #[allow(clippy::needless_range_loop)] // atom indexes two parallel tables
     for atom in 0..n_atoms {
         let pos = sim.system.pos[atom];
         available[decomp.home_node(pos).index()][atom] = true;
@@ -44,7 +45,10 @@ fn every_cutoff_pair_is_computable_somewhere() {
             );
         }
     }
-    assert!(pairs > 10_000, "the test must actually exercise many pairs: {pairs}");
+    assert!(
+        pairs > 10_000,
+        "the test must actually exercise many pairs: {pairs}"
+    );
 }
 
 #[test]
@@ -62,8 +66,7 @@ fn import_counts_are_symmetric_in_aggregate() {
         let targets = decomp.export_targets(pos);
         exports += targets.len() as u64;
         let home = torus.coord(decomp.home_node(pos));
-        tree_edges +=
-            multicast_tree(&torus, home, &targets, DimOrder::ALL[atom % 6]).len() as u64;
+        tree_edges += multicast_tree(&torus, home, &targets, DimOrder::ALL[atom % 6]).len() as u64;
     }
     // Multicast saves edges: the tree never uses more edges than unicast.
     assert!(tree_edges <= exports * 3, "trees bounded by path lengths");
@@ -96,16 +99,28 @@ fn atoms_stay_assigned_as_they_drift() {
     let mut sim = Simulation::water(3000, 29);
     let torus = Torus::new([2, 2, 2]);
     let decomp = Decomposition::new(torus, sim.system.box_len, sim.params.cutoff * 0.5);
-    let homes_before: Vec<NodeId> =
-        sim.system.pos.iter().map(|p| decomp.home_node(*p)).collect();
+    let homes_before: Vec<NodeId> = sim
+        .system
+        .pos
+        .iter()
+        .map(|p| decomp.home_node(*p))
+        .collect();
     sim.run(5);
-    let homes_after: Vec<NodeId> =
-        sim.system.pos.iter().map(|p| decomp.home_node(*p)).collect();
+    let homes_after: Vec<NodeId> = sim
+        .system
+        .pos
+        .iter()
+        .map(|p| decomp.home_node(*p))
+        .collect();
     let moved = homes_before
         .iter()
         .zip(&homes_after)
         .filter(|(a, b)| a != b)
         .count();
     let frac = moved as f64 / sim.system.n as f64;
-    assert!(frac < 0.05, "{:.1}% of atoms changed home in 5 steps", frac * 100.0);
+    assert!(
+        frac < 0.05,
+        "{:.1}% of atoms changed home in 5 steps",
+        frac * 100.0
+    );
 }

@@ -168,3 +168,115 @@ proptest! {
         );
     }
 }
+
+// --- PR 1: routing invariants on arbitrary torus shapes -----------------
+
+/// Generates a random torus shape within the 512-node budget.
+fn torus_from(dims: (u8, u8, u8)) -> Torus {
+    Torus::new([dims.0, dims.1, dims.2])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_routes_are_minimal_per_dimension(
+        dims in (1u8..=6, 1u8..=6, 1u8..=8),
+        src_ix in 0u16..512,
+        dst_ix in 0u16..512,
+        seed in any::<u64>(),
+    ) {
+        let torus = torus_from(dims);
+        let n = torus.node_count() as u16;
+        let a = torus.coord(NodeId(src_ix % n));
+        let b = torus.coord(NodeId(dst_ix % n));
+        let mut rng = SplitMix64::new(seed);
+        let plan = routing::plan_request(&torus, a, b, &mut rng);
+        // Per-dimension minimality: the route takes exactly
+        // |signed_distance| hops in each dimension, all the same way.
+        for dim in anton3::model::topology::Dim::ALL {
+            let want = torus.signed_distance(a, b, dim);
+            let taken: i32 = plan
+                .hops
+                .iter()
+                .filter(|h| h.dir.dim() == dim)
+                .map(|h| if h.dir.is_positive() { 1 } else { -1 })
+                .sum();
+            let hops_in_dim =
+                plan.hops.iter().filter(|h| h.dir.dim() == dim).count();
+            prop_assert_eq!(
+                hops_in_dim as u32,
+                want.unsigned_abs() as u32,
+                "dimension {} hop count", dim
+            );
+            // Signed displacements only cancel if the route backtracks.
+            prop_assert_eq!(taken, want as i32, "dimension {} backtracked", dim);
+        }
+    }
+
+    #[test]
+    fn request_routes_cross_each_dateline_at_most_once(
+        dims in (1u8..=6, 1u8..=6, 1u8..=8),
+        src_ix in 0u16..512,
+        dst_ix in 0u16..512,
+        seed in any::<u64>(),
+    ) {
+        let torus = torus_from(dims);
+        let n = torus.node_count() as u16;
+        let a = torus.coord(NodeId(src_ix % n));
+        let b = torus.coord(NodeId(dst_ix % n));
+        let mut rng = SplitMix64::new(seed);
+        let plan = routing::plan_request(&torus, a, b, &mut rng);
+        // Walk the route, counting wraparound crossings per dimension and
+        // revalidating each recorded `wraps` flag independently.
+        let mut cur = a;
+        let mut wraps = [0u32; 3];
+        for hop in &plan.hops {
+            let is_wrap = routing::crosses_dateline(&torus, cur, hop.dir);
+            prop_assert_eq!(hop.wraps, is_wrap, "wrap flag disagrees with walk");
+            if is_wrap {
+                wraps[hop.dir.dim().index()] += 1;
+            }
+            cur = torus.neighbor(cur, hop.dir);
+        }
+        prop_assert_eq!(cur, b, "route must terminate at the destination");
+        for (k, &w) in wraps.iter().enumerate() {
+            // Minimal routes never travel far enough to wrap twice; rings
+            // of length <= 2 make "wrap" and "direct" the same link, so a
+            // single crossing is still the bound.
+            prop_assert!(w <= 1, "dimension {} crossed its dateline {} times", k, w);
+        }
+    }
+
+    #[test]
+    fn cycle_fabric_agrees_with_route_plans(
+        dims in (2u8..=4, 2u8..=4, 2u8..=4),
+        src_ix in 0u16..64,
+        dst_ix in 0u16..64,
+        order_idx in 0usize..6,
+        base_vc in 0u8..2,
+    ) {
+        use anton3::model::latency::LatencyModel;
+        use anton3::net::fabric3d::{FabricParams, TorusFabric};
+
+        let torus = torus_from(dims);
+        let n = torus.node_count() as u16;
+        let (src, dst) = (NodeId(src_ix % n), NodeId(dst_ix % n));
+        let params = FabricParams::calibrated(&LatencyModel::default());
+        let mut fabric = TorusFabric::new(torus, params);
+        let plan = fabric.plan(src, dst, order_idx, base_vc);
+        fabric
+            .inject_packet(src, dst, 1, 1, order_idx, base_vc)
+            .expect("empty fabric has credits");
+        prop_assert!(fabric.run_until_drained(1_000_000), "must drain");
+        let (cycle, flit) = fabric.delivered()[0];
+        // Unloaded latency encodes the hop count; it must equal the
+        // plan's, and the delivered VC must equal the plan's last hop VC.
+        let latency = cycle - flit.injected_at;
+        let hops = (latency - params.router_cycles) / params.per_hop_cycles();
+        prop_assert_eq!(hops as u32, plan.hop_count(), "fabric hop count != plan");
+        if let Some(last) = plan.hops.last() {
+            prop_assert_eq!(flit.vc, last.vc, "fabric VC != plan VC");
+        }
+    }
+}

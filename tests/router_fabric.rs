@@ -7,7 +7,15 @@ use anton3::sim::rng::SplitMix64;
 use proptest::prelude::*;
 
 fn flit(packet: u64, dest: u32, vc: u8) -> Flit {
-    Flit { packet, index: 0, of: 1, dest, vc, injected_at: 0 }
+    Flit {
+        packet,
+        index: 0,
+        of: 1,
+        dest,
+        vc,
+        tag: 0,
+        injected_at: 0,
+    }
 }
 
 #[test]
@@ -16,7 +24,9 @@ fn unloaded_row_latency_matches_formula() {
     // cycle-accurate fabric must agree under zero load.
     for routers_crossed in 2..=8usize {
         let mut fabric = build_row(routers_crossed, 2, 2);
-        assert!(fabric.inject(0, 0, flit(1, routers_crossed as u32 - 1, 0)));
+        assert!(fabric
+            .inject(0, 0, flit(1, routers_crossed as u32 - 1, 0))
+            .is_ok());
         assert!(fabric.run_until_drained(300));
         let (cycle, f) = fabric.delivered()[0];
         assert_eq!(
@@ -35,7 +45,7 @@ fn loaded_row_throughput_approaches_one_flit_per_cycle() {
     let total = 200u64;
     let mut next = 0u64;
     for _ in 0..2000 {
-        if next < total && fabric.inject(0, 0, flit(next, 3, 0)) {
+        if next < total && fabric.inject(0, 0, flit(next, 3, 0)).is_ok() {
             next += 1;
         }
         fabric.step();
@@ -79,7 +89,7 @@ proptest! {
         pending.reverse();
         for _ in 0..10_000 {
             if let Some(f) = pending.last().copied() {
-                if fabric.inject(0, 0, f) {
+                if fabric.inject(0, 0, f).is_ok() {
                     pending.pop();
                 }
             } else {
@@ -122,12 +132,12 @@ proptest! {
         for p in (0..n_packets as u64).rev() {
             let dest = rng.next_below(5) as u32;
             let vc = rng.next_below(2) as u8;
-            pending.push(Flit { packet: p, index: 1, of: 2, dest, vc, injected_at: 0 });
-            pending.push(Flit { packet: p, index: 0, of: 2, dest, vc, injected_at: 0 });
+            pending.push(Flit { packet: p, index: 1, of: 2, dest, vc, tag: 0, injected_at: 0 });
+            pending.push(Flit { packet: p, index: 0, of: 2, dest, vc, tag: 0, injected_at: 0 });
         }
         for _ in 0..20_000 {
             if let Some(f) = pending.last().copied() {
-                if fabric.inject(0, 0, f) {
+                if fabric.inject(0, 0, f).is_ok() {
                     pending.pop();
                 }
             } else {
