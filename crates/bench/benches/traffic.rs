@@ -50,6 +50,7 @@ fn bench_traffic(c: &mut Criterion) {
             drain_cycles: 8_000,
             seed: 3,
             loads: vec![],
+            respond: false,
         };
         b.iter(|| black_box(run_point(&UniformRandom, &cfg, params, 0.3, 1)))
     });

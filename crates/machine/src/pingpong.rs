@@ -6,12 +6,20 @@
 //! number of torus hops apart on a 128-node (4×4×8) machine, fitting
 //! 55.9 ns + 34.2 ns/hop, with the 0-hop (intra-node) case cheaper
 //! because it skips the Edge Network and channels.
+//!
+//! The Figure 5 numbers are *unloaded*. [`LoadedCalibration`] extends
+//! the same analytic machinery under load: a queueing correction
+//! ([`anton_net::path::ContentionModel`]) fitted against the
+//! cycle-level fabric driven by `anton-traffic` sweeps, so the formula
+//! model tracks the loaded mean latency up to ~80% of saturation.
 
+use anton_model::topology::Torus;
 use anton_model::units::Ps;
 use anton_model::MachineConfig;
 use anton_net::adapter::Compression;
 use anton_net::chip::ChipLoc;
-use anton_net::path::{self, PathBreakdown};
+use anton_net::fabric3d::FabricParams;
+use anton_net::path::{self, ContentionModel, PathBreakdown};
 use anton_net::routing;
 use anton_sim::rng::SplitMix64;
 use anton_sim::stats::{linear_fit, Accumulator, LinearFit};
@@ -155,6 +163,80 @@ pub fn min_inter_node_latency(cfg: &MachineConfig) -> Ps {
     fig6_breakdown(cfg).total()
 }
 
+/// The exact mean torus-minimal hop distance of uniform random traffic
+/// on `torus` (over ordered pairs with distinct endpoints — the sweep
+/// patterns never self-address).
+pub fn mean_uniform_hops(torus: &Torus) -> f64 {
+    let (mut sum, mut pairs) = (0u64, 0u64);
+    for a in torus.nodes() {
+        for b in torus.nodes() {
+            if a != b {
+                sum += torus.hop_distance(torus.coord(a), torus.coord(b)) as u64;
+                pairs += 1;
+            }
+        }
+    }
+    assert!(pairs > 0, "torus needs at least two nodes");
+    sum as f64 / pairs as f64
+}
+
+/// A loaded-latency calibration of the analytic model against the cycle
+/// fabric for one (topology, pattern) pair: the measured saturation
+/// throughput plus the fitted contention coefficient.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize)]
+pub struct LoadedCalibration {
+    /// Request-class saturation throughput, flits per node per cycle
+    /// (the sweep's knee).
+    pub saturation: f64,
+    /// Fitted queueing coefficient (see
+    /// [`anton_net::path::ContentionModel`]).
+    pub alpha_cycles: f64,
+}
+
+impl LoadedCalibration {
+    /// The shipped calibration for uniform random request traffic on the
+    /// paper's 128-node 4×4×8 machine, fitted with
+    /// `sweep_traffic --calibrate` (which reprints these constants from
+    /// the cycle fabric; the companion regression test pins them).
+    pub const UNIFORM_4X4X8: LoadedCalibration = LoadedCalibration {
+        saturation: 0.557,
+        alpha_cycles: 2.56,
+    };
+
+    /// The contention model of this calibration.
+    pub fn contention(&self) -> ContentionModel {
+        ContentionModel {
+            alpha_cycles: self.alpha_cycles,
+        }
+    }
+
+    /// The load fraction `rho` of an offered request load under this
+    /// calibration.
+    pub fn rho(&self, offered: f64) -> f64 {
+        offered / self.saturation
+    }
+
+    /// Predicted mean generation-to-delivery latency, in core cycles,
+    /// of `nflits`-flit uniform random request packets on `torus` under
+    /// `offered` flits/node/cycle: the unloaded fabric constants (router
+    /// pipeline, per-hop walk, tail-flit slice serialization) plus the
+    /// fitted contention term.
+    ///
+    /// # Panics
+    /// Panics if `offered` reaches the calibrated saturation — mean
+    /// latency is unbounded there.
+    pub fn predicted_mean_latency_cycles(
+        &self,
+        params: &FabricParams,
+        torus: &Torus,
+        nflits: u8,
+        offered: f64,
+    ) -> f64 {
+        params.unloaded_mean_cycles(mean_uniform_hops(torus), nflits)
+            + self.contention().extra_cycles(self.rho(offered))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +314,33 @@ mod tests {
         let row = one_way_latency(&machine_128(), 2, 100, 9);
         assert!(row.min_ns <= row.mean_ns && row.mean_ns <= row.max_ns);
         assert_eq!(row.samples, 100);
+    }
+
+    #[test]
+    fn uniform_hops_on_4x4x8_is_four_over_nonself_pairs() {
+        // Per-ring mean distances over all pairs (self included) are 1,
+        // 1, and 2; excluding the 128 self pairs rescales by N/(N-1).
+        let h = mean_uniform_hops(&Torus::new([4, 4, 8]));
+        let exact = 4.0 * 128.0 / 127.0;
+        assert!((h - exact).abs() < 1e-12, "mean hops {h} vs {exact}");
+    }
+
+    #[test]
+    fn loaded_prediction_grows_convexly_toward_saturation() {
+        let cal = LoadedCalibration::UNIFORM_4X4X8;
+        let params = FabricParams::default();
+        let t = Torus::new([4, 4, 8]);
+        let at = |rho: f64| cal.predicted_mean_latency_cycles(&params, &t, 2, rho * cal.saturation);
+        let (l2, l4, l6) = (at(0.2), at(0.4), at(0.6));
+        assert!(l2 < l4 && l4 < l6, "latency must grow with load");
+        assert!(l6 - l4 > l4 - l2, "queueing growth must be convex");
+        // At zero load the prediction is the unloaded constant: router
+        // pipeline + mean hops x per-hop + tail serialization. Spelled
+        // out independently here to pin FabricParams::unloaded_mean_cycles.
+        let unloaded = at(0.0);
+        let expect = params.router_cycles as f64
+            + mean_uniform_hops(&t) * params.per_hop_cycles() as f64
+            + params.link_interval as f64;
+        assert!((unloaded - expect).abs() < 1e-9);
     }
 }

@@ -3,11 +3,28 @@
 //! [`crate::router::build_row`] models a single on-chip row; this module
 //! scales the same microarchitecture to a whole machine: one
 //! node-granular router per torus node (standing in for the node's Edge
-//! Network + Channel Adapters), six neighbor links per node with the
-//! calibrated SERDES + wire latency, and per-hop route computation that
-//! reproduces [`crate::routing::plan_request`] exactly — the six
-//! randomized dimension orders and the dateline VC switch — from state
-//! carried in each flit's [`Flit::tag`].
+//! Network + Channel Adapters), per-hop route computation that
+//! reproduces [`crate::routing`] exactly from state carried in each
+//! flit's [`Flit::tag`], and — matching the paper's §II-B channel
+//! organization — **two physical channel slices per neighbor**: each of
+//! the six torus directions is reached over two independent 8-lane slice
+//! links with their own credits, serialization occupancy, and traffic
+//! counters. A packet draws its slice once (with its dimension order and
+//! base VC) and rides it on every hop, exactly like
+//! [`crate::routing::RoutePlan::slice`]; the slice-to-side mapping is
+//! [`anton_model::asic::side_for_slice`], shared with the analytic
+//! [`crate::path`] model so the two use one slice-selection rule.
+//!
+//! Two traffic classes ride the fabric (paper §III-B2):
+//!
+//! - **requests** ([`TrafficClass::Request`]) use randomized minimal
+//!   oblivious routing over four dateline VCs (`0..4`);
+//! - **responses** ([`TrafficClass::Response`]) are restricted to plain
+//!   XYZ mesh routing on non-wraparound links
+//!   ([`routing::mesh_first_hop`]) and ride the single
+//!   [`routing::RESPONSE_VC`], so a request→response dependency cycle is
+//!   structurally impossible: the classes never share a VC, and each
+//!   class's channel-dependency graph is acyclic on its own.
 //!
 //! Calibration ([`FabricParams::calibrated`]) splits the analytic
 //! per-hop latency of [`crate::path::one_way`] into a short router
@@ -16,11 +33,11 @@
 //! delay line (SERDES PHYs + wire), so that under zero load the cycle
 //! fabric and the closed-form model agree on the per-hop constant, while
 //! under load the fabric exhibits real contention: arbitration, HOL
-//! blocking, credit exhaustion and saturation. The two physical channel
-//! slices per neighbor (paper §V-C) are aggregated into one link whose
-//! serialization interval is one flit per cycle — 192 bits over 16 lanes
-//! at 29 Gb/s is 1.16 core cycles, so the aggregate link sustains just
-//! about one flit per 2.8 GHz cycle.
+//! blocking, credit exhaustion and saturation. Each slice serializes 192
+//! bits over its 8 lanes at 29 Gb/s — 2.32 core cycles per flit — so one
+//! slice sustains a flit every [`FabricParams::link_interval`] cycles
+//! and the two slices together recover the aggregate one-flit-per-cycle
+//! channel of the paper's 16-lane neighbor bundle.
 //!
 //! ```
 //! use anton_model::latency::LatencyModel;
@@ -38,35 +55,102 @@
 //! assert_eq!(fabric.delivered().len(), 2); // both flits arrived
 //! ```
 
+use crate::channel::LinkStats;
 use crate::router::{
     CycleRouter, Flit, InjectError, LinkSpec, PortLink, RouteDecision, RouterFabric,
 };
-use crate::routing::{self, RoutePlan};
+use crate::routing::{self, RoutePlan, RESPONSE_VC};
 use crate::{chip::ChipLoc, path};
-use anton_model::asic::EDGE_VCS;
+use anton_model::asic::{self, EDGE_VCS, FLIT_BITS, LANES_PER_SLICE, SLICES_PER_NEIGHBOR};
 use anton_model::latency::LatencyModel;
 use anton_model::topology::{DimOrder, Direction, NodeId, Torus, TorusCoord};
-use anton_model::units::{Ps, PS_PER_CORE_CYCLE};
+use anton_model::units::{serialization_time, Ps, PS_PER_CORE_CYCLE, SERDES_GBPS};
 use anton_sim::rng::SplitMix64;
 
+/// Physical channel slices per neighbor link (paper §V-C).
+pub const SLICES: usize = SLICES_PER_NEIGHBOR;
 /// Input port used for injection at each node router.
-pub const INJECT_PORT: usize = 6;
+pub const INJECT_PORT: usize = 6 * SLICES;
 /// Output port used for ejection at each node router.
-pub const EJECT_PORT: usize = 7;
-/// Ports per node router: six neighbors + inject + eject.
-pub const NODE_PORTS: usize = 8;
+pub const EJECT_PORT: usize = INJECT_PORT + 1;
+/// Ports per node router: six neighbors × two slices + inject + eject.
+pub const NODE_PORTS: usize = EJECT_PORT + 1;
+/// Bytes per flit on the wire (192 bits).
+pub const FLIT_BYTES: u64 = (FLIT_BITS / 8) as u64;
 
-/// Packs the per-packet routing state carried in [`Flit::tag`]:
-/// bits 0–2 the dimension-order index, bit 3 the base VC, bit 4 whether a
-/// dateline has been crossed.
-pub fn encode_tag(order_idx: usize, base_vc: u8, crossed: bool) -> u8 {
-    debug_assert!(order_idx < 6 && base_vc < 2);
-    (order_idx as u8) | (base_vc << 3) | ((crossed as u8) << 4)
+/// The router port of the slice link toward `dir` on channel slice
+/// `slice`. Routed through [`asic::side_for_slice`] — the same
+/// slice-to-chip-side rule the analytic [`crate::path`] model places
+/// Channel Adapters with — so the cycle fabric and the formula model
+/// cannot disagree about which physical link a slice draw selects.
+pub fn slice_port(dir: Direction, slice: usize) -> usize {
+    dir.index() * SLICES + asic::side_for_slice(slice).index()
 }
 
-/// Unpacks a routing tag into `(order index, base VC, crossed)`.
-pub fn decode_tag(tag: u8) -> (usize, u8, bool) {
-    ((tag & 0b111) as usize, (tag >> 3) & 1, tag & 0b1_0000 != 0)
+/// The two traffic classes of the inter-node network (paper §III-B2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TrafficClass {
+    /// Randomized minimal oblivious routing, dateline VCs 0–3.
+    Request,
+    /// XYZ mesh routing on non-wraparound links, single VC 4.
+    Response,
+}
+
+/// The decoded contents of a [`Flit::tag`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TagInfo {
+    /// Which traffic class the packet belongs to.
+    pub class: TrafficClass,
+    /// Physical channel slice (0 or 1) used on every hop.
+    pub slice: usize,
+    /// Dimension-order index (requests; 0 for responses).
+    pub order_idx: usize,
+    /// Base VC draw (requests; 0 for responses).
+    pub base_vc: u8,
+    /// Whether a dateline has been crossed (requests; false for
+    /// responses, which never wrap).
+    pub crossed: bool,
+}
+
+const TAG_SLICE_BIT: u8 = 5;
+const TAG_RESPONSE_BIT: u8 = 6;
+
+/// Packs request-packet routing state into a [`Flit::tag`]: bits 0–2 the
+/// dimension-order index, bit 3 the base VC, bit 4 whether a dateline
+/// has been crossed, bit 5 the channel slice.
+pub fn encode_request_tag(order_idx: usize, base_vc: u8, crossed: bool, slice: usize) -> u8 {
+    debug_assert!(order_idx < 6 && base_vc < 2 && slice < SLICES);
+    (order_idx as u8) | (base_vc << 3) | ((crossed as u8) << 4) | ((slice as u8) << TAG_SLICE_BIT)
+}
+
+/// Packs response-packet routing state into a [`Flit::tag`]: bit 6 marks
+/// the class, bit 5 the channel slice; the mesh route needs no other
+/// per-packet state.
+pub fn encode_response_tag(slice: usize) -> u8 {
+    debug_assert!(slice < SLICES);
+    (1 << TAG_RESPONSE_BIT) | ((slice as u8) << TAG_SLICE_BIT)
+}
+
+/// Unpacks a routing tag.
+pub fn decode_tag(tag: u8) -> TagInfo {
+    let slice = ((tag >> TAG_SLICE_BIT) & 1) as usize;
+    if tag & (1 << TAG_RESPONSE_BIT) != 0 {
+        TagInfo {
+            class: TrafficClass::Response,
+            slice,
+            order_idx: 0,
+            base_vc: 0,
+            crossed: false,
+        }
+    } else {
+        TagInfo {
+            class: TrafficClass::Request,
+            slice,
+            order_idx: (tag & 0b111) as usize,
+            base_vc: (tag >> 3) & 1,
+            crossed: tag & 0b1_0000 != 0,
+        }
+    }
 }
 
 /// Cycle-granularity parameters of the torus fabric, split so that
@@ -80,7 +164,9 @@ pub struct FabricParams {
     pub router_cycles: u64,
     /// Link flight cycles per hop (SERDES PHYs + wire share).
     pub link_latency: u64,
-    /// Serialization interval: cycles between flits entering one link.
+    /// Serialization interval of **one channel slice**: cycles between
+    /// flits entering one 8-lane slice link. The two slices together
+    /// sustain `2 / link_interval` flits per cycle toward one neighbor.
     pub link_interval: u64,
 }
 
@@ -88,7 +174,9 @@ impl FabricParams {
     /// Derives the fabric constants from the analytic latency model so
     /// the two stay consistent by construction: the per-hop total is the
     /// measured increment of [`path::one_way`] along a straight walk
-    /// (the paper's 34.2 ns/hop fit), rounded to whole cycles.
+    /// (the paper's 34.2 ns/hop fit), rounded to whole cycles, and the
+    /// slice serialization interval is the 192-bit flit time over one
+    /// 8-lane slice at 29 Gb/s.
     pub fn calibrated(lat: &LatencyModel) -> Self {
         // Increment between a 1-hop and a 2-hop path; endpoint and
         // source/destination chip traversals cancel in the difference.
@@ -117,15 +205,22 @@ impl FabricParams {
             + lat.inz_decode.count()
             + 2 * lat.edge_hop.count())
         .clamp(1, per_hop_cycles - 1);
+        // One slice serializes a flit in 192 / (8 × 29 Gb/s) = 0.83 ns,
+        // 2.32 core cycles; rounded to whole cycles the slice carries a
+        // flit every 2 cycles, and both slices together recover the
+        // aggregate ~1 flit/cycle of the 16-lane neighbor channel.
+        let slice_flit = serialization_time(FLIT_BITS as u64, LANES_PER_SLICE as u32, SERDES_GBPS);
+        let link_interval =
+            ((slice_flit.as_ps() + PS_PER_CORE_CYCLE / 2) / PS_PER_CORE_CYCLE).max(1);
         FabricParams {
             vcs: EDGE_VCS,
             router_cycles,
             link_latency: per_hop_cycles - router_cycles,
-            link_interval: 1,
+            link_interval,
         }
     }
 
-    /// Total cycles one inter-node hop adds to a packet's latency.
+    /// Total cycles one inter-node hop adds to a packet's head latency.
     pub fn per_hop_cycles(&self) -> u64 {
         self.router_cycles + self.link_latency
     }
@@ -133,6 +228,21 @@ impl FabricParams {
     /// The per-hop latency in picoseconds (at the 2.8 GHz core clock).
     pub fn per_hop_time(&self) -> Ps {
         Ps::new(self.per_hop_cycles() * PS_PER_CORE_CYCLE)
+    }
+
+    /// Mean generation-to-delivery latency, in cycles, of an
+    /// `nflits`-flit packet crossing `mean_hops` hops on an otherwise
+    /// idle fabric: the source router pipeline, the per-hop walk, and
+    /// the tail flit's slice serialization lag. This is the single
+    /// unloaded baseline shared by the loaded-latency calibration fit
+    /// (`sweep_traffic --calibrate`) and the analytic prediction
+    /// (`LoadedCalibration` in `anton-machine`) — both must subtract
+    /// and re-add exactly the same constant or the fitted contention
+    /// coefficient silently corrupts.
+    pub fn unloaded_mean_cycles(&self, mean_hops: f64, nflits: u8) -> f64 {
+        self.router_cycles as f64
+            + mean_hops * self.per_hop_cycles() as f64
+            + nflits.saturating_sub(1) as f64 * self.link_interval as f64
     }
 }
 
@@ -143,8 +253,9 @@ impl Default for FabricParams {
 }
 
 /// A whole machine's inter-node network stepped cycle by cycle: one
-/// router per node, six latency-calibrated neighbor links each, and the
-/// oblivious routing of [`crate::routing`] evaluated hop by hop.
+/// router per node, two latency-calibrated slice links per neighbor
+/// direction, and the oblivious request / mesh response routing of
+/// [`crate::routing`] evaluated hop by hop.
 pub struct TorusFabric {
     torus: Torus,
     params: FabricParams,
@@ -161,13 +272,19 @@ impl TorusFabric {
         let mut wiring: Vec<Vec<PortLink>> = Vec::with_capacity(n);
         for node in torus.nodes() {
             let c = torus.coord(node);
-            let mut row: Vec<PortLink> = Direction::ALL
-                .iter()
-                .map(|&d| PortLink::Router {
-                    router: torus.node_id(torus.neighbor(c, d)).index(),
-                    port: d.opposite().index(),
-                })
-                .collect();
+            let mut row: Vec<PortLink> = Vec::with_capacity(NODE_PORTS);
+            for d in Direction::ALL {
+                let neighbor = torus.node_id(torus.neighbor(c, d)).index();
+                for s in 0..SLICES {
+                    // Slice links land on the same slice's port of the
+                    // opposite direction: each slice is an independent
+                    // physical channel end to end.
+                    row.push(PortLink::Router {
+                        router: neighbor,
+                        port: slice_port(d.opposite(), s),
+                    });
+                }
+            }
             row.push(PortLink::Endpoint(u32::MAX)); // INJECT_PORT is input-only
             row.push(PortLink::Endpoint(node.0 as u32)); // EJECT_PORT
             wiring.push(row);
@@ -179,17 +296,21 @@ impl TorusFabric {
             latency: params.link_latency,
             interval: params.link_interval,
         };
-        // Neighbor inputs model the Channel Adapter's receive buffering,
-        // so their credit window must cover the link's bandwidth-delay
-        // product (latency + router pipeline, plus slack for the tail
-        // flit) or the wire idles waiting on credit returns. The
-        // injection port keeps the bare 8-flit router queue: that is
+        // Neighbor inputs model one Channel Adapter's receive buffering,
+        // so their credit window must cover the slice link's
+        // bandwidth-delay product (in-flight flits at one per `interval`
+        // over the flight time, plus the router pipeline and slack for
+        // the tail flit) or the wire idles waiting on credit returns.
+        // The injection port keeps the bare 8-flit router queue: that is
         // where fabric backpressure meets the source.
-        let depth = (params.link_latency + params.router_cycles + 4) as usize;
+        let depth =
+            (params.link_latency / params.link_interval + params.router_cycles + 4) as usize;
         for r in 0..n {
             for d in Direction::ALL {
-                fabric.set_link_spec(r, d.index(), spec);
-                fabric.set_input_depth(r, d.index(), depth);
+                for s in 0..SLICES {
+                    fabric.set_link_spec(r, slice_port(d, s), spec);
+                    fabric.set_input_depth(r, slice_port(d, s), depth);
+                }
             }
         }
         TorusFabric {
@@ -239,16 +360,67 @@ impl TorusFabric {
         self.fabric.run_until_drained(max_cycles)
     }
 
+    /// Traffic counters of one directed slice link: the flits and
+    /// packets that have crossed from `node` toward `dir` on channel
+    /// slice `slice` since construction, in the byte accounting of
+    /// [`crate::channel::LinkStats`] (uncompressed 24-byte flits; the
+    /// synthetic fabric carries no position/force typing, so all wire
+    /// bytes land in `other_bytes`).
+    pub fn link_stats(&self, node: NodeId, dir: Direction, slice: usize) -> LinkStats {
+        let (flits, packets) = self
+            .fabric
+            .link_traffic(node.index(), slice_port(dir, slice));
+        let bytes = flits * FLIT_BYTES;
+        LinkStats {
+            packets,
+            baseline_bytes: bytes,
+            wire_bytes: bytes,
+            position_bytes: 0,
+            force_bytes: 0,
+            other_bytes: bytes,
+        }
+    }
+
+    /// The aggregate counters of one neighbor channel — both slices
+    /// merged, i.e. exactly what the pre-split single fat link counted.
+    pub fn neighbor_stats(&self, node: NodeId, dir: Direction) -> LinkStats {
+        let mut agg = LinkStats::default();
+        for s in 0..SLICES {
+            agg.merge(&self.link_stats(node, dir, s));
+        }
+        agg
+    }
+
+    /// Machine-wide counters of one channel slice, summed over every
+    /// directed neighbor link.
+    pub fn slice_stats(&self, slice: usize) -> LinkStats {
+        let mut agg = LinkStats::default();
+        for node in self.torus.nodes() {
+            for d in Direction::ALL {
+                agg.merge(&self.link_stats(node, d, slice));
+            }
+        }
+        agg
+    }
+
     /// Injects an `nflits`-flit request packet from `src` to `dst` using
-    /// a fixed dimension order and base VC (deterministic experiments).
-    /// All flits enter atomically or none do.
+    /// a fixed dimension order, channel slice, and base VC
+    /// (deterministic experiments). All flits enter atomically or none
+    /// do, and a rejected injection leaves the draw untouched: retrying
+    /// MUST reuse the same order/slice/VC, or backpressure would bias
+    /// the oblivious randomization toward uncongested slices.
     ///
     /// # Errors
     /// [`InjectError::NoCredit`] when the injection queue lacks room for
     /// the whole packet (fabric backpressure at the source).
     ///
     /// # Panics
-    /// Panics if `order_idx > 5`, `base_vc > 1`, or `nflits == 0`.
+    /// Panics if `order_idx > 5`, `slice > 1`, `base_vc > 1`, or
+    /// `nflits == 0`.
+    // Mirrors `plan_request_fixed`'s parameter list plus the packet
+    // identity; bundling the draw into a struct would just move the
+    // field list to every call site.
+    #[allow(clippy::too_many_arguments)]
     pub fn inject_packet(
         &mut self,
         src: NodeId,
@@ -256,16 +428,60 @@ impl TorusFabric {
         packet: u64,
         nflits: u8,
         order_idx: usize,
+        slice: usize,
         base_vc: u8,
     ) -> Result<(), InjectError> {
         assert!(
             order_idx < 6,
             "dimension order index {order_idx} out of range"
         );
+        assert!(slice < SLICES, "slice {slice} out of range");
         assert!(base_vc < 2, "base VC must be 0 or 1");
+        let vc = base_vc; // no dateline crossed before the first hop
+        let tag = encode_request_tag(order_idx, base_vc, false, slice);
+        self.inject_flits(src, dst, packet, nflits, vc, tag)
+    }
+
+    /// Injects an `nflits`-flit response packet from `src` to `dst` on
+    /// the single response VC, using channel slice `slice` on every hop.
+    /// The mesh-restricted XYZ route is computed hop by hop from
+    /// [`routing::mesh_first_hop`].
+    ///
+    /// # Errors
+    /// [`InjectError::NoCredit`] as for [`Self::inject_packet`].
+    ///
+    /// # Panics
+    /// Panics if `slice > 1` or `nflits == 0`.
+    pub fn inject_response(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        packet: u64,
+        nflits: u8,
+        slice: usize,
+    ) -> Result<(), InjectError> {
+        assert!(slice < SLICES, "slice {slice} out of range");
+        self.inject_flits(
+            src,
+            dst,
+            packet,
+            nflits,
+            RESPONSE_VC,
+            encode_response_tag(slice),
+        )
+    }
+
+    fn inject_flits(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        packet: u64,
+        nflits: u8,
+        vc: u8,
+        tag: u8,
+    ) -> Result<(), InjectError> {
         assert!(nflits >= 1, "packets carry at least one flit");
         let router = src.index();
-        let vc = base_vc; // no dateline crossed before the first hop
         let free = self.fabric.inject_capacity(router, INJECT_PORT, vc);
         if free < nflits as usize {
             return Err(InjectError::NoCredit {
@@ -275,7 +491,6 @@ impl TorusFabric {
                 occupancy: self.fabric.queue_len(router, INJECT_PORT, vc),
             });
         }
-        let tag = encode_tag(order_idx, base_vc, false);
         for index in 0..nflits {
             let flit = Flit {
                 packet,
@@ -293,14 +508,15 @@ impl TorusFabric {
         Ok(())
     }
 
-    /// Injects a packet with the dimension order and base VC drawn from
-    /// `rng`, mirroring the randomization of
-    /// [`crate::routing::plan_request`].
+    /// Injects a request packet with the dimension order, channel slice,
+    /// and base VC drawn from `rng`, mirroring the randomization of
+    /// [`crate::routing::plan_request`] (order, then slice, then base).
     ///
     /// # Errors
     /// [`InjectError::NoCredit`] as for [`Self::inject_packet`]; the
     /// random draws are consumed either way, keeping the stream aligned
-    /// across retries.
+    /// across retries — and a retry after rejection must reuse the
+    /// returned draw, never redraw (see [`Self::inject_packet`]).
     pub fn inject_packet_random(
         &mut self,
         src: NodeId,
@@ -310,43 +526,84 @@ impl TorusFabric {
         rng: &mut SplitMix64,
     ) -> Result<(), InjectError> {
         let order_idx = rng.next_below(6) as usize;
+        let slice = rng.next_below(SLICES as u64) as usize;
         let base_vc = rng.next_below(2) as u8;
-        self.inject_packet(src, dst, packet, nflits, order_idx, base_vc)
+        self.inject_packet(src, dst, packet, nflits, order_idx, slice, base_vc)
     }
 
-    /// The route plan the fabric will follow for the given draw —
+    /// Injects a response packet with the channel slice drawn from
+    /// `rng`, mirroring [`crate::routing::plan_response`].
+    ///
+    /// # Errors
+    /// [`InjectError::NoCredit`] as for [`Self::inject_response`]; the
+    /// slice draw is consumed either way.
+    pub fn inject_response_random(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        packet: u64,
+        nflits: u8,
+        rng: &mut SplitMix64,
+    ) -> Result<(), InjectError> {
+        let slice = rng.next_below(SLICES as u64) as usize;
+        self.inject_response(src, dst, packet, nflits, slice)
+    }
+
+    /// The route plan the fabric will follow for the given request draw —
     /// identical to [`routing::plan_request_fixed`]; exposed so tests
     /// and harnesses can cross-check hop counts and VC sequences.
-    pub fn plan(&self, src: NodeId, dst: NodeId, order_idx: usize, base_vc: u8) -> RoutePlan {
+    pub fn plan(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        order_idx: usize,
+        slice: usize,
+        base_vc: u8,
+    ) -> RoutePlan {
         routing::plan_request_fixed(
             &self.torus,
             self.torus.coord(src),
             self.torus.coord(dst),
             DimOrder::ALL[order_idx],
-            0,
+            slice,
             base_vc,
         )
     }
 }
 
-/// Per-hop route computation: reproduces `assign_request_vcs` from the
-/// flit's carried state — VC `base` before any dateline crossing,
-/// `base + 2` after, with the crossing recorded as the flit enters the
-/// wraparound link.
+/// Per-hop route computation, dispatching on the flit's traffic class:
+///
+/// - requests reproduce `assign_request_vcs` from the carried state — VC
+///   `base` before any dateline crossing, `base + 2` after, with the
+///   crossing recorded as the flit enters the wraparound link;
+/// - responses follow the shared mesh rule on [`routing::RESPONSE_VC`].
+///
+/// Both classes leave through the slice link their packet drew at
+/// injection.
 fn torus_route(torus: &Torus, f: &Flit, router: usize) -> RouteDecision {
     let cur = torus.coord(NodeId(router as u16));
     let dest = torus.coord(NodeId(f.dest as u16));
-    let (order_idx, base, crossed) = decode_tag(f.tag);
-    match torus.first_hop(cur, dest, DimOrder::ALL[order_idx]) {
-        None => RouteDecision::keep(EJECT_PORT, f),
-        Some(dir) => {
-            let wraps = routing::crosses_dateline(torus, cur, dir);
-            RouteDecision {
-                port: dir.index(),
-                vc: routing::dateline_vc(base, crossed),
-                tag: encode_tag(order_idx, base, crossed || wraps),
+    let t = decode_tag(f.tag);
+    match t.class {
+        TrafficClass::Request => match torus.first_hop(cur, dest, DimOrder::ALL[t.order_idx]) {
+            None => RouteDecision::keep(EJECT_PORT, f),
+            Some(dir) => {
+                let wraps = routing::crosses_dateline(torus, cur, dir);
+                RouteDecision {
+                    port: slice_port(dir, t.slice),
+                    vc: routing::dateline_vc(t.base_vc, t.crossed),
+                    tag: encode_request_tag(t.order_idx, t.base_vc, t.crossed || wraps, t.slice),
+                }
             }
-        }
+        },
+        TrafficClass::Response => match routing::mesh_first_hop(cur, dest) {
+            None => RouteDecision::keep(EJECT_PORT, f),
+            Some(dir) => RouteDecision {
+                port: slice_port(dir, t.slice),
+                vc: RESPONSE_VC,
+                tag: f.tag,
+            },
+        },
     }
 }
 
@@ -366,13 +623,35 @@ mod tests {
         for order in 0..6 {
             for base in 0..2u8 {
                 for crossed in [false, true] {
-                    assert_eq!(
-                        decode_tag(encode_tag(order, base, crossed)),
-                        (order, base, crossed)
-                    );
+                    for slice in 0..SLICES {
+                        let t = decode_tag(encode_request_tag(order, base, crossed, slice));
+                        assert_eq!(t.class, TrafficClass::Request);
+                        assert_eq!(
+                            (t.order_idx, t.base_vc, t.crossed, t.slice),
+                            (order, base, crossed, slice)
+                        );
+                    }
                 }
             }
         }
+        for slice in 0..SLICES {
+            let t = decode_tag(encode_response_tag(slice));
+            assert_eq!(t.class, TrafficClass::Response);
+            assert_eq!(t.slice, slice);
+        }
+    }
+
+    #[test]
+    fn slice_ports_are_disjoint_and_cover_neighbor_range() {
+        let mut seen = std::collections::HashSet::new();
+        for d in Direction::ALL {
+            for s in 0..SLICES {
+                let p = slice_port(d, s);
+                assert!(p < INJECT_PORT);
+                assert!(seen.insert(p), "port {p} double-booked");
+            }
+        }
+        assert_eq!(seen.len(), 6 * SLICES);
     }
 
     #[test]
@@ -384,24 +663,30 @@ mod tests {
         let ns = p.per_hop_time().as_ns();
         assert!((30.0..39.0).contains(&ns), "per-hop {ns} ns out of band");
         assert!(p.router_cycles >= 1 && p.link_latency >= 1);
+        // One 8-lane slice serializes 192 bits in 2.32 cycles -> 2; two
+        // slices together recover the aggregate ~1 flit/cycle channel.
+        assert_eq!(p.link_interval, 2, "slice serialization interval");
     }
 
     #[test]
     fn unloaded_latency_is_affine_in_hops() {
-        // A straight Z walk: latency must be exactly
-        // (h+1)*router_cycles + h*link_latency.
+        // A straight Z walk: head latency must be exactly
+        // (h+1)*router_cycles + h*link_latency, independent of the slice.
         let mut f = fabric([4, 4, 8]);
         let p = *f.params();
         for h in 1..=4u16 {
-            let dst = f.torus().node_id(TorusCoord::new(0, 0, h as u8));
-            f.inject_packet(NodeId(0), dst, h as u64, 1, 0, 0).unwrap();
-            assert!(f.run_until_drained(100_000));
-            let (cycle, flit) = *f.take_delivered().last().unwrap();
-            assert_eq!(
-                cycle - flit.injected_at,
-                (h as u64 + 1) * p.router_cycles + h as u64 * p.link_latency,
-                "h={h}"
-            );
+            for slice in 0..SLICES {
+                let dst = f.torus().node_id(TorusCoord::new(0, 0, h as u8));
+                f.inject_packet(NodeId(0), dst, h as u64, 1, 0, slice, 0)
+                    .unwrap();
+                assert!(f.run_until_drained(100_000));
+                let (cycle, flit) = *f.take_delivered().last().unwrap();
+                assert_eq!(
+                    cycle - flit.injected_at,
+                    (h as u64 + 1) * p.router_cycles + h as u64 * p.link_latency,
+                    "h={h} slice={slice}"
+                );
+            }
         }
     }
 
@@ -413,8 +698,16 @@ mod tests {
         let mut id = 0u64;
         for order in 0..6 {
             for (a, b) in [(0u16, 127u16), (5, 90), (17, 64), (33, 34)] {
-                f.inject_packet(NodeId(a), NodeId(b), id, 1, order, (id % 2) as u8)
-                    .unwrap();
+                f.inject_packet(
+                    NodeId(a),
+                    NodeId(b),
+                    id,
+                    1,
+                    order,
+                    (id % 2) as usize,
+                    (id % 2) as u8,
+                )
+                .unwrap();
                 assert!(f.run_until_drained(1_000_000));
                 let (cycle, flit) = *f.take_delivered().last().unwrap();
                 let latency = cycle - flit.injected_at;
@@ -434,23 +727,188 @@ mod tests {
         // 4-ring: 3 -> 1 via the +x wraparound; the final hop must ride
         // VC base+2, exactly as the route plan says.
         let mut f = fabric([4, 1, 1]);
-        let plan = f.plan(NodeId(3), NodeId(1), 0, 0);
+        let plan = f.plan(NodeId(3), NodeId(1), 0, 0, 0);
         assert!(plan.hops[0].wraps && plan.hops[1].vc == 2);
-        f.inject_packet(NodeId(3), NodeId(1), 1, 1, 0, 0).unwrap();
+        f.inject_packet(NodeId(3), NodeId(1), 1, 1, 0, 0, 0)
+            .unwrap();
         assert!(f.run_until_drained(100_000));
         let (_, flit) = f.delivered()[0];
         assert_eq!(flit.vc, 2, "delivered flit must carry the post-dateline VC");
     }
 
     #[test]
+    fn responses_ride_the_response_vc_and_never_wrap() {
+        // 3 -> 1 on a 4-ring: the request route would wrap, but the mesh
+        // response route goes -x through the interior, on VC 4.
+        let mut f = fabric([4, 1, 1]);
+        f.inject_response(NodeId(3), NodeId(1), 1, 2, 0).unwrap();
+        assert!(f.run_until_drained(100_000));
+        let d = f.take_delivered();
+        assert_eq!(d.len(), 2);
+        for (_, flit) in &d {
+            assert_eq!(flit.vc, RESPONSE_VC);
+        }
+        // Mesh distance 3->1 is 2 hops (non-wraparound), same as minimal
+        // here; check the wraparound links saw no traffic.
+        let t = *f.torus();
+        for node in t.nodes() {
+            for dir in Direction::ALL {
+                if routing::crosses_dateline(&t, t.coord(node), dir) {
+                    for s in 0..SLICES {
+                        assert_eq!(
+                            f.link_stats(node, dir, s).packets,
+                            0,
+                            "response crossed a dateline at node {node:?} {dir}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn response_latency_matches_mesh_distance() {
+        let mut f = fabric([4, 4, 8]);
+        let p = *f.params();
+        let t = *f.torus();
+        // 0 -> (3, 2, 6): mesh distance 3 + 2 + 6 = 11 hops.
+        let dst = t.node_id(TorusCoord::new(3, 2, 6));
+        f.inject_response(NodeId(0), dst, 1, 1, 1).unwrap();
+        assert!(f.run_until_drained(1_000_000));
+        let (cycle, flit) = f.delivered()[0];
+        let hops = ((cycle - flit.injected_at) - p.router_cycles) / p.per_hop_cycles();
+        assert_eq!(hops, 11);
+    }
+
+    #[test]
     fn two_flit_packets_arrive_contiguously() {
         let mut f = fabric([4, 4, 8]);
-        f.inject_packet(NodeId(0), NodeId(127), 9, 2, 3, 1).unwrap();
+        let interval = f.params().link_interval;
+        f.inject_packet(NodeId(0), NodeId(127), 9, 2, 3, 0, 1)
+            .unwrap();
         assert!(f.run_until_drained(1_000_000));
         let d = f.delivered();
         assert_eq!(d.len(), 2);
-        assert_eq!(d[1].0 - d[0].0, 1, "tail streams one cycle behind head");
+        assert_eq!(
+            d[1].0 - d[0].0,
+            interval,
+            "tail streams one slice serialization interval behind head"
+        );
         assert_eq!((d[0].1.index, d[1].1.index), (0, 1));
+    }
+
+    #[test]
+    fn packets_stay_on_their_drawn_slice() {
+        // Straight 3-hop walk on slice 1 only: slice 0 links must stay
+        // silent, slice 1 links along the path must each count exactly
+        // one packet.
+        let mut f = fabric([4, 4, 8]);
+        let t = *f.torus();
+        let dst = t.node_id(TorusCoord::new(0, 0, 3));
+        f.inject_packet(NodeId(0), dst, 1, 2, 0, 1, 0).unwrap();
+        assert!(f.run_until_drained(100_000));
+        let zplus = Direction::ALL[4];
+        for h in 0..3u8 {
+            let at = t.node_id(TorusCoord::new(0, 0, h));
+            assert_eq!(f.link_stats(at, zplus, 1).packets, 1, "hop {h} slice 1");
+            assert_eq!(f.link_stats(at, zplus, 1).wire_bytes, 2 * FLIT_BYTES);
+            assert_eq!(f.link_stats(at, zplus, 0).packets, 0, "hop {h} slice 0");
+        }
+    }
+
+    #[test]
+    fn slice_stats_conserve_replayed_trace_exactly() {
+        // Replay a deterministic mixed-class trace with known draws,
+        // drain, and reconcile the counters three ways:
+        //
+        // 1. per-slice `LinkStats` merged over slices must equal the
+        //    aggregate neighbor counters (what the pre-split fat link
+        //    counted — guards the Figure 9a accounting across the slice
+        //    split);
+        // 2. every directed slice link's counters must equal the totals
+        //    derived *independently* by walking each packet's route plan
+        //    (requests: `first_hop`; responses: `mesh_first_hop`);
+        // 3. machine totals must conserve flits/bytes.
+        use std::collections::HashMap;
+        let mut f = fabric([3, 3, 3]);
+        let t = *f.torus();
+        let mut rng = SplitMix64::new(9);
+        let n = t.node_count() as u64;
+        let nflits = 2u8;
+        // (node, dir index, slice) -> (flits, packets) expected.
+        let mut expected: HashMap<(u16, usize, usize), (u64, u64)> = HashMap::new();
+        let mut record = |slice: usize, dirs: Vec<(NodeId, Direction)>| {
+            for (at, dir) in dirs {
+                let e = expected.entry((at.0, dir.index(), slice)).or_insert((0, 0));
+                e.0 += nflits as u64;
+                e.1 += 1;
+            }
+        };
+        for p in 0..300u64 {
+            let src = NodeId((p % n) as u16);
+            let dst = NodeId(rng.next_below(n) as u16);
+            if src == dst {
+                continue;
+            }
+            if p % 3 == 0 {
+                let slice = (p % 2) as usize;
+                if f.inject_response(src, dst, p, nflits, slice).is_ok() {
+                    // Walk the shared mesh rule to derive expected links.
+                    let mut cur = t.coord(src);
+                    let mut dirs = Vec::new();
+                    while let Some(dir) = routing::mesh_first_hop(cur, t.coord(dst)) {
+                        dirs.push((t.node_id(cur), dir));
+                        cur = t.neighbor(cur, dir);
+                    }
+                    record(slice, dirs);
+                }
+            } else {
+                let (order, slice, base) = ((p % 6) as usize, ((p / 2) % 2) as usize, 0u8);
+                if f.inject_packet(src, dst, p, nflits, order, slice, base)
+                    .is_ok()
+                {
+                    let plan = f.plan(src, dst, order, slice, base);
+                    let mut cur = t.coord(src);
+                    let mut dirs = Vec::new();
+                    for hop in &plan.hops {
+                        dirs.push((t.node_id(cur), hop.dir));
+                        cur = t.neighbor(cur, hop.dir);
+                    }
+                    record(slice, dirs);
+                }
+            }
+            f.step();
+        }
+        assert!(f.run_until_drained(2_000_000));
+        let mut total = LinkStats::default();
+        for node in t.nodes() {
+            for dir in Direction::ALL {
+                let mut merged = LinkStats::default();
+                for s in 0..SLICES {
+                    let stats = f.link_stats(node, dir, s);
+                    let (eflits, epackets) = expected
+                        .get(&(node.0, dir.index(), s))
+                        .copied()
+                        .unwrap_or((0, 0));
+                    assert_eq!(
+                        (stats.wire_bytes / FLIT_BYTES, stats.packets),
+                        (eflits, epackets),
+                        "link ({node:?}, {dir}, slice {s}) diverged from its route plans"
+                    );
+                    merged.merge(&stats);
+                }
+                assert_eq!(merged, f.neighbor_stats(node, dir));
+                total.merge(&merged);
+            }
+        }
+        let mut by_slice = LinkStats::default();
+        for s in 0..SLICES {
+            by_slice.merge(&f.slice_stats(s));
+        }
+        assert_eq!(by_slice, total, "slice totals must conserve the aggregate");
+        let expected_flits: u64 = expected.values().map(|&(fl, _)| fl).sum();
+        assert_eq!(by_slice.wire_bytes, expected_flits * FLIT_BYTES);
+        assert!(expected_flits > 0, "trace must exercise the links");
     }
 
     #[test]

@@ -16,12 +16,15 @@
 //! - [`fence`] — fence merge counters, multicast masks, and the
 //!   14-slot concurrent-fence allocator;
 //! - [`path`] — composed end-to-end latency with per-component breakdown
-//!   (Figures 5 and 6);
+//!   (Figures 5 and 6), plus the loaded-latency contention model fitted
+//!   against the cycle fabric;
 //! - [`router`] — the flit-granular cycle-level router microarchitecture
-//!   (credit flow control, cut-through, per-link latency channels);
-//! - [`fabric3d`] — the full inter-node 3D torus as a cycle fabric,
-//!   calibrated against [`path`] and driven by the `anton-traffic`
-//!   workload generators.
+//!   (credit flow control, cut-through, per-link latency channels and
+//!   traffic counters);
+//! - [`fabric3d`] — the full inter-node 3D torus as a cycle fabric:
+//!   two physical channel slices per neighbor, request and response
+//!   traffic classes on disjoint VC sets, calibrated against [`path`]
+//!   and driven by the `anton-traffic` workload generators.
 //!
 //! ```
 //! use anton_net::{adapter::Compression, chip::ChipLoc, path, routing};

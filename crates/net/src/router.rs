@@ -420,6 +420,10 @@ struct ChannelState {
     reserved: Vec<u32>,
     /// First cycle the link can accept another flit (serialization).
     next_free: u64,
+    /// Flits that have entered this link since construction.
+    flits_sent: u64,
+    /// Packets (tail flits) that have entered this link.
+    packets_sent: u64,
 }
 
 /// Why [`RouterFabric::inject`] refused a flit. Callers (injection
@@ -503,10 +507,8 @@ impl RouterFabric {
                             PortLink::Endpoint(_) => routers[r].vcs,
                         };
                         ChannelState {
-                            spec: LinkSpec::default(),
-                            in_flight: VecDeque::new(),
                             reserved: vec![0; vcs],
-                            next_free: 0,
+                            ..ChannelState::default()
                         }
                     })
                     .collect()
@@ -572,6 +574,16 @@ impl RouterFabric {
     /// bound memory).
     pub fn take_delivered(&mut self) -> Vec<(u64, Flit)> {
         std::mem::take(&mut self.delivered)
+    }
+
+    /// Cumulative traffic that has entered the link leaving `router` via
+    /// `port`, as `(flits, packets)`. Packets are counted at their tail
+    /// flit, so a partially transmitted packet shows in the flit count
+    /// only. Feeds the per-slice [`crate::channel::LinkStats`]
+    /// accounting of [`crate::fabric3d::TorusFabric`].
+    pub fn link_traffic(&self, router: usize, port: usize) -> (u64, u64) {
+        let ch = &self.channels[router][port];
+        (ch.flits_sent, ch.packets_sent)
     }
 
     /// Free credit slots on injection port `(router, port, vc)` — lets
@@ -693,8 +705,13 @@ impl RouterFabric {
 
         // 3. Departures enter their links.
         for (r, out, flit) in moves {
-            let spec = self.channels[r][out].spec;
-            self.channels[r][out].next_free = cycle + spec.interval;
+            let spec = {
+                let ch = &mut self.channels[r][out];
+                ch.next_free = cycle + ch.spec.interval;
+                ch.flits_sent += 1;
+                ch.packets_sent += u64::from(flit.is_tail());
+                ch.spec
+            };
             match self.wiring[r][out] {
                 PortLink::Router { router, port } if spec.latency == 0 => {
                     // Link flight is folded into the downstream pipeline

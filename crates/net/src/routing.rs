@@ -68,6 +68,34 @@ pub fn dateline_vc(base: u8, crossed: bool) -> u8 {
     }
 }
 
+/// The next hop of a response route from `cur` toward `dest`: plain
+/// (non-modular) XYZ-ordered mesh routing, which by construction never
+/// traverses a wraparound link. This single rule is shared by the route
+/// planner ([`plan_response`]) and the cycle fabric
+/// ([`crate::fabric3d`]) so the two cannot diverge — exactly like
+/// [`dateline_vc`] for the request class.
+pub fn mesh_first_hop(cur: TorusCoord, dest: TorusCoord) -> Option<Direction> {
+    for dim in DimOrder::XYZ.0 {
+        let delta = dest.get(dim) as i32 - cur.get(dim) as i32;
+        if delta != 0 {
+            return Some(Direction::new(dim, delta > 0));
+        }
+    }
+    None
+}
+
+/// The length of the [`mesh_first_hop`] walk from `a` to `b`: the sum of
+/// plain (non-modular) coordinate displacements. Kept next to the hop
+/// rule so the response route and its length stay one definition; a
+/// unit test pins the equivalence against [`plan_response`].
+pub fn mesh_distance(a: TorusCoord, b: TorusCoord) -> u32 {
+    DimOrder::XYZ
+        .0
+        .iter()
+        .map(|&d| (b.get(d) as i32 - a.get(d) as i32).unsigned_abs())
+        .sum()
+}
+
 /// Whether moving from `from` in direction `d` crosses the wraparound link
 /// of that ring.
 pub fn crosses_dateline(torus: &Torus, from: TorusCoord, d: Direction) -> bool {
@@ -152,19 +180,16 @@ pub fn plan_response(
     let slice = rng.next_below(SLICES_PER_NEIGHBOR as u64) as usize;
     let mut hops = Vec::new();
     let mut cur = src;
-    for dim in DimOrder::XYZ.0 {
-        // Plain (non-modular) displacement: the mesh path never wraps.
-        let delta = dst.get(dim) as i32 - cur.get(dim) as i32;
-        let dir = Direction::new(dim, delta > 0);
-        for _ in 0..delta.unsigned_abs() {
-            debug_assert!(!crosses_dateline(torus, cur, dir), "response route wrapped");
-            hops.push(Hop {
-                dir,
-                vc: RESPONSE_VC,
-                wraps: false,
-            });
-            cur = torus.neighbor(cur, dir);
-        }
+    // Walk the shared per-hop rule to the destination; plain (non-modular)
+    // displacements mean the mesh path never wraps.
+    while let Some(dir) = mesh_first_hop(cur, dst) {
+        debug_assert!(!crosses_dateline(torus, cur, dir), "response route wrapped");
+        hops.push(Hop {
+            dir,
+            vc: RESPONSE_VC,
+            wraps: false,
+        });
+        cur = torus.neighbor(cur, dir);
     }
     debug_assert_eq!(cur, dst);
     RoutePlan {
@@ -240,6 +265,21 @@ mod tests {
             for hop in &plan.hops {
                 assert!(hop.vc < REQUEST_VCS, "request VC {} out of class", hop.vc);
             }
+        }
+    }
+
+    #[test]
+    fn mesh_distance_equals_response_walk_length() {
+        let t = torus();
+        let mut rng = SplitMix64::new(10);
+        for i in 0..128u16 {
+            let a = t.coord(NodeId(i));
+            let b = t.coord(NodeId((i * 53 + 29) % 128));
+            assert_eq!(
+                mesh_distance(a, b),
+                plan_response(&t, a, b, &mut rng).hop_count(),
+                "{a:?} -> {b:?}"
+            );
         }
     }
 

@@ -1,0 +1,192 @@
+//! A force-return recycling driver over the cycle fabric: every
+//! delivered request spawns an equal-size response from its destination
+//! back to its source, with the response's channel slice drawn **once at
+//! spawn time** — a rejected injection retries with the same slice, per
+//! the sweep harness's no-retry-bias rule (a slice-0 rejection must
+//! never fall back to slice 1 and skew the oblivious randomization).
+//!
+//! [`crate::sweep::run_point`] keeps its own integrated force-return
+//! path — it additionally tracks per-packet latency, per-class windows,
+//! and a head-of-line source-queue model, and its curves calibrate the
+//! analytic contention model, so it is not built on this driver; any
+//! change to the spawn/retry protocol must be applied to both (each
+//! module's docs point at the other). This driver is the single shared
+//! harness for the *overload/drain* exercises — the
+//! `sweep_traffic --overload-smoke` CI check and the drain property
+//! tests — so those checks cannot drift apart. In particular,
+//! [`ForceReturn::drained`] treats unprocessed deliveries as live work:
+//! an empty fabric whose delivery log still holds request tails is NOT
+//! drained, because those tails have responses yet to spawn.
+
+use anton_model::topology::NodeId;
+use anton_net::fabric3d::{TorusFabric, SLICES};
+use anton_net::router::Flit;
+use anton_sim::rng::SplitMix64;
+use std::collections::HashMap;
+
+/// A spawned response awaiting injection; the slice was drawn at spawn
+/// time and every retry reuses it.
+struct PendingResponse {
+    from: NodeId,
+    to: NodeId,
+    slice: usize,
+    id: u64,
+}
+
+/// Force-return bookkeeping: which in-flight packets are requests
+/// awaiting a reply, and which replies are queued behind injection
+/// backpressure.
+pub struct ForceReturn {
+    /// Request id → source node, for packets whose delivery must spawn
+    /// a reply.
+    sources: HashMap<u64, u16>,
+    pending: Vec<PendingResponse>,
+    next_id: u64,
+    nflits: u8,
+}
+
+impl ForceReturn {
+    /// A fresh driver; requests and the responses they spawn all carry
+    /// `nflits` flits.
+    pub fn new(nflits: u8) -> Self {
+        assert!(nflits >= 1, "packets carry at least one flit");
+        ForceReturn {
+            sources: HashMap::new(),
+            pending: Vec::new(),
+            next_id: 0,
+            nflits,
+        }
+    }
+
+    /// Allocates a fresh packet id (shared between requests and
+    /// responses so delivery records never collide).
+    pub fn alloc_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Total packet ids allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Records a successfully injected request so that its delivery
+    /// spawns a reply to `src`.
+    pub fn track(&mut self, id: u64, src: NodeId) {
+        self.sources.insert(id, src.0);
+    }
+
+    /// Responses spawned but still queued behind injection backpressure.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Processes the fabric's delivery log: each delivered request tail
+    /// spawns a reply (slice drawn once from `rng`), then every queued
+    /// reply attempts injection with its original draw. Returns the
+    /// flits delivered by this call for invariant checks.
+    pub fn recycle(&mut self, fabric: &mut TorusFabric, rng: &mut SplitMix64) -> Vec<Flit> {
+        let delivered: Vec<Flit> = fabric
+            .take_delivered()
+            .into_iter()
+            .map(|(_, f)| f)
+            .collect();
+        for flit in &delivered {
+            if flit.is_tail() {
+                if let Some(src) = self.sources.remove(&flit.packet) {
+                    let id = self.alloc_id();
+                    self.pending.push(PendingResponse {
+                        from: NodeId(flit.dest as u16),
+                        to: NodeId(src),
+                        slice: rng.next_below(SLICES as u64) as usize,
+                        id,
+                    });
+                }
+            }
+        }
+        let nflits = self.nflits;
+        self.pending.retain(|r| {
+            fabric
+                .inject_response(r.from, r.to, r.id, nflits, r.slice)
+                .is_err()
+        });
+        delivered
+    }
+
+    /// Whether the exchange has fully drained: no flits resident in the
+    /// fabric, no replies queued, and no unprocessed deliveries (those
+    /// may still spawn replies — call [`Self::recycle`] and step until
+    /// this holds).
+    pub fn drained(&self, fabric: &TorusFabric) -> bool {
+        fabric.occupancy() == 0 && self.pending.is_empty() && fabric.delivered().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_model::latency::LatencyModel;
+    use anton_model::topology::Torus;
+    use anton_net::fabric3d::{decode_tag, FabricParams, TrafficClass};
+
+    #[test]
+    fn every_tracked_request_produces_exactly_one_response() {
+        let params = FabricParams::calibrated(&LatencyModel::default());
+        let mut fabric = TorusFabric::new(Torus::new([2, 2, 2]), params);
+        let mut rng = SplitMix64::new(3);
+        let mut fr = ForceReturn::new(2);
+        let mut requests = 0u64;
+        for node in 0..8u16 {
+            let id = fr.alloc_id();
+            let dst = NodeId(7 - node);
+            if fabric
+                .inject_packet_random(NodeId(node), dst, id, 2, &mut rng)
+                .is_ok()
+            {
+                fr.track(id, NodeId(node));
+                requests += 1;
+            }
+        }
+        let mut delivered = Vec::new();
+        let mut budget = 100_000;
+        while budget > 0 && !fr.drained(&fabric) {
+            delivered.extend(fr.recycle(&mut fabric, &mut rng));
+            fabric.step();
+            budget -= 1;
+        }
+        assert!(fr.drained(&fabric), "tiny exchange must drain");
+        let responses = delivered
+            .iter()
+            .filter(|f| f.is_tail() && decode_tag(f.tag).class == TrafficClass::Response)
+            .count() as u64;
+        assert_eq!(responses, requests, "one reply per delivered request");
+    }
+
+    #[test]
+    fn drained_is_false_while_deliveries_are_unprocessed() {
+        // An empty fabric with request tails still in the delivery log
+        // must NOT count as drained: their replies have yet to spawn.
+        let params = FabricParams::calibrated(&LatencyModel::default());
+        let mut fabric = TorusFabric::new(Torus::new([2, 2, 2]), params);
+        let mut rng = SplitMix64::new(4);
+        let mut fr = ForceReturn::new(1);
+        let id = fr.alloc_id();
+        fabric
+            .inject_packet_random(NodeId(0), NodeId(7), id, 1, &mut rng)
+            .unwrap();
+        fr.track(id, NodeId(0));
+        assert!(fabric.run_until_drained(100_000));
+        assert_eq!(fabric.occupancy(), 0);
+        assert!(
+            !fr.drained(&fabric),
+            "unprocessed request delivery still owes a response"
+        );
+        let mut budget = 100_000;
+        while budget > 0 && !fr.drained(&fabric) {
+            fr.recycle(&mut fabric, &mut rng);
+            fabric.step();
+            budget -= 1;
+        }
+        assert!(fr.drained(&fabric));
+    }
+}

@@ -9,8 +9,13 @@
 //!   [`anton_sim::rng::SplitMix64`];
 //! - [`sweep`] — an offered-load sweep harness that drives the
 //!   cycle-level 3D torus of [`anton_net::fabric3d`], measuring
-//!   delivered throughput and mean/p99 packet latency per load point and
-//!   emitting latency–throughput curves as JSON.
+//!   delivered throughput and mean/p99 packet latency per load point —
+//!   split by traffic class (request vs force-return response) and by
+//!   physical channel slice — and emitting latency–throughput curves as
+//!   JSON;
+//! - [`force_return`] — the shared request→response recycling driver
+//!   used by the overload/drain harnesses (CI's 8×8×8 smoke and the
+//!   drain property tests).
 //!
 //! The sweep doubles as a calibration check: at low load the measured
 //! per-hop latency must match the analytic [`anton_net::path`] constant
@@ -28,11 +33,13 @@
 //! cfg.measure_cycles = 500;
 //! let params = FabricParams::calibrated(&LatencyModel::default());
 //! let point = run_point(&UniformRandom, &cfg, params, 0.05, 1);
-//! assert!(point.packets_incomplete == 0 && point.delivered > 0.0);
+//! assert!(point.request.packets_incomplete == 0 && point.delivered > 0.0);
+//! assert!(point.response.is_some(), "default sweeps carry both classes");
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod force_return;
 pub mod patterns;
 pub mod sweep;

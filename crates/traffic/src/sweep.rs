@@ -1,16 +1,26 @@
 //! Offered-load sweeps: latency–throughput curves over the cycle fabric.
 //!
-//! For each offered load (flits per node per cycle), every node runs a
-//! Bernoulli packet generator feeding a source queue; packets inject
-//! into the [`TorusFabric`] as credits allow, with the dimension order
-//! and base VC drawn once per packet at generation time, exactly like
-//! [`anton_net::routing::plan_request`] (a blocked injection retries
-//! with the *same* draw, so backpressure cannot bias the oblivious
-//! randomization toward uncongested VCs). After a warmup window, packets
-//! generated during the measurement window are tracked to delivery;
-//! the sweep reports delivered throughput, mean/median/p99 latency, and
-//! a low-load cross-check of the per-hop constant against the analytic
-//! [`anton_net::path`] model the fabric was calibrated from.
+//! For each offered load (request flits per node per cycle), every node
+//! runs a Bernoulli packet generator feeding a source queue; packets
+//! inject into the [`TorusFabric`] as credits allow, with the dimension
+//! order, channel slice, and base VC drawn once per packet at generation
+//! time, exactly like [`anton_net::routing::plan_request`] (a blocked
+//! injection retries with the *same* draw — in particular, a rejection
+//! never falls back to the other channel slice, so backpressure cannot
+//! bias the oblivious randomization toward uncongested slices or VCs).
+//!
+//! With [`SweepConfig::respond`] enabled, every delivered request spawns
+//! a same-size response back to its source — force-return traffic — that
+//! rides the single response VC over mesh-restricted XYZ routes
+//! ([`anton_net::fabric3d::TrafficClass::Response`]), with its slice
+//! drawn at spawn time. (The overload/drain harnesses implement the
+//! same spawn/retry protocol via [`crate::force_return`], without the
+//! per-packet statistics; keep the two in sync.) After a warmup window, packets generated during
+//! the measurement window (and the responses they spawn) are tracked to
+//! delivery; the sweep reports delivered throughput and latency **per
+//! traffic class and per channel slice**, plus a low-load cross-check of
+//! the per-hop constant against the analytic [`anton_net::path`] model
+//! the fabric was calibrated from.
 //!
 //! Everything is deterministic under the configured seed: node streams
 //! are split from one root [`SplitMix64`], and the fabric itself is
@@ -19,7 +29,7 @@
 use crate::patterns::TrafficPattern;
 use anton_model::topology::{NodeId, Torus};
 use anton_model::units::PS_PER_CORE_CYCLE;
-use anton_net::fabric3d::{FabricParams, TorusFabric};
+use anton_net::fabric3d::{decode_tag, FabricParams, TorusFabric, TrafficClass, SLICES};
 use anton_sim::rng::SplitMix64;
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -29,7 +39,8 @@ use std::collections::VecDeque;
 pub struct SweepConfig {
     /// Torus extents.
     pub dims: [u8; 3],
-    /// Flits per packet (the paper's packets are one or two flits).
+    /// Flits per packet (the paper's packets are one or two flits);
+    /// responses carry the same flit count as the requests they answer.
     pub flits_per_packet: u8,
     /// Cycles of warmup before the measurement window opens.
     pub warmup_cycles: u64,
@@ -39,13 +50,17 @@ pub struct SweepConfig {
     pub drain_cycles: u64,
     /// Root seed; every node stream and routing draw derives from it.
     pub seed: u64,
-    /// Offered loads to sweep, in flits per node per cycle.
+    /// Offered loads to sweep, in request flits per node per cycle.
     pub loads: Vec<f64>,
+    /// Whether every delivered request spawns a response back to its
+    /// source (force-return traffic). Responses ride their own VC and
+    /// roughly double the carried load at a given offered rate.
+    pub respond: bool,
 }
 
 impl SweepConfig {
-    /// A standard sweep over `dims` with the default windows, seed, and
-    /// load axis.
+    /// A standard sweep over `dims` with the default windows, seed, load
+    /// axis, and request→response traffic enabled.
     pub fn new(dims: [u8; 3]) -> Self {
         SweepConfig {
             dims,
@@ -55,6 +70,7 @@ impl SweepConfig {
             drain_cycles: 40_000,
             seed: 0xA3_70_03,
             loads: Self::default_loads(),
+            respond: true,
         }
     }
 
@@ -62,25 +78,38 @@ impl SweepConfig {
     pub fn default_loads() -> Vec<f64> {
         vec![0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
     }
+
+    /// The loaded-latency calibration workload: uniform random requests
+    /// (no responses) on the paper's 128-node 4×4×8 machine, with an
+    /// empty load axis for the caller to fill. Shared verbatim by
+    /// `sweep_traffic --calibrate` (which fits the analytic contention
+    /// constants from it) and the regression test that pins them, so
+    /// the fit and the check can never drift apart.
+    pub fn calibration_4x4x8() -> Self {
+        SweepConfig {
+            dims: [4, 4, 8],
+            flits_per_packet: 2,
+            warmup_cycles: 1_500,
+            measure_cycles: 3_000,
+            drain_cycles: 30_000,
+            seed: 0xCA11B,
+            loads: vec![],
+            respond: false,
+        }
+    }
 }
 
-/// Measurements at one offered load.
+/// Measurements for one traffic class at one offered load.
 #[derive(Clone, Copy, Debug, Serialize)]
-pub struct LoadPoint {
-    /// Offered load, flits per node per cycle.
-    pub offered: f64,
-    /// Flits per node per cycle actually generated in the window (equal
-    /// to offered for always-on patterns; lower for duty-cycled ones
-    /// like fence-storm).
-    pub generated: f64,
-    /// Delivered throughput, flits per node per cycle, over the window.
+pub struct ClassPoint {
+    /// Delivered throughput of this class, flits per node per cycle,
+    /// over the measurement window.
     pub delivered: f64,
-    /// Packets generated in the window.
+    /// Tracked packets of this class.
     pub packets_measured: u64,
-    /// Window packets still undelivered when the drain budget expired
-    /// (nonzero means the fabric is saturated at this load).
+    /// Tracked packets still undelivered when the drain budget expired.
     pub packets_incomplete: u64,
-    /// Mean generation-to-delivery latency in cycles (completed packets).
+    /// Mean generation(or spawn)-to-delivery latency in cycles.
     pub mean_latency_cycles: f64,
     /// Median latency in cycles.
     pub p50_latency_cycles: f64,
@@ -90,15 +119,40 @@ pub struct LoadPoint {
     pub mean_latency_ns: f64,
     /// Mean injection-to-delivery (network-only) latency in cycles.
     pub mean_network_latency_cycles: f64,
-    /// Mean minimal hop count of measured packets.
+    /// Mean route hop count of measured packets (torus-minimal for
+    /// requests, mesh XYZ for responses).
     pub mean_hops: f64,
-    /// Per-hop latency inferred from the network latency and hop counts,
-    /// in nanoseconds — converges to the analytic constant at low load.
+}
+
+/// Measurements at one offered load.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LoadPoint {
+    /// Offered request load, flits per node per cycle.
+    pub offered: f64,
+    /// Request flits per node per cycle actually generated in the window
+    /// (equal to offered for always-on patterns; lower for duty-cycled
+    /// ones like fence-storm).
+    pub generated: f64,
+    /// Delivered throughput over all classes, flits per node per cycle.
+    pub delivered: f64,
+    /// The request class curve point.
+    pub request: ClassPoint,
+    /// The response class curve point (present when the sweep ran with
+    /// [`SweepConfig::respond`]).
+    pub response: Option<ClassPoint>,
+    /// Delivered throughput per channel slice (all classes), flits per
+    /// node per cycle — near-equal halves when the slice draw is fair.
+    pub slice_delivered: [f64; SLICES],
+    /// Per-hop latency inferred from the request-class network latency
+    /// and hop counts, in nanoseconds, with the tail-flit slice
+    /// serialization lag removed — converges to the analytic constant at
+    /// low load.
     pub measured_per_hop_ns: f64,
-    /// Injection attempts refused by fabric credits during the window.
+    /// Injection attempts (either class) refused by fabric credits
+    /// during the window.
     pub backpressure_rejections: u64,
     /// Whether this point is past saturation (incomplete packets or
-    /// delivered notably below offered).
+    /// request throughput notably below offered).
     pub saturated: bool,
 }
 
@@ -118,6 +172,15 @@ impl PatternCurve {
     pub fn saturation_throughput(&self) -> f64 {
         self.points.iter().map(|p| p.delivered).fold(0.0, f64::max)
     }
+
+    /// The request-class saturation throughput (what the offered axis
+    /// and the loaded-latency calibration are expressed against).
+    pub fn request_saturation_throughput(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.request.delivered)
+            .fold(0.0, f64::max)
+    }
 }
 
 /// A full multi-pattern sweep report (the JSON artifact).
@@ -129,6 +192,8 @@ pub struct SweepReport {
     pub router_cycles: u64,
     /// Calibrated link flight cycles per hop.
     pub link_latency_cycles: u64,
+    /// Calibrated per-slice serialization interval in cycles.
+    pub slice_interval_cycles: u64,
     /// The analytic per-hop constant the fabric was calibrated to, ns.
     pub analytic_per_hop_ns: f64,
     /// One curve per traffic pattern.
@@ -141,11 +206,59 @@ struct PacketInfo {
     generated_at: u64,
     injected_at: u64,
     delivered_at: u64,
+    /// The node that injects this packet (a response's source is the
+    /// node its request was delivered to).
+    src: u16,
     hops: u32,
     tracked: bool,
+    response: bool,
 }
 
 const PENDING: u64 = u64::MAX;
+
+fn class_point(
+    delivered: f64,
+    measured: u64,
+    incomplete: u64,
+    latencies: &mut [u64],
+    net_sum: f64,
+    hop_sum: f64,
+    total_sum: f64,
+) -> ClassPoint {
+    latencies.sort_unstable();
+    let completed = latencies.len() as f64;
+    let pct = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            0.0
+        } else {
+            latencies[((completed - 1.0) * q).round() as usize] as f64
+        }
+    };
+    let mean = if completed > 0.0 {
+        total_sum / completed
+    } else {
+        0.0
+    };
+    ClassPoint {
+        delivered,
+        packets_measured: measured,
+        packets_incomplete: incomplete,
+        mean_latency_cycles: mean,
+        p50_latency_cycles: pct(0.50),
+        p99_latency_cycles: pct(0.99),
+        mean_latency_ns: mean * PS_PER_CORE_CYCLE as f64 / 1000.0,
+        mean_network_latency_cycles: if completed > 0.0 {
+            net_sum / completed
+        } else {
+            0.0
+        },
+        mean_hops: if completed > 0.0 {
+            hop_sum / completed
+        } else {
+            0.0
+        },
+    }
+}
 
 /// Runs one pattern at one offered load; `stream` decorrelates the RNG
 /// across points while staying reproducible from the config seed.
@@ -164,21 +277,34 @@ pub fn run_point(
     let torus = Torus::new(cfg.dims);
     let mut fabric = TorusFabric::new(torus, params);
     let n = torus.node_count();
-    let p_packet = offered / cfg.flits_per_packet as f64;
+    let nflits = cfg.flits_per_packet;
+    let p_packet = offered / nflits as f64;
 
     let root = SplitMix64::new(cfg.seed).split(stream);
     let mut node_rng: Vec<SplitMix64> = (0..n as u64).map(|i| root.split(i)).collect();
     // Source queue entry: a generated packet with its routing draw made
     // once, at generation time — retried injections reuse the same
-    // order/VC so backpressure cannot bias the oblivious randomization.
+    // order/slice/VC, so backpressure cannot bias the oblivious
+    // randomization (in particular a slice-0 rejection must not retry on
+    // slice 1).
     struct Queued {
         id: u64,
         dst: NodeId,
         order_idx: usize,
+        slice: usize,
         base_vc: u8,
+    }
+    // A spawned response with its slice drawn at spawn time; the retry
+    // rule applies identically.
+    struct QueuedResp {
+        id: u64,
+        dst: NodeId,
+        slice: usize,
     }
     let mut queues: Vec<VecDeque<Queued>> = Vec::new();
     queues.resize_with(n, VecDeque::new);
+    let mut resp_queues: Vec<VecDeque<QueuedResp>> = Vec::new();
+    resp_queues.resize_with(n, VecDeque::new);
     let mut packets: Vec<PacketInfo> = Vec::new();
 
     let window = cfg.warmup_cycles..cfg.warmup_cycles + cfg.measure_cycles;
@@ -186,6 +312,8 @@ pub fn run_point(
     let horizon = gen_end + cfg.drain_cycles;
     let mut outstanding: u64 = 0; // tracked packets not yet delivered
     let mut window_flits: u64 = 0; // flits delivered inside the window
+    let mut class_flits = [0u64; 2]; // [request, response] window flits
+    let mut slice_flits = [0u64; SLICES]; // per-slice window flits
     let mut backpressure: u64 = 0;
 
     let mut cycle = 0u64;
@@ -205,8 +333,10 @@ pub fn run_point(
                         generated_at: cycle,
                         injected_at: PENDING,
                         delivered_at: PENDING,
+                        src: src.0,
                         hops: torus.hop_distance(torus.coord(src), torus.coord(dst)),
                         tracked,
+                        response: false,
                     });
                     if tracked {
                         outstanding += 1;
@@ -215,14 +345,33 @@ pub fn run_point(
                         id,
                         dst,
                         order_idx: rng.next_below(6) as usize,
+                        slice: rng.next_below(SLICES as u64) as usize,
                         base_vc: rng.next_below(2) as u8,
                     });
                 }
             }
         }
 
-        // Injection: head-of-line packet per node, as credits allow,
-        // with the draw fixed at generation time.
+        // Injection: head-of-line packet per node and class, as credits
+        // allow, with every draw fixed at generation/spawn time.
+        // Responses go first — they ride their own VC, so the two
+        // classes contend only for link serialization slots.
+        for (node, queue) in resp_queues.iter_mut().enumerate() {
+            let Some(q) = queue.front() else {
+                continue;
+            };
+            match fabric.inject_response(NodeId(node as u16), q.dst, q.id, nflits, q.slice) {
+                Ok(()) => {
+                    packets[q.id as usize].injected_at = cycle;
+                    queue.pop_front();
+                }
+                Err(_) => {
+                    if window.contains(&cycle) {
+                        backpressure += 1;
+                    }
+                }
+            }
+        }
         for (node, queue) in queues.iter_mut().enumerate() {
             let Some(q) = queue.front() else {
                 continue;
@@ -231,8 +380,9 @@ pub fn run_point(
                 NodeId(node as u16),
                 q.dst,
                 q.id,
-                cfg.flits_per_packet,
+                nflits,
                 q.order_idx,
+                q.slice,
                 q.base_vc,
             ) {
                 Ok(()) => {
@@ -250,102 +400,133 @@ pub fn run_point(
         fabric.step();
         cycle = fabric.cycle();
 
-        // Collect deliveries in batches.
-        if cycle.is_multiple_of(64) || cycle >= horizon {
+        // Collect deliveries. With responses enabled every delivery may
+        // spawn follow-on traffic, so the log drains whenever non-empty;
+        // request-only sweeps batch the drain to every 64 cycles.
+        let collect = if cfg.respond {
+            !fabric.delivered().is_empty()
+        } else {
+            cycle.is_multiple_of(64)
+        } || cycle >= horizon;
+        if collect {
             for (at, flit) in fabric.take_delivered() {
+                let tag = decode_tag(flit.tag);
                 if window.contains(&at) {
                     window_flits += 1;
+                    class_flits[(tag.class == TrafficClass::Response) as usize] += 1;
+                    slice_flits[tag.slice] += 1;
                 }
-                if flit.is_tail() {
-                    let info = &mut packets[flit.packet as usize];
-                    info.delivered_at = at;
+                if !flit.is_tail() {
+                    continue;
+                }
+                let info = packets[flit.packet as usize];
+                packets[flit.packet as usize].delivered_at = at;
+                if info.tracked {
+                    outstanding -= 1;
+                }
+                if cfg.respond && !info.response {
+                    // Force-return: the delivered request spawns an
+                    // equal-size reply from its destination back to its
+                    // source, with the slice drawn at spawn time from
+                    // the destination node's stream.
+                    let here = NodeId(flit.dest as u16);
+                    let back = NodeId(info.src);
+                    let id = packets.len() as u64;
+                    packets.push(PacketInfo {
+                        generated_at: at,
+                        injected_at: PENDING,
+                        delivered_at: PENDING,
+                        src: here.0,
+                        hops: anton_net::routing::mesh_distance(
+                            torus.coord(here),
+                            torus.coord(back),
+                        ),
+                        tracked: info.tracked,
+                        response: true,
+                    });
                     if info.tracked {
-                        outstanding -= 1;
+                        outstanding += 1;
                     }
+                    resp_queues[here.index()].push_back(QueuedResp {
+                        id,
+                        dst: back,
+                        slice: node_rng[here.index()].next_below(SLICES as u64) as usize,
+                    });
                 }
             }
-            // Once the window closed and every tracked packet landed,
-            // the point is done — no need to burn the full drain budget.
+            // Once the window closed and every tracked packet (and the
+            // response it spawned) landed, the point is done — no need
+            // to burn the full drain budget.
             if cycle >= gen_end && outstanding == 0 {
                 break;
             }
         }
     }
-    for (at, flit) in fabric.take_delivered() {
-        if window.contains(&at) {
-            window_flits += 1;
-        }
-        if flit.is_tail() {
-            let info = &mut packets[flit.packet as usize];
-            info.delivered_at = at;
-            if info.tracked {
-                outstanding -= 1;
-            }
-        }
-    }
 
-    // Statistics over tracked (window-generated) packets.
-    let mut latencies: Vec<u64> = Vec::new();
-    let (mut net_sum, mut hop_sum, mut total_sum) = (0f64, 0f64, 0f64);
-    let mut measured = 0u64;
+    // Statistics over tracked packets, split by class.
+    let mut latencies: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+    let mut net_sum = [0f64; 2];
+    let mut hop_sum = [0f64; 2];
+    let mut total_sum = [0f64; 2];
+    let mut measured = [0u64; 2];
+    let mut incomplete = [0u64; 2];
     for info in packets.iter().filter(|i| i.tracked) {
-        measured += 1;
+        let k = info.response as usize;
+        measured[k] += 1;
         if info.delivered_at == PENDING {
+            incomplete[k] += 1;
             continue;
         }
-        latencies.push(info.delivered_at - info.generated_at);
-        total_sum += (info.delivered_at - info.generated_at) as f64;
-        net_sum += (info.delivered_at - info.injected_at) as f64;
-        hop_sum += info.hops as f64;
+        latencies[k].push(info.delivered_at - info.generated_at);
+        total_sum[k] += (info.delivered_at - info.generated_at) as f64;
+        net_sum[k] += (info.delivered_at - info.injected_at) as f64;
+        hop_sum[k] += info.hops as f64;
     }
-    latencies.sort_unstable();
-    let completed = latencies.len() as f64;
-    let pct = |q: f64| -> f64 {
-        if latencies.is_empty() {
-            0.0
-        } else {
-            latencies[((completed - 1.0) * q).round() as usize] as f64
-        }
-    };
-    let mean_latency = if completed > 0.0 {
-        total_sum / completed
-    } else {
-        0.0
-    };
-    let mean_net = if completed > 0.0 {
-        net_sum / completed
-    } else {
-        0.0
-    };
-    let mean_hops = if completed > 0.0 {
-        hop_sum / completed
-    } else {
-        0.0
-    };
+    let per_node_cycle = |flits: u64| flits as f64 / (n as f64 * cfg.measure_cycles as f64);
+    let [mut req_lat, mut resp_lat] = latencies;
+    let request = class_point(
+        per_node_cycle(class_flits[0]),
+        measured[0],
+        incomplete[0],
+        &mut req_lat,
+        net_sum[0],
+        hop_sum[0],
+        total_sum[0],
+    );
+    let response = cfg.respond.then(|| {
+        class_point(
+            per_node_cycle(class_flits[1]),
+            measured[1],
+            incomplete[1],
+            &mut resp_lat,
+            net_sum[1],
+            hop_sum[1],
+            total_sum[1],
+        )
+    });
+
     let cycle_ns = PS_PER_CORE_CYCLE as f64 / 1000.0;
-    let measured_per_hop_ns = if mean_hops > 0.0 {
-        (mean_net - params.router_cycles as f64) / mean_hops * cycle_ns
+    // The analytic per-hop constant is head-flit based; remove the tail
+    // flit's slice serialization lag before dividing by the hop count.
+    let tail_lag = (nflits - 1) as f64 * params.link_interval as f64;
+    let measured_per_hop_ns = if request.mean_hops > 0.0 {
+        (request.mean_network_latency_cycles - params.router_cycles as f64 - tail_lag)
+            / request.mean_hops
+            * cycle_ns
     } else {
         0.0
     };
-    let delivered = window_flits as f64 / (n as f64 * cfg.measure_cycles as f64);
-    let generated =
-        measured as f64 * cfg.flits_per_packet as f64 / (n as f64 * cfg.measure_cycles as f64);
+    let generated = measured[0] as f64 * nflits as f64 / (n as f64 * cfg.measure_cycles as f64);
     LoadPoint {
         offered,
         generated,
-        delivered,
-        packets_measured: measured,
-        packets_incomplete: outstanding,
-        mean_latency_cycles: mean_latency,
-        p50_latency_cycles: pct(0.50),
-        p99_latency_cycles: pct(0.99),
-        mean_latency_ns: mean_latency * cycle_ns,
-        mean_network_latency_cycles: mean_net,
-        mean_hops,
+        delivered: per_node_cycle(window_flits),
+        request,
+        response,
+        slice_delivered: slice_flits.map(per_node_cycle),
         measured_per_hop_ns,
         backpressure_rejections: backpressure,
-        saturated: outstanding > 0 || delivered < generated * 0.90 - 1e-3,
+        saturated: outstanding > 0 || request.delivered < generated * 0.90 - 1e-3,
     }
 }
 
@@ -383,6 +564,7 @@ pub fn run_sweep(
         config: cfg.clone(),
         router_cycles: params.router_cycles,
         link_latency_cycles: params.link_latency,
+        slice_interval_cycles: params.link_interval,
         analytic_per_hop_ns: params.per_hop_time().as_ns(),
         curves,
     }
@@ -403,6 +585,7 @@ mod tests {
             drain_cycles: 20_000,
             seed: 11,
             loads: vec![],
+            respond: false,
         }
     }
 
@@ -415,8 +598,11 @@ mod tests {
         let cfg = small_cfg();
         let p = params();
         let point = run_point(&UniformRandom, &cfg, p, 0.02, 1);
-        assert!(point.packets_measured > 20, "too few packets to judge");
-        assert_eq!(point.packets_incomplete, 0, "low load must fully drain");
+        assert!(point.request.packets_measured > 20, "too few packets");
+        assert_eq!(
+            point.request.packets_incomplete, 0,
+            "low load must fully drain"
+        );
         let analytic = p.per_hop_time().as_ns();
         let rel = (point.measured_per_hop_ns - analytic).abs() / analytic;
         assert!(
@@ -439,14 +625,19 @@ mod tests {
 
     #[test]
     fn determinism_same_seed_same_curve() {
-        let cfg = small_cfg();
+        let mut cfg = small_cfg();
+        cfg.respond = true;
         let p = params();
         let a = run_point(&UniformRandom, &cfg, p, 0.2, 7);
         let b = run_point(&UniformRandom, &cfg, p, 0.2, 7);
-        assert_eq!(a.packets_measured, b.packets_measured);
-        assert_eq!(a.mean_latency_cycles, b.mean_latency_cycles);
-        assert_eq!(a.p99_latency_cycles, b.p99_latency_cycles);
+        assert_eq!(a.request.packets_measured, b.request.packets_measured);
+        assert_eq!(a.request.mean_latency_cycles, b.request.mean_latency_cycles);
+        assert_eq!(a.request.p99_latency_cycles, b.request.p99_latency_cycles);
+        let (ra, rb) = (a.response.unwrap(), b.response.unwrap());
+        assert_eq!(ra.packets_measured, rb.packets_measured);
+        assert_eq!(ra.mean_latency_cycles, rb.mean_latency_cycles);
         assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.slice_delivered, b.slice_delivered);
     }
 
     #[test]
@@ -461,8 +652,45 @@ mod tests {
     }
 
     #[test]
+    fn responses_double_delivered_traffic_below_saturation() {
+        let mut cfg = small_cfg();
+        cfg.respond = true;
+        let p = params();
+        let point = run_point(&UniformRandom, &cfg, p, 0.1, 5);
+        let resp = point.response.expect("respond mode fills the class");
+        assert_eq!(resp.packets_incomplete, 0, "all replies must land");
+        assert_eq!(
+            resp.packets_measured, point.request.packets_measured,
+            "every tracked request spawns exactly one tracked response"
+        );
+        // Total delivered is both classes; each class roughly matches
+        // the offered request rate.
+        let rel = (point.delivered - 2.0 * point.request.delivered).abs() / point.delivered;
+        assert!(rel < 0.15, "classes should split evenly, got {point:?}");
+        assert!(resp.mean_latency_cycles > 0.0);
+        // Responses take mesh routes, so their mean hop count is at
+        // least the requests' torus-minimal mean.
+        assert!(resp.mean_hops >= point.request.mean_hops - 1e-9);
+    }
+
+    #[test]
+    fn slices_split_traffic_evenly() {
+        let mut cfg = small_cfg();
+        cfg.respond = true;
+        let p = params();
+        let point = run_point(&UniformRandom, &cfg, p, 0.2, 6);
+        let [a, b] = point.slice_delivered;
+        assert!(a > 0.0 && b > 0.0, "both slices must carry traffic");
+        let skew = (a - b).abs() / (a + b);
+        assert!(skew < 0.1, "slice split skew {skew} too large");
+        let total = point.slice_delivered.iter().sum::<f64>();
+        assert!((total - point.delivered).abs() < 1e-12);
+    }
+
+    #[test]
     fn report_serializes_to_json() {
         let mut cfg = small_cfg();
+        cfg.respond = true;
         cfg.loads = vec![0.05];
         cfg.warmup_cycles = 200;
         cfg.measure_cycles = 400;
@@ -471,5 +699,7 @@ mod tests {
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"uniform_random\""));
         assert!(json.contains("\"analytic_per_hop_ns\""));
+        assert!(json.contains("\"response\""));
+        assert!(json.contains("\"slice_delivered\""));
     }
 }

@@ -1,0 +1,148 @@
+//! Property tests for the two-slice, two-class torus fabric (paper
+//! §III-B2 / §V-C): with response traffic enabled — every delivered
+//! request spawning a reply to its source — the fabric always drains
+//! once injection stops, i.e. there is no VC dependency cycle between
+//! the request and response classes; and each class keeps its dateline
+//! invariant on random torus shapes (at most one wraparound crossing
+//! per dimension for requests, none at all for responses).
+
+use anton3::model::latency::LatencyModel;
+use anton3::model::topology::{DimOrder, NodeId, Torus};
+use anton3::net::fabric3d::{decode_tag, FabricParams, TorusFabric, TrafficClass, SLICES};
+use anton3::net::routing::{self, RESPONSE_VC};
+use anton3::sim::rng::SplitMix64;
+use anton3::traffic::force_return::ForceReturn;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Overload a random-shape fabric with request traffic whose
+    /// deliveries spawn responses, stop injecting, and require a full
+    /// drain: a request/response dependency cycle would leave flits
+    /// resident forever. Every delivered flit must also carry its
+    /// class's VCs.
+    #[test]
+    fn overloaded_mixed_class_fabric_drains(
+        dims in (2u8..=4, 2u8..=4, 2u8..=5),
+        seed in any::<u64>(),
+        inject_cycles in 40u64..150,
+    ) {
+        let torus = Torus::new([dims.0, dims.1, dims.2]);
+        let params = FabricParams::calibrated(&LatencyModel::default());
+        let mut fabric = TorusFabric::new(torus, params);
+        let mut rng = SplitMix64::new(seed);
+        let n = torus.node_count() as u64;
+        let mut fr = ForceReturn::new(2);
+        let check_classes = |flits: &[anton3::net::router::Flit]| {
+            for f in flits {
+                match decode_tag(f.tag).class {
+                    TrafficClass::Request => prop_assert!(
+                        f.vc < RESPONSE_VC,
+                        "request delivered on VC {}", f.vc
+                    ),
+                    TrafficClass::Response => prop_assert_eq!(
+                        f.vc, RESPONSE_VC,
+                        "response delivered off its VC"
+                    ),
+                }
+            }
+        };
+        // Overload: every node attempts a 2-flit request every cycle.
+        for _ in 0..inject_cycles {
+            for node in 0..n {
+                let src = NodeId(node as u16);
+                let dst = NodeId(rng.next_below(n) as u16);
+                if src != dst {
+                    let id = fr.alloc_id();
+                    if fabric.inject_packet_random(src, dst, id, 2, &mut rng).is_ok() {
+                        fr.track(id, src);
+                    }
+                }
+            }
+            let delivered = fr.recycle(&mut fabric, &mut rng);
+            check_classes(&delivered);
+            fabric.step();
+        }
+        // Injection stopped; in-flight requests keep spawning responses
+        // until everything lands. `drained` counts unprocessed
+        // deliveries as live work, so the final wave's replies are
+        // spawned and class-checked before the loop may exit.
+        let mut budget = 200_000u64;
+        while budget > 0 && !fr.drained(&fabric) {
+            let delivered = fr.recycle(&mut fabric, &mut rng);
+            check_classes(&delivered);
+            fabric.step();
+            budget -= 1;
+        }
+        prop_assert!(
+            fr.drained(&fabric),
+            "fabric did not drain after injection stopped: {} flits resident, \
+             {} responses pending (dependency cycle between classes?)",
+            fabric.occupancy(),
+            fr.pending()
+        );
+    }
+
+    /// Per-class dateline invariants on random shapes: request plans
+    /// cross each dimension's wraparound at most once (any order, any
+    /// base VC), and response routes — checked on the fabric itself via
+    /// the per-slice link counters — never touch a wraparound link.
+    #[test]
+    fn dateline_crossings_bounded_per_class(
+        dims in (2u8..=4, 2u8..=4, 2u8..=5),
+        src_ix in any::<u16>(),
+        dst_ix in any::<u16>(),
+        order_idx in 0usize..6,
+        base_vc in 0u8..2,
+        slice in 0usize..SLICES,
+    ) {
+        let torus = Torus::new([dims.0, dims.1, dims.2]);
+        let n = torus.node_count() as u16;
+        let (src, dst) = (NodeId(src_ix % n), NodeId(dst_ix % n));
+        let params = FabricParams::calibrated(&LatencyModel::default());
+
+        // Request class: plan-level walk, one crossing per dimension max.
+        let plan = routing::plan_request_fixed(
+            &torus,
+            torus.coord(src),
+            torus.coord(dst),
+            DimOrder::ALL[order_idx],
+            slice,
+            base_vc,
+        );
+        let mut wraps = [0u32; 3];
+        let mut cur = torus.coord(src);
+        for hop in &plan.hops {
+            if routing::crosses_dateline(&torus, cur, hop.dir) {
+                wraps[hop.dir.dim().index()] += 1;
+            }
+            prop_assert!(hop.vc < RESPONSE_VC, "request plan uses the response VC");
+            cur = torus.neighbor(cur, hop.dir);
+        }
+        for (k, &w) in wraps.iter().enumerate() {
+            prop_assert!(w <= 1, "request crossed dimension {k} dateline {w} times");
+        }
+
+        // Response class: run it through the fabric and assert zero
+        // traffic on every wraparound slice link.
+        let mut fabric = TorusFabric::new(torus, params);
+        fabric.inject_response(src, dst, 1, 2, slice).expect("empty fabric");
+        prop_assert!(fabric.run_until_drained(1_000_000), "response must drain");
+        for node in torus.nodes() {
+            for dir in anton3::model::topology::Direction::ALL {
+                if routing::crosses_dateline(&torus, torus.coord(node), dir) {
+                    for s in 0..SLICES {
+                        prop_assert_eq!(
+                            fabric.link_stats(node, dir, s).packets,
+                            0,
+                            "response crossed the {} dateline at {:?}",
+                            dir,
+                            node
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

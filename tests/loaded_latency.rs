@@ -1,0 +1,65 @@
+//! Regression tests pinning the loaded-latency calibration of the
+//! analytic model (`net::path::ContentionModel` +
+//! `machine::pingpong::LoadedCalibration`) against the cycle-level
+//! fabric: on 4x4x8 uniform random traffic at 0.2/0.4/0.6 of the
+//! measured saturation, the analytic predicted mean latency must stay
+//! within 2% of the cycle-level sweep (seeded, deterministic), and the
+//! unloaded per-hop latency must still match the analytic 34.27 ns
+//! constant within 1%.
+
+use anton3::machine::pingpong::LoadedCalibration;
+use anton3::model::latency::LatencyModel;
+use anton3::model::topology::Torus;
+use anton3::net::fabric3d::FabricParams;
+use anton3::traffic::patterns::UniformRandom;
+use anton3::traffic::sweep::{run_point, SweepConfig};
+
+/// Stated tolerance of the loaded-latency calibration: the analytic
+/// prediction must land within 2% of the cycle-level mean (the fit
+/// residuals are under half a percent; 2% leaves room for RNG-stream
+/// variation without ever masking a real timing change).
+const LOADED_TOLERANCE: f64 = 0.02;
+
+#[test]
+fn analytic_loaded_latency_tracks_cycle_fabric() {
+    let params = FabricParams::calibrated(&LatencyModel::default());
+    let cal = LoadedCalibration::UNIFORM_4X4X8;
+    let cfg = SweepConfig::calibration_4x4x8();
+    let torus = Torus::new(cfg.dims);
+    for (i, rho) in [0.2, 0.4, 0.6].into_iter().enumerate() {
+        let offered = rho * cal.saturation;
+        let point = run_point(&UniformRandom, &cfg, params, offered, 100 + i as u64);
+        assert_eq!(
+            point.request.packets_incomplete, 0,
+            "rho {rho} is below saturation and must drain"
+        );
+        assert!(!point.saturated, "rho {rho} must not report saturation");
+        let predicted =
+            cal.predicted_mean_latency_cycles(&params, &torus, cfg.flits_per_packet, offered);
+        let measured = point.request.mean_latency_cycles;
+        let rel = (predicted - measured).abs() / measured;
+        assert!(
+            rel < LOADED_TOLERANCE,
+            "rho {rho}: analytic {predicted:.1} vs cycle-level {measured:.1} cycles \
+             ({:.2}% off, tolerance {:.0}%)",
+            rel * 100.0,
+            LOADED_TOLERANCE * 100.0
+        );
+    }
+}
+
+#[test]
+fn unloaded_per_hop_still_matches_analytic_within_one_percent() {
+    let params = FabricParams::calibrated(&LatencyModel::default());
+    let cfg = SweepConfig::calibration_4x4x8();
+    let point = run_point(&UniformRandom, &cfg, params, 0.02, 99);
+    assert!(point.request.packets_measured > 100, "need enough samples");
+    let analytic = params.per_hop_time().as_ns();
+    let rel = (point.measured_per_hop_ns - analytic).abs() / analytic;
+    assert!(
+        rel < 0.01,
+        "unloaded per-hop {:.2} ns vs analytic {analytic:.2} ns ({:.2}% off)",
+        point.measured_per_hop_ns,
+        rel * 100.0
+    );
+}

@@ -264,9 +264,10 @@ proptest! {
         let (src, dst) = (NodeId(src_ix % n), NodeId(dst_ix % n));
         let params = FabricParams::calibrated(&LatencyModel::default());
         let mut fabric = TorusFabric::new(torus, params);
-        let plan = fabric.plan(src, dst, order_idx, base_vc);
+        let slice = (src_ix % 2) as usize;
+        let plan = fabric.plan(src, dst, order_idx, slice, base_vc);
         fabric
-            .inject_packet(src, dst, 1, 1, order_idx, base_vc)
+            .inject_packet(src, dst, 1, 1, order_idx, slice, base_vc)
             .expect("empty fabric has credits");
         prop_assert!(fabric.run_until_drained(1_000_000), "must drain");
         let (cycle, flit) = fabric.delivered()[0];
