@@ -4,7 +4,7 @@
 
 use anton_model::latency::LatencyModel;
 use anton_model::topology::{NodeId, Torus};
-use anton_net::fabric3d::{FabricParams, TorusFabric};
+use anton_net::fabric3d::{FabricParams, PacketSpec, TorusFabric};
 use anton_sim::rng::SplitMix64;
 use anton_traffic::patterns::UniformRandom;
 use anton_traffic::sweep::{run_point, SweepConfig};
@@ -30,7 +30,7 @@ fn bench_traffic(c: &mut Criterion) {
                 let dst = NodeId(rng.next_below(128) as u16);
                 let src = NodeId(node * 16);
                 if src != dst {
-                    let _ = fabric.inject_packet_random(src, dst, id, 2, &mut rng);
+                    let _ = fabric.inject(PacketSpec::request(src, dst, id, 2).drawn(&mut rng));
                     id += 1;
                 }
             }

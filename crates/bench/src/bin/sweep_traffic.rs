@@ -3,7 +3,8 @@
 //! bit-complement, transpose, hotspot, fence-storm) on the paper's
 //! 128-node 4x4x8 machine, with request→response (force-return) traffic
 //! and the two physical channel slices per neighbor modeled as
-//! independent links.
+//! independent links. Everything drives the fabric through the unified
+//! `Workload` / `PacketSpec` scenario API (`traffic::sweep::run_scenario`).
 //!
 //! For each pattern the binary prints a saturation curve — offered vs
 //! delivered flits/node/cycle with mean and p99 packet latency, split by
@@ -13,30 +14,41 @@
 //!
 //! - `--json` emits the full report;
 //! - `--quick` runs a coarse load axis for smoke testing;
-//! - `--calibrate` runs the request-only 4x4x8 uniform calibration
-//!   workload and fits the loaded-latency contention constants
-//!   (`machine::pingpong::LoadedCalibration::UNIFORM_4X4X8` ships the
-//!   fitted values);
+//! - `--calibrate` runs the request-only 4x4x8 calibration workloads
+//!   (uniform random and nearest-neighbor halo) through the Scenario
+//!   driver and fits the loaded-latency contention constants
+//!   (`machine::pingpong::LoadedCalibration` ships the fitted values
+//!   for both patterns);
+//! - `--md-replay` replays MD-shaped halo traffic (an `MdHaloWorkload`
+//!   built from a water-box run's spatial decomposition) on the cycle
+//!   fabric and reconciles the per-`ByteKind` link-stat totals
+//!   (position/force wire bytes) machine-wide;
 //! - `--overload-smoke` runs a short 8x8x8 overload point with both
 //!   classes plus an injection-stop drain check, exercising the
 //!   dateline-VC deadlock margins on a larger machine (CI runs this on
 //!   every PR).
 
-use anton_machine::pingpong::{mean_uniform_hops, LoadedCalibration};
+use anton_machine::mdrun::MdNetworkRun;
+use anton_machine::pingpong::LoadedCalibration;
 use anton_model::latency::LatencyModel;
 use anton_model::topology::{NodeId, Torus};
 use anton_model::units::PS_PER_CORE_CYCLE;
-use anton_net::fabric3d::{FabricParams, TorusFabric};
+use anton_model::MachineConfig;
+use anton_net::channel::LinkStats;
+use anton_net::fabric3d::{FabricParams, PacketSpec, TorusFabric, TrafficClass, SLICES};
 use anton_net::path::ContentionModel;
 use anton_sim::rng::SplitMix64;
 use anton_traffic::force_return::ForceReturn;
-use anton_traffic::patterns::{standard_suite, UniformRandom};
-use anton_traffic::sweep::{run_curve, run_sweep, ClassPoint, SweepConfig};
+use anton_traffic::patterns::{standard_suite, NearestNeighbor, TrafficPattern, UniformRandom};
+use anton_traffic::sweep::{run_curve, run_scenario, run_sweep, ClassPoint, SweepConfig};
 
 fn main() {
     let params = FabricParams::calibrated(&LatencyModel::default());
     if std::env::args().any(|a| a == "--calibrate") {
         return calibrate(params);
+    }
+    if std::env::args().any(|a| a == "--md-replay") {
+        return md_replay(params);
     }
     if std::env::args().any(|a| a == "--overload-smoke") {
         return overload_smoke(params);
@@ -104,7 +116,7 @@ fn main() {
         println!(
             "  saturation throughput: {:.3} flits/node/cycle total, {:.3} request-class",
             curve.saturation_throughput(),
-            curve.request_saturation_throughput()
+            curve.class_saturation_throughput(TrafficClass::Request)
         );
         if let Some(low) = curve
             .points
@@ -120,24 +132,50 @@ fn main() {
     }
 }
 
-/// Runs the shared calibration workload, fits the contention constants,
-/// and compares the shipped `LoadedCalibration::UNIFORM_4X4X8` against
-/// the fresh fit (rerun this after any change to the fabric timing).
+/// Runs the shared calibration workloads through the Scenario driver,
+/// fits the contention constants, and compares the shipped
+/// `LoadedCalibration` values against the fresh fits (rerun this after
+/// any change to the fabric timing). Uniform random keeps RNG stream 1
+/// — the stream its shipped constants were fitted on.
 fn calibrate(params: FabricParams) {
+    calibrate_pattern(
+        params,
+        &UniformRandom,
+        LoadedCalibration::UNIFORM_4X4X8,
+        "uniform",
+        1,
+    );
+    println!();
+    calibrate_pattern(
+        params,
+        &NearestNeighbor,
+        LoadedCalibration::NEAREST_NEIGHBOR_4X4X8,
+        "nearest-neighbor",
+        2,
+    );
+}
+
+fn calibrate_pattern(
+    params: FabricParams,
+    pattern: &dyn TrafficPattern,
+    shipped: LoadedCalibration,
+    label: &str,
+    stream: u64,
+) {
     let mut cfg = SweepConfig::calibration_4x4x8();
     cfg.loads = vec![
-        0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.8, 1.0,
+        0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65, 0.7, 0.8, 1.0,
     ];
     println!(
-        "CALIBRATION SWEEP. {}x{}x{} uniform random, request-only, seed {:#x}",
+        "CALIBRATION SWEEP. {}x{}x{} {label}, request-only, seed {:#x}",
         cfg.dims[0], cfg.dims[1], cfg.dims[2], cfg.seed
     );
-    let curve = run_curve(&UniformRandom, &cfg, params, 1);
-    let saturation = curve.request_saturation_throughput();
-    let torus = Torus::new(cfg.dims);
+    let curve = run_curve(pattern, &cfg, params, stream);
+    let saturation = curve.class_saturation_throughput(TrafficClass::Request);
     // The same unloaded baseline the shipped prediction adds contention
-    // onto — fit and prediction must share it exactly.
-    let unloaded = params.unloaded_mean_cycles(mean_uniform_hops(&torus), cfg.flits_per_packet);
+    // onto — fit and prediction must share it exactly. The mean hop
+    // count is the pattern's closed form carried by the calibration.
+    let unloaded = params.unloaded_mean_cycles(shipped.mean_hops, cfg.flits_per_packet);
     println!(
         "{:>8} {:>7} {:>11} {:>12} {:>4}",
         "offered", "rho", "mean (cyc)", "extra (cyc)", "sat"
@@ -171,26 +209,89 @@ fn calibrate(params: FabricParams) {
     println!();
     println!(
         "fit over {} points: saturation = {saturation:.3} flits/node/cycle, \
-         alpha = {:.2} cycles",
+         alpha = {:.2} cycles (mean hops {:.3})",
         samples.len(),
-        fit.alpha_cycles
+        fit.alpha_cycles,
+        shipped.mean_hops,
     );
-    let shipped = LoadedCalibration::UNIFORM_4X4X8;
     anton_bench::compare(
-        "uniform 4x4x8 saturation",
+        &format!("{label} 4x4x8 saturation"),
         &format!("{:.3} (shipped)", shipped.saturation),
         &format!("{saturation:.3}"),
     );
     anton_bench::compare(
-        "uniform 4x4x8 contention alpha",
+        &format!("{label} 4x4x8 contention alpha"),
         &format!("{:.2} cycles (shipped)", shipped.alpha_cycles),
         &format!("{:.2} cycles", fit.alpha_cycles),
     );
     for rho in [0.2, 0.4, 0.6] {
-        let predicted =
-            shipped.predicted_mean_latency_cycles(&params, &torus, 2, rho * shipped.saturation);
+        let predicted = shipped.predicted_mean_latency_cycles(&params, 2, rho * shipped.saturation);
         println!("  shipped model at rho={rho}: {predicted:.1} cycles mean");
     }
+}
+
+/// Replays MD-shaped halo traffic on the cycle fabric: builds a
+/// water-box run on the paper's 4x4x8 machine, derives its
+/// `MdHaloWorkload` (position exports over the import regions, force
+/// returns home), runs one scenario point, and reconciles the
+/// per-`ByteKind` wire-byte totals machine-wide — the Figure 9a typing
+/// (position/force instead of `other_bytes`) carried down to the
+/// cycle-level links.
+fn md_replay(params: FabricParams) {
+    let dims = [4u8, 4, 8];
+    let mcfg = MachineConfig::torus(dims).without_compression();
+    let run = MdNetworkRun::new(mcfg, 40_000, 99, false);
+    let mut workload = run.halo_workload(64, 0x4D5F_4841);
+    let mut cfg = SweepConfig::new(dims);
+    cfg.loads = vec![];
+    let offered = 0.3;
+    println!(
+        "MD HALO REPLAY. {}x{}x{} torus, {} atoms, import radius {:.2} A, offered {offered}",
+        dims[0],
+        dims[1],
+        dims[2],
+        run.sim.system.n,
+        run.sim.params.cutoff * 0.5,
+    );
+    let scenario = run_scenario(&mut workload, &cfg, params, offered, 7);
+    let p = &scenario.point;
+    let resp = p.response.expect("halo replay spawns force returns");
+    println!(
+        "delivered {:.3} flits/node/cycle ({:.3} position requests / {:.3} force returns), \
+         mean hops {:.2} req / {:.2} rsp",
+        p.delivered, p.request.delivered, resp.delivered, p.request.mean_hops, resp.mean_hops
+    );
+    let mut total = LinkStats::default();
+    for s in 0..SLICES {
+        total.merge(&scenario.fabric.slice_stats(s));
+    }
+    assert!(
+        total.kinds_conserve_wire(),
+        "per-kind bytes must cover every wire byte"
+    );
+    assert!(
+        total.other_bytes == 0,
+        "halo replay carries only typed traffic"
+    );
+    println!(
+        "machine-wide wire bytes: {} position + {} force = {} total (conservation OK)",
+        total.position_bytes, total.force_bytes, total.wire_bytes
+    );
+    // One equal-size force return per delivered export, but responses
+    // ride XYZ mesh routes while requests ride torus-minimal ones — so
+    // the wire-byte ratio (bytes count once per link crossed) must
+    // equal the mean-hop ratio of the two classes.
+    anton_bench::compare(
+        "force/position wire-byte ratio",
+        &format!(
+            "{:.2} (response/request mean-hop ratio)",
+            resp.mean_hops / p.request.mean_hops
+        ),
+        &format!(
+            "{:.2}",
+            total.force_bytes as f64 / total.position_bytes.max(1) as f64
+        ),
+    );
 }
 
 /// A short 8x8x8 overload exercise: one saturated sweep point with both
@@ -250,10 +351,8 @@ fn overload_smoke(params: FabricParams) {
             let dst = NodeId(rng.next_below(n) as u16);
             if src != dst && cycle % 2 == node % 2 {
                 let id = fr.alloc_id();
-                if fabric
-                    .inject_packet_random(src, dst, id, 2, &mut rng)
-                    .is_ok()
-                {
+                let spec = PacketSpec::request(src, dst, id, 2).drawn(&mut rng);
+                if fabric.inject(spec).is_ok() {
                     fr.track(id, src);
                 }
             }

@@ -33,6 +33,7 @@ use anton_net::channel::LinkStats;
 use anton_net::fence::{FencePattern, FenceSpec};
 use anton_net::packet::PacketKind;
 use anton_sim::trace::{ActivityKind, ActivityTrace, LaneId};
+use anton_traffic::workload::MdHaloWorkload;
 use serde::Serialize;
 use std::collections::HashMap;
 
@@ -182,6 +183,28 @@ impl MdNetworkRun {
     /// Atoms homed on each node.
     pub fn atoms_per_node(&self) -> &[u32] {
         &self.atoms_per_node
+    }
+
+    /// The spatial decomposition driving this run's traffic.
+    pub fn decomposition(&self) -> &Decomposition {
+        &self.decomp
+    }
+
+    /// An [`MdHaloWorkload`] shaped like this run's halo exchange, for
+    /// replaying the same position-export / force-return traffic on the
+    /// cycle-level torus fabric (`anton_traffic::sweep::run_scenario`):
+    /// destination tables sampled from this decomposition's import
+    /// regions, position packets typed [`ByteKind::Position`] out and
+    /// force returns typed [`ByteKind::Force`] back, reconciling with
+    /// this run's own [`LinkStats`] byte categories. The analytic run
+    /// here times serialization in picoseconds; the replay exposes the
+    /// same traffic to cycle-level contention — credits, arbitration,
+    /// HOL blocking — that the formula model folds into constants.
+    ///
+    /// [`ByteKind::Position`]: anton_net::channel::ByteKind::Position
+    /// [`ByteKind::Force`]: anton_net::channel::ByteKind::Force
+    pub fn halo_workload(&self, samples_per_node: usize, seed: u64) -> MdHaloWorkload {
+        MdHaloWorkload::from_decomposition(&self.decomp, samples_per_node, 2, seed)
     }
 
     /// Runs one MD step through the network, returning its timing.
@@ -450,14 +473,7 @@ impl MdNetworkRun {
         }
         let stats_after = self.machine.total_stats();
         self.machine.assert_pcaches_synchronized();
-        let stats = LinkStats {
-            packets: stats_after.packets - stats_before.packets,
-            baseline_bytes: stats_after.baseline_bytes - stats_before.baseline_bytes,
-            wire_bytes: stats_after.wire_bytes - stats_before.wire_bytes,
-            position_bytes: stats_after.position_bytes - stats_before.position_bytes,
-            force_bytes: stats_after.force_bytes - stats_before.force_bytes,
-            other_bytes: stats_after.other_bytes - stats_before.other_bytes,
-        };
+        let stats = stats_after.since(&stats_before);
         MdRunResult {
             atoms: self.sim.system.n,
             stats,
@@ -542,6 +558,21 @@ mod tests {
         let has_force = spans.iter().any(|s| s.kind == ACT_FORCE);
         let has_gc = spans.iter().any(|s| s.kind == ACT_INTEGRATE);
         assert!(has_pos && has_force && has_gc);
+    }
+
+    #[test]
+    fn halo_workload_mirrors_the_decomposition() {
+        let r = MdNetworkRun::new(MachineConfig::torus([2, 2, 2]), 3000, 3, false);
+        let w = r.halo_workload(32, 5);
+        let t = *r.decomposition().torus();
+        let mut any = 0usize;
+        for node in t.nodes() {
+            for &d in w.destinations(node) {
+                assert_ne!(d, node, "halo exports never target the home node");
+                any += 1;
+            }
+        }
+        assert!(any > 0, "a water box always has face atoms to export");
     }
 
     #[test]

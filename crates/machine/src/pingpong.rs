@@ -182,7 +182,9 @@ pub fn mean_uniform_hops(torus: &Torus) -> f64 {
 
 /// A loaded-latency calibration of the analytic model against the cycle
 /// fabric for one (topology, pattern) pair: the measured saturation
-/// throughput plus the fitted contention coefficient.
+/// throughput, the fitted contention coefficient, and the pattern's
+/// mean route length (the pattern-dependent part of the unloaded
+/// baseline).
 #[derive(Clone, Copy, PartialEq, Debug, Serialize)]
 pub struct LoadedCalibration {
     /// Request-class saturation throughput, flits per node per cycle
@@ -191,6 +193,10 @@ pub struct LoadedCalibration {
     /// Fitted queueing coefficient (see
     /// [`anton_net::path::ContentionModel`]).
     pub alpha_cycles: f64,
+    /// Mean torus-minimal hop count of the calibrated pattern on the
+    /// calibrated shape (uniform random: [`mean_uniform_hops`];
+    /// nearest-neighbor halo: exactly 1).
+    pub mean_hops: f64,
 }
 
 impl LoadedCalibration {
@@ -198,9 +204,25 @@ impl LoadedCalibration {
     /// paper's 128-node 4×4×8 machine, fitted with
     /// `sweep_traffic --calibrate` (which reprints these constants from
     /// the cycle fabric; the companion regression test pins them).
+    /// `mean_hops` is the exact closed form `4 · 128/127` over non-self
+    /// ordered pairs.
     pub const UNIFORM_4X4X8: LoadedCalibration = LoadedCalibration {
         saturation: 0.557,
         alpha_cycles: 2.56,
+        mean_hops: 512.0 / 127.0,
+    };
+
+    /// The shipped calibration for the nearest-neighbor halo pattern
+    /// (the MD import-region shape: every packet goes one hop) on the
+    /// same 4×4×8 machine, from the same `--calibrate` harness run
+    /// through the `Scenario` driver. One-hop traffic leaves the Z-ring
+    /// bottleneck untouched, so it saturates near the per-node ejection
+    /// limit and queues almost entirely at the endpoints — a much
+    /// smaller contention coefficient than uniform random.
+    pub const NEAREST_NEIGHBOR_4X4X8: LoadedCalibration = LoadedCalibration {
+        saturation: 0.642,
+        alpha_cycles: 1.26,
+        mean_hops: 1.0,
     };
 
     /// The contention model of this calibration.
@@ -217,10 +239,10 @@ impl LoadedCalibration {
     }
 
     /// Predicted mean generation-to-delivery latency, in core cycles,
-    /// of `nflits`-flit uniform random request packets on `torus` under
+    /// of `nflits`-flit request packets of the calibrated pattern under
     /// `offered` flits/node/cycle: the unloaded fabric constants (router
-    /// pipeline, per-hop walk, tail-flit slice serialization) plus the
-    /// fitted contention term.
+    /// pipeline, the calibration's mean-hop walk, tail-flit slice
+    /// serialization) plus the fitted contention term.
     ///
     /// # Panics
     /// Panics if `offered` reaches the calibrated saturation — mean
@@ -228,11 +250,10 @@ impl LoadedCalibration {
     pub fn predicted_mean_latency_cycles(
         &self,
         params: &FabricParams,
-        torus: &Torus,
         nflits: u8,
         offered: f64,
     ) -> f64 {
-        params.unloaded_mean_cycles(mean_uniform_hops(torus), nflits)
+        params.unloaded_mean_cycles(self.mean_hops, nflits)
             + self.contention().extra_cycles(self.rho(offered))
     }
 }
@@ -329,8 +350,7 @@ mod tests {
     fn loaded_prediction_grows_convexly_toward_saturation() {
         let cal = LoadedCalibration::UNIFORM_4X4X8;
         let params = FabricParams::default();
-        let t = Torus::new([4, 4, 8]);
-        let at = |rho: f64| cal.predicted_mean_latency_cycles(&params, &t, 2, rho * cal.saturation);
+        let at = |rho: f64| cal.predicted_mean_latency_cycles(&params, 2, rho * cal.saturation);
         let (l2, l4, l6) = (at(0.2), at(0.4), at(0.6));
         assert!(l2 < l4 && l4 < l6, "latency must grow with load");
         assert!(l6 - l4 > l4 - l2, "queueing growth must be convex");
@@ -339,8 +359,28 @@ mod tests {
         // out independently here to pin FabricParams::unloaded_mean_cycles.
         let unloaded = at(0.0);
         let expect = params.router_cycles as f64
-            + mean_uniform_hops(&t) * params.per_hop_cycles() as f64
+            + mean_uniform_hops(&Torus::new([4, 4, 8])) * params.per_hop_cycles() as f64
             + params.link_interval as f64;
         assert!((unloaded - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shipped_calibrations_carry_their_patterns_mean_hops() {
+        // The uniform constant is the exact closed form over non-self
+        // ordered pairs; the nearest-neighbor halo is one hop by
+        // construction, and its calibration reflects the endpoint-bound
+        // regime: higher saturation, smaller contention coefficient.
+        let uni = LoadedCalibration::UNIFORM_4X4X8;
+        assert!((uni.mean_hops - mean_uniform_hops(&Torus::new([4, 4, 8]))).abs() < 1e-12);
+        let nn = LoadedCalibration::NEAREST_NEIGHBOR_4X4X8;
+        assert_eq!(nn.mean_hops, 1.0);
+        assert!(
+            nn.saturation > uni.saturation,
+            "one-hop traffic saturates later"
+        );
+        assert!(
+            nn.alpha_cycles < uni.alpha_cycles,
+            "and queues less per rho"
+        );
     }
 }

@@ -176,14 +176,7 @@ impl CaLink {
         let (depart, done) = self.serializer.transmit(now, wire_bytes);
         self.stats.packets += 1;
         self.stats.baseline_bytes += baseline as u64;
-        self.stats.wire_bytes += wire_bytes as u64;
-        match kind {
-            PacketKind::Position | PacketKind::CompressedPosition => {
-                self.stats.position_bytes += wire_bytes as u64
-            }
-            PacketKind::Force => self.stats.force_bytes += wire_bytes as u64,
-            _ => self.stats.other_bytes += wire_bytes as u64,
-        }
+        self.stats.add_wire(kind.byte_kind(), wire_bytes as u64);
         Transit {
             depart,
             arrive: done + self.crossing_fixed,

@@ -10,6 +10,52 @@ use anton_compress::frame::{FRAME_BYTES, FRAME_PAYLOAD_BYTES};
 use anton_model::units::{serialization_time, Ps, SERDES_GBPS};
 use serde::Serialize;
 
+/// The wire-byte type of a packet's payload — the Figure 9a accounting
+/// categories. Every byte that crosses a channel is attributed to
+/// exactly one kind: position exports (full or particle-cache
+/// compressed), force returns, or everything else (counted writes,
+/// reads, fences, markers, synthetic traffic). The analytic
+/// [`crate::adapter::CaLink`] and the cycle-level
+/// [`crate::fabric3d::TorusFabric`] both type their [`LinkStats`]
+/// through this one enum (via [`crate::packet::PacketKind::byte_kind`]
+/// on the adapter side), so the two accountings reconcile by
+/// construction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize)]
+pub enum ByteKind {
+    /// Anything that is neither a position nor a force (the default for
+    /// untyped traffic).
+    #[default]
+    Other,
+    /// Position traffic: full and pcache-compressed position packets.
+    Position,
+    /// Force-return traffic.
+    Force,
+}
+
+impl ByteKind {
+    /// All kinds, in counter-index order.
+    pub const ALL: [ByteKind; 3] = [ByteKind::Other, ByteKind::Position, ByteKind::Force];
+
+    /// Dense counter index (0 = Other, 1 = Position, 2 = Force) —
+    /// the order of [`ByteKind::ALL`] and of the per-kind link counters
+    /// in the cycle fabric.
+    pub const fn index(self) -> usize {
+        match self {
+            ByteKind::Other => 0,
+            ByteKind::Position => 1,
+            ByteKind::Force => 2,
+        }
+    }
+
+    /// The kind at counter index `i` (inverse of [`ByteKind::index`]).
+    ///
+    /// # Panics
+    /// Panics if `i > 2`.
+    pub fn from_index(i: usize) -> ByteKind {
+        ByteKind::ALL[i]
+    }
+}
+
 /// Traffic counters for one directed channel (or CA sub-channel).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize)]
 pub struct LinkStats {
@@ -30,12 +76,52 @@ pub struct LinkStats {
 }
 
 impl LinkStats {
+    /// Adds `bytes` wire bytes attributed to `kind`, keeping the
+    /// `wire_bytes == position + force + other` invariant — the single
+    /// mutation path shared by the adapter and the cycle fabric.
+    pub fn add_wire(&mut self, kind: ByteKind, bytes: u64) {
+        self.wire_bytes += bytes;
+        match kind {
+            ByteKind::Position => self.position_bytes += bytes,
+            ByteKind::Force => self.force_bytes += bytes,
+            ByteKind::Other => self.other_bytes += bytes,
+        }
+    }
+
+    /// The wire bytes attributed to `kind`.
+    pub fn kind_bytes(&self, kind: ByteKind) -> u64 {
+        match kind {
+            ByteKind::Position => self.position_bytes,
+            ByteKind::Force => self.force_bytes,
+            ByteKind::Other => self.other_bytes,
+        }
+    }
+
+    /// Whether the per-kind attribution covers every wire byte.
+    pub fn kinds_conserve_wire(&self) -> bool {
+        self.position_bytes + self.force_bytes + self.other_bytes == self.wire_bytes
+    }
+
     /// Fraction of baseline traffic eliminated, in `[0, 1]`.
     pub fn reduction(&self) -> f64 {
         if self.baseline_bytes == 0 {
             0.0
         } else {
             1.0 - self.wire_bytes as f64 / self.baseline_bytes as f64
+        }
+    }
+
+    /// The traffic accumulated since `earlier` (an older snapshot of
+    /// these same counters): element-wise difference, for windowed
+    /// measurements over monotone counters.
+    pub fn since(&self, earlier: &LinkStats) -> LinkStats {
+        LinkStats {
+            packets: self.packets - earlier.packets,
+            baseline_bytes: self.baseline_bytes - earlier.baseline_bytes,
+            wire_bytes: self.wire_bytes - earlier.wire_bytes,
+            position_bytes: self.position_bytes - earlier.position_bytes,
+            force_bytes: self.force_bytes - earlier.force_bytes,
+            other_bytes: self.other_bytes - earlier.other_bytes,
         }
     }
 
@@ -169,6 +255,24 @@ mod tests {
     #[test]
     fn empty_stats_reduction_is_zero() {
         assert_eq!(LinkStats::default().reduction(), 0.0);
+    }
+
+    #[test]
+    fn typed_wire_bytes_conserve_and_roundtrip() {
+        let mut st = LinkStats::default();
+        st.add_wire(ByteKind::Position, 48);
+        st.add_wire(ByteKind::Force, 24);
+        st.add_wire(ByteKind::Other, 8);
+        st.add_wire(ByteKind::Position, 2);
+        assert_eq!(st.kind_bytes(ByteKind::Position), 50);
+        assert_eq!(st.kind_bytes(ByteKind::Force), 24);
+        assert_eq!(st.kind_bytes(ByteKind::Other), 8);
+        assert_eq!(st.wire_bytes, 82);
+        assert!(st.kinds_conserve_wire());
+        for (i, kind) in ByteKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+            assert_eq!(ByteKind::from_index(i), kind);
+        }
     }
 
     #[test]

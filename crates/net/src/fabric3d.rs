@@ -39,23 +39,34 @@
 //! and the two slices together recover the aggregate one-flit-per-cycle
 //! channel of the paper's 16-lane neighbor bundle.
 //!
+//! All traffic enters through one endpoint: [`TorusFabric::inject`]
+//! takes a [`PacketSpec`] — destination, traffic class, channel slice,
+//! flit count, routing draw, and a [`ByteKind`]-typed payload — and
+//! returns the exact [`RoutePlan`] the fabric will walk, so harnesses
+//! can reconcile delivered traffic against independent route walks.
+//! Every flit carries its packet's byte kind in the routing tag, and the
+//! per-link counters split by it, so [`TorusFabric::link_stats`] types
+//! wire bytes (position / force / other) with the same
+//! [`crate::channel::ByteKind`] accounting the analytic
+//! [`crate::adapter::CaLink`] uses for Figure 9a.
+//!
 //! ```
 //! use anton_model::latency::LatencyModel;
 //! use anton_model::topology::{NodeId, Torus};
-//! use anton_net::fabric3d::{FabricParams, TorusFabric};
+//! use anton_net::fabric3d::{FabricParams, PacketSpec, TorusFabric};
 //! use anton_sim::rng::SplitMix64;
 //!
 //! let params = FabricParams::calibrated(&LatencyModel::default());
 //! let mut fabric = TorusFabric::new(Torus::new([2, 2, 2]), params);
 //! let mut rng = SplitMix64::new(7);
-//! fabric
-//!     .inject_packet_random(NodeId(0), NodeId(7), 1, 2, &mut rng)
-//!     .expect("empty fabric has credits");
+//! let spec = PacketSpec::request(NodeId(0), NodeId(7), 1, 2).drawn(&mut rng);
+//! let plan = fabric.inject(spec).expect("empty fabric has credits");
+//! assert_eq!(plan.hop_count(), 3);
 //! assert!(fabric.run_until_drained(10_000));
 //! assert_eq!(fabric.delivered().len(), 2); // both flits arrived
 //! ```
 
-use crate::channel::LinkStats;
+use crate::channel::{ByteKind, LinkStats};
 use crate::router::{
     CycleRouter, Flit, InjectError, LinkSpec, PortLink, RouteDecision, RouterFabric,
 };
@@ -87,14 +98,13 @@ pub fn slice_port(dir: Direction, slice: usize) -> usize {
     dir.index() * SLICES + asic::side_for_slice(slice).index()
 }
 
-/// The two traffic classes of the inter-node network (paper §III-B2).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum TrafficClass {
-    /// Randomized minimal oblivious routing, dateline VCs 0–3.
-    Request,
-    /// XYZ mesh routing on non-wraparound links, single VC 4.
-    Response,
-}
+/// The two traffic classes of the inter-node network (paper §III-B2) —
+/// the packet-level [`crate::packet::TrafficClass`], shared so the
+/// cycle fabric and the analytic packet model name classes identically.
+/// Requests ride randomized minimal oblivious routes over the four
+/// dateline VCs (`0..4`); responses ride XYZ mesh routes on the single
+/// [`RESPONSE_VC`].
+pub use crate::packet::TrafficClass;
 
 /// The decoded contents of a [`Flit::tag`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -110,30 +120,47 @@ pub struct TagInfo {
     /// Whether a dateline has been crossed (requests; false for
     /// responses, which never wrap).
     pub crossed: bool,
+    /// The wire-byte kind of the packet's payload (Figure 9a typing).
+    pub kind: ByteKind,
 }
 
-const TAG_SLICE_BIT: u8 = 5;
-const TAG_RESPONSE_BIT: u8 = 6;
+const TAG_SLICE_BIT: u16 = 5;
+const TAG_RESPONSE_BIT: u16 = 6;
+const TAG_KIND_SHIFT: u16 = 7;
 
 /// Packs request-packet routing state into a [`Flit::tag`]: bits 0–2 the
 /// dimension-order index, bit 3 the base VC, bit 4 whether a dateline
-/// has been crossed, bit 5 the channel slice.
-pub fn encode_request_tag(order_idx: usize, base_vc: u8, crossed: bool, slice: usize) -> u8 {
+/// has been crossed, bit 5 the channel slice, bits 7–8 the
+/// [`ByteKind`] counter index.
+pub fn encode_request_tag(
+    order_idx: usize,
+    base_vc: u8,
+    crossed: bool,
+    slice: usize,
+    kind: ByteKind,
+) -> u16 {
     debug_assert!(order_idx < 6 && base_vc < 2 && slice < SLICES);
-    (order_idx as u8) | (base_vc << 3) | ((crossed as u8) << 4) | ((slice as u8) << TAG_SLICE_BIT)
+    (order_idx as u16)
+        | ((base_vc as u16) << 3)
+        | ((crossed as u16) << 4)
+        | ((slice as u16) << TAG_SLICE_BIT)
+        | ((kind.index() as u16) << TAG_KIND_SHIFT)
 }
 
 /// Packs response-packet routing state into a [`Flit::tag`]: bit 6 marks
-/// the class, bit 5 the channel slice; the mesh route needs no other
-/// per-packet state.
-pub fn encode_response_tag(slice: usize) -> u8 {
+/// the class, bit 5 the channel slice, bits 7–8 the [`ByteKind`]; the
+/// mesh route needs no other per-packet state.
+pub fn encode_response_tag(slice: usize, kind: ByteKind) -> u16 {
     debug_assert!(slice < SLICES);
-    (1 << TAG_RESPONSE_BIT) | ((slice as u8) << TAG_SLICE_BIT)
+    (1 << TAG_RESPONSE_BIT)
+        | ((slice as u16) << TAG_SLICE_BIT)
+        | ((kind.index() as u16) << TAG_KIND_SHIFT)
 }
 
 /// Unpacks a routing tag.
-pub fn decode_tag(tag: u8) -> TagInfo {
+pub fn decode_tag(tag: u16) -> TagInfo {
     let slice = ((tag >> TAG_SLICE_BIT) & 1) as usize;
+    let kind = ByteKind::from_index(((tag >> TAG_KIND_SHIFT) & 0b11) as usize);
     if tag & (1 << TAG_RESPONSE_BIT) != 0 {
         TagInfo {
             class: TrafficClass::Response,
@@ -141,14 +168,160 @@ pub fn decode_tag(tag: u8) -> TagInfo {
             order_idx: 0,
             base_vc: 0,
             crossed: false,
+            kind,
         }
     } else {
         TagInfo {
             class: TrafficClass::Request,
             slice,
             order_idx: (tag & 0b111) as usize,
-            base_vc: (tag >> 3) & 1,
+            base_vc: ((tag >> 3) & 1) as u8,
             crossed: tag & 0b1_0000 != 0,
+            kind,
+        }
+    }
+}
+
+/// Everything the fabric needs to know about one packet, in one value:
+/// the single argument of [`TorusFabric::inject`].
+///
+/// A spec carries the packet's identity (`id`, `nflits`), its endpoints,
+/// its traffic class, its [`ByteKind`]-typed payload, and the complete
+/// routing draw (dimension order, channel slice, base VC for requests;
+/// slice for responses). Because the draw lives **in the spec**, the
+/// no-retry-bias rule of the oblivious randomization is structural: a
+/// rejected injection is retried by re-submitting the *same* spec, so
+/// backpressure can never steer a packet onto an uncongested slice, VC,
+/// or dimension order. Draw once with [`PacketSpec::drawn`] (or pin a
+/// draw with [`PacketSpec::with_draw`] / [`PacketSpec::with_slice`]),
+/// then retry the value verbatim until it is accepted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PacketSpec {
+    /// Source node (the injecting router).
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Packet identifier carried by every flit.
+    pub id: u64,
+    /// Flits in the packet (the paper's packets are one or two).
+    pub nflits: u8,
+    /// Traffic class: request (oblivious torus) or response (XYZ mesh).
+    pub class: TrafficClass,
+    /// Wire-byte typing of the payload (Figure 9a accounting).
+    pub kind: ByteKind,
+    /// Physical channel slice (0 or 1) used on every hop.
+    pub slice: usize,
+    /// Dimension-order index (`0..6`, requests only; ignored and kept 0
+    /// for responses).
+    pub order_idx: usize,
+    /// Base VC draw (`0..2`, requests only; responses ride
+    /// [`RESPONSE_VC`]).
+    pub base_vc: u8,
+}
+
+impl PacketSpec {
+    /// A request-class spec with an undrawn route (order 0, slice 0,
+    /// base VC 0) and untyped ([`ByteKind::Other`]) payload.
+    pub fn request(src: NodeId, dst: NodeId, id: u64, nflits: u8) -> Self {
+        PacketSpec {
+            src,
+            dst,
+            id,
+            nflits,
+            class: TrafficClass::Request,
+            kind: ByteKind::Other,
+            slice: 0,
+            order_idx: 0,
+            base_vc: 0,
+        }
+    }
+
+    /// A response-class spec on slice 0 with untyped payload.
+    pub fn response(src: NodeId, dst: NodeId, id: u64, nflits: u8) -> Self {
+        PacketSpec {
+            class: TrafficClass::Response,
+            ..PacketSpec::request(src, dst, id, nflits)
+        }
+    }
+
+    /// Pins the full request routing draw (dimension order, channel
+    /// slice, base VC) — deterministic experiments.
+    pub fn with_draw(mut self, order_idx: usize, slice: usize, base_vc: u8) -> Self {
+        self.order_idx = order_idx;
+        self.slice = slice;
+        self.base_vc = base_vc;
+        self
+    }
+
+    /// Pins the channel slice (the only draw a response needs).
+    pub fn with_slice(mut self, slice: usize) -> Self {
+        self.slice = slice;
+        self
+    }
+
+    /// Types the payload's wire bytes.
+    pub fn with_kind(mut self, kind: ByteKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Draws the routing randomization for this spec's class from
+    /// `rng`: order, then slice, then base VC for requests; slice only
+    /// for responses. This is the oblivious randomization of
+    /// [`routing::plan_request`] / [`routing::plan_response`] minus
+    /// their CA-row draw — the node-granular fabric models no CA rows,
+    /// so the two consume *different* amounts of the stream; don't
+    /// expect them to stay aligned on a shared `rng`. The draws are
+    /// consumed exactly once — retry the returned spec itself, never
+    /// redraw after a rejection.
+    pub fn drawn(mut self, rng: &mut SplitMix64) -> Self {
+        match self.class {
+            TrafficClass::Request => {
+                self.order_idx = rng.next_below(6) as usize;
+                self.slice = rng.next_below(SLICES as u64) as usize;
+                self.base_vc = rng.next_below(2) as u8;
+            }
+            TrafficClass::Response => {
+                self.slice = rng.next_below(SLICES as u64) as usize;
+            }
+        }
+        self
+    }
+
+    /// The injection VC: the base VC for requests (no dateline crossed
+    /// before the first hop), [`RESPONSE_VC`] for responses.
+    pub fn inject_vc(&self) -> u8 {
+        match self.class {
+            TrafficClass::Request => self.base_vc,
+            TrafficClass::Response => RESPONSE_VC,
+        }
+    }
+
+    /// The routing tag every flit of this packet starts with.
+    pub fn tag(&self) -> u16 {
+        match self.class {
+            TrafficClass::Request => {
+                encode_request_tag(self.order_idx, self.base_vc, false, self.slice, self.kind)
+            }
+            TrafficClass::Response => encode_response_tag(self.slice, self.kind),
+        }
+    }
+
+    /// Validates the draw ranges.
+    ///
+    /// # Panics
+    /// Panics if `nflits == 0`, `slice > 1`, or (requests) `order_idx >
+    /// 5` / `base_vc > 1`.
+    pub fn validate(&self) {
+        assert!(self.nflits >= 1, "packets carry at least one flit");
+        assert!(self.slice < SLICES, "slice {} out of range", self.slice);
+        if self.class == TrafficClass::Request {
+            assert!(
+                self.order_idx < 6,
+                "dimension order index {} out of range",
+                self.order_idx
+            );
+            assert!(self.base_vc < 2, "base VC must be 0 or 1");
         }
     }
 }
@@ -292,6 +465,15 @@ impl TorusFabric {
         let t = torus;
         let route = Box::new(move |f: &Flit, router: usize| torus_route(&t, f, router));
         let mut fabric = RouterFabric::new(routers, wiring, route);
+        // Per-link flit counters split by the packet's wire-byte kind
+        // (carried in the tag), feeding the typed `link_stats` below.
+        // This runs once per flit per link entry — the innermost hot
+        // path — so extract the kind bits directly rather than paying a
+        // full `decode_tag` (tag_layout tests pin the equivalence).
+        fabric.set_flit_classes(
+            ByteKind::ALL.len(),
+            Box::new(|f: &Flit| ((f.tag >> TAG_KIND_SHIFT) & 0b11) as usize),
+        );
         let spec = LinkSpec {
             latency: params.link_latency,
             interval: params.link_interval,
@@ -363,22 +545,29 @@ impl TorusFabric {
     /// Traffic counters of one directed slice link: the flits and
     /// packets that have crossed from `node` toward `dir` on channel
     /// slice `slice` since construction, in the byte accounting of
-    /// [`crate::channel::LinkStats`] (uncompressed 24-byte flits; the
-    /// synthetic fabric carries no position/force typing, so all wire
-    /// bytes land in `other_bytes`).
+    /// [`crate::channel::LinkStats`]. The cycle fabric is flit-granular
+    /// and uncompressed (24-byte flits, wire == baseline), but every
+    /// flit carries its packet's [`ByteKind`] in the tag, so the wire
+    /// bytes split into position / force / other exactly like the
+    /// analytic [`crate::adapter::CaLink`] accounting.
     pub fn link_stats(&self, node: NodeId, dir: Direction, slice: usize) -> LinkStats {
-        let (flits, packets) = self
-            .fabric
-            .link_traffic(node.index(), slice_port(dir, slice));
-        let bytes = flits * FLIT_BYTES;
-        LinkStats {
+        let port = slice_port(dir, slice);
+        let (flits, packets) = self.fabric.link_traffic(node.index(), port);
+        let mut stats = LinkStats {
             packets,
-            baseline_bytes: bytes,
-            wire_bytes: bytes,
-            position_bytes: 0,
-            force_bytes: 0,
-            other_bytes: bytes,
+            baseline_bytes: flits * FLIT_BYTES,
+            ..LinkStats::default()
+        };
+        for (i, &kind_flits) in self
+            .fabric
+            .link_class_traffic(node.index(), port)
+            .iter()
+            .enumerate()
+        {
+            stats.add_wire(ByteKind::from_index(i), kind_flits * FLIT_BYTES);
         }
+        debug_assert_eq!(stats.wire_bytes, flits * FLIT_BYTES);
+        stats
     }
 
     /// The aggregate counters of one neighbor channel — both slices
@@ -403,87 +592,32 @@ impl TorusFabric {
         agg
     }
 
-    /// Injects an `nflits`-flit request packet from `src` to `dst` using
-    /// a fixed dimension order, channel slice, and base VC
-    /// (deterministic experiments). All flits enter atomically or none
-    /// do, and a rejected injection leaves the draw untouched: retrying
-    /// MUST reuse the same order/slice/VC, or backpressure would bias
-    /// the oblivious randomization toward uncongested slices.
+    /// Injects one packet described by `spec` — the **single** injection
+    /// endpoint for both traffic classes. All flits enter atomically or
+    /// none do, and the returned [`RoutePlan`] is exactly the route the
+    /// fabric will walk hop by hop (requests:
+    /// [`routing::plan_request_fixed`]; responses:
+    /// [`routing::plan_response_fixed`]), so callers can reconcile
+    /// delivered traffic and per-link counters against an independent
+    /// walk of the plan.
+    ///
+    /// A rejected injection takes nothing and the spec's draw is
+    /// untouched: retrying MUST re-submit the same spec, or
+    /// backpressure would bias the oblivious randomization toward
+    /// uncongested slices, VCs, or orders (see [`PacketSpec`]).
     ///
     /// # Errors
     /// [`InjectError::NoCredit`] when the injection queue lacks room for
     /// the whole packet (fabric backpressure at the source).
     ///
     /// # Panics
-    /// Panics if `order_idx > 5`, `slice > 1`, `base_vc > 1`, or
-    /// `nflits == 0`.
-    // Mirrors `plan_request_fixed`'s parameter list plus the packet
-    // identity; bundling the draw into a struct would just move the
-    // field list to every call site.
-    #[allow(clippy::too_many_arguments)]
-    pub fn inject_packet(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        packet: u64,
-        nflits: u8,
-        order_idx: usize,
-        slice: usize,
-        base_vc: u8,
-    ) -> Result<(), InjectError> {
-        assert!(
-            order_idx < 6,
-            "dimension order index {order_idx} out of range"
-        );
-        assert!(slice < SLICES, "slice {slice} out of range");
-        assert!(base_vc < 2, "base VC must be 0 or 1");
-        let vc = base_vc; // no dateline crossed before the first hop
-        let tag = encode_request_tag(order_idx, base_vc, false, slice);
-        self.inject_flits(src, dst, packet, nflits, vc, tag)
-    }
-
-    /// Injects an `nflits`-flit response packet from `src` to `dst` on
-    /// the single response VC, using channel slice `slice` on every hop.
-    /// The mesh-restricted XYZ route is computed hop by hop from
-    /// [`routing::mesh_first_hop`].
-    ///
-    /// # Errors
-    /// [`InjectError::NoCredit`] as for [`Self::inject_packet`].
-    ///
-    /// # Panics
-    /// Panics if `slice > 1` or `nflits == 0`.
-    pub fn inject_response(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        packet: u64,
-        nflits: u8,
-        slice: usize,
-    ) -> Result<(), InjectError> {
-        assert!(slice < SLICES, "slice {slice} out of range");
-        self.inject_flits(
-            src,
-            dst,
-            packet,
-            nflits,
-            RESPONSE_VC,
-            encode_response_tag(slice),
-        )
-    }
-
-    fn inject_flits(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        packet: u64,
-        nflits: u8,
-        vc: u8,
-        tag: u8,
-    ) -> Result<(), InjectError> {
-        assert!(nflits >= 1, "packets carry at least one flit");
-        let router = src.index();
+    /// Panics if the spec fails [`PacketSpec::validate`].
+    pub fn inject(&mut self, spec: PacketSpec) -> Result<RoutePlan, InjectError> {
+        spec.validate();
+        let router = spec.src.index();
+        let vc = spec.inject_vc();
         let free = self.fabric.inject_capacity(router, INJECT_PORT, vc);
-        if free < nflits as usize {
+        if free < spec.nflits as usize {
             return Err(InjectError::NoCredit {
                 router,
                 port: INJECT_PORT,
@@ -491,83 +625,43 @@ impl TorusFabric {
                 occupancy: self.fabric.queue_len(router, INJECT_PORT, vc),
             });
         }
-        for index in 0..nflits {
+        let tag = spec.tag();
+        for index in 0..spec.nflits {
             let flit = Flit {
-                packet,
+                packet: spec.id,
                 index,
-                of: nflits,
-                dest: dst.0 as u32,
+                of: spec.nflits,
+                dest: spec.dst.0 as u32,
                 vc,
                 tag,
-                injected_at: 0, // stamped by inject()
+                injected_at: 0, // stamped by the fabric
             };
             self.fabric
                 .inject(router, INJECT_PORT, flit)
                 .expect("capacity was checked for the whole packet");
         }
-        Ok(())
+        Ok(self.plan(&spec))
     }
 
-    /// Injects a request packet with the dimension order, channel slice,
-    /// and base VC drawn from `rng`, mirroring the randomization of
-    /// [`crate::routing::plan_request`] (order, then slice, then base).
-    ///
-    /// # Errors
-    /// [`InjectError::NoCredit`] as for [`Self::inject_packet`]; the
-    /// random draws are consumed either way, keeping the stream aligned
-    /// across retries — and a retry after rejection must reuse the
-    /// returned draw, never redraw (see [`Self::inject_packet`]).
-    pub fn inject_packet_random(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        packet: u64,
-        nflits: u8,
-        rng: &mut SplitMix64,
-    ) -> Result<(), InjectError> {
-        let order_idx = rng.next_below(6) as usize;
-        let slice = rng.next_below(SLICES as u64) as usize;
-        let base_vc = rng.next_below(2) as u8;
-        self.inject_packet(src, dst, packet, nflits, order_idx, slice, base_vc)
-    }
-
-    /// Injects a response packet with the channel slice drawn from
-    /// `rng`, mirroring [`crate::routing::plan_response`].
-    ///
-    /// # Errors
-    /// [`InjectError::NoCredit`] as for [`Self::inject_response`]; the
-    /// slice draw is consumed either way.
-    pub fn inject_response_random(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        packet: u64,
-        nflits: u8,
-        rng: &mut SplitMix64,
-    ) -> Result<(), InjectError> {
-        let slice = rng.next_below(SLICES as u64) as usize;
-        self.inject_response(src, dst, packet, nflits, slice)
-    }
-
-    /// The route plan the fabric will follow for the given request draw —
-    /// identical to [`routing::plan_request_fixed`]; exposed so tests
-    /// and harnesses can cross-check hop counts and VC sequences.
-    pub fn plan(
-        &self,
-        src: NodeId,
-        dst: NodeId,
-        order_idx: usize,
-        slice: usize,
-        base_vc: u8,
-    ) -> RoutePlan {
-        routing::plan_request_fixed(
-            &self.torus,
-            self.torus.coord(src),
-            self.torus.coord(dst),
-            DimOrder::ALL[order_idx],
-            slice,
-            base_vc,
-        )
+    /// The route plan the fabric will follow for `spec` — what
+    /// [`Self::inject`] returns on success; exposed separately so tests
+    /// and harnesses can cross-check hop counts and VC sequences without
+    /// injecting.
+    pub fn plan(&self, spec: &PacketSpec) -> RoutePlan {
+        let (src, dst) = (self.torus.coord(spec.src), self.torus.coord(spec.dst));
+        match spec.class {
+            TrafficClass::Request => routing::plan_request_fixed(
+                &self.torus,
+                src,
+                dst,
+                DimOrder::ALL[spec.order_idx],
+                spec.slice,
+                spec.base_vc,
+            ),
+            TrafficClass::Response => {
+                routing::plan_response_fixed(&self.torus, src, dst, spec.slice)
+            }
+        }
     }
 }
 
@@ -592,7 +686,13 @@ fn torus_route(torus: &Torus, f: &Flit, router: usize) -> RouteDecision {
                 RouteDecision {
                     port: slice_port(dir, t.slice),
                     vc: routing::dateline_vc(t.base_vc, t.crossed),
-                    tag: encode_request_tag(t.order_idx, t.base_vc, t.crossed || wraps, t.slice),
+                    tag: encode_request_tag(
+                        t.order_idx,
+                        t.base_vc,
+                        t.crossed || wraps,
+                        t.slice,
+                        t.kind,
+                    ),
                 }
             }
         },
@@ -620,24 +720,22 @@ mod tests {
 
     #[test]
     fn tag_roundtrips() {
-        for order in 0..6 {
-            for base in 0..2u8 {
-                for crossed in [false, true] {
-                    for slice in 0..SLICES {
-                        let t = decode_tag(encode_request_tag(order, base, crossed, slice));
-                        assert_eq!(t.class, TrafficClass::Request);
-                        assert_eq!(
-                            (t.order_idx, t.base_vc, t.crossed, t.slice),
-                            (order, base, crossed, slice)
-                        );
-                    }
+        // The exhaustive layout-pinning sweep lives in tests/tag_layout.rs;
+        // this is the quick in-module smoke.
+        for kind in ByteKind::ALL {
+            for order in 0..6 {
+                for slice in 0..SLICES {
+                    let t = decode_tag(encode_request_tag(order, 1, true, slice, kind));
+                    assert_eq!(t.class, TrafficClass::Request);
+                    assert_eq!(
+                        (t.order_idx, t.base_vc, t.crossed, t.slice, t.kind),
+                        (order, 1, true, slice, kind)
+                    );
                 }
+                let t = decode_tag(encode_response_tag(kind.index() % SLICES, kind));
+                assert_eq!(t.class, TrafficClass::Response);
+                assert_eq!(t.kind, kind);
             }
-        }
-        for slice in 0..SLICES {
-            let t = decode_tag(encode_response_tag(slice));
-            assert_eq!(t.class, TrafficClass::Response);
-            assert_eq!(t.slice, slice);
         }
     }
 
@@ -677,7 +775,7 @@ mod tests {
         for h in 1..=4u16 {
             for slice in 0..SLICES {
                 let dst = f.torus().node_id(TorusCoord::new(0, 0, h as u8));
-                f.inject_packet(NodeId(0), dst, h as u64, 1, 0, slice, 0)
+                f.inject(PacketSpec::request(NodeId(0), dst, h as u64, 1).with_draw(0, slice, 0))
                     .unwrap();
                 assert!(f.run_until_drained(100_000));
                 let (cycle, flit) = *f.take_delivered().last().unwrap();
@@ -698,15 +796,11 @@ mod tests {
         let mut id = 0u64;
         for order in 0..6 {
             for (a, b) in [(0u16, 127u16), (5, 90), (17, 64), (33, 34)] {
-                f.inject_packet(
-                    NodeId(a),
-                    NodeId(b),
-                    id,
-                    1,
+                f.inject(PacketSpec::request(NodeId(a), NodeId(b), id, 1).with_draw(
                     order,
                     (id % 2) as usize,
                     (id % 2) as u8,
-                )
+                ))
                 .unwrap();
                 assert!(f.run_until_drained(1_000_000));
                 let (cycle, flit) = *f.take_delivered().last().unwrap();
@@ -727,10 +821,9 @@ mod tests {
         // 4-ring: 3 -> 1 via the +x wraparound; the final hop must ride
         // VC base+2, exactly as the route plan says.
         let mut f = fabric([4, 1, 1]);
-        let plan = f.plan(NodeId(3), NodeId(1), 0, 0, 0);
+        let spec = PacketSpec::request(NodeId(3), NodeId(1), 1, 1);
+        let plan = f.inject(spec).unwrap();
         assert!(plan.hops[0].wraps && plan.hops[1].vc == 2);
-        f.inject_packet(NodeId(3), NodeId(1), 1, 1, 0, 0, 0)
-            .unwrap();
         assert!(f.run_until_drained(100_000));
         let (_, flit) = f.delivered()[0];
         assert_eq!(flit.vc, 2, "delivered flit must carry the post-dateline VC");
@@ -741,7 +834,8 @@ mod tests {
         // 3 -> 1 on a 4-ring: the request route would wrap, but the mesh
         // response route goes -x through the interior, on VC 4.
         let mut f = fabric([4, 1, 1]);
-        f.inject_response(NodeId(3), NodeId(1), 1, 2, 0).unwrap();
+        f.inject(PacketSpec::response(NodeId(3), NodeId(1), 1, 2))
+            .unwrap();
         assert!(f.run_until_drained(100_000));
         let d = f.take_delivered();
         assert_eq!(d.len(), 2);
@@ -773,7 +867,10 @@ mod tests {
         let t = *f.torus();
         // 0 -> (3, 2, 6): mesh distance 3 + 2 + 6 = 11 hops.
         let dst = t.node_id(TorusCoord::new(3, 2, 6));
-        f.inject_response(NodeId(0), dst, 1, 1, 1).unwrap();
+        let plan = f
+            .inject(PacketSpec::response(NodeId(0), dst, 1, 1).with_slice(1))
+            .unwrap();
+        assert_eq!(plan.hop_count(), 11, "returned plan is the mesh walk");
         assert!(f.run_until_drained(1_000_000));
         let (cycle, flit) = f.delivered()[0];
         let hops = ((cycle - flit.injected_at) - p.router_cycles) / p.per_hop_cycles();
@@ -784,7 +881,7 @@ mod tests {
     fn two_flit_packets_arrive_contiguously() {
         let mut f = fabric([4, 4, 8]);
         let interval = f.params().link_interval;
-        f.inject_packet(NodeId(0), NodeId(127), 9, 2, 3, 0, 1)
+        f.inject(PacketSpec::request(NodeId(0), NodeId(127), 9, 2).with_draw(3, 0, 1))
             .unwrap();
         assert!(f.run_until_drained(1_000_000));
         let d = f.delivered();
@@ -805,77 +902,78 @@ mod tests {
         let mut f = fabric([4, 4, 8]);
         let t = *f.torus();
         let dst = t.node_id(TorusCoord::new(0, 0, 3));
-        f.inject_packet(NodeId(0), dst, 1, 2, 0, 1, 0).unwrap();
+        f.inject(
+            PacketSpec::request(NodeId(0), dst, 1, 2)
+                .with_draw(0, 1, 0)
+                .with_kind(ByteKind::Position),
+        )
+        .unwrap();
         assert!(f.run_until_drained(100_000));
         let zplus = Direction::ALL[4];
         for h in 0..3u8 {
             let at = t.node_id(TorusCoord::new(0, 0, h));
-            assert_eq!(f.link_stats(at, zplus, 1).packets, 1, "hop {h} slice 1");
-            assert_eq!(f.link_stats(at, zplus, 1).wire_bytes, 2 * FLIT_BYTES);
+            let s1 = f.link_stats(at, zplus, 1);
+            assert_eq!(s1.packets, 1, "hop {h} slice 1");
+            assert_eq!(s1.wire_bytes, 2 * FLIT_BYTES);
+            assert_eq!(
+                s1.position_bytes,
+                2 * FLIT_BYTES,
+                "position typing follows the flits"
+            );
+            assert_eq!((s1.force_bytes, s1.other_bytes), (0, 0));
             assert_eq!(f.link_stats(at, zplus, 0).packets, 0, "hop {h} slice 0");
         }
     }
 
     #[test]
     fn slice_stats_conserve_replayed_trace_exactly() {
-        // Replay a deterministic mixed-class trace with known draws,
-        // drain, and reconcile the counters three ways:
+        // Replay a deterministic mixed-class, mixed-kind trace with
+        // known draws, drain, and reconcile the counters three ways:
         //
         // 1. per-slice `LinkStats` merged over slices must equal the
         //    aggregate neighbor counters (what the pre-split fat link
         //    counted — guards the Figure 9a accounting across the slice
         //    split);
-        // 2. every directed slice link's counters must equal the totals
-        //    derived *independently* by walking each packet's route plan
-        //    (requests: `first_hop`; responses: `mesh_first_hop`);
-        // 3. machine totals must conserve flits/bytes.
+        // 2. every directed slice link's counters — including the
+        //    per-`ByteKind` byte split — must equal the totals derived
+        //    *independently* by walking the `RoutePlan` that `inject`
+        //    returned;
+        // 3. machine totals must conserve flits/bytes, per kind.
         use std::collections::HashMap;
         let mut f = fabric([3, 3, 3]);
         let t = *f.torus();
         let mut rng = SplitMix64::new(9);
         let n = t.node_count() as u64;
         let nflits = 2u8;
-        // (node, dir index, slice) -> (flits, packets) expected.
-        let mut expected: HashMap<(u16, usize, usize), (u64, u64)> = HashMap::new();
-        let mut record = |slice: usize, dirs: Vec<(NodeId, Direction)>| {
-            for (at, dir) in dirs {
-                let e = expected.entry((at.0, dir.index(), slice)).or_insert((0, 0));
-                e.0 += nflits as u64;
-                e.1 += 1;
-            }
-        };
+        // (node, dir index, slice, kind index) -> (flits, packets).
+        let mut expected: HashMap<(u16, usize, usize, usize), (u64, u64)> = HashMap::new();
         for p in 0..300u64 {
             let src = NodeId((p % n) as u16);
             let dst = NodeId(rng.next_below(n) as u16);
             if src == dst {
                 continue;
             }
-            if p % 3 == 0 {
-                let slice = (p % 2) as usize;
-                if f.inject_response(src, dst, p, nflits, slice).is_ok() {
-                    // Walk the shared mesh rule to derive expected links.
-                    let mut cur = t.coord(src);
-                    let mut dirs = Vec::new();
-                    while let Some(dir) = routing::mesh_first_hop(cur, t.coord(dst)) {
-                        dirs.push((t.node_id(cur), dir));
-                        cur = t.neighbor(cur, dir);
-                    }
-                    record(slice, dirs);
-                }
+            let kind = ByteKind::from_index((p % 3) as usize);
+            let spec = if p % 3 == 0 {
+                PacketSpec::response(src, dst, p, nflits)
+                    .with_slice((p % 2) as usize)
+                    .with_kind(kind)
             } else {
-                let (order, slice, base) = ((p % 6) as usize, ((p / 2) % 2) as usize, 0u8);
-                if f.inject_packet(src, dst, p, nflits, order, slice, base)
-                    .is_ok()
-                {
-                    let plan = f.plan(src, dst, order, slice, base);
-                    let mut cur = t.coord(src);
-                    let mut dirs = Vec::new();
-                    for hop in &plan.hops {
-                        dirs.push((t.node_id(cur), hop.dir));
-                        cur = t.neighbor(cur, hop.dir);
-                    }
-                    record(slice, dirs);
+                PacketSpec::request(src, dst, p, nflits)
+                    .with_draw((p % 6) as usize, ((p / 2) % 2) as usize, 0)
+                    .with_kind(kind)
+            };
+            if let Ok(plan) = f.inject(spec) {
+                let mut cur = t.coord(src);
+                for hop in &plan.hops {
+                    let e = expected
+                        .entry((t.node_id(cur).0, hop.dir.index(), spec.slice, kind.index()))
+                        .or_insert((0, 0));
+                    e.0 += nflits as u64;
+                    e.1 += 1;
+                    cur = t.neighbor(cur, hop.dir);
                 }
+                assert_eq!(cur, t.coord(dst), "returned plan must reach dst");
             }
             f.step();
         }
@@ -886,10 +984,23 @@ mod tests {
                 let mut merged = LinkStats::default();
                 for s in 0..SLICES {
                     let stats = f.link_stats(node, dir, s);
-                    let (eflits, epackets) = expected
-                        .get(&(node.0, dir.index(), s))
-                        .copied()
-                        .unwrap_or((0, 0));
+                    assert!(stats.kinds_conserve_wire());
+                    let mut eflits = 0u64;
+                    let mut epackets = 0u64;
+                    for kind in ByteKind::ALL {
+                        let (kf, kp) = expected
+                            .get(&(node.0, dir.index(), s, kind.index()))
+                            .copied()
+                            .unwrap_or((0, 0));
+                        assert_eq!(
+                            stats.kind_bytes(kind),
+                            kf * FLIT_BYTES,
+                            "link ({node:?}, {dir}, slice {s}) {kind:?} bytes \
+                             diverged from its route plans"
+                        );
+                        eflits += kf;
+                        epackets += kp;
+                    }
                     assert_eq!(
                         (stats.wire_bytes / FLIT_BYTES, stats.packets),
                         (eflits, epackets),
@@ -909,6 +1020,10 @@ mod tests {
         let expected_flits: u64 = expected.values().map(|&(fl, _)| fl).sum();
         assert_eq!(by_slice.wire_bytes, expected_flits * FLIT_BYTES);
         assert!(expected_flits > 0, "trace must exercise the links");
+        assert!(
+            by_slice.position_bytes > 0 && by_slice.force_bytes > 0 && by_slice.other_bytes > 0,
+            "trace must exercise every byte kind"
+        );
     }
 
     #[test]
@@ -920,8 +1035,11 @@ mod tests {
         for p in 0..400u64 {
             let src = NodeId((p % n) as u16);
             let dst = NodeId(rng.next_below(n) as u16);
-            if src != dst && f.inject_packet_random(src, dst, p, 2, &mut rng).is_ok() {
-                accepted += 1;
+            if src != dst {
+                let spec = PacketSpec::request(src, dst, p, 2).drawn(&mut rng);
+                if f.inject(spec).is_ok() {
+                    accepted += 1;
+                }
             }
             f.step();
         }

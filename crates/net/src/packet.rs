@@ -5,6 +5,7 @@
 //! enable virtual cut-through flow control with 8-flit input queues and
 //! are the unit of routing, compression and fence ordering.
 
+use crate::channel::ByteKind;
 use crate::chip::ChipLoc;
 use anton_model::asic::{FLIT_PAYLOAD_BITS, GCS_PER_ASIC};
 use anton_model::topology::NodeId;
@@ -49,6 +50,18 @@ impl PacketKind {
         match self {
             PacketKind::ReadResponse => TrafficClass::Response,
             _ => TrafficClass::Request,
+        }
+    }
+
+    /// The Figure 9a wire-byte category this kind is accounted under —
+    /// the one mapping from packet kinds to [`ByteKind`], shared by the
+    /// analytic channel adapters and (via the flit tags of
+    /// [`crate::fabric3d`]) the cycle fabric.
+    pub fn byte_kind(self) -> ByteKind {
+        match self {
+            PacketKind::Position | PacketKind::CompressedPosition => ByteKind::Position,
+            PacketKind::Force => ByteKind::Force,
+            _ => ByteKind::Other,
         }
     }
 

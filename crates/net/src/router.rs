@@ -46,9 +46,9 @@ pub struct Flit {
     pub vc: u8,
     /// Opaque per-packet routing state, carried untouched by the routers
     /// and interpreted/updated only by the fabric's [`RouteFn`] (e.g.
-    /// dimension order and dateline-crossing bits in
+    /// dimension order, dateline-crossing, and wire-byte-kind bits in
     /// [`crate::fabric3d`]). Zero for fabrics that don't need it.
-    pub tag: u8,
+    pub tag: u16,
     /// Cycle the flit was injected (for latency measurement).
     pub injected_at: u64,
 }
@@ -132,7 +132,7 @@ pub struct RouteDecision {
     /// Virtual channel on the outgoing link (the downstream input queue).
     pub vc: u8,
     /// Updated routing tag for the downstream hop.
-    pub tag: u8,
+    pub tag: u16,
 }
 
 impl RouteDecision {
@@ -151,6 +151,13 @@ impl RouteDecision {
 /// output port / outgoing VC / updated tag.
 pub type RouteFn = dyn Fn(&Flit, usize /*router id*/) -> RouteDecision;
 
+/// A per-flit class extractor for the per-class link traffic counters:
+/// maps a flit (typically via its [`Flit::tag`]) to a dense class index
+/// below the count given to [`RouterFabric::set_flit_classes`]. The
+/// torus fabric uses this to type wire bytes by
+/// [`crate::channel::ByteKind`].
+pub type FlitClassFn = dyn Fn(&Flit) -> usize;
+
 /// The (input port, input VC, outgoing VC, outgoing tag) of the packet
 /// currently owning an output port.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -159,7 +166,7 @@ struct OutputOwner {
     in_port: usize,
     in_vc: u8,
     out_vc: u8,
-    out_tag: u8,
+    out_tag: u16,
 }
 
 /// An input-queued, credit-flow-controlled router stepped per cycle.
@@ -184,7 +191,7 @@ pub struct CycleRouter {
     owned: usize,
     /// Per-cycle head-flit route snapshot (`[port * vcs + vc]`), reused
     /// across ticks to avoid per-cycle allocation.
-    decision_scratch: Vec<Option<(usize, u8, u8)>>,
+    decision_scratch: Vec<Option<(usize, u8, u16)>>,
 }
 
 impl CycleRouter {
@@ -303,7 +310,7 @@ impl CycleRouter {
             // otherwise round-robin over (port, vc) pairs whose head flit
             // routes to this output, has cleared the pipeline, and can be
             // accepted downstream.
-            let depart: Option<(usize, u8, u8, u8)> = match self.output_owner[out] {
+            let depart: Option<(usize, u8, u8, u16)> = match self.output_owner[out] {
                 Some(o) => match self.inputs[o.in_port][o.in_vc as usize].front() {
                     Some(&(body, arrived))
                         if arrived + self.pipeline <= cycle && downstream_ok(out, o.out_vc) =>
@@ -424,6 +431,9 @@ struct ChannelState {
     flits_sent: u64,
     /// Packets (tail flits) that have entered this link.
     packets_sent: u64,
+    /// Flits that have entered this link, split by the fabric's flit
+    /// classes (empty until [`RouterFabric::set_flit_classes`]).
+    class_flits: Vec<u64>,
 }
 
 /// Why [`RouterFabric::inject`] refused a flit. Callers (injection
@@ -472,6 +482,9 @@ pub struct RouterFabric {
     /// `channels[router][output_port]`, parallel to `wiring`.
     channels: Vec<Vec<ChannelState>>,
     route: Box<RouteFn>,
+    /// Optional per-flit class extraction feeding each channel's
+    /// `class_flits` counters.
+    classify: Option<Box<FlitClassFn>>,
     cycle: u64,
     delivered: Vec<(u64, Flit)>, // (cycle, flit)
     /// Flits currently inside link delay lines (skip arrival scans at 0).
@@ -519,6 +532,7 @@ impl RouterFabric {
             wiring,
             channels,
             route,
+            classify: None,
             cycle: 0,
             delivered: Vec::new(),
             in_flight_total: 0,
@@ -584,6 +598,28 @@ impl RouterFabric {
     pub fn link_traffic(&self, router: usize, port: usize) -> (u64, u64) {
         let ch = &self.channels[router][port];
         (ch.flits_sent, ch.packets_sent)
+    }
+
+    /// Enables per-class link traffic counters: every flit entering a
+    /// link is additionally counted under `classify(&flit)`, which must
+    /// return an index below `classes`. A setup-time operation — calling
+    /// it resets any previously accumulated per-class counts.
+    pub fn set_flit_classes(&mut self, classes: usize, classify: Box<FlitClassFn>) {
+        assert!(classes > 0, "need at least one flit class");
+        for row in &mut self.channels {
+            for ch in row {
+                ch.class_flits = vec![0; classes];
+            }
+        }
+        self.classify = Some(classify);
+    }
+
+    /// Cumulative per-class flit counts of the link leaving `router` via
+    /// `port` (parallel to [`Self::link_traffic`]); empty unless
+    /// [`Self::set_flit_classes`] was called. Feeds the per-kind wire
+    /// byte accounting of [`crate::fabric3d::TorusFabric::link_stats`].
+    pub fn link_class_traffic(&self, router: usize, port: usize) -> &[u64] {
+        &self.channels[router][port].class_flits
     }
 
     /// Free credit slots on injection port `(router, port, vc)` — lets
@@ -705,11 +741,15 @@ impl RouterFabric {
 
         // 3. Departures enter their links.
         for (r, out, flit) in moves {
+            let class = self.classify.as_deref().map(|f| f(&flit));
             let spec = {
                 let ch = &mut self.channels[r][out];
                 ch.next_free = cycle + ch.spec.interval;
                 ch.flits_sent += 1;
                 ch.packets_sent += u64::from(flit.is_tail());
+                if let Some(c) = class {
+                    ch.class_flits[c] += 1;
+                }
                 ch.spec
             };
             match self.wiring[r][out] {

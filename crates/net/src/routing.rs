@@ -178,6 +178,22 @@ pub fn plan_response(
     rng: &mut SplitMix64,
 ) -> RoutePlan {
     let slice = rng.next_below(SLICES_PER_NEIGHBOR as u64) as usize;
+    let mut plan = plan_response_fixed(torus, src, dst, slice);
+    plan.ca = rng.next_below(2) as usize;
+    plan
+}
+
+/// Plans a response route with a *fixed* channel slice (the
+/// deterministic counterpart of [`plan_response`], mirroring
+/// [`plan_request_fixed`] for the request class) — what the cycle
+/// fabric's injection endpoint returns for response packets.
+pub fn plan_response_fixed(
+    torus: &Torus,
+    src: TorusCoord,
+    dst: TorusCoord,
+    slice: usize,
+) -> RoutePlan {
+    assert!(slice < SLICES_PER_NEIGHBOR, "slice {slice} out of range");
     let mut hops = Vec::new();
     let mut cur = src;
     // Walk the shared per-hop rule to the destination; plain (non-modular)
@@ -195,7 +211,7 @@ pub fn plan_response(
     RoutePlan {
         order: DimOrder::XYZ,
         slice,
-        ca: rng.next_below(2) as usize,
+        ca: 0,
         hops,
     }
 }

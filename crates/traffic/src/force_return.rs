@@ -19,19 +19,11 @@
 //! drained, because those tails have responses yet to spawn.
 
 use anton_model::topology::NodeId;
-use anton_net::fabric3d::{TorusFabric, SLICES};
+use anton_net::channel::ByteKind;
+use anton_net::fabric3d::{PacketSpec, TorusFabric};
 use anton_net::router::Flit;
 use anton_sim::rng::SplitMix64;
 use std::collections::HashMap;
-
-/// A spawned response awaiting injection; the slice was drawn at spawn
-/// time and every retry reuses it.
-struct PendingResponse {
-    from: NodeId,
-    to: NodeId,
-    slice: usize,
-    id: u64,
-}
 
 /// Force-return bookkeeping: which in-flight packets are requests
 /// awaiting a reply, and which replies are queued behind injection
@@ -40,7 +32,9 @@ pub struct ForceReturn {
     /// Request id → source node, for packets whose delivery must spawn
     /// a reply.
     sources: HashMap<u64, u16>,
-    pending: Vec<PendingResponse>,
+    /// Spawned responses awaiting injection, fully drawn: every retry
+    /// resubmits the same spec.
+    pending: Vec<PacketSpec>,
     next_id: u64,
     nflits: u8,
 }
@@ -95,21 +89,20 @@ impl ForceReturn {
             if flit.is_tail() {
                 if let Some(src) = self.sources.remove(&flit.packet) {
                     let id = self.alloc_id();
-                    self.pending.push(PendingResponse {
-                        from: NodeId(flit.dest as u16),
-                        to: NodeId(src),
-                        slice: rng.next_below(SLICES as u64) as usize,
-                        id,
-                    });
+                    self.pending.push(
+                        PacketSpec::response(
+                            NodeId(flit.dest as u16),
+                            NodeId(src),
+                            id,
+                            self.nflits,
+                        )
+                        .with_kind(ByteKind::Force)
+                        .drawn(rng),
+                    );
                 }
             }
         }
-        let nflits = self.nflits;
-        self.pending.retain(|r| {
-            fabric
-                .inject_response(r.from, r.to, r.id, nflits, r.slice)
-                .is_err()
-        });
+        self.pending.retain(|&spec| fabric.inject(spec).is_err());
         delivered
     }
 
@@ -139,10 +132,8 @@ mod tests {
         for node in 0..8u16 {
             let id = fr.alloc_id();
             let dst = NodeId(7 - node);
-            if fabric
-                .inject_packet_random(NodeId(node), dst, id, 2, &mut rng)
-                .is_ok()
-            {
+            let spec = PacketSpec::request(NodeId(node), dst, id, 2).drawn(&mut rng);
+            if fabric.inject(spec).is_ok() {
                 fr.track(id, NodeId(node));
                 requests += 1;
             }
@@ -172,7 +163,7 @@ mod tests {
         let mut fr = ForceReturn::new(1);
         let id = fr.alloc_id();
         fabric
-            .inject_packet_random(NodeId(0), NodeId(7), id, 1, &mut rng)
+            .inject(PacketSpec::request(NodeId(0), NodeId(7), id, 1).drawn(&mut rng))
             .unwrap();
         fr.track(id, NodeId(0));
         assert!(fabric.run_until_drained(100_000));

@@ -7,12 +7,20 @@
 //!   (uniform random, MD-style nearest-neighbor halo, bit-complement,
 //!   transpose, hotspot, fence-storm), all deterministic under
 //!   [`anton_sim::rng::SplitMix64`];
-//! - [`sweep`] — an offered-load sweep harness that drives the
-//!   cycle-level 3D torus of [`anton_net::fabric3d`], measuring
-//!   delivered throughput and mean/p99 packet latency per load point —
-//!   split by traffic class (request vs force-return response) and by
-//!   physical channel slice — and emitting latency–throughput curves as
-//!   JSON;
+//! - [`workload`] — the [`workload::Workload`] abstraction: what to
+//!   send and how deliveries spawn follow-on traffic, emitting fully
+//!   drawn [`anton_net::fabric3d::PacketSpec`]s. Implemented by the
+//!   synthetic patterns (with the force-return protocol) and by
+//!   [`workload::MdHaloWorkload`], which replays MD-shaped halo traffic
+//!   from a spatial decomposition with Figure 9a wire-byte typing
+//!   (position exports / force returns);
+//! - [`sweep`] — the offered-load scenario driver
+//!   ([`sweep::run_scenario`]), generic over any workload, driving the
+//!   cycle-level 3D torus of [`anton_net::fabric3d`] through its single
+//!   injection endpoint and measuring delivered throughput and
+//!   mean/p99 packet latency per load point — split by traffic class
+//!   (request vs force-return response) and by physical channel slice —
+//!   with latency–throughput curves as JSON;
 //! - [`force_return`] — the shared request→response recycling driver
 //!   used by the overload/drain harnesses (CI's 8×8×8 smoke and the
 //!   drain property tests).
@@ -43,3 +51,4 @@
 pub mod force_return;
 pub mod patterns;
 pub mod sweep;
+pub mod workload;

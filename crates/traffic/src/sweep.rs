@@ -1,35 +1,46 @@
-//! Offered-load sweeps: latency–throughput curves over the cycle fabric.
+//! Offered-load scenarios: latency–throughput curves over the cycle
+//! fabric, generic over [`Workload`].
 //!
-//! For each offered load (request flits per node per cycle), every node
-//! runs a Bernoulli packet generator feeding a source queue; packets
-//! inject into the [`TorusFabric`] as credits allow, with the dimension
-//! order, channel slice, and base VC drawn once per packet at generation
-//! time, exactly like [`anton_net::routing::plan_request`] (a blocked
-//! injection retries with the *same* draw — in particular, a rejection
-//! never falls back to the other channel slice, so backpressure cannot
-//! bias the oblivious randomization toward uncongested slices or VCs).
+//! [`run_scenario`] is the one driver every harness shares. For each
+//! offered load (request flits per node per cycle), every node runs a
+//! Bernoulli opportunity generator; at each opportunity the workload
+//! emits fully drawn [`anton_net::fabric3d::PacketSpec`]s, which queue
+//! per node and class and inject through the single
+//! [`TorusFabric::inject`] endpoint as credits allow. Because the spec
+//! carries its routing draw, a blocked injection retries the *same*
+//! spec — a rejection never falls back to the other channel slice, so
+//! backpressure cannot bias the oblivious randomization toward
+//! uncongested slices or VCs.
 //!
-//! With [`SweepConfig::respond`] enabled, every delivered request spawns
-//! a same-size response back to its source — force-return traffic — that
-//! rides the single response VC over mesh-restricted XYZ routes
-//! ([`anton_net::fabric3d::TrafficClass::Response`]), with its slice
-//! drawn at spawn time. (The overload/drain harnesses implement the
-//! same spawn/retry protocol via [`crate::force_return`], without the
-//! per-packet statistics; keep the two in sync.) After a warmup window, packets generated during
-//! the measurement window (and the responses they spawn) are tracked to
-//! delivery; the sweep reports delivered throughput and latency **per
-//! traffic class and per channel slice**, plus a low-load cross-check of
-//! the per-hop constant against the analytic [`anton_net::path`] model
-//! the fabric was calibrated from.
+//! Deliveries feed the workload's completion hook, which is how
+//! force-return protocols spawn responses (same-size replies on the
+//! response class, slice drawn at spawn time from the destination
+//! node's stream). The overload/drain harnesses implement the same
+//! spawn/retry protocol via [`crate::force_return`], without the
+//! per-packet statistics; keep the two in sync. After a warmup window,
+//! packets generated during the measurement window (and the follow-ons
+//! they spawn) are tracked to delivery; the scenario reports delivered
+//! throughput and latency **per traffic class and per channel slice**,
+//! plus a low-load cross-check of the per-hop constant against the
+//! analytic [`anton_net::path`] model the fabric was calibrated from.
+//!
+//! [`run_point`] is the thin synthetic-pattern wrapper (a
+//! [`SyntheticWorkload`] over one [`TrafficPattern`]); it preserves the
+//! draw-for-draw behavior the loaded-latency calibration constants were
+//! fitted against.
 //!
 //! Everything is deterministic under the configured seed: node streams
 //! are split from one root [`SplitMix64`], and the fabric itself is
 //! seed-free.
 
 use crate::patterns::TrafficPattern;
+use crate::workload::{SyntheticWorkload, Workload};
 use anton_model::topology::{NodeId, Torus};
 use anton_model::units::PS_PER_CORE_CYCLE;
-use anton_net::fabric3d::{decode_tag, FabricParams, TorusFabric, TrafficClass, SLICES};
+use anton_net::fabric3d::{
+    decode_tag, FabricParams, PacketSpec, TorusFabric, TrafficClass, SLICES,
+};
+use anton_net::routing;
 use anton_sim::rng::SplitMix64;
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -165,21 +176,39 @@ pub struct PatternCurve {
     pub points: Vec<LoadPoint>,
 }
 
+impl LoadPoint {
+    /// The per-class curve point, if this sweep carried that class
+    /// (requests always; responses only under [`SweepConfig::respond`]
+    /// or a spawning workload).
+    pub fn class_point(&self, class: TrafficClass) -> Option<&ClassPoint> {
+        match class {
+            TrafficClass::Request => Some(&self.request),
+            TrafficClass::Response => self.response.as_ref(),
+        }
+    }
+}
+
 impl PatternCurve {
-    /// The delivered throughput at saturation: the maximum over the curve
-    /// (delivered throughput is non-decreasing until the knee, flat or
-    /// falling after).
-    pub fn saturation_throughput(&self) -> f64 {
-        self.points.iter().map(|p| p.delivered).fold(0.0, f64::max)
+    /// The maximum of `f` over the curve — the saturation shape shared
+    /// by the total and per-class throughput accessors; 0.0 for an
+    /// empty curve.
+    fn peak(&self, f: impl Fn(&LoadPoint) -> f64) -> f64 {
+        self.points.iter().map(f).fold(0.0, f64::max)
     }
 
-    /// The request-class saturation throughput (what the offered axis
-    /// and the loaded-latency calibration are expressed against).
-    pub fn request_saturation_throughput(&self) -> f64 {
-        self.points
-            .iter()
-            .map(|p| p.request.delivered)
-            .fold(0.0, f64::max)
+    /// The delivered throughput at saturation: the maximum over the curve
+    /// (delivered throughput is non-decreasing until the knee, flat or
+    /// falling after). Returns 0.0 for an empty curve.
+    pub fn saturation_throughput(&self) -> f64 {
+        self.peak(|p| p.delivered)
+    }
+
+    /// The saturation throughput of one traffic class (the request
+    /// value is what the offered axis and the loaded-latency
+    /// calibration are expressed against). Returns 0.0 for an empty
+    /// curve or a class the sweep never carried.
+    pub fn class_saturation_throughput(&self, class: TrafficClass) -> f64 {
+        self.peak(|p| p.class_point(class).map_or(0.0, |c| c.delivered))
     }
 }
 
@@ -200,21 +229,32 @@ pub struct SweepReport {
     pub curves: Vec<PatternCurve>,
 }
 
-/// Per-packet bookkeeping (indexed by packet id).
+/// Per-packet bookkeeping (indexed by packet id, parallel to the spec
+/// table).
 #[derive(Clone, Copy)]
 struct PacketInfo {
     generated_at: u64,
     injected_at: u64,
     delivered_at: u64,
-    /// The node that injects this packet (a response's source is the
-    /// node its request was delivered to).
-    src: u16,
     hops: u32,
     tracked: bool,
-    response: bool,
 }
 
 const PENDING: u64 = u64::MAX;
+
+/// One finished scenario: the measured load point plus the fabric it
+/// ran on, so callers can read the per-link, per-slice, per-[`ByteKind`]
+/// traffic counters ([`TorusFabric::link_stats`] and friends) after the
+/// drain — the MD replay harness reconciles its Figure 9a byte typing
+/// from exactly this.
+///
+/// [`ByteKind`]: anton_net::channel::ByteKind
+pub struct ScenarioRun {
+    /// The measured curve point.
+    pub point: LoadPoint,
+    /// The fabric after the run, counters intact.
+    pub fabric: TorusFabric,
+}
 
 fn class_point(
     delivered: f64,
@@ -260,15 +300,17 @@ fn class_point(
     }
 }
 
-/// Runs one pattern at one offered load; `stream` decorrelates the RNG
-/// across points while staying reproducible from the config seed.
-pub fn run_point(
-    pattern: &dyn TrafficPattern,
+/// Runs one workload at one offered load; `stream` decorrelates the RNG
+/// across points while staying reproducible from the config seed. This
+/// is the single driver behind every sweep, calibration, and replay
+/// harness; [`run_point`] wraps it for plain synthetic patterns.
+pub fn run_scenario<W: Workload + ?Sized>(
+    workload: &mut W,
     cfg: &SweepConfig,
     params: FabricParams,
     offered: f64,
     stream: u64,
-) -> LoadPoint {
+) -> ScenarioRun {
     assert!(cfg.flits_per_packet >= 1, "packets carry at least one flit");
     assert!(
         (0.0..=1.0 + 1e-9).contains(&offered),
@@ -282,30 +324,19 @@ pub fn run_point(
 
     let root = SplitMix64::new(cfg.seed).split(stream);
     let mut node_rng: Vec<SplitMix64> = (0..n as u64).map(|i| root.split(i)).collect();
-    // Source queue entry: a generated packet with its routing draw made
-    // once, at generation time — retried injections reuse the same
-    // order/slice/VC, so backpressure cannot bias the oblivious
-    // randomization (in particular a slice-0 rejection must not retry on
-    // slice 1).
-    struct Queued {
-        id: u64,
-        dst: NodeId,
-        order_idx: usize,
-        slice: usize,
-        base_vc: u8,
-    }
-    // A spawned response with its slice drawn at spawn time; the retry
-    // rule applies identically.
-    struct QueuedResp {
-        id: u64,
-        dst: NodeId,
-        slice: usize,
-    }
-    let mut queues: Vec<VecDeque<Queued>> = Vec::new();
-    queues.resize_with(n, VecDeque::new);
-    let mut resp_queues: Vec<VecDeque<QueuedResp>> = Vec::new();
-    resp_queues.resize_with(n, VecDeque::new);
+    // Every spec's routing draw is made once — at generation or spawn
+    // time, inside the workload — so retried injections resubmit the
+    // same spec and backpressure cannot bias the oblivious
+    // randomization (in particular a slice-0 rejection must not retry
+    // on slice 1). Queues hold packet ids into the spec table; requests
+    // and responses queue separately because they inject in class order.
+    let mut specs: Vec<PacketSpec> = Vec::new();
     let mut packets: Vec<PacketInfo> = Vec::new();
+    let mut req_queues: Vec<VecDeque<u64>> = Vec::new();
+    req_queues.resize_with(n, VecDeque::new);
+    let mut resp_queues: Vec<VecDeque<u64>> = Vec::new();
+    resp_queues.resize_with(n, VecDeque::new);
+    let mut emitted: Vec<PacketSpec> = Vec::new(); // workload out-buffer
 
     let window = cfg.warmup_cycles..cfg.warmup_cycles + cfg.measure_cycles;
     let gen_end = window.end;
@@ -316,77 +347,78 @@ pub fn run_point(
     let mut slice_flits = [0u64; SLICES]; // per-slice window flits
     let mut backpressure: u64 = 0;
 
+    // Registers one emitted spec: assigns its id, precomputes its route
+    // length for the hop statistics, and queues it at its source.
+    let enqueue = |spec: PacketSpec,
+                   at: u64,
+                   tracked: bool,
+                   specs: &mut Vec<PacketSpec>,
+                   packets: &mut Vec<PacketInfo>,
+                   req_queues: &mut [VecDeque<u64>],
+                   resp_queues: &mut [VecDeque<u64>],
+                   outstanding: &mut u64| {
+        let id = specs.len() as u64;
+        let spec = PacketSpec { id, ..spec };
+        let (src, dst) = (torus.coord(spec.src), torus.coord(spec.dst));
+        packets.push(PacketInfo {
+            generated_at: at,
+            injected_at: PENDING,
+            delivered_at: PENDING,
+            hops: match spec.class {
+                TrafficClass::Request => torus.hop_distance(src, dst),
+                TrafficClass::Response => routing::mesh_distance(src, dst),
+            },
+            tracked,
+        });
+        if tracked {
+            *outstanding += 1;
+        }
+        match spec.class {
+            TrafficClass::Request => req_queues[spec.src.index()].push_back(id),
+            TrafficClass::Response => resp_queues[spec.src.index()].push_back(id),
+        }
+        specs.push(spec);
+    };
+
     let mut cycle = 0u64;
     while cycle < horizon {
-        // Generation: Bernoulli per node, destination from the pattern.
+        // Generation: Bernoulli opportunity per node, packets from the
+        // workload.
         if cycle < gen_end {
-            for node in 0..n {
-                let rng = &mut node_rng[node];
+            for (node, rng) in node_rng.iter_mut().enumerate() {
                 if rng.next_f64() >= p_packet {
                     continue;
                 }
                 let src = NodeId(node as u16);
-                if let Some(dst) = pattern.dest(&torus, src, cycle, rng) {
-                    let id = packets.len() as u64;
-                    let tracked = window.contains(&cycle);
-                    packets.push(PacketInfo {
-                        generated_at: cycle,
-                        injected_at: PENDING,
-                        delivered_at: PENDING,
-                        src: src.0,
-                        hops: torus.hop_distance(torus.coord(src), torus.coord(dst)),
+                workload.next_packets(&torus, src, cycle, rng, &mut emitted);
+                let tracked = window.contains(&cycle);
+                for spec in emitted.drain(..) {
+                    debug_assert_eq!(spec.src, src, "workload emitted for the wrong node");
+                    enqueue(
+                        spec,
+                        cycle,
                         tracked,
-                        response: false,
-                    });
-                    if tracked {
-                        outstanding += 1;
-                    }
-                    queues[node].push_back(Queued {
-                        id,
-                        dst,
-                        order_idx: rng.next_below(6) as usize,
-                        slice: rng.next_below(SLICES as u64) as usize,
-                        base_vc: rng.next_below(2) as u8,
-                    });
+                        &mut specs,
+                        &mut packets,
+                        &mut req_queues,
+                        &mut resp_queues,
+                        &mut outstanding,
+                    );
                 }
             }
         }
 
         // Injection: head-of-line packet per node and class, as credits
-        // allow, with every draw fixed at generation/spawn time.
+        // allow, each spec resubmitted verbatim until accepted.
         // Responses go first — they ride their own VC, so the two
         // classes contend only for link serialization slots.
-        for (node, queue) in resp_queues.iter_mut().enumerate() {
-            let Some(q) = queue.front() else {
+        for queue in resp_queues.iter_mut().chain(req_queues.iter_mut()) {
+            let Some(&id) = queue.front() else {
                 continue;
             };
-            match fabric.inject_response(NodeId(node as u16), q.dst, q.id, nflits, q.slice) {
-                Ok(()) => {
-                    packets[q.id as usize].injected_at = cycle;
-                    queue.pop_front();
-                }
-                Err(_) => {
-                    if window.contains(&cycle) {
-                        backpressure += 1;
-                    }
-                }
-            }
-        }
-        for (node, queue) in queues.iter_mut().enumerate() {
-            let Some(q) = queue.front() else {
-                continue;
-            };
-            match fabric.inject_packet(
-                NodeId(node as u16),
-                q.dst,
-                q.id,
-                nflits,
-                q.order_idx,
-                q.slice,
-                q.base_vc,
-            ) {
-                Ok(()) => {
-                    packets[q.id as usize].injected_at = cycle;
+            match fabric.inject(specs[id as usize]) {
+                Ok(_plan) => {
+                    packets[id as usize].injected_at = cycle;
                     queue.pop_front();
                 }
                 Err(_) => {
@@ -400,15 +432,13 @@ pub fn run_point(
         fabric.step();
         cycle = fabric.cycle();
 
-        // Collect deliveries. With responses enabled every delivery may
-        // spawn follow-on traffic, so the log drains whenever non-empty;
-        // request-only sweeps batch the drain to every 64 cycles.
-        let collect = if cfg.respond {
-            !fabric.delivered().is_empty()
-        } else {
-            cycle.is_multiple_of(64)
-        } || cycle >= horizon;
-        if collect {
+        // Collect deliveries whenever the log is non-empty: a spawning
+        // workload may owe follow-on traffic for every tail, and its
+        // completion draws must happen at delivery order regardless of
+        // the config's response-reporting flag. (All recorded times
+        // come from the log's delivery cycles, so for non-spawning
+        // workloads collection timing cannot affect the statistics.)
+        if !fabric.delivered().is_empty() || cycle >= horizon {
             for (at, flit) in fabric.take_delivered() {
                 let tag = decode_tag(flit.tag);
                 if window.contains(&at) {
@@ -419,44 +449,44 @@ pub fn run_point(
                 if !flit.is_tail() {
                     continue;
                 }
-                let info = packets[flit.packet as usize];
-                packets[flit.packet as usize].delivered_at = at;
-                if info.tracked {
+                let id = flit.packet as usize;
+                packets[id].delivered_at = at;
+                let tracked = packets[id].tracked;
+                if tracked {
                     outstanding -= 1;
                 }
-                if cfg.respond && !info.response {
-                    // Force-return: the delivered request spawns an
-                    // equal-size reply from its destination back to its
-                    // source, with the slice drawn at spawn time from
-                    // the destination node's stream.
-                    let here = NodeId(flit.dest as u16);
-                    let back = NodeId(info.src);
-                    let id = packets.len() as u64;
-                    packets.push(PacketInfo {
-                        generated_at: at,
-                        injected_at: PENDING,
-                        delivered_at: PENDING,
-                        src: here.0,
-                        hops: anton_net::routing::mesh_distance(
-                            torus.coord(here),
-                            torus.coord(back),
-                        ),
-                        tracked: info.tracked,
-                        response: true,
-                    });
-                    if info.tracked {
-                        outstanding += 1;
-                    }
-                    resp_queues[here.index()].push_back(QueuedResp {
-                        id,
-                        dst: back,
-                        slice: node_rng[here.index()].next_below(SLICES as u64) as usize,
-                    });
+                // Completion hook: follow-on packets (force returns)
+                // spawn at the delivered packet's destination, drawing
+                // from that node's stream; they inherit the parent's
+                // tracking window.
+                let spec = specs[id];
+                workload.on_delivered(
+                    &torus,
+                    &spec,
+                    at,
+                    &mut node_rng[spec.dst.index()],
+                    &mut emitted,
+                );
+                for spawned in emitted.drain(..) {
+                    debug_assert_eq!(
+                        spawned.src, spec.dst,
+                        "follow-on packets originate at the delivery node"
+                    );
+                    enqueue(
+                        spawned,
+                        at,
+                        tracked,
+                        &mut specs,
+                        &mut packets,
+                        &mut req_queues,
+                        &mut resp_queues,
+                        &mut outstanding,
+                    );
                 }
             }
             // Once the window closed and every tracked packet (and the
-            // response it spawned) landed, the point is done — no need
-            // to burn the full drain budget.
+            // follow-ons it spawned) landed, the point is done — no
+            // need to burn the full drain budget.
             if cycle >= gen_end && outstanding == 0 {
                 break;
             }
@@ -470,8 +500,8 @@ pub fn run_point(
     let mut total_sum = [0f64; 2];
     let mut measured = [0u64; 2];
     let mut incomplete = [0u64; 2];
-    for info in packets.iter().filter(|i| i.tracked) {
-        let k = info.response as usize;
+    for (info, spec) in packets.iter().zip(&specs).filter(|(i, _)| i.tracked) {
+        let k = (spec.class == TrafficClass::Response) as usize;
         measured[k] += 1;
         if info.delivered_at == PENDING {
             incomplete[k] += 1;
@@ -493,7 +523,7 @@ pub fn run_point(
         hop_sum[0],
         total_sum[0],
     );
-    let response = cfg.respond.then(|| {
+    let response = (cfg.respond || measured[1] > 0).then(|| {
         class_point(
             per_node_cycle(class_flits[1]),
             measured[1],
@@ -517,7 +547,7 @@ pub fn run_point(
         0.0
     };
     let generated = measured[0] as f64 * nflits as f64 / (n as f64 * cfg.measure_cycles as f64);
-    LoadPoint {
+    let point = LoadPoint {
         offered,
         generated,
         delivered: per_node_cycle(window_flits),
@@ -527,7 +557,22 @@ pub fn run_point(
         measured_per_hop_ns,
         backpressure_rejections: backpressure,
         saturated: outstanding > 0 || request.delivered < generated * 0.90 - 1e-3,
-    }
+    };
+    ScenarioRun { point, fabric }
+}
+
+/// Runs one synthetic pattern at one offered load: a thin
+/// [`run_scenario`] over a [`SyntheticWorkload`] (force-return
+/// responses per [`SweepConfig::respond`]).
+pub fn run_point(
+    pattern: &dyn TrafficPattern,
+    cfg: &SweepConfig,
+    params: FabricParams,
+    offered: f64,
+    stream: u64,
+) -> LoadPoint {
+    let mut workload = SyntheticWorkload::new(pattern, cfg.flits_per_packet, cfg.respond);
+    run_scenario(&mut workload, cfg, params, offered, stream).point
 }
 
 /// Runs a pattern across the whole load axis.
@@ -611,6 +656,38 @@ mod tests {
             point.measured_per_hop_ns,
             rel * 100.0
         );
+    }
+
+    #[test]
+    fn saturation_helpers_are_consistent_and_zero_on_empty() {
+        let empty = PatternCurve {
+            pattern: "empty".into(),
+            points: vec![],
+        };
+        assert_eq!(empty.saturation_throughput(), 0.0);
+        assert_eq!(
+            empty.class_saturation_throughput(TrafficClass::Request),
+            0.0
+        );
+        assert_eq!(
+            empty.class_saturation_throughput(TrafficClass::Response),
+            0.0
+        );
+        // A request-only curve reports zero for the class it never
+        // carried, and the class peaks never exceed the total.
+        let cfg = small_cfg();
+        let p = params();
+        let curve = PatternCurve {
+            pattern: "uniform".into(),
+            points: vec![run_point(&UniformRandom, &cfg, p, 0.1, 9)],
+        };
+        assert_eq!(
+            curve.class_saturation_throughput(TrafficClass::Response),
+            0.0,
+            "request-only sweeps have no response curve"
+        );
+        let req = curve.class_saturation_throughput(TrafficClass::Request);
+        assert!(req > 0.0 && req <= curve.saturation_throughput());
     }
 
     #[test]

@@ -180,7 +180,7 @@ impl From<usize> for SizeRange {
 pub mod collection {
     use super::{SizeRange, Strategy, TestRng};
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

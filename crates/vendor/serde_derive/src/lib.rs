@@ -2,7 +2,7 @@
 //!
 //! The build container has no access to a crates.io mirror, so the
 //! workspace vendors the small slice of serde it actually uses: a
-//! `Serialize` derive that lowers a type to the [`serde::json::Json`]
+//! `Serialize` derive that lowers a type to the `serde::json::Json`
 //! tree (named structs → objects, newtypes → their inner value, tuple
 //! structs → arrays, field-less enums → variant-name strings) and a
 //! `Deserialize` derive that emits only the marker impl. Generic types

@@ -8,7 +8,9 @@
 
 use anton3::model::latency::LatencyModel;
 use anton3::model::topology::{DimOrder, NodeId, Torus};
-use anton3::net::fabric3d::{decode_tag, FabricParams, TorusFabric, TrafficClass, SLICES};
+use anton3::net::fabric3d::{
+    decode_tag, FabricParams, PacketSpec, TorusFabric, TrafficClass, SLICES,
+};
 use anton3::net::routing::{self, RESPONSE_VC};
 use anton3::sim::rng::SplitMix64;
 use anton3::traffic::force_return::ForceReturn;
@@ -55,7 +57,8 @@ proptest! {
                 let dst = NodeId(rng.next_below(n) as u16);
                 if src != dst {
                     let id = fr.alloc_id();
-                    if fabric.inject_packet_random(src, dst, id, 2, &mut rng).is_ok() {
+                    let spec = PacketSpec::request(src, dst, id, 2).drawn(&mut rng);
+                    if fabric.inject(spec).is_ok() {
                         fr.track(id, src);
                     }
                 }
@@ -127,7 +130,9 @@ proptest! {
         // Response class: run it through the fabric and assert zero
         // traffic on every wraparound slice link.
         let mut fabric = TorusFabric::new(torus, params);
-        fabric.inject_response(src, dst, 1, 2, slice).expect("empty fabric");
+        fabric
+            .inject(PacketSpec::response(src, dst, 1, 2).with_slice(slice))
+            .expect("empty fabric");
         prop_assert!(fabric.run_until_drained(1_000_000), "response must drain");
         for node in torus.nodes() {
             for dir in anton3::model::topology::Direction::ALL {

@@ -257,7 +257,7 @@ proptest! {
         base_vc in 0u8..2,
     ) {
         use anton3::model::latency::LatencyModel;
-        use anton3::net::fabric3d::{FabricParams, TorusFabric};
+        use anton3::net::fabric3d::{FabricParams, PacketSpec, TorusFabric};
 
         let torus = torus_from(dims);
         let n = torus.node_count() as u16;
@@ -265,10 +265,8 @@ proptest! {
         let params = FabricParams::calibrated(&LatencyModel::default());
         let mut fabric = TorusFabric::new(torus, params);
         let slice = (src_ix % 2) as usize;
-        let plan = fabric.plan(src, dst, order_idx, slice, base_vc);
-        fabric
-            .inject_packet(src, dst, 1, 1, order_idx, slice, base_vc)
-            .expect("empty fabric has credits");
+        let spec = PacketSpec::request(src, dst, 1, 1).with_draw(order_idx, slice, base_vc);
+        let plan = fabric.inject(spec).expect("empty fabric has credits");
         prop_assert!(fabric.run_until_drained(1_000_000), "must drain");
         let (cycle, flit) = fabric.delivered()[0];
         // Unloaded latency encodes the hop count; it must equal the
