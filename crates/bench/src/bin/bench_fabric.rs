@@ -1,0 +1,199 @@
+//! Fabric throughput snapshot: how fast the cycle-level torus simulator
+//! itself runs, so simulator-performance regressions show up in CI the
+//! same way model-accuracy regressions do.
+//!
+//! The benchmark runs the 8x8x8 (512-node) overload sweep point — the
+//! CI smoke workload and the cost that previously capped calibration at
+//! small shapes — twice on one thread: once with the production
+//! event-driven core (`TorusFabric::step` behind
+//! `traffic::sweep::run_scenario`) and once with the retained naive
+//! reference stepper (`Stepper::Reference`, the pre-worklist full-scan
+//! simulator). The two must produce identical measurements — that is
+//! asserted, making this a determinism check as well as a benchmark —
+//! and the wall-clock ratio is the event-driven core's speedup. A
+//! lighter 4x4x8 moderate-load point rides along for the README's
+//! steps/sec table.
+//!
+//! With `--json` the snapshot is emitted as the `BENCH_fabric.json`
+//! artifact (CI redirects it there): simulated cycles/sec, flit-hops/sec
+//! (flits entering links), wall-clock seconds per stepper, and the
+//! speedup ratio.
+
+use anton_model::latency::LatencyModel;
+use anton_model::topology::{Direction, Torus};
+use anton_net::fabric3d::{FabricParams, TorusFabric, SLICES};
+use anton_traffic::patterns::UniformRandom;
+use anton_traffic::sweep::{run_scenario_with, ScenarioRun, Stepper, SweepConfig};
+use anton_traffic::workload::SyntheticWorkload;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One stepper's measured run of one benchmark scenario.
+#[derive(Clone, Copy, Debug, Serialize)]
+struct StepperRun {
+    /// Wall-clock seconds for the whole scenario (single thread).
+    wall_seconds: f64,
+    /// Simulated fabric cycles advanced per wall-clock second.
+    steps_per_sec: f64,
+    /// Flits entering links (every hop of every flit) per wall second.
+    flit_hops_per_sec: f64,
+}
+
+/// One benchmark scenario: both steppers on identical work.
+#[derive(Clone, Debug, Serialize)]
+struct ScenarioBench {
+    /// Human label, e.g. `"8x8x8 overload"`.
+    scenario: String,
+    /// Torus extents.
+    dims: [u8; 3],
+    /// Offered request load, flits per node per cycle.
+    offered: f64,
+    /// Simulated cycles the scenario advanced the fabric.
+    simulated_cycles: u64,
+    /// Total flit-hops carried (flits entering links, machine-wide).
+    flit_hops: u64,
+    /// The production event-driven core.
+    event: StepperRun,
+    /// The retained naive reference stepper on the same work.
+    reference: StepperRun,
+    /// `reference.wall_seconds / event.wall_seconds` — the event-driven
+    /// core's single-thread speedup on this workload.
+    speedup: f64,
+}
+
+/// The `BENCH_fabric.json` artifact.
+#[derive(Clone, Debug, Serialize)]
+struct FabricBench {
+    /// The 8x8x8 overload sweep point (the CI smoke workload).
+    overload_8x8x8: ScenarioBench,
+    /// A moderate-load 4x4x8 point (the README steps/sec row).
+    moderate_4x4x8: ScenarioBench,
+}
+
+/// Machine-wide flit-hops: flits that entered any directed slice link
+/// (each link crossing of each flit counts once).
+fn total_flit_hops(fabric: &TorusFabric) -> u64 {
+    use anton_net::fabric3d::FLIT_BYTES;
+    let mut bytes = 0;
+    for node in fabric.torus().nodes() {
+        for dir in Direction::ALL {
+            for s in 0..SLICES {
+                bytes += fabric.link_stats(node, dir, s).wire_bytes;
+            }
+        }
+    }
+    bytes / FLIT_BYTES
+}
+
+fn run_mode(
+    cfg: &SweepConfig,
+    params: FabricParams,
+    offered: f64,
+    stream: u64,
+    stepper: Stepper,
+) -> (ScenarioRun, StepperRun, u64) {
+    let mut workload = SyntheticWorkload::new(&UniformRandom, cfg.flits_per_packet, cfg.respond);
+    let start = Instant::now();
+    let run = run_scenario_with(&mut workload, cfg, params, offered, stream, stepper);
+    let wall = start.elapsed().as_secs_f64();
+    let cycles = run.fabric.cycle();
+    let hops = total_flit_hops(&run.fabric);
+    (
+        run,
+        StepperRun {
+            wall_seconds: wall,
+            steps_per_sec: cycles as f64 / wall,
+            flit_hops_per_sec: hops as f64 / wall,
+        },
+        hops,
+    )
+}
+
+fn bench_scenario(
+    scenario: &str,
+    cfg: &SweepConfig,
+    params: FabricParams,
+    offered: f64,
+    stream: u64,
+) -> ScenarioBench {
+    let (event_run, event, event_hops) = run_mode(cfg, params, offered, stream, Stepper::Event);
+    let (ref_run, reference, ref_hops) = run_mode(cfg, params, offered, stream, Stepper::Reference);
+    // The speedup is only meaningful on identical work — and equality is
+    // exactly what the event-driven rewrite promises, so hold it here in
+    // CI, not just in the proptests.
+    assert_eq!(
+        format!("{:?}", event_run.point),
+        format!("{:?}", ref_run.point),
+        "{scenario}: steppers measured different points"
+    );
+    assert_eq!(
+        (event_run.fabric.cycle(), event_hops),
+        (ref_run.fabric.cycle(), ref_hops),
+        "{scenario}: steppers disagreed on cycles or flit-hops"
+    );
+    ScenarioBench {
+        scenario: scenario.to_string(),
+        dims: cfg.dims,
+        offered,
+        simulated_cycles: event_run.fabric.cycle(),
+        flit_hops: event_hops,
+        event,
+        reference,
+        speedup: reference.wall_seconds / event.wall_seconds,
+    }
+}
+
+fn main() {
+    let params = FabricParams::calibrated(&LatencyModel::default());
+
+    // The CI overload smoke's sweep point, verbatim (sweep_traffic
+    // --overload-smoke): 512 nodes at 0.9 offered with force returns.
+    let mut overload = SweepConfig::new([8, 8, 8]);
+    overload.loads = vec![];
+    overload.warmup_cycles = 300;
+    overload.measure_cycles = 900;
+    overload.drain_cycles = 6_000;
+    // Stream 1025 = the smoke's own overload point (curve stream 1,
+    // point index 1 on its two-point axis), so the benchmarked traffic
+    // is the exact random instance CI smokes.
+    let overload_8x8x8 = bench_scenario("8x8x8 overload", &overload, params, 0.9, 1025);
+
+    // A mid-load 128-node point: the common calibration regime.
+    let mut moderate = SweepConfig::calibration_4x4x8();
+    moderate.respond = true;
+    let moderate_4x4x8 = bench_scenario("4x4x8 moderate", &moderate, params, 0.3, 7);
+
+    let bench = FabricBench {
+        overload_8x8x8,
+        moderate_4x4x8,
+    };
+    if anton_bench::maybe_json(&bench) {
+        return;
+    }
+
+    println!("FABRIC THROUGHPUT SNAPSHOT (single thread)");
+    for b in [&bench.overload_8x8x8, &bench.moderate_4x4x8] {
+        println!();
+        println!(
+            "{}: {}x{}x{} torus ({} nodes), offered {:.2}, {} simulated cycles, {} flit-hops",
+            b.scenario,
+            b.dims[0],
+            b.dims[1],
+            b.dims[2],
+            Torus::new(b.dims).node_count(),
+            b.offered,
+            b.simulated_cycles,
+            b.flit_hops,
+        );
+        for (name, run) in [("event-driven", &b.event), ("reference", &b.reference)] {
+            println!(
+                "  {name:<13} {:>8.2}s wall  {:>12.0} steps/s  {:>12.0} flit-hops/s",
+                run.wall_seconds, run.steps_per_sec, run.flit_hops_per_sec
+            );
+        }
+        println!(
+            "  speedup: {:.2}x (identical measurements verified)",
+            b.speedup
+        );
+    }
+}

@@ -14,19 +14,26 @@
 //!
 //! - `--json` emits the full report;
 //! - `--quick` runs a coarse load axis for smoke testing;
-//! - `--calibrate` runs the request-only 4x4x8 calibration workloads
-//!   (uniform random and nearest-neighbor halo) through the Scenario
-//!   driver and fits the loaded-latency contention constants
-//!   (`machine::pingpong::LoadedCalibration` ships the fitted values
-//!   for both patterns);
+//! - `--threads N` distributes independent sweep points over `N`
+//!   worker threads — output (including `--json`) is byte-identical at
+//!   any worker count, because every point seeds its RNG streams from
+//!   the config seed and its own index;
+//! - `--calibrate` runs the request-only calibration workloads through
+//!   the Scenario driver and fits the loaded-latency contention
+//!   constants: uniform random and nearest-neighbor halo on 4x4x8, and
+//!   — now that the event-driven fabric core makes 512 nodes routine —
+//!   uniform random on the full 8x8x8 machine
+//!   (`machine::pingpong::LoadedCalibration` ships all three fits);
 //! - `--md-replay` replays MD-shaped halo traffic (an `MdHaloWorkload`
 //!   built from a water-box run's spatial decomposition) on the cycle
-//!   fabric and reconciles the per-`ByteKind` link-stat totals
-//!   (position/force wire bytes) machine-wide;
+//!   fabric, reconciles the per-`ByteKind` link-stat totals
+//!   (position/force wire bytes) machine-wide, and prints the analytic
+//!   loaded step-time estimate (`MdNetworkRun::loaded_halo_estimate`)
+//!   the shape's calibration feeds;
 //! - `--overload-smoke` runs a short 8x8x8 overload point with both
 //!   classes plus an injection-stop drain check, exercising the
 //!   dateline-VC deadlock margins on a larger machine (CI runs this on
-//!   every PR).
+//!   every PR, with `--threads`).
 
 use anton_machine::mdrun::MdNetworkRun;
 use anton_machine::pingpong::LoadedCalibration;
@@ -40,18 +47,39 @@ use anton_net::path::ContentionModel;
 use anton_sim::rng::SplitMix64;
 use anton_traffic::force_return::ForceReturn;
 use anton_traffic::patterns::{standard_suite, NearestNeighbor, TrafficPattern, UniformRandom};
-use anton_traffic::sweep::{run_curve, run_scenario, run_sweep, ClassPoint, SweepConfig};
+use anton_traffic::sweep::{
+    run_curve_threaded, run_scenario, run_sweep_threaded, ClassPoint, SweepConfig,
+};
+
+/// The `--threads N` worker count (default 1). Reports are byte-identical
+/// at any value — each sweep point derives its RNG stream from the seed
+/// and its index alone.
+fn thread_arg() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let n = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threads takes a positive integer");
+            assert!(n >= 1, "--threads takes a positive integer");
+            return n;
+        }
+    }
+    1
+}
 
 fn main() {
     let params = FabricParams::calibrated(&LatencyModel::default());
+    let threads = thread_arg();
     if std::env::args().any(|a| a == "--calibrate") {
-        return calibrate(params);
+        return calibrate(params, threads);
     }
     if std::env::args().any(|a| a == "--md-replay") {
         return md_replay(params);
     }
     if std::env::args().any(|a| a == "--overload-smoke") {
-        return overload_smoke(params);
+        return overload_smoke(params, threads);
     }
 
     let quick = std::env::args().any(|a| a == "--quick");
@@ -62,7 +90,7 @@ fn main() {
         cfg.measure_cycles = 2_000;
         cfg.drain_cycles = 15_000;
     }
-    let report = run_sweep(&standard_suite(), &cfg, params);
+    let report = run_sweep_threaded(&standard_suite(), &cfg, params, threads);
 
     if anton_bench::maybe_json(&report) {
         return;
@@ -136,33 +164,52 @@ fn main() {
 /// fits the contention constants, and compares the shipped
 /// `LoadedCalibration` values against the fresh fits (rerun this after
 /// any change to the fabric timing). Uniform random keeps RNG stream 1
-/// — the stream its shipped constants were fitted on.
-fn calibrate(params: FabricParams) {
+/// — the stream its shipped constants were fitted on; the 512-node
+/// 8x8x8 fit (stream 3) is what the event-driven core's speedup paid
+/// for — machine-scale calibration as a routine run rather than a
+/// special occasion.
+fn calibrate(params: FabricParams, threads: usize) {
     calibrate_pattern(
         params,
         &UniformRandom,
+        SweepConfig::calibration_4x4x8(),
         LoadedCalibration::UNIFORM_4X4X8,
         "uniform",
         1,
+        threads,
     );
     println!();
     calibrate_pattern(
         params,
         &NearestNeighbor,
+        SweepConfig::calibration_4x4x8(),
         LoadedCalibration::NEAREST_NEIGHBOR_4X4X8,
         "nearest-neighbor",
         2,
+        threads,
+    );
+    println!();
+    calibrate_pattern(
+        params,
+        &UniformRandom,
+        SweepConfig::calibration_8x8x8(),
+        LoadedCalibration::UNIFORM_8X8X8,
+        "uniform",
+        3,
+        threads,
     );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn calibrate_pattern(
     params: FabricParams,
     pattern: &dyn TrafficPattern,
+    mut cfg: SweepConfig,
     shipped: LoadedCalibration,
     label: &str,
     stream: u64,
+    threads: usize,
 ) {
-    let mut cfg = SweepConfig::calibration_4x4x8();
     cfg.loads = vec![
         0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65, 0.7, 0.8, 1.0,
     ];
@@ -170,7 +217,7 @@ fn calibrate_pattern(
         "CALIBRATION SWEEP. {}x{}x{} {label}, request-only, seed {:#x}",
         cfg.dims[0], cfg.dims[1], cfg.dims[2], cfg.seed
     );
-    let curve = run_curve(pattern, &cfg, params, stream);
+    let curve = run_curve_threaded(pattern, &cfg, params, stream, threads);
     let saturation = curve.class_saturation_throughput(TrafficClass::Request);
     // The same unloaded baseline the shipped prediction adds contention
     // onto — fit and prediction must share it exactly. The mean hop
@@ -214,13 +261,14 @@ fn calibrate_pattern(
         fit.alpha_cycles,
         shipped.mean_hops,
     );
+    let shape = format!("{}x{}x{}", cfg.dims[0], cfg.dims[1], cfg.dims[2]);
     anton_bench::compare(
-        &format!("{label} 4x4x8 saturation"),
+        &format!("{label} {shape} saturation"),
         &format!("{:.3} (shipped)", shipped.saturation),
         &format!("{saturation:.3}"),
     );
     anton_bench::compare(
-        &format!("{label} 4x4x8 contention alpha"),
+        &format!("{label} {shape} contention alpha"),
         &format!("{:.2} cycles (shipped)", shipped.alpha_cycles),
         &format!("{:.2} cycles", fit.alpha_cycles),
     );
@@ -277,6 +325,22 @@ fn md_replay(params: FabricParams) {
         "machine-wide wire bytes: {} position + {} force = {} total (conservation OK)",
         total.position_bytes, total.force_bytes, total.wire_bytes
     );
+    // The analytic loaded step-time estimate consuming the shape's
+    // cycle-fabric-fitted LoadedCalibration, over this decomposition's
+    // own route lengths (see MdNetworkRun::loaded_halo_estimate).
+    let est = run
+        .loaded_halo_estimate(offered, 64, 0x4D5F_4841)
+        .expect("4x4x8 ships a uniform calibration");
+    println!(
+        "loaded step estimate at offered {offered}: export {:.0} + turnaround + return {:.0} \
+         cycles over {:.2}/{:.2} mean hops -> halo round trip {}, step floor {} with barrier",
+        est.request_cycles,
+        est.response_cycles,
+        est.mean_request_hops,
+        est.mean_response_hops,
+        est.halo_round_trip,
+        est.step_floor,
+    );
     // One equal-size force return per delivered export, but responses
     // ride XYZ mesh routes while requests ride torus-minimal ones — so
     // the wire-byte ratio (bytes count once per link crossed) must
@@ -298,22 +362,26 @@ fn md_replay(params: FabricParams) {
 /// traffic classes, then an injection-stop drain check — if the dateline
 /// VCs or the request/response class split ever admitted a dependency
 /// cycle, the drain would hang and this smoke would fail CI.
-fn overload_smoke(params: FabricParams) {
+fn overload_smoke(params: FabricParams, threads: usize) {
     let dims = [8u8, 8, 8];
     let mut cfg = SweepConfig::new(dims);
-    cfg.loads = vec![0.9];
+    // Two points so `--threads 2` genuinely runs concurrent workers at
+    // 512-node scale (a single point would clamp the pool to one): a
+    // mid-load companion rides along, and the overload point under test
+    // stays last.
+    cfg.loads = vec![0.45, 0.9];
     cfg.warmup_cycles = 300;
     cfg.measure_cycles = 900;
     cfg.drain_cycles = 6_000;
     println!(
-        "OVERLOAD SMOKE. {}x{}x{} torus ({} nodes), responses on",
+        "OVERLOAD SMOKE. {}x{}x{} torus ({} nodes), responses on, {threads} thread(s)",
         dims[0],
         dims[1],
         dims[2],
         Torus::new(dims).node_count()
     );
-    let curve = run_curve(&UniformRandom, &cfg, params, 1);
-    let p = &curve.points[0];
+    let curve = run_curve_threaded(&UniformRandom, &cfg, params, 1, threads);
+    let p = curve.points.last().expect("overload point");
     println!(
         "offered {:.2}: delivered {:.3} total ({:.3} request / {:.3} response), \
          slices {:.3}/{:.3}, {} backpressure rejections",

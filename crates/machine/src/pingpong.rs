@@ -225,6 +225,44 @@ impl LoadedCalibration {
         mean_hops: 1.0,
     };
 
+    /// The shipped calibration for uniform random request traffic on the
+    /// 512-node 8x8x8 machine — the CI overload shape, fitted with the
+    /// same `sweep_traffic --calibrate` harness on
+    /// `SweepConfig::calibration_8x8x8` (the event-driven fabric core is
+    /// what makes the 512-node fit routine). All three dimensions are
+    /// now 8-rings, so every axis carries the bisection load the 4×4×8
+    /// machine only saw on Z: saturation dips to 0.526 from 0.555 and
+    /// the queueing coefficient grows with the ~6-hop mean routes
+    /// (3.55 vs 2.56 cycles). `mean_hops` is the exact closed form
+    /// `6 · 512/511` over non-self ordered pairs.
+    pub const UNIFORM_8X8X8: LoadedCalibration = LoadedCalibration {
+        saturation: 0.526,
+        alpha_cycles: 3.55,
+        mean_hops: 3072.0 / 511.0,
+    };
+
+    /// The shipped uniform-random calibration for `torus`, if its shape
+    /// has one — how shape-generic consumers
+    /// ([`crate::mdrun::MdNetworkRun`]'s loaded step-time estimates)
+    /// select constants without hardcoding machine sizes. Dimensions are
+    /// compared order-insensitively: uniform random traffic draws all
+    /// six dimension orders symmetrically, so an [8, 4, 4] machine is
+    /// physically the 4x4x8 one.
+    pub fn uniform_for(torus: &Torus) -> Option<LoadedCalibration> {
+        use anton_model::topology::Dim;
+        let mut dims = [
+            torus.extent(Dim::X),
+            torus.extent(Dim::Y),
+            torus.extent(Dim::Z),
+        ];
+        dims.sort_unstable();
+        match dims {
+            [4, 4, 8] => Some(Self::UNIFORM_4X4X8),
+            [8, 8, 8] => Some(Self::UNIFORM_8X8X8),
+            _ => None,
+        }
+    }
+
     /// The contention model of this calibration.
     pub fn contention(&self) -> ContentionModel {
         ContentionModel {
@@ -253,7 +291,23 @@ impl LoadedCalibration {
         nflits: u8,
         offered: f64,
     ) -> f64 {
-        params.unloaded_mean_cycles(self.mean_hops, nflits)
+        self.predicted_mean_latency_cycles_for(params, nflits, offered, self.mean_hops)
+    }
+
+    /// [`Self::predicted_mean_latency_cycles`] with the unloaded walk
+    /// taken over a caller-supplied mean hop count instead of the
+    /// calibrated pattern's: per-decomposition estimates (an MD halo
+    /// exchange whose import-region shape sets its own route lengths)
+    /// reuse the shape's fitted saturation and contention while the
+    /// unloaded baseline follows the actual traffic.
+    pub fn predicted_mean_latency_cycles_for(
+        &self,
+        params: &FabricParams,
+        nflits: u8,
+        offered: f64,
+        mean_hops: f64,
+    ) -> f64 {
+        params.unloaded_mean_cycles(mean_hops, nflits)
             + self.contention().extra_cycles(self.rho(offered))
     }
 }

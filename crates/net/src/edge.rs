@@ -57,7 +57,7 @@ pub fn build_edge_network() -> RouterFabric {
                     port: PORT_DOWN,
                 }
             } else {
-                PortLink::Endpoint(u32::MAX)
+                PortLink::Unused
             };
             let down = if row + 1 < EDGE_ROWS {
                 PortLink::Router {
@@ -65,7 +65,7 @@ pub fn build_edge_network() -> RouterFabric {
                     port: PORT_UP,
                 }
             } else {
-                PortLink::Endpoint(u32::MAX)
+                PortLink::Unused
             };
             let out = if col > 0 {
                 PortLink::Router {
@@ -73,7 +73,7 @@ pub fn build_edge_network() -> RouterFabric {
                     port: PORT_IN,
                 }
             } else {
-                PortLink::Endpoint(u32::MAX)
+                PortLink::Unused
             };
             let inw = if col + 1 < EDGE_COLS {
                 PortLink::Router {
@@ -81,7 +81,7 @@ pub fn build_edge_network() -> RouterFabric {
                     port: PORT_OUT,
                 }
             } else {
-                PortLink::Endpoint(u32::MAX)
+                PortLink::Unused
             };
             wiring.push(vec![
                 up,

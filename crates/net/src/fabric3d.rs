@@ -458,12 +458,17 @@ impl TorusFabric {
                     });
                 }
             }
-            row.push(PortLink::Endpoint(u32::MAX)); // INJECT_PORT is input-only
+            row.push(PortLink::Unused); // INJECT_PORT is input-only
             row.push(PortLink::Endpoint(node.0 as u32)); // EJECT_PORT
             wiring.push(row);
         }
         let t = torus;
-        let route = Box::new(move |f: &Flit, router: usize| torus_route(&t, f, router));
+        let route: Box<crate::router::RouteFn> = match RouteTables::build(&torus) {
+            Some(tables) => {
+                Box::new(move |f: &Flit, router: usize| torus_route_tab(&tables, f, router))
+            }
+            None => Box::new(move |f: &Flit, router: usize| torus_route(&t, f, router)),
+        };
         let mut fabric = RouterFabric::new(routers, wiring, route);
         // Per-link flit counters split by the packet's wire-byte kind
         // (carried in the tag), feeding the typed `link_stats` below.
@@ -532,12 +537,36 @@ impl TorusFabric {
         self.fabric.occupancy()
     }
 
-    /// Advances one cycle.
+    /// Advances one cycle (event-driven: only routers with work are
+    /// visited; see [`crate::router::RouterFabric::step`]).
     pub fn step(&mut self) {
         self.fabric.step();
     }
 
+    /// Advances one cycle with the retained naive reference stepper —
+    /// the executable specification [`Self::step`] is held bit-identical
+    /// to (see [`crate::router::RouterFabric::step_reference`]). Used by
+    /// the `stepper_equivalence` tests and the `bench_fabric` speedup
+    /// harness; the two steppers may be interleaved freely.
+    pub fn step_reference(&mut self) {
+        self.fabric.step_reference();
+    }
+
+    /// One event-driven advance, never past `limit`: jumps dead cycles
+    /// to the next link arrival when no router has work, then steps once
+    /// (see [`crate::router::RouterFabric::step_next_event`]).
+    pub fn step_next_event(&mut self, limit: u64) {
+        self.fabric.step_next_event(limit);
+    }
+
+    /// Advances to `target` exactly as repeated [`Self::step`] calls
+    /// would, fast-forwarding dead time between link arrivals.
+    pub fn step_until(&mut self, target: u64) {
+        self.fabric.step_until(target);
+    }
+
     /// Steps until empty or `max_cycles`; returns whether it drained.
+    /// Dead time between link arrivals is fast-forwarded.
     pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
         self.fabric.run_until_drained(max_cycles)
     }
@@ -665,6 +694,109 @@ impl TorusFabric {
     }
 }
 
+/// Precomputed per-hop routing for one torus shape — the route function
+/// is the hottest per-flit operation in the event-driven core (at
+/// saturation every moving flit is routed once per hop), and computing
+/// it from coordinates costs a dozen integer divisions. The tables hold,
+/// for every (dimension order, current router, destination), the
+/// request next-hop direction plus its dateline flag, and for every
+/// (current router, destination) the mesh next-hop for responses —
+/// derived entry by entry from [`Torus::first_hop`],
+/// [`routing::crosses_dateline`] and [`routing::mesh_first_hop`], so a
+/// table lookup and the direct computation cannot disagree (pinned by
+/// the `route_tables_match_computed_routes` test).
+struct RouteTables {
+    n: usize,
+    /// `[(order * n + router) * n + dest]`: direction index in bits 0–2,
+    /// dateline-crossing flag in bit 3, [`ROUTE_EJECT`] at destination.
+    request: Vec<u8>,
+    /// `[router * n + dest]`: mesh direction index, [`ROUTE_EJECT`] at
+    /// destination.
+    mesh: Vec<u8>,
+}
+
+/// Table code for "at destination: eject".
+const ROUTE_EJECT: u8 = 0xFF;
+
+/// Largest node count the routing tables are built for: above this the
+/// quadratic tables stop paying for themselves (a 1024-node machine
+/// already needs 7 MB) and the fabric falls back to computing routes.
+const ROUTE_TABLE_MAX_NODES: usize = 1024;
+
+impl RouteTables {
+    fn build(torus: &Torus) -> Option<RouteTables> {
+        let n = torus.node_count();
+        if n > ROUTE_TABLE_MAX_NODES {
+            return None;
+        }
+        let coords: Vec<TorusCoord> = torus.nodes().map(|id| torus.coord(id)).collect();
+        let mut request = vec![0u8; 6 * n * n];
+        for (oi, &order) in DimOrder::ALL.iter().enumerate() {
+            for r in 0..n {
+                let base = (oi * n + r) * n;
+                for d in 0..n {
+                    request[base + d] = match torus.first_hop(coords[r], coords[d], order) {
+                        None => ROUTE_EJECT,
+                        Some(dir) => {
+                            let wraps = routing::crosses_dateline(torus, coords[r], dir);
+                            dir.index() as u8 | (u8::from(wraps) << 3)
+                        }
+                    };
+                }
+            }
+        }
+        let mut mesh = vec![0u8; n * n];
+        for r in 0..n {
+            for d in 0..n {
+                mesh[r * n + d] = match routing::mesh_first_hop(coords[r], coords[d]) {
+                    None => ROUTE_EJECT,
+                    Some(dir) => dir.index() as u8,
+                };
+            }
+        }
+        Some(RouteTables { n, request, mesh })
+    }
+}
+
+/// Table-driven variant of [`torus_route`]: identical decisions, no
+/// coordinate arithmetic on the hot path.
+fn torus_route_tab(tables: &RouteTables, f: &Flit, router: usize) -> RouteDecision {
+    let t = decode_tag(f.tag);
+    let n = tables.n;
+    match t.class {
+        TrafficClass::Request => {
+            let e = tables.request[(t.order_idx * n + router) * n + f.dest as usize];
+            if e == ROUTE_EJECT {
+                return RouteDecision::keep(EJECT_PORT, f);
+            }
+            let dir = Direction::ALL[(e & 0x7) as usize];
+            let wraps = e & 0x8 != 0;
+            RouteDecision {
+                port: slice_port(dir, t.slice),
+                vc: routing::dateline_vc(t.base_vc, t.crossed),
+                tag: encode_request_tag(
+                    t.order_idx,
+                    t.base_vc,
+                    t.crossed || wraps,
+                    t.slice,
+                    t.kind,
+                ),
+            }
+        }
+        TrafficClass::Response => {
+            let e = tables.mesh[router * n + f.dest as usize];
+            if e == ROUTE_EJECT {
+                return RouteDecision::keep(EJECT_PORT, f);
+            }
+            RouteDecision {
+                port: slice_port(Direction::ALL[(e & 0x7) as usize], t.slice),
+                vc: RESPONSE_VC,
+                tag: f.tag,
+            }
+        }
+    }
+}
+
 /// Per-hop route computation, dispatching on the flit's traffic class:
 ///
 /// - requests reproduce `assign_request_vcs` from the carried state — VC
@@ -735,6 +867,46 @@ mod tests {
                 let t = decode_tag(encode_response_tag(kind.index() % SLICES, kind));
                 assert_eq!(t.class, TrafficClass::Response);
                 assert_eq!(t.kind, kind);
+            }
+        }
+    }
+
+    #[test]
+    fn route_tables_match_computed_routes() {
+        // The table path must reproduce the computed path decision for
+        // decision: every class, order, slice, dateline state, kind, and
+        // (router, dest) pair on an asymmetric shape.
+        let t = Torus::new([3, 4, 5]);
+        let tables = RouteTables::build(&t).expect("small torus gets tables");
+        let n = t.node_count();
+        let flit = |dest: usize, tag: u16| Flit {
+            packet: 1,
+            index: 0,
+            of: 1,
+            dest: dest as u32,
+            vc: 0,
+            tag,
+            injected_at: 0,
+        };
+        for router in 0..n {
+            for dest in 0..n {
+                for order in 0..6 {
+                    for crossed in [false, true] {
+                        let tag = encode_request_tag(order, 1, crossed, 1, ByteKind::Position);
+                        let f = flit(dest, tag);
+                        assert_eq!(
+                            torus_route_tab(&tables, &f, router),
+                            torus_route(&t, &f, router),
+                            "request router {router} dest {dest} order {order}"
+                        );
+                    }
+                }
+                let f = flit(dest, encode_response_tag(0, ByteKind::Force));
+                assert_eq!(
+                    torus_route_tab(&tables, &f, router),
+                    torus_route(&t, &f, router),
+                    "response router {router} dest {dest}"
+                );
             }
         }
     }

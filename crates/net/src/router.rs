@@ -25,6 +25,40 @@
 //! implementation (see the `hop_latencies_match_paper` tests): the
 //! formulas are what the large experiments use; the cycle model is the
 //! ground truth for the per-hop constants.
+//!
+//! # Event-driven stepping
+//!
+//! Large fabrics are mostly idle, and even saturated ones keep most
+//! (port, VC) pairs empty, so [`RouterFabric::step`] is organized around
+//! work lists rather than full scans:
+//!
+//! - an **active-router worklist**: routers enqueue themselves when they
+//!   accept a flit (link arrival, same-cycle move, or injection) and are
+//!   dropped when they go idle, so arbitration visits only routers that
+//!   can possibly act — the router-side mirror of the `busy_channels`
+//!   list the link-arrival scan already uses;
+//! - **occupied-input candidate lists**: route computation walks the
+//!   non-empty input queues instead of every port × VC slot, and
+//!   arbitration visits only the outputs those heads requested (plus
+//!   outputs owned by a cut-through packet), in the same ascending
+//!   output order as a full scan;
+//! - **lazy credit probes**: downstream credit checks run only for the
+//!   (output, VC) pairs arbitration will actually ask about, instead of
+//!   snapshotting every pair;
+//! - **allocation-free hot path**: the per-cycle buffers (candidates,
+//!   probes, departures) persist across cycles, so a steady-state step
+//!   allocates nothing;
+//! - a [`RouterFabric::step_until`] fast-forward that jumps the dead
+//!   cycles between link-arrival events when no router has queued work —
+//!   in-flight wire time is the dominant idle span on calibrated tori.
+//!
+//! The pre-worklist full-scan stepper is retained verbatim as
+//! [`RouterFabric::step_reference`] (arbitrating via
+//! [`CycleRouter::tick`]): it is the executable specification the
+//! event-driven path must match bit for bit — same delivery log, same
+//! cycle numbers, same per-link counters — and the
+//! `stepper_equivalence` property tests and the `bench_fabric` harness
+//! hold the two to exactly that.
 
 use anton_model::asic::INPUT_QUEUE_FLITS;
 use core::fmt;
@@ -149,6 +183,14 @@ impl RouteDecision {
 
 /// The per-hop routing function: maps a head flit at a router to the
 /// output port / outgoing VC / updated tag.
+///
+/// A route function must be a pure function of the flit's **routing
+/// fields** — [`Flit::dest`], [`Flit::vc`], [`Flit::tag`] — and the
+/// router id. The event-driven core routes a head from its scheduled
+/// maturity record (which carries exactly those fields) rather than
+/// re-reading the queue, so a function that keyed on `packet`, `index`
+/// or `injected_at` would diverge between the event and reference
+/// steppers (the `stepper_equivalence` tests would catch it).
 pub type RouteFn = dyn Fn(&Flit, usize /*router id*/) -> RouteDecision;
 
 /// A per-flit class extractor for the per-class link traffic counters:
@@ -167,6 +209,30 @@ struct OutputOwner {
     in_vc: u8,
     out_vc: u8,
     out_tag: u16,
+}
+
+/// One routed head flit's claim on an output port: the flat input index
+/// (`port * vcs + vc`, the round-robin rank) plus the outgoing VC/tag
+/// from its route decision.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Candidate {
+    idx: u16,
+    vc: u8,
+    tag: u16,
+}
+
+/// A head front awaiting its pipeline-maturity cycle. Carries the
+/// front's routing fields so filing it as a candidate needs no queue
+/// access (the queues are the large, cache-cold part of a saturated
+/// fabric); the version pins it to the exact front it was scheduled
+/// for.
+#[derive(Clone, Copy, Debug)]
+struct MatureEntry {
+    ready: u64,
+    idx: u16,
+    version: u32,
+    dest: u32,
+    tag: u16,
 }
 
 /// An input-queued, credit-flow-controlled router stepped per cycle.
@@ -189,8 +255,48 @@ pub struct CycleRouter {
     queued: usize,
     /// Output ports currently owned by an in-flight packet.
     owned: usize,
-    /// Per-cycle head-flit route snapshot (`[port * vcs + vc]`), reused
-    /// across ticks to avoid per-cycle allocation.
+    /// Sorted output ports currently owned by a cut-through packet
+    /// (the list form of `output_owner`, for the arbitration worklist).
+    owned_outs: Vec<u16>,
+    /// **Persistent** per-output candidate lists, sorted by flat input
+    /// index: every queue whose current front is a head flit that has
+    /// cleared the pipeline is filed here, from the cycle it matures
+    /// until it departs. Maintained event-driven — on front changes and
+    /// pipeline maturity — so steady-state cycles never rescan queues.
+    out_cands: Vec<Vec<Candidate>>,
+    /// Sorted outputs whose candidate list is non-empty (the candidate
+    /// side of the arbitration worklist).
+    cand_outs: Vec<u16>,
+    /// Where each queue's front is currently filed: `out + 1`, or 0 when
+    /// the front is not a candidate (body, immature, or empty).
+    cand_out: Vec<u16>,
+    /// Maturity calendar: slot `ready % len` holds the head fronts
+    /// still traversing the router pipeline; drained each arbitrated
+    /// cycle to file newly eligible candidates.
+    mature_wheel: Vec<Vec<MatureEntry>>,
+    /// Fronts revealed with their pipeline already cleared (a pop
+    /// exposing an old arrival): filed at the next maturity drain,
+    /// exactly when a full rescan would first see them.
+    ripe: Vec<MatureEntry>,
+    /// Last cycle whose maturity slots were drained.
+    last_matured: u64,
+    /// Merged (owner ∪ candidate) output worklist scratch.
+    arb_outs: Vec<u16>,
+    /// Flat per-queue credit counts (`[port * vcs + vc]`): the queue's
+    /// free slots, kept in lockstep with the queues so upstream credit
+    /// probes read one compact array instead of chasing `VecDeque`
+    /// internals — the probe is the hottest cross-router access.
+    free: Vec<u32>,
+    /// Flat per-queue cycle at which the current front flit clears the
+    /// router pipeline (`u64::MAX` when the queue is empty).
+    front_ready: Vec<u64>,
+    /// Flat per-queue version, bumped whenever the front changes — the
+    /// validity key of scheduled maturity entries (a pop invalidates any
+    /// pending filing of the popped front).
+    front_version: Vec<u32>,
+    /// Per-cycle head-flit route snapshot (`[port * vcs + vc]`) used by
+    /// the reference full-scan arbiter [`Self::tick`]; reused across
+    /// ticks to avoid per-cycle allocation.
     decision_scratch: Vec<Option<(usize, u8, u16)>>,
 }
 
@@ -198,6 +304,11 @@ impl CycleRouter {
     /// Creates a router with `ports` input/output ports, `vcs` VCs and a
     /// `pipeline`-cycle traversal latency.
     pub fn new(id: usize, ports: usize, vcs: usize, pipeline: u64) -> Self {
+        assert!(
+            ports * vcs <= u16::MAX as usize + 1,
+            "flat (port, vc) index must fit the u16 worklists"
+        );
+        assert!(ports <= 256, "port index must fit the packed route memo");
         CycleRouter {
             id,
             inputs: vec![vec![VcQueue::default(); vcs]; ports],
@@ -207,6 +318,17 @@ impl CycleRouter {
             vcs,
             queued: 0,
             owned: 0,
+            owned_outs: Vec::new(),
+            out_cands: vec![Vec::new(); ports],
+            cand_outs: Vec::new(),
+            cand_out: vec![0; ports * vcs],
+            mature_wheel: vec![Vec::new(); pipeline as usize + 1],
+            ripe: Vec::new(),
+            last_matured: 0,
+            arb_outs: Vec::new(),
+            free: vec![INPUT_QUEUE_FLITS as u32; ports * vcs],
+            front_ready: vec![u64::MAX; ports * vcs],
+            front_version: vec![0; ports * vcs],
             decision_scratch: Vec::new(),
         }
     }
@@ -225,20 +347,27 @@ impl CycleRouter {
     /// # Panics
     /// Panics if the port already holds more flits than `depth`.
     pub fn set_input_depth(&mut self, port: usize, depth: usize) {
-        for q in &mut self.inputs[port] {
+        for (v, q) in self.inputs[port].iter_mut().enumerate() {
             assert!(q.len() <= depth, "cannot shrink below occupancy");
             q.cap = depth;
+            self.free[port * self.vcs + v] = (depth - q.len()) as u32;
         }
     }
 
     /// Whether input `(port, vc)` can accept a flit this cycle.
     pub fn can_accept(&self, port: usize, vc: u8) -> bool {
-        self.inputs[port][vc as usize].has_space()
+        self.free[port * self.vcs + vc as usize] > 0
     }
 
     /// Free slots on input `(port, vc)` — the upstream credit count.
     pub fn free_slots(&self, port: usize, vc: u8) -> usize {
-        self.inputs[port][vc as usize].free_slots()
+        let idx = port * self.vcs + vc as usize;
+        debug_assert_eq!(
+            self.free[idx] as usize,
+            self.inputs[port][vc as usize].free_slots(),
+            "flat credit mirror diverged from the queue"
+        );
+        self.free[idx] as usize
     }
 
     /// Flits currently queued on input `(port, vc)`.
@@ -252,8 +381,218 @@ impl CycleRouter {
     /// Panics (in debug) if no credit was available — callers must check
     /// [`Self::can_accept`], exactly as the upstream credit counter would.
     pub fn accept(&mut self, port: usize, vc: u8, flit: Flit, cycle: u64) {
+        if self.is_idle() && cycle > self.last_matured {
+            // Re-activation after an idle span: an idle router has no
+            // live fronts, so any maturity entries still on the wheel or
+            // ripe list are version-stale (dropped lazily whenever their
+            // slot next drains). Jump the drain cursor across the gap
+            // rather than growing the wheel or catching up slot by slot
+            // — exactly the dead time the worklists exist to skip.
+            self.last_matured = cycle;
+        }
+        let idx = port * self.vcs + vc as usize;
+        let q = &mut self.inputs[port][vc as usize];
+        if q.is_empty() {
+            self.front_version[idx] = self.front_version[idx].wrapping_add(1);
+            let ready = cycle + self.pipeline;
+            self.front_ready[idx] = ready;
+            if flit.is_head() {
+                self.schedule_front(idx, ready, flit.dest, flit.tag);
+            }
+        }
         self.inputs[port][vc as usize].push(flit, cycle);
+        self.free[idx] -= 1;
         self.queued += 1;
+    }
+
+    /// Pops the front flit of input `(p, v)`, maintaining the queued
+    /// total, the flat front mirrors, and the occupied-queue worklist.
+    fn take_front(&mut self, p: usize, v: u8) -> Flit {
+        let idx = p * self.vcs + v as usize;
+        // A filed front that departs (or is popped by the reference
+        // stepper) leaves the candidate lists immediately.
+        let filed = self.cand_out[idx];
+        if filed != 0 {
+            let out = (filed - 1) as usize;
+            let pos = self.out_cands[out]
+                .binary_search_by_key(&(idx as u16), |c| c.idx)
+                .expect("filed candidate must be listed");
+            self.out_cands[out].remove(pos);
+            if self.out_cands[out].is_empty() {
+                let op = self
+                    .cand_outs
+                    .binary_search(&(out as u16))
+                    .expect("non-empty candidate output must be listed");
+                self.cand_outs.remove(op);
+            }
+            self.cand_out[idx] = 0;
+        }
+        let flit = self.inputs[p][v as usize].pop().expect("front exists");
+        self.queued -= 1;
+        self.free[idx] += 1;
+        self.front_version[idx] = self.front_version[idx].wrapping_add(1);
+        match self.inputs[p][v as usize].front() {
+            Some(&(next, arrived)) => {
+                let ready = arrived + self.pipeline;
+                self.front_ready[idx] = ready;
+                if next.is_head() {
+                    self.schedule_front(idx, ready, next.dest, next.tag);
+                }
+            }
+            None => {
+                self.front_ready[idx] = u64::MAX;
+            }
+        }
+        flit
+    }
+
+    /// Books the queue's newly revealed head front for candidate filing
+    /// at `ready` (its pipeline-maturity cycle): on the maturity wheel
+    /// for future cycles, or on the ripe list when the cycle has already
+    /// been drained — either way it is filed exactly when a full rescan
+    /// would first see it.
+    fn schedule_front(&mut self, idx: usize, ready: u64, dest: u32, tag: u16) {
+        self.dispatch(MatureEntry {
+            ready,
+            idx: idx as u16,
+            version: self.front_version[idx],
+            dest,
+            tag,
+        });
+    }
+
+    /// Places a maturity entry where the drain will find it at its ready
+    /// cycle: the ripe list when already due, the wheel when within the
+    /// drain cursor's horizon, and otherwise parked on the ripe list to
+    /// be re-dispatched once the cursor advances (a long
+    /// reference-stepped span can leave the cursor arbitrarily far
+    /// behind; the wheel itself never grows).
+    fn dispatch(&mut self, entry: MatureEntry) {
+        if entry.ready <= self.last_matured {
+            self.ripe.push(entry);
+            return;
+        }
+        let w = self.mature_wheel.len() as u64;
+        if entry.ready - self.last_matured >= w {
+            self.ripe.push(entry);
+            return;
+        }
+        self.mature_wheel[(entry.ready % w) as usize].push(entry);
+    }
+
+    /// Files one matured front as a candidate, unless its queue's front
+    /// has changed since it was scheduled (`version` mismatch — e.g. the
+    /// reference stepper popped it without touching the lists' source
+    /// events).
+    fn try_file(&mut self, entry: MatureEntry, route: &RouteFn) {
+        let (idx, version) = (entry.idx, entry.version);
+        let i = idx as usize;
+        if self.front_version[i] != version {
+            return;
+        }
+        debug_assert_eq!(self.cand_out[i], 0, "front filed twice");
+        let (_p, v) = (i / self.vcs, i % self.vcs);
+        #[cfg(debug_assertions)]
+        {
+            let &(head, _) = self.inputs[_p][v].front().expect("scheduled front exists");
+            debug_assert!(
+                head.is_head() && head.dest == entry.dest && head.tag == entry.tag,
+                "maturity record diverged from the queue front"
+            );
+        }
+        // Route from the scheduled record — see the [`RouteFn`] purity
+        // contract; the debug assertion above pins record == front.
+        let head = Flit {
+            packet: 0,
+            index: 0,
+            of: 1,
+            dest: entry.dest,
+            vc: v as u8,
+            tag: entry.tag,
+            injected_at: 0,
+        };
+        let rd = route(&head, self.id);
+        let pos = self.out_cands[rd.port]
+            .binary_search_by_key(&idx, |c| c.idx)
+            .expect_err("front filed twice");
+        if self.out_cands[rd.port].is_empty() {
+            let op = self
+                .cand_outs
+                .binary_search(&(rd.port as u16))
+                .expect_err("empty candidate output cannot be listed");
+            self.cand_outs.insert(op, rd.port as u16);
+        }
+        self.out_cands[rd.port].insert(
+            pos,
+            Candidate {
+                idx,
+                vc: rd.vc,
+                tag: rd.tag,
+            },
+        );
+        self.cand_out[i] = rd.port as u16 + 1;
+    }
+
+    /// Drains one maturity slot at `now`, filing entries whose ready
+    /// cycle has been reached and keeping the rest.
+    fn drain_slot(&mut self, s: usize, now: u64, route: &RouteFn) {
+        if self.mature_wheel[s].is_empty() {
+            return;
+        }
+        let mut bucket = std::mem::take(&mut self.mature_wheel[s]);
+        bucket.retain(|&entry| {
+            if entry.ready <= now {
+                self.try_file(entry, route);
+                false
+            } else {
+                true
+            }
+        });
+        self.mature_wheel[s] = bucket;
+    }
+
+    /// Completes one departure through `out`: pops the flit from input
+    /// `(p, v)`, applies the outgoing VC/tag, and updates the cut-through
+    /// ownership, round-robin pointer, and worklist bookkeeping. Shared
+    /// by the reference arbiter ([`Self::tick`]) and the event-driven one
+    /// ([`Self::arbitrate_into`]) so the two cannot drift.
+    fn depart(&mut self, out: usize, p: usize, v: u8, out_vc: u8, out_tag: u16) -> Flit {
+        let mut flit = self.take_front(p, v);
+        flit.vc = out_vc;
+        flit.tag = out_tag;
+        let was_owned = self.output_owner[out].is_some();
+        if flit.is_tail() {
+            if was_owned {
+                let pos = self
+                    .owned_outs
+                    .binary_search(&(out as u16))
+                    .expect("owner must be on the owned-outs list");
+                self.owned_outs.remove(pos);
+            }
+            self.output_owner[out] = None;
+            self.rr[out] = (p * self.vcs + v as usize + 1) % (self.inputs.len() * self.vcs);
+        } else {
+            if !was_owned {
+                let pos = self
+                    .owned_outs
+                    .binary_search(&(out as u16))
+                    .expect_err("fresh owner cannot already be listed");
+                self.owned_outs.insert(pos, out as u16);
+            }
+            self.output_owner[out] = Some(OutputOwner {
+                packet: flit.packet,
+                in_port: p,
+                in_vc: v,
+                out_vc,
+                out_tag,
+            });
+        }
+        match (was_owned, flit.is_tail()) {
+            (false, false) => self.owned += 1,
+            (true, true) => self.owned -= 1,
+            _ => {}
+        }
+        flit
     }
 
     /// Total queued flits (for drain checks).
@@ -270,12 +609,173 @@ impl CycleRouter {
         self.queued
     }
 
-    /// One arbitration cycle: selects at most one flit per output port
-    /// (and at most one per input VC queue — a single queue read port)
-    /// and returns the departures as `(output_port, flit)` with the
-    /// outgoing VC/tag already applied. `downstream_ok` reports whether
-    /// the downstream queue for `(output_port, outgoing vc)` has a credit
-    /// and the link is free to serialize.
+    /// Maturity phase of the event-driven arbiter: files every head
+    /// front whose pipeline-ready cycle has arrived since the last
+    /// drain, catching up over jumped or reference-stepped spans (the
+    /// wheel entries carry absolute cycles and front versions, so late
+    /// draining files exactly the fronts a full rescan would find).
+    /// After this, the persistent candidate lists are current for
+    /// `now`.
+    pub(crate) fn mature(&mut self, now: u64, route: &RouteFn) {
+        let w = self.mature_wheel.len() as u64;
+        if now > self.last_matured {
+            if now - self.last_matured >= w {
+                for slot in 0..self.mature_wheel.len() {
+                    self.drain_slot(slot, now, route);
+                }
+            } else {
+                for c in self.last_matured + 1..=now {
+                    self.drain_slot((c % w) as usize, now, route);
+                }
+            }
+            self.last_matured = now;
+        }
+        if !self.ripe.is_empty() {
+            let mut ripe = std::mem::take(&mut self.ripe);
+            for &entry in &ripe {
+                if entry.ready <= now {
+                    self.try_file(entry, route);
+                } else {
+                    // Parked beyond the old horizon; the cursor has
+                    // advanced, so this lands on the wheel (its ready
+                    // is at most `now + pipeline`, within reach).
+                    self.dispatch(entry);
+                }
+            }
+            ripe.clear();
+            if self.ripe.is_empty() {
+                self.ripe = ripe; // keep the allocation
+            }
+        }
+    }
+
+    /// Visits every (output, outgoing VC) pair this cycle's arbitration
+    /// can ask a downstream-credit question about: each filed candidate
+    /// on a **live** output (one whose link can serialize this cycle —
+    /// dead outputs are skipped wholesale by [`Self::arbitrate_into`],
+    /// so their scratch entries are never read), plus each output
+    /// owner's continuing VC (always probed: the owner check reads its
+    /// scratch entry unconditionally). The fabric answers these probes
+    /// into its credit scratch instead of snapshotting all ports × VCs.
+    pub(crate) fn for_each_probe(
+        &self,
+        mut live: impl FnMut(usize) -> bool,
+        mut f: impl FnMut(usize, u8),
+    ) {
+        for &out in &self.cand_outs {
+            if !live(out as usize) {
+                continue;
+            }
+            for c in &self.out_cands[out as usize] {
+                f(out as usize, c.vc);
+            }
+        }
+        for &out in &self.owned_outs {
+            let o = self.output_owner[out as usize].expect("listed owner");
+            f(out as usize, o.out_vc);
+        }
+    }
+
+    /// Event-driven arbitration over the outputs requested by
+    /// [`Self::compute_candidates`] (plus owned outputs), pushing
+    /// departures as `(router id, output, flit)` with the outgoing
+    /// VC/tag applied. Behaviorally identical to the reference
+    /// [`Self::tick`]: same owner precedence, same round-robin order,
+    /// same single read port per input queue — the `stepper_equivalence`
+    /// tests pin this bit for bit.
+    pub(crate) fn arbitrate_into(
+        &mut self,
+        cycle: u64,
+        mut out_live: impl FnMut(usize) -> bool,
+        mut downstream_ok: impl FnMut(usize, u8) -> bool,
+        moves: &mut Vec<(usize, usize, Flit)>,
+    ) {
+        // Merge owned and candidate outputs ascending — the same output
+        // order the reference full scan visits. Snapshot before any
+        // departure: owners installed or cleared mid-cycle only affect
+        // their own (already visited) output.
+        let mut arb = std::mem::take(&mut self.arb_outs);
+        arb.clear();
+        let (mut oi, mut ti) = (0, 0);
+        while oi < self.owned_outs.len() || ti < self.cand_outs.len() {
+            let next = match (self.owned_outs.get(oi), self.cand_outs.get(ti)) {
+                (Some(&a), Some(&b)) => {
+                    oi += usize::from(a <= b);
+                    ti += usize::from(b <= a);
+                    a.min(b)
+                }
+                (Some(&a), None) => {
+                    oi += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    ti += 1;
+                    b
+                }
+                (None, None) => unreachable!(),
+            };
+            arb.push(next);
+        }
+        for &arb_out in &arb {
+            let out = arb_out as usize;
+            // If an owner holds the output, it continues its packet;
+            // otherwise round-robin over this output's candidates, which
+            // have cleared the pipeline and routed here.
+            let depart: Option<(usize, u8, u8, u16)> = match self.output_owner[out] {
+                Some(o) => {
+                    let oidx = o.in_port * self.vcs + o.in_vc as usize;
+                    if self.front_ready[oidx] <= cycle && downstream_ok(out, o.out_vc) {
+                        // Cut-through owners continue their own packet:
+                        // sources must keep a packet's flits contiguous
+                        // per (port, VC) — see [`RouterFabric::inject`].
+                        debug_assert_eq!(
+                            self.inputs[o.in_port][o.in_vc as usize]
+                                .front()
+                                .expect("ready front")
+                                .0
+                                .packet,
+                            o.packet,
+                            "interleaved flits of two packets on one input VC"
+                        );
+                        Some((o.in_port, o.in_vc, o.out_vc, o.out_tag))
+                    } else {
+                        None
+                    }
+                }
+                None if !out_live(out) => None, // link can't serialize: every probe would fail
+                None => {
+                    let cands = &self.out_cands[out];
+                    let start = cands.partition_point(|c| (c.idx as usize) < self.rr[out]);
+                    let mut found = None;
+                    for c in cands[start..].iter().chain(cands[..start].iter()) {
+                        if downstream_ok(out, c.vc) {
+                            let idx = c.idx as usize;
+                            found = Some((idx / self.vcs, (idx % self.vcs) as u8, c.vc, c.tag));
+                            break;
+                        }
+                    }
+                    found
+                }
+            };
+            if let Some((p, v, out_vc, out_tag)) = depart {
+                let flit = self.depart(out, p, v, out_vc, out_tag);
+                moves.push((self.id, out, flit));
+            }
+        }
+        self.arb_outs = arb;
+    }
+
+    /// One **reference** arbitration cycle — the naive full scan over
+    /// every (port, VC) pair and every output, retained as the
+    /// executable specification of the event-driven
+    /// `arbitrate_into` path (the `stepper_equivalence` property
+    /// tests run both and require bit-identical results). Selects at
+    /// most one flit per output port (and at most one per input VC queue
+    /// — a single queue read port) and returns the departures as
+    /// `(output_port, flit)` with the outgoing VC/tag already applied.
+    /// `downstream_ok` reports whether the downstream queue for
+    /// `(output_port, outgoing vc)` has a credit and the link is free to
+    /// serialize.
     pub fn tick(
         &mut self,
         cycle: u64,
@@ -315,9 +815,6 @@ impl CycleRouter {
                     Some(&(body, arrived))
                         if arrived + self.pipeline <= cycle && downstream_ok(out, o.out_vc) =>
                     {
-                        // Cut-through owners continue their own packet:
-                        // sources must keep a packet's flits contiguous
-                        // per (port, VC) — see [`RouterFabric::inject`].
                         debug_assert_eq!(
                             body.packet, o.packet,
                             "interleaved flits of two packets on one input VC"
@@ -342,30 +839,7 @@ impl CycleRouter {
                 }
             };
             if let Some((p, v, out_vc, out_tag)) = depart {
-                let mut flit = self.inputs[p][v as usize].pop().expect("front exists");
-                self.queued -= 1;
-                flit.vc = out_vc;
-                flit.tag = out_tag;
-                let was_owned = self.output_owner[out].is_some();
-                self.output_owner[out] = if flit.is_tail() {
-                    None
-                } else {
-                    Some(OutputOwner {
-                        packet: flit.packet,
-                        in_port: p,
-                        in_vc: v,
-                        out_vc,
-                        out_tag,
-                    })
-                };
-                match (was_owned, flit.is_tail()) {
-                    (false, false) => self.owned += 1,
-                    (true, true) => self.owned -= 1,
-                    _ => {}
-                }
-                if flit.is_tail() {
-                    self.rr[out] = (p * self.vcs + v as usize + 1) % (ports * self.vcs);
-                }
+                let flit = self.depart(out, p, v, out_vc, out_tag);
                 sent.push((out, flit));
             }
         }
@@ -387,6 +861,11 @@ pub enum PortLink {
     },
     /// Ejects to endpoint `id` (flits are collected for the caller).
     Endpoint(u32),
+    /// An input-only port with no outgoing link (injection ports). The
+    /// wiring table is self-describing: routing a flit out of an unused
+    /// port is a bug, and the fabric refuses to serialize toward one and
+    /// panics rather than silently delivering to a bogus endpoint.
+    Unused,
 }
 
 /// Latency/bandwidth parameters of one physical link.
@@ -417,16 +896,16 @@ impl Default for LinkSpec {
     }
 }
 
-/// One link's in-flight state: the delay line plus reserved credits.
+/// One link's in-flight state: the delay line plus traffic counters.
+/// The serialization timer and reserved credits live in the fabric's
+/// flat `next_free` / `reserved` arrays — they are the arbitration hot
+/// path, and a compact per-router array is far cheaper to probe than a
+/// stride through these (much larger) channel records.
 #[derive(Clone, Debug, Default)]
 struct ChannelState {
     spec: LinkSpec,
     /// FIFO of (arrival cycle, flit); fixed latency keeps it ordered.
     in_flight: VecDeque<(u64, Flit)>,
-    /// Credits reserved per downstream VC by flits still in flight.
-    reserved: Vec<u32>,
-    /// First cycle the link can accept another flit (serialization).
-    next_free: u64,
     /// Flits that have entered this link since construction.
     flits_sent: u64,
     /// Packets (tail flits) that have entered this link.
@@ -474,6 +953,16 @@ impl fmt::Display for InjectError {
     }
 }
 
+/// Adds `r` to the active-router worklist if it is not already on it.
+/// A free function so the phase-1/phase-3 closures, which capture other
+/// fabric fields, can call it without borrowing the whole fabric.
+fn activate(active: &mut Vec<usize>, is_active: &mut [bool], r: usize) {
+    if !is_active[r] {
+        is_active[r] = true;
+        active.push(r);
+    }
+}
+
 /// A fabric of cycle routers plus its wiring, stepped together.
 pub struct RouterFabric {
     routers: Vec<CycleRouter>,
@@ -481,6 +970,12 @@ pub struct RouterFabric {
     wiring: Vec<Vec<PortLink>>,
     /// `channels[router][output_port]`, parallel to `wiring`.
     channels: Vec<Vec<ChannelState>>,
+    /// `next_free[router][output_port]`: first cycle each link can
+    /// serialize another flit — flat mirror of the per-link timer.
+    next_free: Vec<Vec<u64>>,
+    /// `reserved[router][output_port * vcs + vc]`: downstream credits
+    /// reserved by flits in flight on each link.
+    reserved: Vec<Vec<u32>>,
     route: Box<RouteFn>,
     /// Optional per-flit class extraction feeding each channel's
     /// `class_flits` counters.
@@ -489,11 +984,31 @@ pub struct RouterFabric {
     delivered: Vec<(u64, Flit)>, // (cycle, flit)
     /// Flits currently inside link delay lines (skip arrival scans at 0).
     in_flight_total: usize,
-    /// Channels whose delay line is non-empty — the arrival scan visits
-    /// only these instead of every router x port each cycle.
-    busy_channels: Vec<(usize, usize)>,
-    /// Reusable per-router credit-snapshot buffer (`[out * vcs + vc]`).
+    /// Calendar wheel of pending link arrivals: slot `t % len` holds the
+    /// `(arrival, router, port)` of every flit arriving at cycle `t`, in
+    /// departure order, so the arrival phase touches exactly the links
+    /// with an arrival due instead of scanning every busy channel. The
+    /// wheel length always exceeds the longest link latency (grown by
+    /// [`Self::set_link_spec`]), so a slot never mixes cycles.
+    arrival_wheel: Vec<Vec<(u64, u32, u32)>>,
+    /// Reusable per-router credit-probe buffer (`[out * vcs + vc]`);
+    /// only the entries probed this cycle are written or read.
     scratch_ok: Vec<bool>,
+    /// Generation stamp per probe entry: an entry is valid for the
+    /// current (router, cycle) iff its stamp equals `probe_gen`, so
+    /// repeated probes of one (out, vc) pair compute the credit check
+    /// once without any per-cycle clearing.
+    scratch_gen: Vec<u64>,
+    /// The current probe generation (bumped once per arbitrated router).
+    probe_gen: u64,
+    /// Reusable departure buffer (`(router, out, flit)`), persisted
+    /// across cycles to keep the step phase allocation-free.
+    moves: Vec<(usize, usize, Flit)>,
+    /// Active-router worklist: every non-idle router is on it (routers
+    /// enqueue themselves on accept/injection and are pruned when idle).
+    active: Vec<usize>,
+    /// Membership flags for `active` (no duplicate enqueues).
+    is_active: Vec<bool>,
 }
 
 impl RouterFabric {
@@ -509,35 +1024,46 @@ impl RouterFabric {
             wiring.len(),
             "wiring rows must match routers"
         );
-        let channels = wiring
+        for (r, row) in wiring.iter().enumerate() {
+            for link in row {
+                if let PortLink::Router { router, .. } = link {
+                    assert_eq!(
+                        routers[*router].vcs, routers[r].vcs,
+                        "connected routers must share a VC count (the flat \
+                         credit arrays use one stride per row)"
+                    );
+                }
+            }
+        }
+        let channels: Vec<Vec<ChannelState>> = wiring
+            .iter()
+            .map(|row| row.iter().map(|_| ChannelState::default()).collect())
+            .collect();
+        let next_free = wiring.iter().map(|row| vec![0; row.len()]).collect();
+        let reserved = wiring
             .iter()
             .enumerate()
-            .map(|(r, row)| {
-                row.iter()
-                    .map(|link| {
-                        let vcs = match link {
-                            PortLink::Router { router, .. } => routers[*router].vcs,
-                            PortLink::Endpoint(_) => routers[r].vcs,
-                        };
-                        ChannelState {
-                            reserved: vec![0; vcs],
-                            ..ChannelState::default()
-                        }
-                    })
-                    .collect()
-            })
+            .map(|(r, row)| vec![0; row.len() * routers[r].vcs])
             .collect();
+        let n = routers.len();
         RouterFabric {
             routers,
             wiring,
             channels,
+            next_free,
+            reserved,
             route,
             classify: None,
             cycle: 0,
             delivered: Vec::new(),
             in_flight_total: 0,
-            busy_channels: Vec::new(),
+            arrival_wheel: vec![Vec::new()],
             scratch_ok: Vec::new(),
+            scratch_gen: Vec::new(),
+            probe_gen: 0,
+            moves: Vec::new(),
+            active: Vec::new(),
+            is_active: vec![false; n],
         }
     }
 
@@ -548,6 +1074,14 @@ impl RouterFabric {
             spec.interval >= 1,
             "link interval must be at least one cycle"
         );
+        if spec.latency + 1 > self.arrival_wheel.len() as u64 {
+            assert_eq!(
+                self.in_flight_total, 0,
+                "cannot grow the arrival wheel with flits in flight"
+            );
+            let len = (spec.latency + 2).next_power_of_two() as usize;
+            self.arrival_wheel = vec![Vec::new(); len];
+        }
         self.channels[router][port].spec = spec;
     }
 
@@ -654,6 +1188,7 @@ impl RouterFabric {
         if self.routers[router].can_accept(port, flit.vc) {
             let cycle = self.cycle;
             self.routers[router].accept(port, flit.vc, flit, cycle);
+            activate(&mut self.active, &mut self.is_active, router);
             Ok(())
         } else {
             Err(InjectError::NoCredit {
@@ -665,86 +1200,61 @@ impl RouterFabric {
         }
     }
 
-    /// Advances the fabric one cycle: link arrivals land, every router
-    /// arbitrates, departures enter their links (same-cycle for latency-0
-    /// links), ejections are recorded.
-    pub fn step(&mut self) {
-        let cycle = self.cycle;
-
-        // 1. Deliver link arrivals due this cycle, visiting only the
-        //    channels with flits in flight. Credits were reserved at
-        //    departure, so acceptance cannot overflow the queue.
-        if self.in_flight_total > 0 {
-            let mut busy = std::mem::take(&mut self.busy_channels);
-            busy.retain(|&(r, port)| {
-                while let Some(&(arrival, flit)) = self.channels[r][port].in_flight.front() {
-                    if arrival > cycle {
-                        break;
-                    }
-                    self.channels[r][port].in_flight.pop_front();
-                    self.in_flight_total -= 1;
-                    match self.wiring[r][port] {
-                        PortLink::Router {
-                            router,
-                            port: dport,
-                        } => {
-                            self.channels[r][port].reserved[flit.vc as usize] -= 1;
-                            self.routers[router].accept(dport, flit.vc, flit, cycle);
-                        }
-                        PortLink::Endpoint(_) => self.delivered.push((arrival, flit)),
-                    }
-                }
-                !self.channels[r][port].in_flight.is_empty()
-            });
-            self.busy_channels = busy;
+    /// Phase 1 of a step, shared by both steppers: link arrivals due
+    /// this cycle land in their downstream queues (activating the
+    /// accepting router) or in the delivery log, visiting exactly the
+    /// links the arrival wheel has scheduled for this cycle. Credits
+    /// were reserved at departure, so acceptance cannot overflow the
+    /// queue.
+    fn land_arrivals(&mut self, cycle: u64) {
+        if self.in_flight_total == 0 {
+            return;
         }
-
-        // 2. Arbitration. Downstream-credit checks run against a
-        //    snapshot (single-cycle credit latency is folded into the
-        //    pipeline constant) and count credits reserved by in-flight
-        //    flits on the link. The snapshot buffer is reused across
-        //    routers and cycles; idle routers are skipped entirely.
-        let mut scratch = std::mem::take(&mut self.scratch_ok);
-        let mut moves: Vec<(usize, usize, Flit)> = Vec::new(); // (router, out, flit)
-        for r in 0..self.routers.len() {
-            if self.routers[r].is_idle() {
-                continue;
-            }
-            let vcs = self.routers[r].vcs;
-            scratch.clear();
-            scratch.resize(self.wiring[r].len() * vcs, false);
-            for (out, (link, ch)) in self.wiring[r].iter().zip(&self.channels[r]).enumerate() {
-                let serializable = ch.next_free <= cycle;
-                match link {
-                    PortLink::Router { router, port } => {
-                        for vc in 0..vcs {
-                            scratch[out * vcs + vc] = serializable
-                                && (ch.reserved[vc] as usize)
-                                    < self.routers[*router].free_slots(*port, vc as u8);
-                        }
-                    }
-                    PortLink::Endpoint(_) => {
-                        for vc in 0..vcs {
-                            scratch[out * vcs + vc] = serializable;
-                        }
-                    }
+        let slot = (cycle % self.arrival_wheel.len() as u64) as usize;
+        if self.arrival_wheel[slot].is_empty() {
+            return;
+        }
+        // Departures this cycle land at least one cycle out (latency-0
+        // links bypass the wheel), so the bucket cannot grow while it is
+        // processed; taking it out keeps its allocation for reuse.
+        let mut bucket = std::mem::take(&mut self.arrival_wheel[slot]);
+        for &(arrival, r, port) in &bucket {
+            debug_assert_eq!(arrival, cycle, "wheel slot mixed cycles");
+            let (r, port) = (r as usize, port as usize);
+            let (due, flit) = self.channels[r][port]
+                .in_flight
+                .pop_front()
+                .expect("scheduled arrival must be in flight");
+            debug_assert_eq!(due, cycle, "delay line out of order");
+            self.in_flight_total -= 1;
+            match self.wiring[r][port] {
+                PortLink::Router {
+                    router,
+                    port: dport,
+                } => {
+                    let vcs = self.routers[r].vcs;
+                    self.reserved[r][port * vcs + flit.vc as usize] -= 1;
+                    self.routers[router].accept(dport, flit.vc, flit, cycle);
+                    activate(&mut self.active, &mut self.is_active, router);
                 }
-            }
-            let sent = self.routers[r].tick(cycle, &*self.route, |out, vc| {
-                scratch[out * vcs + vc as usize]
-            });
-            for (out, flit) in sent {
-                moves.push((r, out, flit));
+                PortLink::Endpoint(_) => self.delivered.push((arrival, flit)),
+                PortLink::Unused => unreachable!("flit in flight on an unused port"),
             }
         }
-        self.scratch_ok = scratch;
+        bucket.clear();
+        self.arrival_wheel[slot] = bucket;
+    }
 
-        // 3. Departures enter their links.
-        for (r, out, flit) in moves {
+    /// Phase 3 of a step, shared by both steppers: departures enter
+    /// their links (same-cycle for latency-0 links), counters update,
+    /// ejections are recorded, and same-cycle accepts activate their
+    /// routers. Drains `moves` in place.
+    fn apply_moves(&mut self, moves: &mut Vec<(usize, usize, Flit)>, cycle: u64) {
+        for (r, out, flit) in moves.drain(..) {
             let class = self.classify.as_deref().map(|f| f(&flit));
             let spec = {
                 let ch = &mut self.channels[r][out];
-                ch.next_free = cycle + ch.spec.interval;
+                self.next_free[r][out] = cycle + ch.spec.interval;
                 ch.flits_sent += 1;
                 ch.packets_sent += u64::from(flit.is_tail());
                 if let Some(c) = class {
@@ -758,50 +1268,249 @@ impl RouterFabric {
                     // constant (the paper's per-hop cycle counts are
                     // inclusive), so arrival lands this cycle.
                     self.routers[router].accept(port, flit.vc, flit, cycle);
+                    activate(&mut self.active, &mut self.is_active, router);
                 }
                 PortLink::Router { .. } => {
-                    let ch = &mut self.channels[r][out];
-                    ch.reserved[flit.vc as usize] += 1;
-                    if ch.in_flight.is_empty() {
-                        self.busy_channels.push((r, out));
-                    }
-                    ch.in_flight.push_back((cycle + spec.latency, flit));
-                    self.in_flight_total += 1;
+                    let vcs = self.routers[r].vcs;
+                    self.reserved[r][out * vcs + flit.vc as usize] += 1;
+                    self.schedule_arrival(r, out, cycle + spec.latency, flit);
                 }
                 PortLink::Endpoint(_) if spec.latency == 0 => {
                     self.delivered.push((cycle, flit));
                 }
                 PortLink::Endpoint(_) => {
-                    let ch = &mut self.channels[r][out];
-                    if ch.in_flight.is_empty() {
-                        self.busy_channels.push((r, out));
-                    }
-                    ch.in_flight.push_back((cycle + spec.latency, flit));
-                    self.in_flight_total += 1;
+                    self.schedule_arrival(r, out, cycle + spec.latency, flit);
                 }
+                PortLink::Unused => unreachable!("flit departed through an unused port"),
             }
         }
+    }
+
+    /// Advances the fabric one cycle: link arrivals land, every router
+    /// **with work** arbitrates (the active worklist — idle routers are
+    /// never visited), departures enter their links (same-cycle for
+    /// latency-0 links), ejections are recorded. Produces bit-identical
+    /// results to [`Self::step_reference`], allocation-free in steady
+    /// state.
+    pub fn step(&mut self) {
+        let cycle = self.cycle;
+        self.land_arrivals(cycle);
+
+        // 2. Arbitration over the active worklist. Downstream-credit
+        //    probes run against the link state (single-cycle credit
+        //    latency is folded into the pipeline constant) and count
+        //    credits reserved by in-flight flits, computed only for the
+        //    (out, vc) pairs this cycle's candidates and owners can ask
+        //    about. Idle routers are pruned from the worklist here.
+        let mut moves = std::mem::take(&mut self.moves);
+        debug_assert!(moves.is_empty(), "stale departure buffer");
+        if !self.active.is_empty() {
+            let mut active = std::mem::take(&mut self.active);
+            let mut scratch = std::mem::take(&mut self.scratch_ok);
+            let mut scratch_gen = std::mem::take(&mut self.scratch_gen);
+            // Ascending router order keeps the departure order — and so
+            // the same-cycle delivery order — identical to the full scan.
+            active.sort_unstable();
+            let mut kept = 0;
+            for i in 0..active.len() {
+                let r = active[i];
+                if self.routers[r].is_idle() {
+                    self.is_active[r] = false;
+                    continue;
+                }
+                active[kept] = r;
+                kept += 1;
+                self.routers[r].mature(cycle, &*self.route);
+                let vcs = self.routers[r].vcs;
+                let need = self.wiring[r].len() * vcs;
+                if scratch.len() < need {
+                    scratch.resize(need, false);
+                    scratch_gen.resize(need, 0);
+                }
+                self.probe_gen += 1;
+                let gen = self.probe_gen;
+                let next_free_r = &self.next_free[r];
+                let reserved_r = &self.reserved[r];
+                {
+                    let wiring = &self.wiring[r];
+                    let routers = &self.routers;
+                    let scratch = &mut scratch;
+                    let scratch_gen = &mut scratch_gen;
+                    routers[r].for_each_probe(
+                        |out| next_free_r[out] <= cycle,
+                        |out, vc| {
+                            let i = out * vcs + vc as usize;
+                            if scratch_gen[i] == gen {
+                                return; // already probed this router-cycle
+                            }
+                            scratch_gen[i] = gen;
+                            let serializable = next_free_r[out] <= cycle;
+                            scratch[i] = match wiring[out] {
+                                PortLink::Router { router, port } => {
+                                    serializable
+                                        && (reserved_r[i] as usize)
+                                            < routers[router].free_slots(port, vc)
+                                }
+                                PortLink::Endpoint(_) => serializable,
+                                PortLink::Unused => false,
+                            };
+                        },
+                    );
+                }
+                self.routers[r].arbitrate_into(
+                    cycle,
+                    |out| next_free_r[out] <= cycle,
+                    |out, vc| scratch[out * vcs + vc as usize],
+                    &mut moves,
+                );
+            }
+            active.truncate(kept);
+            self.active = active;
+            self.scratch_ok = scratch;
+            self.scratch_gen = scratch_gen;
+        }
+
+        self.apply_moves(&mut moves, cycle);
+        self.moves = moves;
         self.cycle += 1;
     }
 
+    /// Advances the fabric one cycle with the retained **reference**
+    /// stepper: the pre-worklist full scan over every router, snapshotting
+    /// downstream credits for all ports × VCs and arbitrating via
+    /// [`CycleRouter::tick`]. Kept as the executable specification of
+    /// [`Self::step`] — the `stepper_equivalence` property tests (and
+    /// the `bench_fabric` speedup harness) run the two side by side and
+    /// require identical delivery logs and link counters. The two may be
+    /// freely interleaved on one fabric.
+    pub fn step_reference(&mut self) {
+        let cycle = self.cycle;
+        self.land_arrivals(cycle);
+
+        // Full-scan arbitration with a fresh credit snapshot per router —
+        // deliberately naive; this is the spec, not the fast path.
+        let mut scratch: Vec<bool> = Vec::new();
+        let mut moves: Vec<(usize, usize, Flit)> = Vec::new();
+        for r in 0..self.routers.len() {
+            if self.routers[r].is_idle() {
+                continue;
+            }
+            let vcs = self.routers[r].vcs;
+            scratch.clear();
+            scratch.resize(self.wiring[r].len() * vcs, false);
+            for (out, link) in self.wiring[r].iter().enumerate() {
+                let serializable = self.next_free[r][out] <= cycle;
+                match link {
+                    PortLink::Router { router, port } => {
+                        for vc in 0..vcs {
+                            scratch[out * vcs + vc] = serializable
+                                && (self.reserved[r][out * vcs + vc] as usize)
+                                    < self.routers[*router].free_slots(*port, vc as u8);
+                        }
+                    }
+                    PortLink::Endpoint(_) => {
+                        for vc in 0..vcs {
+                            scratch[out * vcs + vc] = serializable;
+                        }
+                    }
+                    PortLink::Unused => {} // input-only: never a departure target
+                }
+            }
+            let sent = self.routers[r].tick(cycle, &*self.route, |out, vc| {
+                scratch[out * vcs + vc as usize]
+            });
+            for (out, flit) in sent {
+                moves.push((r, out, flit));
+            }
+        }
+
+        self.apply_moves(&mut moves, cycle);
+        self.cycle += 1;
+    }
+
+    /// Enters a flit into a link's delay line and books its arrival on
+    /// the calendar wheel.
+    fn schedule_arrival(&mut self, r: usize, out: usize, arrival: u64, flit: Flit) {
+        self.channels[r][out].in_flight.push_back((arrival, flit));
+        self.in_flight_total += 1;
+        let w = self.arrival_wheel.len() as u64;
+        debug_assert!(arrival - self.cycle < w, "arrival beyond the wheel");
+        self.arrival_wheel[(arrival % w) as usize].push((arrival, r as u32, out as u32));
+    }
+
+    /// The earliest pending link-arrival cycle, if any flit is in flight.
+    fn next_arrival(&self) -> Option<u64> {
+        if self.in_flight_total == 0 {
+            return None;
+        }
+        let w = self.arrival_wheel.len() as u64;
+        (self.cycle..self.cycle + w).find(|&t| !self.arrival_wheel[(t % w) as usize].is_empty())
+    }
+
+    /// One event-driven advance, never past `limit`: if no router has
+    /// work, jumps over the dead cycles to the next link arrival (or to
+    /// `limit` when nothing is in flight), then performs one [`Self::step`].
+    /// Equivalent to calling `step()` through every skipped cycle — those
+    /// cycles are provably no-ops (no queued work, no due arrival) — so
+    /// delivery logs and counters are bit-identical, only cheaper.
+    pub fn step_next_event(&mut self, limit: u64) {
+        if self.cycle >= limit {
+            return;
+        }
+        if self.active.is_empty() {
+            match self.next_arrival() {
+                Some(t) if t < limit => self.cycle = self.cycle.max(t),
+                _ => {
+                    // No router can act and no arrival lands before the
+                    // limit: every remaining cycle is a no-op.
+                    self.cycle = limit;
+                    return;
+                }
+            }
+        }
+        self.step();
+    }
+
+    /// Advances the fabric to `target` exactly as repeated [`Self::step`]
+    /// calls would, fast-forwarding through dead time between link
+    /// arrivals (see [`Self::step_next_event`]).
+    pub fn step_until(&mut self, target: u64) {
+        while self.cycle < target {
+            self.step_next_event(target);
+        }
+    }
+
     /// Total flits resident in the fabric: router queues plus link
-    /// delay lines.
+    /// delay lines. Costs O(active routers), not O(all routers).
     pub fn occupancy(&self) -> usize {
-        self.routers
+        let queued: usize = self
+            .active
             .iter()
-            .map(CycleRouter::occupancy)
-            .sum::<usize>()
-            + self.in_flight_total
+            .map(|&r| self.routers[r].occupancy())
+            .sum();
+        debug_assert_eq!(
+            queued,
+            self.routers
+                .iter()
+                .map(CycleRouter::occupancy)
+                .sum::<usize>(),
+            "a router with queued flits escaped the active worklist"
+        );
+        queued + self.in_flight_total
     }
 
     /// Steps until all queues drain or `max_cycles` pass; returns whether
     /// the fabric drained (useful as a no-deadlock/no-livelock check).
+    /// Dead time between link arrivals is fast-forwarded, so draining a
+    /// quiescent fabric with long links costs one step per event rather
+    /// than one per cycle.
     pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
-        for _ in 0..max_cycles {
+        let limit = self.cycle.saturating_add(max_cycles);
+        while self.cycle < limit {
             if self.occupancy() == 0 {
                 return true;
             }
-            self.step();
+            self.step_next_event(limit);
         }
         self.occupancy() == 0
     }
@@ -817,7 +1526,7 @@ pub fn build_row(n: usize, vcs: usize, pipeline: u64) -> RouterFabric {
     let wiring: Vec<Vec<PortLink>> = (0..n)
         .map(|i| {
             vec![
-                PortLink::Endpoint(u32::MAX), // port 0 is input-only
+                PortLink::Unused, // port 0 is input-only (injection)
                 if i + 1 < n {
                     PortLink::Router {
                         router: i + 1,
@@ -1081,10 +1790,7 @@ mod tests {
         // toward one (port, vc).
         let routers = vec![CycleRouter::new(0, 2, 1, 1), CycleRouter::new(1, 2, 1, 1)];
         let wiring = vec![
-            vec![
-                PortLink::Endpoint(u32::MAX),
-                PortLink::Router { router: 1, port: 0 },
-            ],
+            vec![PortLink::Unused, PortLink::Router { router: 1, port: 0 }],
             // Router 1 self-loops every flit back into its own input
             // port, so its queue stays (nearly) full forever.
             vec![
@@ -1125,5 +1831,70 @@ mod tests {
         assert!(accepted >= 8 + 8, "link + queue should absorb two windows");
         assert_eq!(fabric.delivered().len(), 0, "self-loop never ejects");
         assert_eq!(fabric.occupancy() as u32, accepted);
+    }
+
+    #[test]
+    fn step_until_matches_per_cycle_stepping_over_dead_time() {
+        // A 40-cycle link: the event stepper jumps the dead wire time;
+        // delivered cycles and the final clock must match per-cycle
+        // stepping exactly.
+        let build = || {
+            let mut f = build_row(2, 2, 2);
+            f.set_link_spec(
+                0,
+                1,
+                LinkSpec {
+                    latency: 40,
+                    interval: 1,
+                },
+            );
+            for p in 0..3u64 {
+                assert!(f.inject(0, 0, flit(p, 0, 1, 1, 0)).is_ok());
+            }
+            f
+        };
+        let mut by_cycle = build();
+        for _ in 0..120 {
+            by_cycle.step();
+        }
+        let mut by_event = build();
+        by_event.step_until(120);
+        assert_eq!(by_event.cycle(), 120);
+        assert_eq!(by_event.cycle(), by_cycle.cycle());
+        assert_eq!(by_event.delivered(), by_cycle.delivered());
+        assert_eq!(by_event.occupancy(), by_cycle.occupancy());
+    }
+
+    #[test]
+    fn reference_stepper_matches_event_stepper() {
+        // Same injection schedule through both steppers: identical logs.
+        // (The broad random-shape equivalence proptest lives in
+        // tests/stepper_equivalence.rs; this is the in-module smoke.)
+        let mut fast = build_row(6, 2, 2);
+        let mut naive = build_row(6, 2, 2);
+        for t in 0..400u64 {
+            if t % 3 != 2 {
+                let f = flit(t, 0, 1, (t % 6) as u32, (t % 2) as u8);
+                let a = fast.inject(0, 0, f).is_ok();
+                let b = naive.inject(0, 0, f).is_ok();
+                assert_eq!(a, b, "cycle {t}: injection acceptance diverged");
+            }
+            fast.step();
+            naive.step_reference();
+        }
+        assert!(fast.run_until_drained(1_000));
+        while naive.occupancy() > 0 {
+            naive.step_reference();
+        }
+        assert_eq!(fast.delivered(), naive.delivered());
+        for r in 0..6 {
+            for port in 0..3 {
+                assert_eq!(
+                    fast.link_traffic(r, port),
+                    naive.link_traffic(r, port),
+                    "link ({r}, {port}) counters diverged"
+                );
+            }
+        }
     }
 }

@@ -14,7 +14,11 @@ use anton_model::topology::{Dim, Direction, NodeId, Torus};
 use anton_sim::rng::SplitMix64;
 
 /// A destination generator for one traffic workload.
-pub trait TrafficPattern {
+///
+/// Patterns are plain data (`Send + Sync`): the threaded sweep harness
+/// shares one pattern across its per-point workers, each of which owns
+/// its node RNG streams, so a pattern must never carry mutable state.
+pub trait TrafficPattern: Send + Sync {
     /// Short stable name used in reports and JSON output.
     fn name(&self) -> &'static str;
 

@@ -31,7 +31,21 @@
 //!
 //! Everything is deterministic under the configured seed: node streams
 //! are split from one root [`SplitMix64`], and the fabric itself is
-//! seed-free.
+//! seed-free. That determinism is per *point*, not per run: each
+//! offered-load point derives its RNG stream from `(seed, stream)`
+//! alone, so independent points can run on [`std::thread::scope`]
+//! workers ([`run_curve_threaded`] / [`run_sweep_threaded`]) and the
+//! assembled report — down to every floating-point digit of the JSON —
+//! is identical at any worker count, including one.
+//!
+//! Scenario drains fast-forward: once generation has stopped and every
+//! source queue is empty, the driver advances the fabric event to event
+//! ([`TorusFabric::step_next_event`]) instead of cycle by cycle — the
+//! skipped cycles are provably no-ops, so the statistics are bit-
+//! identical to per-cycle stepping, just cheaper. [`run_scenario_with`]
+//! can instead drive the retained naive reference stepper
+//! ([`Stepper::Reference`]), which the `bench_fabric` harness uses to
+//! measure the event-driven core's speedup on identical work.
 
 use crate::patterns::TrafficPattern;
 use crate::workload::{SyntheticWorkload, Workload};
@@ -106,6 +120,21 @@ impl SweepConfig {
             seed: 0xCA11B,
             loads: vec![],
             respond: false,
+        }
+    }
+
+    /// The machine-scale loaded-latency calibration workload: uniform
+    /// random requests on the 512-node 8x8x8 machine (the CI overload
+    /// shape), windows sized so the regression test that pins the
+    /// shipped `UNIFORM_8X8X8` constants stays affordable at cycle
+    /// level. Shared verbatim by `sweep_traffic --calibrate` and that
+    /// regression, exactly like [`Self::calibration_4x4x8`].
+    pub fn calibration_8x8x8() -> Self {
+        SweepConfig {
+            dims: [8, 8, 8],
+            warmup_cycles: 1_000,
+            measure_cycles: 2_000,
+            ..Self::calibration_4x4x8()
         }
     }
 }
@@ -229,6 +258,22 @@ pub struct SweepReport {
     pub curves: Vec<PatternCurve>,
 }
 
+/// Which fabric stepper a scenario drives: the event-driven production
+/// path, or the retained naive reference stepper
+/// ([`TorusFabric::step_reference`]) it is held bit-identical to. The
+/// reference mode also forgoes the drain fast-forward, so it prices the
+/// pre-worklist simulator on exactly the same workload — the
+/// `bench_fabric` speedup harness runs one scenario in each mode and
+/// asserts the measured points are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stepper {
+    /// The production event-driven core (`TorusFabric::step` +
+    /// event-to-event drain fast-forward).
+    Event,
+    /// The retained naive full-scan stepper, cycle by cycle.
+    Reference,
+}
+
 /// Per-packet bookkeeping (indexed by packet id, parallel to the spec
 /// table).
 #[derive(Clone, Copy)]
@@ -311,6 +356,21 @@ pub fn run_scenario<W: Workload + ?Sized>(
     offered: f64,
     stream: u64,
 ) -> ScenarioRun {
+    run_scenario_with(workload, cfg, params, offered, stream, Stepper::Event)
+}
+
+/// [`run_scenario`] with an explicit [`Stepper`] choice — the benchmark
+/// entry point for pricing the event-driven core against the retained
+/// reference stepper on identical work (both modes produce the same
+/// [`LoadPoint`], bit for bit).
+pub fn run_scenario_with<W: Workload + ?Sized>(
+    workload: &mut W,
+    cfg: &SweepConfig,
+    params: FabricParams,
+    offered: f64,
+    stream: u64,
+    stepper: Stepper,
+) -> ScenarioRun {
     assert!(cfg.flits_per_packet >= 1, "packets carry at least one flit");
     assert!(
         (0.0..=1.0 + 1e-9).contains(&offered),
@@ -342,6 +402,7 @@ pub fn run_scenario<W: Workload + ?Sized>(
     let gen_end = window.end;
     let horizon = gen_end + cfg.drain_cycles;
     let mut outstanding: u64 = 0; // tracked packets not yet delivered
+    let mut source_queued: u64 = 0; // packets awaiting injection, all nodes
     let mut window_flits: u64 = 0; // flits delivered inside the window
     let mut class_flits = [0u64; 2]; // [request, response] window flits
     let mut slice_flits = [0u64; SLICES]; // per-slice window flits
@@ -356,7 +417,8 @@ pub fn run_scenario<W: Workload + ?Sized>(
                    packets: &mut Vec<PacketInfo>,
                    req_queues: &mut [VecDeque<u64>],
                    resp_queues: &mut [VecDeque<u64>],
-                   outstanding: &mut u64| {
+                   outstanding: &mut u64,
+                   source_queued: &mut u64| {
         let id = specs.len() as u64;
         let spec = PacketSpec { id, ..spec };
         let (src, dst) = (torus.coord(spec.src), torus.coord(spec.dst));
@@ -373,6 +435,7 @@ pub fn run_scenario<W: Workload + ?Sized>(
         if tracked {
             *outstanding += 1;
         }
+        *source_queued += 1;
         match spec.class {
             TrafficClass::Request => req_queues[spec.src.index()].push_back(id),
             TrafficClass::Response => resp_queues[spec.src.index()].push_back(id),
@@ -403,6 +466,7 @@ pub fn run_scenario<W: Workload + ?Sized>(
                         &mut req_queues,
                         &mut resp_queues,
                         &mut outstanding,
+                        &mut source_queued,
                     );
                 }
             }
@@ -412,24 +476,37 @@ pub fn run_scenario<W: Workload + ?Sized>(
         // allow, each spec resubmitted verbatim until accepted.
         // Responses go first — they ride their own VC, so the two
         // classes contend only for link serialization slots.
-        for queue in resp_queues.iter_mut().chain(req_queues.iter_mut()) {
-            let Some(&id) = queue.front() else {
-                continue;
-            };
-            match fabric.inject(specs[id as usize]) {
-                Ok(_plan) => {
-                    packets[id as usize].injected_at = cycle;
-                    queue.pop_front();
-                }
-                Err(_) => {
-                    if window.contains(&cycle) {
-                        backpressure += 1;
+        if source_queued > 0 {
+            for queue in resp_queues.iter_mut().chain(req_queues.iter_mut()) {
+                let Some(&id) = queue.front() else {
+                    continue;
+                };
+                match fabric.inject(specs[id as usize]) {
+                    Ok(_plan) => {
+                        packets[id as usize].injected_at = cycle;
+                        queue.pop_front();
+                        source_queued -= 1;
+                    }
+                    Err(_) => {
+                        if window.contains(&cycle) {
+                            backpressure += 1;
+                        }
                     }
                 }
             }
         }
 
-        fabric.step();
+        match stepper {
+            // Drain phase with empty source queues: no generation draws,
+            // no injection attempts — only link events can make progress,
+            // so jump event to event. Delivery cycles (and thus every
+            // statistic) are identical to per-cycle stepping.
+            Stepper::Event if cycle >= gen_end && source_queued == 0 => {
+                fabric.step_next_event(horizon)
+            }
+            Stepper::Event => fabric.step(),
+            Stepper::Reference => fabric.step_reference(),
+        }
         cycle = fabric.cycle();
 
         // Collect deliveries whenever the log is non-empty: a spawning
@@ -481,6 +558,7 @@ pub fn run_scenario<W: Workload + ?Sized>(
                         &mut req_queues,
                         &mut resp_queues,
                         &mut outstanding,
+                        &mut source_queued,
                     );
                 }
             }
@@ -575,6 +653,43 @@ pub fn run_point(
     run_scenario(&mut workload, cfg, params, offered, stream).point
 }
 
+/// Claims indices `0..n` off a shared counter and computes `f(i)` into
+/// its slot, on up to `threads` scoped OS threads (work-stealing, so a
+/// cheap low-load point never idles a worker while a saturated one
+/// drains). Results are ordered by index and each index's computation is
+/// independent of the thread that ran it, so the output is identical at
+/// any worker count — including the `threads <= 1` path, which runs
+/// inline without spawning.
+fn parallel_indexed<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed index is computed")
+        })
+        .collect()
+}
+
 /// Runs a pattern across the whole load axis.
 pub fn run_curve(
     pattern: &dyn TrafficPattern,
@@ -582,12 +697,24 @@ pub fn run_curve(
     params: FabricParams,
     stream: u64,
 ) -> PatternCurve {
-    let points = cfg
-        .loads
-        .iter()
-        .enumerate()
-        .map(|(i, &load)| run_point(pattern, cfg, params, load, stream * 1024 + i as u64))
-        .collect();
+    run_curve_threaded(pattern, cfg, params, stream, 1)
+}
+
+/// [`run_curve`] with the independent offered-load points distributed
+/// over `threads` worker threads. Every point seeds its RNG from
+/// `(cfg.seed, stream * 1024 + point index)` exactly as the serial path
+/// does, so the curve — and any JSON serialized from it — is
+/// byte-identical at any thread count.
+pub fn run_curve_threaded(
+    pattern: &dyn TrafficPattern,
+    cfg: &SweepConfig,
+    params: FabricParams,
+    stream: u64,
+    threads: usize,
+) -> PatternCurve {
+    let points = parallel_indexed(cfg.loads.len(), threads, |i| {
+        run_point(pattern, cfg, params, cfg.loads[i], stream * 1024 + i as u64)
+    });
     PatternCurve {
         pattern: pattern.name().to_string(),
         points,
@@ -600,10 +727,38 @@ pub fn run_sweep(
     cfg: &SweepConfig,
     params: FabricParams,
 ) -> SweepReport {
+    run_sweep_threaded(patterns, cfg, params, 1)
+}
+
+/// [`run_sweep`] with every (pattern, offered load) point of the whole
+/// suite flattened into one task pool over `threads` workers — the
+/// per-point RNG streams match the serial nesting (`pattern index + 1`
+/// as the curve stream), so the report is byte-identical at any thread
+/// count.
+pub fn run_sweep_threaded(
+    patterns: &[Box<dyn TrafficPattern>],
+    cfg: &SweepConfig,
+    params: FabricParams,
+    threads: usize,
+) -> SweepReport {
+    let npoints = cfg.loads.len();
+    let flat = parallel_indexed(patterns.len() * npoints, threads, |t| {
+        let (pi, li) = (t / npoints, t % npoints);
+        run_point(
+            patterns[pi].as_ref(),
+            cfg,
+            params,
+            cfg.loads[li],
+            (pi as u64 + 1) * 1024 + li as u64,
+        )
+    });
     let curves = patterns
         .iter()
         .enumerate()
-        .map(|(i, p)| run_curve(p.as_ref(), cfg, params, i as u64 + 1))
+        .map(|(pi, p)| PatternCurve {
+            pattern: p.name().to_string(),
+            points: flat[pi * npoints..(pi + 1) * npoints].to_vec(),
+        })
         .collect();
     SweepReport {
         config: cfg.clone(),
@@ -715,6 +870,48 @@ mod tests {
         assert_eq!(ra.mean_latency_cycles, rb.mean_latency_cycles);
         assert_eq!(a.delivered, b.delivered);
         assert_eq!(a.slice_delivered, b.slice_delivered);
+    }
+
+    #[test]
+    fn reference_stepper_reproduces_the_event_point() {
+        // The naive reference stepper and the event-driven core must
+        // measure the same scenario identically — every statistic, not
+        // just the headline throughput.
+        let mut cfg = small_cfg();
+        cfg.respond = true;
+        let p = params();
+        let a = run_point(&UniformRandom, &cfg, p, 0.3, 8);
+        let mut w = crate::workload::SyntheticWorkload::new(
+            &UniformRandom,
+            cfg.flits_per_packet,
+            cfg.respond,
+        );
+        let b = run_scenario_with(&mut w, &cfg, p, 0.3, 8, Stepper::Reference).point;
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "steppers diverged");
+    }
+
+    #[test]
+    fn threaded_curves_are_byte_identical_to_serial() {
+        let mut cfg = small_cfg();
+        cfg.respond = true;
+        cfg.loads = vec![0.05, 0.2, 0.4];
+        let p = params();
+        let serial = run_curve(&UniformRandom, &cfg, p, 5);
+        let threaded = run_curve_threaded(&UniformRandom, &cfg, p, 5, 3);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&threaded).unwrap(),
+            "thread count leaked into the measurements"
+        );
+        let suite: Vec<Box<dyn crate::patterns::TrafficPattern>> =
+            vec![Box::new(UniformRandom), Box::new(NearestNeighbor)];
+        let sweep_serial = run_sweep(&suite, &cfg, p);
+        let sweep_threaded = run_sweep_threaded(&suite, &cfg, p, 4);
+        assert_eq!(
+            serde_json::to_string(&sweep_serial).unwrap(),
+            serde_json::to_string(&sweep_threaded).unwrap(),
+            "thread count leaked into the sweep report"
+        );
     }
 
     #[test]

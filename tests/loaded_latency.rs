@@ -3,8 +3,9 @@
 //! `machine::pingpong::LoadedCalibration`) against the cycle-level
 //! fabric: on 4x4x8 uniform random traffic at 0.2/0.4/0.6 of the
 //! measured saturation, the analytic predicted mean latency must stay
-//! within 2% of the cycle-level sweep (seeded, deterministic), and the
-//! unloaded per-hop latency must still match the analytic 34.27 ns
+//! within 2% of the cycle-level sweep (seeded, deterministic), the
+//! 512-node 8x8x8 constants must track their machine-scale sweep, and
+//! the unloaded per-hop latency must still match the analytic 34.27 ns
 //! constant within 1%.
 
 use anton3::machine::pingpong::LoadedCalibration;
@@ -21,15 +22,16 @@ const LOADED_TOLERANCE: f64 = 0.02;
 
 fn assert_calibration_tracks(
     pattern: &dyn TrafficPattern,
+    cfg: &SweepConfig,
+    rhos: &[f64],
     cal: LoadedCalibration,
     stream_base: u64,
     tolerance: f64,
 ) {
     let params = FabricParams::calibrated(&LatencyModel::default());
-    let cfg = SweepConfig::calibration_4x4x8();
-    for (i, rho) in [0.2, 0.4, 0.6].into_iter().enumerate() {
+    for (i, &rho) in rhos.iter().enumerate() {
         let offered = rho * cal.saturation;
-        let point = run_point(pattern, &cfg, params, offered, stream_base + i as u64);
+        let point = run_point(pattern, cfg, params, offered, stream_base + i as u64);
         assert_eq!(
             point.request.packets_incomplete, 0,
             "rho {rho} is below saturation and must drain"
@@ -52,6 +54,8 @@ fn assert_calibration_tracks(
 fn analytic_loaded_latency_tracks_cycle_fabric() {
     assert_calibration_tracks(
         &UniformRandom,
+        &SweepConfig::calibration_4x4x8(),
+        &[0.2, 0.4, 0.6],
         LoadedCalibration::UNIFORM_4X4X8,
         100,
         LOADED_TOLERANCE,
@@ -66,8 +70,27 @@ fn nearest_neighbor_calibration_tracks_cycle_fabric() {
     // timing changes.
     assert_calibration_tracks(
         &NearestNeighbor,
+        &SweepConfig::calibration_4x4x8(),
+        &[0.2, 0.4, 0.6],
         LoadedCalibration::NEAREST_NEIGHBOR_4X4X8,
         200,
+        0.04,
+    );
+}
+
+#[test]
+fn machine_scale_8x8x8_calibration_tracks_cycle_fabric() {
+    // The 512-node constants (UNIFORM_8X8X8, the CI overload shape)
+    // regression-pinned against the same `calibration_8x8x8` config the
+    // `--calibrate` fit ran on. One mid-load rho keeps the cycle-level
+    // run affordable in debug test builds; the event-driven fabric core
+    // is what makes even that routine at this scale.
+    assert_calibration_tracks(
+        &UniformRandom,
+        &SweepConfig::calibration_8x8x8(),
+        &[0.4],
+        LoadedCalibration::UNIFORM_8X8X8,
+        300,
         0.04,
     );
 }
