@@ -18,15 +18,31 @@
 //! artifact (CI redirects it there): simulated cycles/sec, flit-hops/sec
 //! (flits entering links), wall-clock seconds per stepper, and the
 //! speedup ratio.
+//!
+//! The overload scenario additionally runs a third time with fabric
+//! telemetry enabled (`net::telemetry`, default config) to price the
+//! observability layer: the artifact records the telemetry-on
+//! steps/sec and the on/off overhead ratio. With `--baseline PATH`
+//! pointing at a previous `BENCH_fabric.json`, the binary asserts the
+//! disabled-telemetry event-core steps/sec regressed less than 3% —
+//! the zero-cost-when-off guarantee, enforced in CI against the cached
+//! baseline artifact.
 
 use anton_model::latency::LatencyModel;
 use anton_model::topology::{Direction, Torus};
 use anton_net::fabric3d::{FabricParams, TorusFabric, SLICES};
+use anton_net::telemetry::TelemetryConfig;
 use anton_traffic::patterns::UniformRandom;
-use anton_traffic::sweep::{run_scenario_with, ScenarioRun, Stepper, SweepConfig};
+use anton_traffic::sweep::{
+    run_scenario_instrumented, run_scenario_with, ScenarioRun, Stepper, SweepConfig,
+};
 use anton_traffic::workload::SyntheticWorkload;
 use serde::Serialize;
 use std::time::Instant;
+
+/// Version of the `BENCH_fabric.json` schema (1 was the unversioned
+/// pre-telemetry shape).
+const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// One stepper's measured run of one benchmark scenario.
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -61,13 +77,31 @@ struct ScenarioBench {
     speedup: f64,
 }
 
+/// The telemetry cost probe: the overload scenario once more on the
+/// event core with full telemetry recording (stall attribution, epoch
+/// series) enabled.
+#[derive(Clone, Copy, Debug, Serialize)]
+struct TelemetryOverhead {
+    /// Wall-clock seconds with telemetry on.
+    wall_seconds: f64,
+    /// Simulated cycles per wall-clock second with telemetry on.
+    steps_per_sec: f64,
+    /// Telemetry-on wall / telemetry-off (event) wall — the recording
+    /// cost as a slowdown factor.
+    overhead_ratio: f64,
+}
+
 /// The `BENCH_fabric.json` artifact.
 #[derive(Clone, Debug, Serialize)]
 struct FabricBench {
+    /// Artifact schema version ([`BENCH_SCHEMA_VERSION`]).
+    schema_version: u32,
     /// The 8x8x8 overload sweep point (the CI smoke workload).
     overload_8x8x8: ScenarioBench,
     /// A moderate-load 4x4x8 point (the README steps/sec row).
     moderate_4x4x8: ScenarioBench,
+    /// The overload scenario with telemetry recording enabled.
+    telemetry: TelemetryOverhead,
 }
 
 /// Machine-wide flit-hops: flits that entered any directed slice link
@@ -143,6 +177,70 @@ fn bench_scenario(
     }
 }
 
+/// The value of a `--flag VALUE` argument, if present.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("{flag} takes a value")),
+            );
+        }
+    }
+    None
+}
+
+/// Pulls `overload_8x8x8 → event → steps_per_sec` out of a previous
+/// `BENCH_fabric.json` by scanning the known pretty-printed shape (the
+/// vendored serde is serialize-only, so there is no JSON parser to lean
+/// on).
+fn extract_overload_event_steps(json: &str) -> Option<f64> {
+    let overload = &json[json.find("\"overload_8x8x8\"")?..];
+    let event = &overload[overload.find("\"event\"")?..];
+    let field = &event[event.find("\"steps_per_sec\"")?..];
+    let rest = field.split_once(':')?.1.trim_start();
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    num.parse().ok()
+}
+
+/// `--baseline PATH`: asserts the disabled-telemetry event core did not
+/// regress more than 3% in steps/sec against a previous artifact — the
+/// telemetry layer's zero-cost-when-off guarantee. A missing or
+/// unreadable baseline only warns, so the first CI run (no cached
+/// artifact yet) passes.
+fn baseline_check(bench: &FabricBench) {
+    let Some(path) = arg_value("--baseline") else {
+        return;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("baseline {path} unreadable ({e}); skipping the regression check");
+            return;
+        }
+    };
+    let Some(baseline) = extract_overload_event_steps(&text) else {
+        eprintln!("baseline {path} has no overload event steps_per_sec; skipping");
+        return;
+    };
+    let now = bench.overload_8x8x8.event.steps_per_sec;
+    let change = now / baseline - 1.0;
+    eprintln!(
+        "baseline check: {now:.0} steps/s vs recorded {baseline:.0} ({:+.1}%)",
+        change * 100.0
+    );
+    assert!(
+        change > -0.03,
+        "disabled-telemetry steps/s regressed {:.1}% (> 3%) vs baseline {path}: \
+         {now:.0} now vs {baseline:.0} recorded",
+        -change * 100.0
+    );
+}
+
 fn main() {
     let params = FabricParams::calibrated(&LatencyModel::default());
 
@@ -163,10 +261,42 @@ fn main() {
     moderate.respond = true;
     let moderate_4x4x8 = bench_scenario("4x4x8 moderate", &moderate, params, 0.3, 7);
 
+    // Telemetry cost probe: the same overload scenario on the event core
+    // with recording on. Telemetry is observational, so this must land
+    // on the identical simulated endpoint — checked below — and the
+    // wall-clock ratio is the recording overhead.
+    let telemetry = {
+        let mut workload =
+            SyntheticWorkload::new(&UniformRandom, overload.flits_per_packet, overload.respond);
+        let start = Instant::now();
+        let run = run_scenario_instrumented(
+            &mut workload,
+            &overload,
+            params,
+            0.9,
+            1025,
+            TelemetryConfig::default(),
+        );
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(
+            (run.fabric.cycle(), total_flit_hops(&run.fabric)),
+            (overload_8x8x8.simulated_cycles, overload_8x8x8.flit_hops),
+            "telemetry recording changed the simulated scenario"
+        );
+        TelemetryOverhead {
+            wall_seconds: wall,
+            steps_per_sec: run.fabric.cycle() as f64 / wall,
+            overhead_ratio: wall / overload_8x8x8.event.wall_seconds,
+        }
+    };
+
     let bench = FabricBench {
+        schema_version: BENCH_SCHEMA_VERSION,
         overload_8x8x8,
         moderate_4x4x8,
+        telemetry,
     };
+    baseline_check(&bench);
     if anton_bench::maybe_json(&bench) {
         return;
     }
@@ -196,4 +326,10 @@ fn main() {
             b.speedup
         );
     }
+    println!();
+    println!(
+        "telemetry overhead (8x8x8 overload, recording on): {:>8.2}s wall  \
+         {:>12.0} steps/s  {:.2}x the event core",
+        bench.telemetry.wall_seconds, bench.telemetry.steps_per_sec, bench.telemetry.overhead_ratio
+    );
 }

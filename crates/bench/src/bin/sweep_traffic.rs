@@ -33,7 +33,20 @@
 //! - `--overload-smoke` runs a short 8x8x8 overload point with both
 //!   classes plus an injection-stop drain check, exercising the
 //!   dateline-VC deadlock margins on a larger machine (CI runs this on
-//!   every PR, with `--threads`).
+//!   every PR, with `--threads`);
+//! - `--telemetry` turns on fabric telemetry (`net::telemetry`) for the
+//!   mode's instrumented run — the overload drain check, the MD replay
+//!   scenario, or a representative mid-load sweep point — and prints the
+//!   per-link stall/occupancy digest. Recording is observational: every
+//!   measured number is bit-identical with it off;
+//! - `--telemetry-out PATH` writes the full telemetry summary (stall
+//!   causes per class, per-link cycle accounting, epoch time-series) as
+//!   JSON — the CI overload smoke uploads this artifact;
+//! - `--epoch-cycles N` sets the telemetry epoch length (default 1024);
+//! - `--trace-out PATH` additionally records packet lifecycle events
+//!   (inject/hop/deliver) and writes them to PATH: JSON Lines when the
+//!   path ends in `.jsonl`, Chrome `trace_event` JSON (loadable in
+//!   `chrome://tracing` / Perfetto) otherwise.
 
 use anton_machine::mdrun::MdNetworkRun;
 use anton_machine::pingpong::LoadedCalibration;
@@ -44,12 +57,16 @@ use anton_model::MachineConfig;
 use anton_net::channel::LinkStats;
 use anton_net::fabric3d::{FabricParams, PacketSpec, TorusFabric, TrafficClass, SLICES};
 use anton_net::path::ContentionModel;
+use anton_net::telemetry::{
+    ChromeTraceSink, JsonlTraceSink, LinkSummary, StallBreakdown, TelemetryConfig, TraceSink,
+};
 use anton_sim::rng::SplitMix64;
 use anton_traffic::force_return::ForceReturn;
 use anton_traffic::patterns::{standard_suite, NearestNeighbor, TrafficPattern, UniformRandom};
 use anton_traffic::sweep::{
-    run_curve_threaded, run_scenario, run_sweep_threaded, ClassPoint, SweepConfig,
+    run_curve_threaded, run_scenario_instrumented, run_sweep_threaded, ClassPoint, SweepConfig,
 };
+use anton_traffic::workload::SyntheticWorkload;
 
 /// The `--threads N` worker count (default 1). Reports are byte-identical
 /// at any value — each sweep point derives its RNG stream from the seed
@@ -67,6 +84,152 @@ fn thread_arg() -> usize {
         }
     }
     1
+}
+
+/// The value of a `--flag VALUE` argument, if present.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("{flag} takes a value")),
+            );
+        }
+    }
+    None
+}
+
+/// Whether any telemetry surface was requested (`--telemetry` itself, or
+/// one of the output flags that implies it).
+fn telemetry_requested() -> bool {
+    std::env::args().any(|a| a == "--telemetry")
+        || arg_value("--telemetry-out").is_some()
+        || arg_value("--trace-out").is_some()
+}
+
+/// The [`TelemetryConfig`] assembled from `--epoch-cycles` and
+/// `--trace-out`.
+fn telemetry_config() -> TelemetryConfig {
+    let mut tcfg = TelemetryConfig::default();
+    if let Some(v) = arg_value("--epoch-cycles") {
+        tcfg.epoch_cycles = v
+            .parse()
+            .ok()
+            .filter(|&e| e >= 1)
+            .expect("--epoch-cycles takes a positive integer");
+    }
+    tcfg.trace = arg_value("--trace-out").is_some();
+    tcfg
+}
+
+/// The stall cause carrying most of a breakdown, as a label.
+fn dominant_cause(s: &StallBreakdown) -> &'static str {
+    let causes = [
+        (s.credit_starved, "credit-starved"),
+        (s.lost_arbitration, "lost-arbitration"),
+        (s.pipeline_immature, "pipeline-immature"),
+        (s.serialization_busy, "serialization-busy"),
+    ];
+    if s.total() == 0 {
+        return "-";
+    }
+    causes
+        .iter()
+        .max_by_key(|(n, _)| *n)
+        .expect("four causes")
+        .1
+}
+
+/// Prints the per-link stall/occupancy digest of an instrumented fabric:
+/// stall-cause totals per traffic class, then the hottest links by stall
+/// cycles with their advance/stall/idle split.
+fn print_telemetry(fabric: &TorusFabric) {
+    let Some(summary) = fabric.telemetry_summary() else {
+        return;
+    };
+    println!();
+    println!(
+        "TELEMETRY. {} cycles observed (from cycle {}), epoch {} cycles, \
+         {} links with flushed epoch series, {} trace events{}",
+        summary.elapsed_cycles,
+        summary.enabled_at_cycle,
+        summary.epoch_cycles,
+        summary.epochs.len(),
+        summary.trace_events,
+        if summary.trace_dropped > 0 {
+            format!(" ({} dropped at the cap)", summary.trace_dropped)
+        } else {
+            String::new()
+        }
+    );
+    for c in &summary.classes {
+        let s = &c.stalls;
+        println!(
+            "  {:<8} stalls: {:>9} credit-starved {:>9} lost-arbitration \
+             {:>9} pipeline-immature {:>9} serialization-busy",
+            c.class,
+            s.credit_starved,
+            s.lost_arbitration,
+            s.pipeline_immature,
+            s.serialization_busy
+        );
+    }
+    let mut hot: Vec<&LinkSummary> = summary
+        .links
+        .iter()
+        .filter(|l| l.stall_cycles + l.advance_cycles > 0)
+        .collect();
+    hot.sort_by_key(|l| std::cmp::Reverse((l.stall_cycles, l.advance_cycles)));
+    println!(
+        "  {:>12} {:>9} {:>9} {:>9} {:>6}  dominant cause",
+        "link", "advance", "stall", "idle", "busy%"
+    );
+    for l in hot.iter().take(10) {
+        let elapsed = (l.advance_cycles + l.stall_cycles + l.idle_cycles).max(1);
+        println!(
+            "  {:>12} {:>9} {:>9} {:>9} {:>5.1}%  {}",
+            l.link,
+            l.advance_cycles,
+            l.stall_cycles,
+            l.idle_cycles,
+            (l.advance_cycles + l.stall_cycles) as f64 / elapsed as f64 * 100.0,
+            dominant_cause(&l.stalls)
+        );
+    }
+    if hot.len() > 10 {
+        println!("  ... and {} more active links", hot.len() - 10);
+    }
+}
+
+/// Writes the `--telemetry-out` summary JSON and the `--trace-out`
+/// packet trace (JSONL for `.jsonl` paths, Chrome `trace_event`
+/// otherwise). Confirmations go to stderr so `--json` stdout artifacts
+/// stay clean.
+fn write_telemetry_artifacts(fabric: &TorusFabric) {
+    if let Some(path) = arg_value("--telemetry-out") {
+        let summary = fabric.telemetry_summary().expect("telemetry enabled");
+        let json = serde_json::to_string_pretty(&summary).expect("serializable summary");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("telemetry summary written to {path}");
+    }
+    if let Some(path) = arg_value("--trace-out") {
+        let tel = fabric.telemetry().expect("telemetry enabled");
+        let rendered = if path.ends_with(".jsonl") {
+            let mut sink = JsonlTraceSink::new();
+            tel.write_trace(&mut sink);
+            sink.render()
+        } else {
+            let mut sink = ChromeTraceSink::new();
+            tel.write_trace(&mut sink);
+            sink.render()
+        };
+        std::fs::write(&path, rendered).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!(
+            "packet trace written to {path} ({} events)",
+            tel.trace_events().len()
+        );
+    }
 }
 
 fn main() {
@@ -90,9 +253,26 @@ fn main() {
         cfg.measure_cycles = 2_000;
         cfg.drain_cycles = 15_000;
     }
-    let report = run_sweep_threaded(&standard_suite(), &cfg, params, threads);
+    let mut report = run_sweep_threaded(&standard_suite(), &cfg, params, threads);
+    let telemetry = telemetry_requested().then(telemetry_config);
+    if let Some(tcfg) = telemetry {
+        report.echo.epoch_cycles = tcfg.epoch_cycles;
+    }
+    // Under telemetry, one representative mid-load uniform-random point
+    // re-runs instrumented for the stall/occupancy digest and artifacts
+    // (stream 1025 = the uniform curve's 0.3-load index on the default
+    // axis region; any fixed stream works — this is a probe, not a
+    // measurement the report depends on).
+    let instrumented = telemetry.map(|tcfg| {
+        let mut workload =
+            SyntheticWorkload::new(&UniformRandom, cfg.flits_per_packet, cfg.respond);
+        run_scenario_instrumented(&mut workload, &cfg, params, 0.3, 1025, tcfg)
+    });
 
     if anton_bench::maybe_json(&report) {
+        if let Some(run) = &instrumented {
+            write_telemetry_artifacts(&run.fabric);
+        }
         return;
     }
 
@@ -157,6 +337,10 @@ fn main() {
                 &format!("{:.1} ns", low.measured_per_hop_ns),
             );
         }
+    }
+    if let Some(run) = &instrumented {
+        print_telemetry(&run.fabric);
+        write_telemetry_artifacts(&run.fabric);
     }
 }
 
@@ -301,7 +485,12 @@ fn md_replay(params: FabricParams) {
         run.sim.system.n,
         run.sim.params.cutoff * 0.5,
     );
-    let scenario = run_scenario(&mut workload, &cfg, params, offered, 7);
+    // The replay always runs instrumented: telemetry is observational
+    // (every measured number is bit-identical with it off), and the
+    // per-link stall/occupancy digest below is the point of this mode —
+    // which halo links run hot and why they wait.
+    let scenario =
+        run_scenario_instrumented(&mut workload, &cfg, params, offered, 7, telemetry_config());
     let p = &scenario.point;
     let resp = p.response.expect("halo replay spawns force returns");
     println!(
@@ -356,6 +545,8 @@ fn md_replay(params: FabricParams) {
             total.force_bytes as f64 / total.position_bytes.max(1) as f64
         ),
     );
+    print_telemetry(&scenario.fabric);
+    write_telemetry_artifacts(&scenario.fabric);
 }
 
 /// A short 8x8x8 overload exercise: one saturated sweep point with both
@@ -410,6 +601,14 @@ fn overload_smoke(params: FabricParams, threads: usize) {
     // fabric and hopeless for a deadlocked one.
     let torus = Torus::new(dims);
     let mut fabric = TorusFabric::new(torus, params);
+    // Under --telemetry the drain-check fabric records: a genuinely
+    // overloaded 512-node machine is the most informative stall picture
+    // this binary produces, and CI uploads the summary artifact from
+    // here.
+    let telemetry = telemetry_requested().then(telemetry_config);
+    if let Some(tcfg) = telemetry {
+        fabric.enable_telemetry(tcfg);
+    }
     let mut rng = SplitMix64::new(0xDEAD);
     let n = torus.node_count() as u64;
     let mut fr = ForceReturn::new(2);
@@ -442,4 +641,8 @@ fn overload_smoke(params: FabricParams, threads: usize) {
         fr.pending()
     );
     println!("drain check: PASS ({injected} packets generated, fabric empty)");
+    if telemetry.is_some() {
+        print_telemetry(&fabric);
+        write_telemetry_artifacts(&fabric);
+    }
 }

@@ -71,6 +71,10 @@ use crate::router::{
     CycleRouter, Flit, InjectError, LinkSpec, PortLink, RouteDecision, RouterFabric,
 };
 use crate::routing::{self, RoutePlan, RESPONSE_VC};
+use crate::telemetry::{
+    ClassStallSummary, LinkEpochSeries, LinkSummary, StallBreakdown, Telemetry, TelemetryConfig,
+    TelemetrySummary, TELEMETRY_SCHEMA_VERSION,
+};
 use crate::{chip::ChipLoc, path};
 use anton_model::asic::{self, EDGE_VCS, FLIT_BITS, LANES_PER_SLICE, SLICES_PER_NEIGHBOR};
 use anton_model::latency::LatencyModel;
@@ -619,6 +623,128 @@ impl TorusFabric {
             }
         }
         agg
+    }
+
+    /// Enables fabric telemetry from the current cycle (see
+    /// [`crate::telemetry`]): stall-cause attribution per (link, VC),
+    /// per-link epoch time-series, and optional packet traces.
+    /// Recording is purely observational — delivery logs and
+    /// [`Self::link_stats`] counters are bit-identical with telemetry
+    /// on or off (pinned by the `telemetry_equivalence` tests).
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.fabric.enable_telemetry(cfg);
+    }
+
+    /// Disables telemetry mid-run and returns the recorded state; the
+    /// fabric keeps stepping unchanged.
+    pub fn disable_telemetry(&mut self) -> Option<Box<Telemetry>> {
+        self.fabric.disable_telemetry()
+    }
+
+    /// The telemetry recorded so far, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.fabric.telemetry()
+    }
+
+    /// Stall-cause breakdown charged upstream of the slice link from
+    /// `node` toward `dir` on `slice`, summed over VCs. `None` when
+    /// telemetry is disabled.
+    pub fn link_stalls(
+        &self,
+        node: NodeId,
+        dir: Direction,
+        slice: usize,
+    ) -> Option<StallBreakdown> {
+        let tel = self.fabric.telemetry()?;
+        Some(tel.stalls_for_link(node.index(), slice_port(dir, slice)))
+    }
+
+    /// Cycle accounting `(advance, stall, idle)` of the slice link from
+    /// `node` toward `dir` on `slice` since telemetry was enabled;
+    /// the three always sum to the elapsed enabled cycles. `None` when
+    /// telemetry is disabled.
+    pub fn link_cycles(
+        &self,
+        node: NodeId,
+        dir: Direction,
+        slice: usize,
+    ) -> Option<(u64, u64, u64)> {
+        let tel = self.fabric.telemetry()?;
+        let (r, port) = (node.index(), slice_port(dir, slice));
+        let advance = tel.advance_cycles(r, port);
+        let stall = tel.stall_cycles(r, port);
+        let elapsed = self.fabric.cycle() - tel.enabled_at();
+        Some((advance, stall, elapsed - advance - stall))
+    }
+
+    /// Builds the serializable telemetry report: per-class stall
+    /// totals (requests on VCs `0..4`, responses on [`RESPONSE_VC`]),
+    /// per-link cycle accounting (each neighbor slice link plus each
+    /// node's ejection link), and the per-link epoch series for links
+    /// with at least one flushed epoch. `None` when telemetry is
+    /// disabled.
+    pub fn telemetry_summary(&self) -> Option<TelemetrySummary> {
+        let tel = self.fabric.telemetry()?;
+        let elapsed = self.fabric.cycle() - tel.enabled_at();
+        let mut request = StallBreakdown::default();
+        let mut response = StallBreakdown::default();
+        let mut links = Vec::new();
+        let mut epochs = Vec::new();
+        let mut push_link = |r: usize, port: usize, label: String| {
+            for vc in 0..self.params.vcs as u8 {
+                let b = tel.stalls_for_vc(r, port, vc);
+                if vc == RESPONSE_VC {
+                    response.merge(&b);
+                } else {
+                    request.merge(&b);
+                }
+            }
+            let advance = tel.advance_cycles(r, port);
+            let stall = tel.stall_cycles(r, port);
+            links.push(LinkSummary {
+                link: label.clone(),
+                advance_cycles: advance,
+                stall_cycles: stall,
+                idle_cycles: elapsed - advance - stall,
+                stalls: tel.stalls_for_link(r, port),
+            });
+            let samples: Vec<_> = tel.epoch_samples(r, port).copied().collect();
+            if !samples.is_empty() {
+                epochs.push(LinkEpochSeries {
+                    link: label,
+                    samples,
+                });
+            }
+        };
+        for node in self.torus.nodes() {
+            let r = node.index();
+            for dir in Direction::ALL {
+                for slice in 0..SLICES {
+                    push_link(r, slice_port(dir, slice), format!("n{r}:{dir}/s{slice}"));
+                }
+            }
+            push_link(r, EJECT_PORT, format!("n{r}:eject"));
+        }
+        Some(TelemetrySummary {
+            schema_version: TELEMETRY_SCHEMA_VERSION,
+            epoch_cycles: tel.config().epoch_cycles,
+            enabled_at_cycle: tel.enabled_at(),
+            elapsed_cycles: elapsed,
+            trace_events: tel.trace_events().len(),
+            trace_dropped: tel.trace_dropped(),
+            classes: vec![
+                ClassStallSummary {
+                    class: "request".to_string(),
+                    stalls: request,
+                },
+                ClassStallSummary {
+                    class: "response".to_string(),
+                    stalls: response,
+                },
+            ],
+            links,
+            epochs,
+        })
     }
 
     /// Injects one packet described by `spec` — the **single** injection

@@ -21,6 +21,8 @@
 //! - [`router`] — the flit-granular cycle-level router microarchitecture
 //!   (credit flow control, cut-through, per-link latency channels and
 //!   traffic counters);
+//! - [`telemetry`] — zero-cost-when-off fabric observability: stall-cause
+//!   attribution, per-link epoch time-series, and packet lifecycle traces;
 //! - [`fabric3d`] — the full inter-node 3D torus as a cycle fabric:
 //!   two physical channel slices per neighbor, request and response
 //!   traffic classes on disjoint VC sets, calibrated against [`path`]
@@ -65,3 +67,4 @@ pub mod path;
 pub mod reduction;
 pub mod router;
 pub mod routing;
+pub mod telemetry;

@@ -60,6 +60,7 @@
 //! `stepper_equivalence` property tests and the `bench_fabric` harness
 //! hold the two to exactly that.
 
+use crate::telemetry::{StallCause, Telemetry, TelemetryConfig};
 use anton_model::asic::INPUT_QUEUE_FLITS;
 use core::fmt;
 use std::collections::VecDeque;
@@ -765,6 +766,16 @@ impl CycleRouter {
         self.arb_outs = arb;
     }
 
+    /// The output port (and outgoing VC) currently owned by input
+    /// `(p, v)`'s in-flight packet, if any — the continuation target of
+    /// a body flit at that queue's front.
+    fn owner_output(&self, p: usize, v: u8) -> Option<(usize, u8)> {
+        self.owned_outs.iter().find_map(|&out| {
+            let o = self.output_owner[out as usize].expect("listed owner");
+            (o.in_port == p && o.in_vc == v).then_some((out as usize, o.out_vc))
+        })
+    }
+
     /// One **reference** arbitration cycle — the naive full scan over
     /// every (port, VC) pair and every output, retained as the
     /// executable specification of the event-driven
@@ -1009,6 +1020,11 @@ pub struct RouterFabric {
     active: Vec<usize>,
     /// Membership flags for `active` (no duplicate enqueues).
     is_active: Vec<bool>,
+    /// Optional observability state (see [`crate::telemetry`]). `None`
+    /// costs one branch per step phase; recording is purely
+    /// observational, so enabling it never changes delivery logs or
+    /// link counters.
+    telemetry: Option<Box<Telemetry>>,
 }
 
 impl RouterFabric {
@@ -1064,7 +1080,33 @@ impl RouterFabric {
             moves: Vec::new(),
             active: Vec::new(),
             is_active: vec![false; n],
+            telemetry: None,
         }
+    }
+
+    /// Enables telemetry recording from the current cycle: stall-cause
+    /// attribution, per-link epoch time-series, and (if configured)
+    /// packet lifecycle traces. Replaces any previously enabled handle.
+    /// Recording is purely observational — arbitration, delivery logs
+    /// and link counters are bit-identical with telemetry on or off.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        let ports: Vec<u32> = self.wiring.iter().map(|row| row.len() as u32).collect();
+        let vcs = self.routers.iter().map(|r| r.vcs).max().unwrap_or(1);
+        let mut tel = Telemetry::new(cfg, &ports, vcs, self.cycle);
+        tel.set_delivered_mark(self.delivered.len());
+        self.telemetry = Some(Box::new(tel));
+    }
+
+    /// Disables telemetry and returns the recorded state, if any. The
+    /// fabric may keep stepping (and telemetry may later be re-enabled)
+    /// without any behavioral difference.
+    pub fn disable_telemetry(&mut self) -> Option<Box<Telemetry>> {
+        self.telemetry.take()
+    }
+
+    /// The telemetry state recorded so far, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
     }
 
     /// Overrides the latency/bandwidth of the link leaving `router` via
@@ -1189,6 +1231,11 @@ impl RouterFabric {
             let cycle = self.cycle;
             self.routers[router].accept(port, flit.vc, flit, cycle);
             activate(&mut self.active, &mut self.is_active, router);
+            if flit.is_head() {
+                if let Some(tel) = self.telemetry.as_deref_mut() {
+                    tel.note_inject(cycle, flit.packet, router, port, flit.vc);
+                }
+            }
             Ok(())
         } else {
             Err(InjectError::NoCredit {
@@ -1286,6 +1333,117 @@ impl RouterFabric {
         }
     }
 
+    /// Telemetry pre-phase, shared by both steppers: clamps the
+    /// delivery-trace watermark after any caller drain, and flushes the
+    /// per-link epoch ring when this cycle has crossed an epoch
+    /// boundary (sampling each link's occupancy — in-flight flits plus
+    /// the downstream queue — at the boundary).
+    fn telemetry_begin_step(&mut self) {
+        let cycle = self.cycle;
+        let delivered_len = self.delivered.len();
+        let Some(tel) = self.telemetry.as_deref_mut() else {
+            return;
+        };
+        tel.sync_delivered(delivered_len);
+        if !tel.roll_due(cycle) {
+            return;
+        }
+        let mut occ = tel.take_occ_scratch();
+        for (r, row) in self.wiring.iter().enumerate() {
+            for (out, link) in row.iter().enumerate() {
+                let mut o = self.channels[r][out].in_flight.len();
+                if let PortLink::Router { router, port } = *link {
+                    let vcs = self.routers[router].vcs;
+                    for v in 0..vcs {
+                        o += self.routers[router].queue_len(port, v as u8);
+                    }
+                }
+                occ.push(o as u32);
+            }
+        }
+        tel.roll(cycle, occ);
+    }
+
+    /// Telemetry recording, shared by both steppers. Runs
+    /// post-arbitration, pre-[`Self::apply_moves`]: departed flits are
+    /// already popped from their queues, but the link timers
+    /// (`next_free`) and credit reservations (`reserved`) still hold
+    /// the state this cycle's arbitration read. Each departure marks
+    /// its link's advance cycle; every occupied queue front is then
+    /// classified into a [`StallCause`] against that same state. Purely
+    /// observational — nothing here mutates fabric state, so telemetry
+    /// cannot perturb the run.
+    fn telemetry_record(&mut self, moves: &[(usize, usize, Flit)], cycle: u64) {
+        let Some(tel) = self.telemetry.as_deref_mut() else {
+            return;
+        };
+        for &(r, out, ref flit) in moves {
+            let hop = matches!(self.wiring[r][out], PortLink::Router { .. });
+            tel.note_advance(cycle, r, out, flit, hop);
+        }
+        for (r, router) in self.routers.iter().enumerate() {
+            if router.queued == 0 {
+                continue;
+            }
+            let vcs = router.vcs;
+            for p in 0..router.inputs.len() {
+                for v in 0..vcs {
+                    let Some(&(front, arrived)) = router.inputs[p][v].front() else {
+                        continue;
+                    };
+                    let (out, out_vc) = if front.is_head() {
+                        let d = (self.route)(&front, r);
+                        (d.port, d.vc)
+                    } else {
+                        match router.owner_output(p, v as u8) {
+                            Some(t) => t,
+                            // A body front's packet owns an output by the
+                            // cut-through protocol; defensive skip only.
+                            None => continue,
+                        }
+                    };
+                    let cause = if arrived + router.pipeline > cycle {
+                        StallCause::PipelineImmature
+                    } else if tel.advanced_on(cycle, r, out) {
+                        // The output moved a flit this cycle (possibly
+                        // this front's own predecessor): the front lost
+                        // the output, whatever the credit state.
+                        StallCause::LostArbitration
+                    } else if self.next_free[r][out] > cycle {
+                        StallCause::SerializationBusy
+                    } else {
+                        match self.wiring[r][out] {
+                            PortLink::Router {
+                                router: dst,
+                                port: dport,
+                            } => {
+                                if (self.reserved[r][out * vcs + out_vc as usize] as usize)
+                                    >= self.routers[dst].free_slots(dport, out_vc)
+                                {
+                                    StallCause::CreditStarved
+                                } else {
+                                    StallCause::LostArbitration
+                                }
+                            }
+                            // Ejection links never lack credits; an
+                            // unused port cannot be a live target.
+                            _ => StallCause::LostArbitration,
+                        }
+                    };
+                    tel.note_stall(cycle, r, out, out_vc, cause);
+                }
+            }
+        }
+    }
+
+    /// Telemetry post-phase, shared by both steppers: emits `Deliver`
+    /// trace events for this step's new delivery-log entries.
+    fn telemetry_note_deliveries(&mut self) {
+        if let Some(tel) = self.telemetry.as_deref_mut() {
+            tel.note_deliveries(&self.delivered);
+        }
+    }
+
     /// Advances the fabric one cycle: link arrivals land, every router
     /// **with work** arbitrates (the active worklist — idle routers are
     /// never visited), departures enter their links (same-cycle for
@@ -1294,6 +1452,9 @@ impl RouterFabric {
     /// state.
     pub fn step(&mut self) {
         let cycle = self.cycle;
+        if self.telemetry.is_some() {
+            self.telemetry_begin_step();
+        }
         self.land_arrivals(cycle);
 
         // 2. Arbitration over the active worklist. Downstream-credit
@@ -1370,7 +1531,13 @@ impl RouterFabric {
             self.scratch_gen = scratch_gen;
         }
 
+        if self.telemetry.is_some() {
+            self.telemetry_record(&moves, cycle);
+        }
         self.apply_moves(&mut moves, cycle);
+        if self.telemetry.is_some() {
+            self.telemetry_note_deliveries();
+        }
         self.moves = moves;
         self.cycle += 1;
     }
@@ -1385,6 +1552,9 @@ impl RouterFabric {
     /// freely interleaved on one fabric.
     pub fn step_reference(&mut self) {
         let cycle = self.cycle;
+        if self.telemetry.is_some() {
+            self.telemetry_begin_step();
+        }
         self.land_arrivals(cycle);
 
         // Full-scan arbitration with a fresh credit snapshot per router —
@@ -1424,7 +1594,13 @@ impl RouterFabric {
             }
         }
 
+        if self.telemetry.is_some() {
+            self.telemetry_record(&moves, cycle);
+        }
         self.apply_moves(&mut moves, cycle);
+        if self.telemetry.is_some() {
+            self.telemetry_note_deliveries();
+        }
         self.cycle += 1;
     }
 

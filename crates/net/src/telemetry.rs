@@ -1,0 +1,806 @@
+//! Zero-cost-when-off fabric telemetry: stall-cause attribution, epoch
+//! time-series, and packet lifecycle traces.
+//!
+//! A [`Telemetry`] handle hangs off a
+//! [`RouterFabric`](crate::router::RouterFabric) as an `Option` — when
+//! absent, the steppers run exactly the code they ran before this module
+//! existed (one branch per step phase); when present, every executed
+//! cycle is attributed, per link, to exactly one of three states:
+//!
+//! - **advance** — a flit entered the link this cycle (links carry at
+//!   most one flit per cycle, so advance cycles equal flits sent);
+//! - **stall** — no flit entered, but at least one queue front upstream
+//!   was targeting the link;
+//! - **idle** — neither (derived: `elapsed − advance − stall`, which
+//!   also covers the dead cycles the event stepper jumps over — a
+//!   jumped cycle has no queued work by construction).
+//!
+//! Each stalled queue front is further classified into a
+//! [`StallCause`] and counted per (router, output port, outgoing VC) —
+//! the VC dimension is what lets the torus layer split request from
+//! response traffic. Recording is **purely observational**: it reads
+//! post-arbitration state and never influences arbitration, so
+//! telemetry-on and telemetry-off runs produce bit-identical delivery
+//! logs and link counters (pinned by the `telemetry_equivalence`
+//! property tests).
+//!
+//! ## Epoch time-series
+//!
+//! Time is divided into fixed-length epochs
+//! ([`TelemetryConfig::epoch_cycles`]). Per link, a bounded ring buffer
+//! ([`TelemetryConfig::epoch_ring`]) records one [`EpochRecord`] per
+//! epoch *in which the fabric executed at least one cycle*: the flits
+//! that entered the link, the stall cycles charged to it, and a
+//! point-in-time occupancy sample (downstream queue plus in-flight
+//! flits, taken at the epoch boundary). Epochs fully jumped over by
+//! `step_next_event` produce no record — they are idle by construction.
+//!
+//! ## Packet traces
+//!
+//! When [`TelemetryConfig::trace`] is set, packet lifecycle events —
+//! [`TraceEventKind::Inject`], one [`TraceEventKind::Hop`] per
+//! router-to-router head-flit departure, and [`TraceEventKind::Deliver`]
+//! — are buffered up to [`TelemetryConfig::trace_limit`] and replayed
+//! through any [`TraceSink`]: [`JsonlTraceSink`] (one JSON object per
+//! line) or [`ChromeTraceSink`] (a `trace_event` JSON document loadable
+//! in Perfetto / `chrome://tracing`, with one cycle mapped to one
+//! microsecond of viewer time and packets shown as async spans).
+
+use crate::router::Flit;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Why a queue front failed to advance through its target output port
+/// on a cycle it was counted as stalled.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize)]
+pub enum StallCause {
+    /// The downstream input VC had no free (unreserved) credit slot.
+    CreditStarved,
+    /// Credits and the link were available, but another front won the
+    /// output this cycle (or the front was exposed mid-cycle by its own
+    /// predecessor's departure).
+    LostArbitration,
+    /// The front had not yet cleared the router pipeline.
+    PipelineImmature,
+    /// The link could not serialize this cycle (inter-flit interval).
+    SerializationBusy,
+}
+
+impl StallCause {
+    /// All causes, in counter-index order.
+    pub const ALL: [StallCause; 4] = [
+        StallCause::CreditStarved,
+        StallCause::LostArbitration,
+        StallCause::PipelineImmature,
+        StallCause::SerializationBusy,
+    ];
+
+    /// Number of causes (the stride of per-cause counter blocks).
+    pub const COUNT: usize = 4;
+
+    /// Dense counter index, the order of [`StallCause::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            StallCause::CreditStarved => 0,
+            StallCause::LostArbitration => 1,
+            StallCause::PipelineImmature => 2,
+            StallCause::SerializationBusy => 3,
+        }
+    }
+}
+
+/// Per-cause stall-cycle counts for one aggregation bucket (a link, a
+/// VC on a link, or a whole traffic class).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize)]
+pub struct StallBreakdown {
+    /// Cycles stalled waiting for downstream credits.
+    pub credit_starved: u64,
+    /// Cycles lost to another front winning the output.
+    pub lost_arbitration: u64,
+    /// Cycles still traversing the router pipeline.
+    pub pipeline_immature: u64,
+    /// Cycles blocked on link serialization bandwidth.
+    pub serialization_busy: u64,
+}
+
+impl StallBreakdown {
+    /// Total stalled head-cycles across all causes.
+    pub fn total(&self) -> u64 {
+        self.credit_starved
+            + self.lost_arbitration
+            + self.pipeline_immature
+            + self.serialization_busy
+    }
+
+    /// Adds `n` cycles to the counter for `cause`.
+    pub fn add(&mut self, cause: StallCause, n: u64) {
+        match cause {
+            StallCause::CreditStarved => self.credit_starved += n,
+            StallCause::LostArbitration => self.lost_arbitration += n,
+            StallCause::PipelineImmature => self.pipeline_immature += n,
+            StallCause::SerializationBusy => self.serialization_busy += n,
+        }
+    }
+
+    /// Folds another breakdown into this one.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        self.credit_starved += other.credit_starved;
+        self.lost_arbitration += other.lost_arbitration;
+        self.pipeline_immature += other.pipeline_immature;
+        self.serialization_busy += other.serialization_busy;
+    }
+}
+
+/// Configuration of a [`Telemetry`] handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Epoch length in cycles for the per-link time-series.
+    pub epoch_cycles: u64,
+    /// Ring capacity: how many most-recent epoch records each link keeps.
+    pub epoch_ring: usize,
+    /// Whether to buffer packet lifecycle trace events.
+    pub trace: bool,
+    /// Maximum buffered trace events; further events are counted as
+    /// dropped ([`Telemetry::trace_dropped`]) instead of recorded.
+    pub trace_limit: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            epoch_cycles: 1024,
+            epoch_ring: 256,
+            trace: false,
+            trace_limit: 1 << 20,
+        }
+    }
+}
+
+/// One epoch's worth of activity on one link.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub struct EpochRecord {
+    /// Epoch index (`cycle / epoch_cycles`).
+    pub epoch: u64,
+    /// Flits that entered the link during the epoch.
+    pub flits: u32,
+    /// Stall cycles charged to the link during the epoch.
+    pub stalls: u32,
+    /// Occupancy sampled at the epoch boundary: flits in flight on the
+    /// link plus flits queued in the downstream input port it feeds.
+    pub occupancy: u32,
+}
+
+/// The lifecycle stage a [`TraceEvent`] records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum TraceEventKind {
+    /// The packet's head flit entered its source input queue.
+    Inject,
+    /// The packet's head flit departed a router toward another router.
+    Hop,
+    /// A flit of the packet reached its ejection endpoint.
+    Deliver,
+}
+
+/// One packet lifecycle event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub struct TraceEvent {
+    /// Lifecycle stage.
+    pub kind: TraceEventKind,
+    /// Cycle the event occurred at.
+    pub cycle: u64,
+    /// Packet id ([`Flit::packet`]).
+    pub packet: u64,
+    /// Router the event occurred at (the destination endpoint id for
+    /// [`TraceEventKind::Deliver`]).
+    pub router: usize,
+    /// Port involved: input port for injections, output port for hops
+    /// and deliveries.
+    pub port: usize,
+    /// VC the flit occupied (outgoing VC for hops).
+    pub vc: u8,
+}
+
+/// A consumer of packet lifecycle events: [`Telemetry::write_trace`]
+/// replays the buffered events into one, and [`TraceSink::render`]
+/// yields the formatted document.
+pub trait TraceSink {
+    /// Consumes one event.
+    fn emit(&mut self, ev: &TraceEvent);
+    /// The formatted output accumulated so far.
+    fn render(&self) -> String;
+}
+
+/// A [`TraceSink`] emitting one compact JSON object per line (JSONL) —
+/// grep-friendly single-packet debugging.
+#[derive(Clone, Debug, Default)]
+pub struct JsonlTraceSink {
+    out: String,
+}
+
+impl JsonlTraceSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        JsonlTraceSink::default()
+    }
+}
+
+impl TraceSink for JsonlTraceSink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        let _ = writeln!(
+            self.out,
+            "{{\"kind\":\"{:?}\",\"cycle\":{},\"packet\":{},\"router\":{},\"port\":{},\"vc\":{}}}",
+            ev.kind, ev.cycle, ev.packet, ev.router, ev.port, ev.vc
+        );
+    }
+
+    fn render(&self) -> String {
+        self.out.clone()
+    }
+}
+
+/// A [`TraceSink`] emitting the Chrome `trace_event` JSON format
+/// (loadable in Perfetto or `chrome://tracing`): packets appear as
+/// async spans (`b`/`e`) with one instant (`n`) per hop, `ts` measured
+/// in cycles (one cycle renders as one microsecond), and the event's
+/// router as the thread id.
+#[derive(Clone, Debug, Default)]
+pub struct ChromeTraceSink {
+    events: String,
+    any: bool,
+}
+
+impl ChromeTraceSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        ChromeTraceSink::default()
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        let ph = match ev.kind {
+            TraceEventKind::Inject => "b",
+            TraceEventKind::Hop => "n",
+            TraceEventKind::Deliver => "e",
+        };
+        if self.any {
+            self.events.push(',');
+        }
+        self.any = true;
+        let _ = write!(
+            self.events,
+            "{{\"name\":\"pkt{}\",\"cat\":\"net\",\"ph\":\"{}\",\"id\":{},\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"port\":{},\"vc\":{}}}}}",
+            ev.packet, ph, ev.packet, ev.cycle, ev.router, ev.port, ev.vc
+        );
+    }
+
+    fn render(&self) -> String {
+        format!("{{\"traceEvents\":[{}]}}", self.events)
+    }
+}
+
+/// End-of-run cycle accounting for one link, with human-readable label —
+/// the unit of the JSON telemetry summary.
+#[derive(Clone, Debug, Serialize)]
+pub struct LinkSummary {
+    /// Link label (the torus layer uses `"node<N>:<dir>/<slice>"`).
+    pub link: String,
+    /// Cycles a flit entered the link (equal to flits sent while
+    /// telemetry was enabled).
+    pub advance_cycles: u64,
+    /// Cycles at least one upstream front targeted the link but none
+    /// advanced.
+    pub stall_cycles: u64,
+    /// Remaining cycles (elapsed − advance − stall).
+    pub idle_cycles: u64,
+    /// Per-cause breakdown of the stalled head-cycles charged upstream
+    /// of this link (may exceed `stall_cycles`: several VCs can stall
+    /// on one cycle).
+    pub stalls: StallBreakdown,
+}
+
+/// The epoch time-series of one link.
+#[derive(Clone, Debug, Serialize)]
+pub struct LinkEpochSeries {
+    /// Link label (same scheme as [`LinkSummary::link`]).
+    pub link: String,
+    /// Ring contents, oldest first.
+    pub samples: Vec<EpochRecord>,
+}
+
+/// Stall attribution aggregated over one traffic class.
+#[derive(Clone, Debug, Serialize)]
+pub struct ClassStallSummary {
+    /// Class label (e.g. `"request"` / `"response"`).
+    pub class: String,
+    /// Per-cause stalled head-cycles summed over the class's VCs.
+    pub stalls: StallBreakdown,
+}
+
+/// The self-describing end-of-run telemetry report: per-link cycle
+/// accounting with stall attribution, per-class stall totals, and the
+/// per-link epoch time-series — the JSON artifact `sweep_traffic
+/// --telemetry` writes. `schema_version` is bumped whenever a field
+/// changes meaning, so archived summaries stay interpretable.
+#[derive(Clone, Debug, Serialize)]
+pub struct TelemetrySummary {
+    /// Version of this summary layout.
+    pub schema_version: u32,
+    /// Epoch length the time-series was sampled at.
+    pub epoch_cycles: u64,
+    /// Cycle telemetry was enabled at.
+    pub enabled_at_cycle: u64,
+    /// Cycles covered (`now − enabled_at`); per link,
+    /// `advance + stall + idle` sums to exactly this.
+    pub elapsed_cycles: u64,
+    /// Buffered packet lifecycle events.
+    pub trace_events: usize,
+    /// Trace events dropped after the buffer filled.
+    pub trace_dropped: u64,
+    /// Stall attribution per traffic class.
+    pub classes: Vec<ClassStallSummary>,
+    /// Per-link cycle accounting, one entry per directed link.
+    pub links: Vec<LinkSummary>,
+    /// Per-link epoch series (links with at least one flushed epoch).
+    pub epochs: Vec<LinkEpochSeries>,
+}
+
+/// Current [`TelemetrySummary::schema_version`].
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+
+/// Telemetry state for one fabric: per-link cycle accounting, per
+/// (router, output, VC, cause) stall counters, epoch rings, and the
+/// packet trace buffer. Constructed by
+/// [`RouterFabric::enable_telemetry`](crate::router::RouterFabric::enable_telemetry);
+/// read back through the fabric (or
+/// [`TorusFabric`](crate::fabric3d::TorusFabric)) accessors.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    cfg: TelemetryConfig,
+    /// Prefix sums of per-router port counts: link `(r, out)` flattens
+    /// to `link_offset[r] + out`.
+    link_offset: Vec<u32>,
+    /// VC stride of the per-VC stall counters.
+    vcs: usize,
+    /// Cycle telemetry was enabled at (elapsed = now − enabled_at).
+    enabled_at: u64,
+    /// Stalled head-cycles per `(link * vcs + vc) * COUNT + cause`.
+    stalls: Vec<u64>,
+    /// Cycles each link advanced a flit.
+    advance: Vec<u64>,
+    /// Cycles each link stalled (≥1 targeting front, no advance).
+    stall_cycles: Vec<u64>,
+    /// Last cycle each link advanced (advance/stall dedup stamps).
+    advance_stamp: Vec<u64>,
+    /// Last cycle each link was charged a stall.
+    stall_stamp: Vec<u64>,
+    /// Current epoch index (`cycle / epoch_cycles` of the last roll).
+    epoch: u64,
+    /// Per-link flit delta within the current epoch.
+    epoch_advance: Vec<u32>,
+    /// Per-link stall-cycle delta within the current epoch.
+    epoch_stall: Vec<u32>,
+    /// Per-link epoch rings, oldest record first.
+    rings: Vec<VecDeque<EpochRecord>>,
+    /// Occupancy scratch reused across epoch rolls.
+    occ_scratch: Vec<u32>,
+    /// Buffered packet lifecycle events.
+    trace: Vec<TraceEvent>,
+    /// Events discarded after [`TelemetryConfig::trace_limit`].
+    trace_dropped: u64,
+    /// Delivery-log watermark for emitting `Deliver` events exactly once.
+    delivered_mark: usize,
+}
+
+impl Telemetry {
+    /// Creates telemetry for a fabric whose router `r` has `ports[r]`
+    /// output ports and at most `vcs` VCs, enabled at `now`.
+    pub(crate) fn new(cfg: TelemetryConfig, ports: &[u32], vcs: usize, now: u64) -> Self {
+        assert!(cfg.epoch_cycles > 0, "epoch length must be positive");
+        assert!(cfg.epoch_ring > 0, "epoch ring needs capacity");
+        let mut link_offset = Vec::with_capacity(ports.len() + 1);
+        let mut total = 0u32;
+        for &p in ports {
+            link_offset.push(total);
+            total += p;
+        }
+        link_offset.push(total);
+        let links = total as usize;
+        Telemetry {
+            cfg,
+            link_offset,
+            vcs,
+            enabled_at: now,
+            stalls: vec![0; links * vcs * StallCause::COUNT],
+            advance: vec![0; links],
+            stall_cycles: vec![0; links],
+            advance_stamp: vec![u64::MAX; links],
+            stall_stamp: vec![u64::MAX; links],
+            epoch: now / cfg.epoch_cycles,
+            epoch_advance: vec![0; links],
+            epoch_stall: vec![0; links],
+            rings: vec![VecDeque::new(); links],
+            occ_scratch: Vec::new(),
+            trace: Vec::new(),
+            trace_dropped: 0,
+            delivered_mark: 0,
+        }
+    }
+
+    /// The configuration this handle was enabled with.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.cfg
+    }
+
+    /// The cycle telemetry was enabled at.
+    pub fn enabled_at(&self) -> u64 {
+        self.enabled_at
+    }
+
+    /// Number of links tracked.
+    pub fn link_count(&self) -> usize {
+        *self.link_offset.last().expect("offsets non-empty") as usize
+    }
+
+    #[inline]
+    fn link(&self, r: usize, out: usize) -> usize {
+        self.link_offset[r] as usize + out
+    }
+
+    /// Records one departure through `(r, out)` at `cycle`; `hop` is
+    /// true for router-to-router links (the ones traced as hops).
+    pub(crate) fn note_advance(
+        &mut self,
+        cycle: u64,
+        r: usize,
+        out: usize,
+        flit: &Flit,
+        hop: bool,
+    ) {
+        let l = self.link(r, out);
+        self.advance[l] += 1;
+        self.epoch_advance[l] = self.epoch_advance[l].saturating_add(1);
+        self.advance_stamp[l] = cycle;
+        if self.cfg.trace && hop && flit.is_head() {
+            self.push_trace(TraceEvent {
+                kind: TraceEventKind::Hop,
+                cycle,
+                packet: flit.packet,
+                router: r,
+                port: out,
+                vc: flit.vc,
+            });
+        }
+    }
+
+    /// Whether `(r, out)` advanced a flit on `cycle` (valid during the
+    /// same cycle's stall classification, after advances are noted).
+    pub(crate) fn advanced_on(&self, cycle: u64, r: usize, out: usize) -> bool {
+        self.advance_stamp[self.link(r, out)] == cycle
+    }
+
+    /// Charges one stalled head-cycle at `(r, out, vc)` to `cause`, and
+    /// the link itself with a stall cycle (at most once per cycle, and
+    /// never on a cycle the link advanced).
+    pub(crate) fn note_stall(
+        &mut self,
+        cycle: u64,
+        r: usize,
+        out: usize,
+        vc: u8,
+        cause: StallCause,
+    ) {
+        let l = self.link(r, out);
+        let vc = (vc as usize).min(self.vcs - 1);
+        self.stalls[(l * self.vcs + vc) * StallCause::COUNT + cause.index()] += 1;
+        if self.advance_stamp[l] != cycle && self.stall_stamp[l] != cycle {
+            self.stall_stamp[l] = cycle;
+            self.stall_cycles[l] += 1;
+            self.epoch_stall[l] = self.epoch_stall[l].saturating_add(1);
+        }
+    }
+
+    /// Records a packet injection (head flit accepted at its source).
+    pub(crate) fn note_inject(
+        &mut self,
+        cycle: u64,
+        packet: u64,
+        router: usize,
+        port: usize,
+        vc: u8,
+    ) {
+        if self.cfg.trace {
+            self.push_trace(TraceEvent {
+                kind: TraceEventKind::Inject,
+                cycle,
+                packet,
+                router,
+                port,
+                vc,
+            });
+        }
+    }
+
+    /// Emits `Deliver` events for delivery-log entries past the
+    /// watermark; `delivered` is the fabric's (possibly caller-drained)
+    /// delivery log.
+    pub(crate) fn note_deliveries(&mut self, delivered: &[(u64, Flit)]) {
+        if self.delivered_mark > delivered.len() {
+            self.delivered_mark = delivered.len();
+        }
+        if self.cfg.trace {
+            for &(cycle, ref flit) in &delivered[self.delivered_mark..] {
+                self.push_trace(TraceEvent {
+                    kind: TraceEventKind::Deliver,
+                    cycle,
+                    packet: flit.packet,
+                    router: flit.dest as usize,
+                    port: 0,
+                    vc: flit.vc,
+                });
+            }
+        }
+        self.delivered_mark = delivered.len();
+    }
+
+    /// Clamps the delivery watermark after the caller may have drained
+    /// the log (called at the start of each step).
+    pub(crate) fn sync_delivered(&mut self, len: usize) {
+        if self.delivered_mark > len {
+            self.delivered_mark = len;
+        }
+    }
+
+    /// Sets the delivery watermark outright — used at enable time so
+    /// deliveries that predate telemetry are never traced.
+    pub(crate) fn set_delivered_mark(&mut self, len: usize) {
+        self.delivered_mark = len;
+    }
+
+    fn push_trace(&mut self, ev: TraceEvent) {
+        if self.trace.len() < self.cfg.trace_limit {
+            self.trace.push(ev);
+        } else {
+            self.trace_dropped += 1;
+        }
+    }
+
+    /// Whether `cycle` has crossed into a new epoch since the last roll.
+    pub(crate) fn roll_due(&self, cycle: u64) -> bool {
+        cycle / self.cfg.epoch_cycles != self.epoch
+    }
+
+    /// Takes the occupancy scratch buffer for the fabric to fill (one
+    /// entry per link, in flat link order).
+    pub(crate) fn take_occ_scratch(&mut self) -> Vec<u32> {
+        let mut v = std::mem::take(&mut self.occ_scratch);
+        v.clear();
+        v
+    }
+
+    /// Closes the current epoch: pushes one record per link (flit and
+    /// stall deltas plus the boundary occupancy sample in `occ`), resets
+    /// the deltas, and advances to `cycle`'s epoch. Stores `occ` back as
+    /// the scratch buffer.
+    pub(crate) fn roll(&mut self, cycle: u64, occ: Vec<u32>) {
+        debug_assert_eq!(occ.len(), self.link_count(), "occupancy per link");
+        for (l, ring) in self.rings.iter_mut().enumerate() {
+            if ring.len() == self.cfg.epoch_ring {
+                ring.pop_front();
+            }
+            ring.push_back(EpochRecord {
+                epoch: self.epoch,
+                flits: self.epoch_advance[l],
+                stalls: self.epoch_stall[l],
+                occupancy: occ[l],
+            });
+            self.epoch_advance[l] = 0;
+            self.epoch_stall[l] = 0;
+        }
+        self.epoch = cycle / self.cfg.epoch_cycles;
+        self.occ_scratch = occ;
+    }
+
+    /// Cycles link `(r, out)` advanced a flit since enabling.
+    pub fn advance_cycles(&self, r: usize, out: usize) -> u64 {
+        self.advance[self.link(r, out)]
+    }
+
+    /// Cycles link `(r, out)` stalled since enabling.
+    pub fn stall_cycles(&self, r: usize, out: usize) -> u64 {
+        self.stall_cycles[self.link(r, out)]
+    }
+
+    /// Stalled head-cycles at `(r, out, vc)` attributed to `cause`.
+    pub fn stall_count(&self, r: usize, out: usize, vc: u8, cause: StallCause) -> u64 {
+        let l = self.link(r, out);
+        self.stalls[(l * self.vcs + vc as usize) * StallCause::COUNT + cause.index()]
+    }
+
+    /// Per-cause breakdown for one `(r, out, vc)`.
+    pub fn stalls_for_vc(&self, r: usize, out: usize, vc: u8) -> StallBreakdown {
+        let mut b = StallBreakdown::default();
+        for cause in StallCause::ALL {
+            b.add(cause, self.stall_count(r, out, vc, cause));
+        }
+        b
+    }
+
+    /// Per-cause breakdown for link `(r, out)`, summed over VCs.
+    pub fn stalls_for_link(&self, r: usize, out: usize) -> StallBreakdown {
+        let mut b = StallBreakdown::default();
+        for vc in 0..self.vcs {
+            b.merge(&self.stalls_for_vc(r, out, vc as u8));
+        }
+        b
+    }
+
+    /// The epoch ring of link `(r, out)`, oldest record first. The
+    /// current (un-rolled) epoch's partial deltas are not included; see
+    /// [`Telemetry::epoch_partial`].
+    pub fn epoch_samples(&self, r: usize, out: usize) -> impl Iterator<Item = &EpochRecord> {
+        self.rings[self.link(r, out)].iter()
+    }
+
+    /// The current epoch's accumulated `(flits, stall cycles)` deltas
+    /// for link `(r, out)` — activity not yet flushed into the ring.
+    pub fn epoch_partial(&self, r: usize, out: usize) -> (u32, u32) {
+        let l = self.link(r, out);
+        (self.epoch_advance[l], self.epoch_stall[l])
+    }
+
+    /// Buffered packet lifecycle events, in emission order.
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Events discarded after the trace buffer filled.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_dropped
+    }
+
+    /// Replays every buffered trace event into `sink`.
+    pub fn write_trace(&self, sink: &mut dyn TraceSink) {
+        for ev in &self.trace {
+            sink.emit(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flit(packet: u64, index: u8) -> Flit {
+        Flit {
+            packet,
+            index,
+            of: 2,
+            dest: 7,
+            vc: 1,
+            tag: 0,
+            injected_at: 0,
+        }
+    }
+
+    fn tel(trace: bool) -> Telemetry {
+        Telemetry::new(
+            TelemetryConfig {
+                epoch_cycles: 8,
+                epoch_ring: 2,
+                trace,
+                trace_limit: 4,
+            },
+            &[2, 3],
+            2,
+            0,
+        )
+    }
+
+    #[test]
+    fn link_flattening_spans_routers() {
+        let t = tel(false);
+        assert_eq!(t.link_count(), 5);
+        assert_eq!(t.link(0, 1), 1);
+        assert_eq!(t.link(1, 0), 2);
+        assert_eq!(t.link(1, 2), 4);
+    }
+
+    #[test]
+    fn stall_cycles_dedup_per_link_cycle() {
+        let mut t = tel(false);
+        // Two VCs stall on the same link in the same cycle: two cause
+        // counts, one link stall cycle.
+        t.note_stall(5, 0, 1, 0, StallCause::CreditStarved);
+        t.note_stall(5, 0, 1, 1, StallCause::LostArbitration);
+        assert_eq!(t.stall_cycles(0, 1), 1);
+        assert_eq!(t.stalls_for_link(0, 1).total(), 2);
+        // An advance on the same cycle suppresses the link stall charge.
+        t.note_advance(6, 0, 1, &flit(1, 0), false);
+        t.note_stall(6, 0, 1, 0, StallCause::LostArbitration);
+        assert_eq!(t.stall_cycles(0, 1), 1);
+        assert_eq!(t.advance_cycles(0, 1), 1);
+        assert_eq!(
+            t.stall_count(0, 1, 0, StallCause::LostArbitration)
+                + t.stall_count(0, 1, 1, StallCause::LostArbitration),
+            2
+        );
+    }
+
+    #[test]
+    fn epoch_roll_flushes_deltas_and_bounds_ring() {
+        let mut t = tel(false);
+        t.note_advance(3, 1, 2, &flit(1, 1), false);
+        t.note_stall(4, 1, 2, 0, StallCause::SerializationBusy);
+        assert!(!t.roll_due(7));
+        assert!(t.roll_due(8));
+        let occ = vec![0, 0, 0, 0, 9];
+        t.roll(8, occ);
+        let recs: Vec<_> = t.epoch_samples(1, 2).copied().collect();
+        assert_eq!(
+            recs,
+            vec![EpochRecord {
+                epoch: 0,
+                flits: 1,
+                stalls: 1,
+                occupancy: 9
+            }]
+        );
+        assert_eq!(t.epoch_partial(1, 2), (0, 0));
+        // Ring capacity 2: a third roll evicts the oldest record.
+        t.roll(16, vec![0; 5]);
+        t.roll(24, vec![0; 5]);
+        let recs: Vec<_> = t.epoch_samples(1, 2).map(|r| r.epoch).collect();
+        assert_eq!(recs, vec![1, 2]);
+    }
+
+    #[test]
+    fn trace_buffer_caps_and_sinks_render() {
+        let mut t = tel(true);
+        t.note_inject(0, 42, 0, 12, 0);
+        t.note_advance(1, 0, 0, &flit(42, 0), true);
+        t.note_advance(1, 0, 1, &flit(42, 1), true); // body: no hop event
+        t.note_deliveries(&[(5, flit(42, 1))]);
+        assert_eq!(t.trace_events().len(), 3);
+        // Watermark: re-reporting the same log adds nothing.
+        t.note_deliveries(&[(5, flit(42, 1))]);
+        assert_eq!(t.trace_events().len(), 3);
+        // A drained log resets the watermark.
+        t.sync_delivered(0);
+        t.note_deliveries(&[(6, flit(43, 0))]);
+        assert_eq!(t.trace_events().len(), 4);
+        // Buffer is full now (limit 4): further events count as dropped.
+        t.note_inject(7, 44, 1, 12, 0);
+        assert_eq!(t.trace_dropped(), 1);
+
+        let mut jsonl = JsonlTraceSink::new();
+        t.write_trace(&mut jsonl);
+        let text = jsonl.render();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.starts_with("{\"kind\":\"Inject\""));
+
+        let mut chrome = ChromeTraceSink::new();
+        t.write_trace(&mut chrome);
+        let doc = chrome.render();
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"ph\":\"b\""));
+        assert!(doc.contains("\"ph\":\"n\""));
+        assert!(doc.contains("\"ph\":\"e\""));
+    }
+
+    #[test]
+    fn stall_cause_indices_roundtrip() {
+        for (i, c) in StallCause::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        let mut b = StallBreakdown::default();
+        for c in StallCause::ALL {
+            b.add(c, 2);
+        }
+        assert_eq!(b.total(), 8);
+        let mut b2 = b;
+        b2.merge(&b);
+        assert_eq!(b2.total(), 16);
+    }
+}

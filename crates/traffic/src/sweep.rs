@@ -51,13 +51,41 @@ use crate::patterns::TrafficPattern;
 use crate::workload::{SyntheticWorkload, Workload};
 use anton_model::topology::{NodeId, Torus};
 use anton_model::units::PS_PER_CORE_CYCLE;
+use anton_net::channel::ByteKind;
 use anton_net::fabric3d::{
     decode_tag, FabricParams, PacketSpec, TorusFabric, TrafficClass, SLICES,
 };
 use anton_net::routing;
+use anton_net::telemetry::TelemetryConfig;
 use anton_sim::rng::SplitMix64;
+use anton_sim::stats::{Accumulator, LogHistogram};
 use serde::Serialize;
 use std::collections::VecDeque;
+
+/// Version of the [`SweepReport`] JSON schema. Bumped whenever the
+/// report shape changes; archived sweeps carry it so downstream tooling
+/// can tell what it is reading. Version 1 was the unversioned pre-
+/// telemetry shape; version 2 added `schema_version`, the [`ConfigEcho`]
+/// block, and per-curve [`LatencySummary`] aggregates.
+pub const SWEEP_SCHEMA_VERSION: u32 = 2;
+
+/// Self-describing run echo embedded in every [`SweepReport`]: the
+/// inputs that determine the artifact byte for byte (`seed`, `dims`)
+/// plus the execution knobs that provably do *not*
+/// (`threads` — the report is byte-identical at any worker count — and
+/// `epoch_cycles`, the telemetry epoch length, 0 when telemetry was
+/// off).
+#[derive(Clone, Debug, Serialize)]
+pub struct ConfigEcho {
+    /// Root RNG seed ([`SweepConfig::seed`]).
+    pub seed: u64,
+    /// Torus extents ([`SweepConfig::dims`]).
+    pub dims: [u8; 3],
+    /// Worker threads the sweep ran on.
+    pub threads: usize,
+    /// Telemetry epoch length in cycles; 0 when telemetry was disabled.
+    pub epoch_cycles: u64,
+}
 
 /// Configuration of one latency–throughput sweep.
 #[derive(Clone, Debug, Serialize)]
@@ -196,6 +224,110 @@ pub struct LoadPoint {
     pub saturated: bool,
 }
 
+/// Mergeable latency statistics of one scenario — or of many, via
+/// [`LatencyStats::merge`]: log-bucketed histograms
+/// ([`LogHistogram`]) per traffic class and per [`ByteKind`], plus
+/// moment accumulators ([`Accumulator`]) alongside each histogram.
+/// Merging is order-independent on the histograms and counters, so
+/// `run_sweep_threaded` workers can each fill their own copy and the
+/// harness folds them together afterward; the harness still merges in
+/// point order so the floating-point moment sums are byte-stable too.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    /// Generation-to-delivery latency histograms, indexed `[request,
+    /// response]`.
+    pub class_hist: [LogHistogram; 2],
+    /// Latency histograms per [`ByteKind`] counter index
+    /// ([`ByteKind::index`]), for the Figure 9a payload-typed view.
+    pub kind_hist: [LogHistogram; 3],
+    /// Moment accumulators per class, same indexing as `class_hist`.
+    pub class_moments: [Accumulator; 2],
+    /// Moment accumulators per [`ByteKind`], same indexing as
+    /// `kind_hist`.
+    pub kind_moments: [Accumulator; 3],
+}
+
+impl LatencyStats {
+    /// Records one delivered packet's generation-to-delivery latency
+    /// under its traffic class and payload [`ByteKind`].
+    pub fn record(&mut self, class: TrafficClass, kind: ByteKind, latency_cycles: u64) {
+        let k = (class == TrafficClass::Response) as usize;
+        self.class_hist[k].record(latency_cycles);
+        self.class_moments[k].add(latency_cycles as f64);
+        self.kind_hist[kind.index()].record(latency_cycles);
+        self.kind_moments[kind.index()].add(latency_cycles as f64);
+    }
+
+    /// Folds another scenario's statistics into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        for (dst, src) in self.class_hist.iter_mut().zip(&other.class_hist) {
+            dst.merge(src);
+        }
+        for (dst, src) in self.kind_hist.iter_mut().zip(&other.kind_hist) {
+            dst.merge(src);
+        }
+        for (dst, src) in self.class_moments.iter_mut().zip(&other.class_moments) {
+            dst.merge(src);
+        }
+        for (dst, src) in self.kind_moments.iter_mut().zip(&other.kind_moments) {
+            dst.merge(src);
+        }
+    }
+
+    /// The serializable summary of one traffic class.
+    pub fn class_summary(&self, class: TrafficClass) -> LatencySummary {
+        let k = (class == TrafficClass::Response) as usize;
+        summarize(&self.class_hist[k], &self.class_moments[k])
+    }
+
+    /// The serializable summary of one payload [`ByteKind`].
+    pub fn kind_summary(&self, kind: ByteKind) -> LatencySummary {
+        summarize(
+            &self.kind_hist[kind.index()],
+            &self.kind_moments[kind.index()],
+        )
+    }
+}
+
+fn summarize(hist: &LogHistogram, moments: &Accumulator) -> LatencySummary {
+    LatencySummary {
+        samples: hist.count(),
+        mean_cycles: if moments.count() > 0 {
+            moments.mean()
+        } else {
+            0.0
+        },
+        stddev_cycles: if moments.count() > 0 {
+            moments.stddev()
+        } else {
+            0.0
+        },
+        p50_cycles: hist.quantile(0.50) as f64,
+        p99_cycles: hist.quantile(0.99) as f64,
+        max_cycles: hist.max().unwrap_or(0),
+    }
+}
+
+/// Latency aggregate serialized per curve: the histogram quantiles and
+/// accumulator moments of every tracked delivery across the whole load
+/// axis. Quantiles come from a [`LogHistogram`], so they are exact
+/// below 64 cycles and within one sub-bucket (≤ 3.2% relative) above.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct LatencySummary {
+    /// Delivered tracked packets contributing samples.
+    pub samples: u64,
+    /// Mean latency in cycles (0 when empty).
+    pub mean_cycles: f64,
+    /// Population standard deviation in cycles (0 when empty).
+    pub stddev_cycles: f64,
+    /// Histogram-derived median, cycles (0 when empty).
+    pub p50_cycles: f64,
+    /// Histogram-derived 99th percentile, cycles (0 when empty).
+    pub p99_cycles: f64,
+    /// Exact observed maximum, cycles (0 when empty).
+    pub max_cycles: u64,
+}
+
 /// One pattern's full latency–throughput curve.
 #[derive(Clone, Debug, Serialize)]
 pub struct PatternCurve {
@@ -203,6 +335,12 @@ pub struct PatternCurve {
     pub pattern: String,
     /// One entry per offered load.
     pub points: Vec<LoadPoint>,
+    /// Request-class latency aggregate over every point of the curve,
+    /// merged from the per-point histograms in point order.
+    pub request_latency: LatencySummary,
+    /// Response-class latency aggregate (all zero when the sweep never
+    /// carried responses).
+    pub response_latency: LatencySummary,
 }
 
 impl LoadPoint {
@@ -244,6 +382,10 @@ impl PatternCurve {
 /// A full multi-pattern sweep report (the JSON artifact).
 #[derive(Clone, Debug, Serialize)]
 pub struct SweepReport {
+    /// Report schema version ([`SWEEP_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Self-describing run echo (seed, dims, threads, epoch length).
+    pub echo: ConfigEcho,
     /// Sweep configuration echo.
     pub config: SweepConfig,
     /// Calibrated router pipeline cycles per hop.
@@ -297,30 +439,28 @@ const PENDING: u64 = u64::MAX;
 pub struct ScenarioRun {
     /// The measured curve point.
     pub point: LoadPoint,
-    /// The fabric after the run, counters intact.
+    /// The fabric after the run, counters intact (including its
+    /// [`anton_net::telemetry::Telemetry`] state when the scenario ran
+    /// via [`run_scenario_instrumented`]).
     pub fabric: TorusFabric,
+    /// Mergeable latency histograms and moments of every tracked
+    /// delivered packet, per class and [`ByteKind`].
+    pub stats: LatencyStats,
 }
 
 fn class_point(
     delivered: f64,
     measured: u64,
     incomplete: u64,
-    latencies: &mut [u64],
+    hist: &LogHistogram,
+    moments: &Accumulator,
     net_sum: f64,
     hop_sum: f64,
-    total_sum: f64,
 ) -> ClassPoint {
-    latencies.sort_unstable();
-    let completed = latencies.len() as f64;
-    let pct = |q: f64| -> f64 {
-        if latencies.is_empty() {
-            0.0
-        } else {
-            latencies[((completed - 1.0) * q).round() as usize] as f64
-        }
-    };
-    let mean = if completed > 0.0 {
-        total_sum / completed
+    let completed = hist.count() as f64;
+    let pct = |q: f64| -> f64 { hist.quantile(q) as f64 };
+    let mean = if moments.count() > 0 {
+        moments.mean()
     } else {
         0.0
     };
@@ -371,6 +511,44 @@ pub fn run_scenario_with<W: Workload + ?Sized>(
     stream: u64,
     stepper: Stepper,
 ) -> ScenarioRun {
+    scenario_impl(workload, cfg, params, offered, stream, stepper, None)
+}
+
+/// [`run_scenario`] with fabric telemetry enabled for the whole run:
+/// stall-cause attribution, per-link epoch time-series, and (when
+/// [`TelemetryConfig::trace`] is set) packet lifecycle traces, all
+/// readable off [`ScenarioRun::fabric`] afterward — e.g. via
+/// [`TorusFabric::telemetry_summary`]. Telemetry recording is purely
+/// observational, so the measured [`LoadPoint`] is bit-identical to an
+/// uninstrumented [`run_scenario`] of the same arguments.
+pub fn run_scenario_instrumented<W: Workload + ?Sized>(
+    workload: &mut W,
+    cfg: &SweepConfig,
+    params: FabricParams,
+    offered: f64,
+    stream: u64,
+    telemetry: TelemetryConfig,
+) -> ScenarioRun {
+    scenario_impl(
+        workload,
+        cfg,
+        params,
+        offered,
+        stream,
+        Stepper::Event,
+        Some(telemetry),
+    )
+}
+
+fn scenario_impl<W: Workload + ?Sized>(
+    workload: &mut W,
+    cfg: &SweepConfig,
+    params: FabricParams,
+    offered: f64,
+    stream: u64,
+    stepper: Stepper,
+    telemetry: Option<TelemetryConfig>,
+) -> ScenarioRun {
     assert!(cfg.flits_per_packet >= 1, "packets carry at least one flit");
     assert!(
         (0.0..=1.0 + 1e-9).contains(&offered),
@@ -378,6 +556,9 @@ pub fn run_scenario_with<W: Workload + ?Sized>(
     );
     let torus = Torus::new(cfg.dims);
     let mut fabric = TorusFabric::new(torus, params);
+    if let Some(tel) = telemetry {
+        fabric.enable_telemetry(tel);
+    }
     let n = torus.node_count();
     let nflits = cfg.flits_per_packet;
     let p_packet = offered / nflits as f64;
@@ -571,11 +752,13 @@ pub fn run_scenario_with<W: Workload + ?Sized>(
         }
     }
 
-    // Statistics over tracked packets, split by class.
-    let mut latencies: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+    // Statistics over tracked packets, split by class. Latencies go
+    // straight into mergeable log-bucketed histograms — no clone-and-
+    // sort pass — so the same stats aggregate across threaded sweep
+    // workers by histogram merge.
+    let mut stats = LatencyStats::default();
     let mut net_sum = [0f64; 2];
     let mut hop_sum = [0f64; 2];
-    let mut total_sum = [0f64; 2];
     let mut measured = [0u64; 2];
     let mut incomplete = [0u64; 2];
     for (info, spec) in packets.iter().zip(&specs).filter(|(i, _)| i.tracked) {
@@ -585,31 +768,29 @@ pub fn run_scenario_with<W: Workload + ?Sized>(
             incomplete[k] += 1;
             continue;
         }
-        latencies[k].push(info.delivered_at - info.generated_at);
-        total_sum[k] += (info.delivered_at - info.generated_at) as f64;
+        stats.record(spec.class, spec.kind, info.delivered_at - info.generated_at);
         net_sum[k] += (info.delivered_at - info.injected_at) as f64;
         hop_sum[k] += info.hops as f64;
     }
     let per_node_cycle = |flits: u64| flits as f64 / (n as f64 * cfg.measure_cycles as f64);
-    let [mut req_lat, mut resp_lat] = latencies;
     let request = class_point(
         per_node_cycle(class_flits[0]),
         measured[0],
         incomplete[0],
-        &mut req_lat,
+        &stats.class_hist[0],
+        &stats.class_moments[0],
         net_sum[0],
         hop_sum[0],
-        total_sum[0],
     );
     let response = (cfg.respond || measured[1] > 0).then(|| {
         class_point(
             per_node_cycle(class_flits[1]),
             measured[1],
             incomplete[1],
-            &mut resp_lat,
+            &stats.class_hist[1],
+            &stats.class_moments[1],
             net_sum[1],
             hop_sum[1],
-            total_sum[1],
         )
     });
 
@@ -636,7 +817,11 @@ pub fn run_scenario_with<W: Workload + ?Sized>(
         backpressure_rejections: backpressure,
         saturated: outstanding > 0 || request.delivered < generated * 0.90 - 1e-3,
     };
-    ScenarioRun { point, fabric }
+    ScenarioRun {
+        point,
+        fabric,
+        stats,
+    }
 }
 
 /// Runs one synthetic pattern at one offered load: a thin
@@ -649,8 +834,22 @@ pub fn run_point(
     offered: f64,
     stream: u64,
 ) -> LoadPoint {
+    run_point_stats(pattern, cfg, params, offered, stream).0
+}
+
+/// [`run_point`] keeping the mergeable per-point latency statistics —
+/// the curve harnesses fold these into the per-pattern
+/// [`LatencySummary`] aggregates.
+fn run_point_stats(
+    pattern: &dyn TrafficPattern,
+    cfg: &SweepConfig,
+    params: FabricParams,
+    offered: f64,
+    stream: u64,
+) -> (LoadPoint, LatencyStats) {
     let mut workload = SyntheticWorkload::new(pattern, cfg.flits_per_packet, cfg.respond);
-    run_scenario(&mut workload, cfg, params, offered, stream).point
+    let run = run_scenario(&mut workload, cfg, params, offered, stream);
+    (run.point, run.stats)
 }
 
 /// Claims indices `0..n` off a shared counter and computes `f(i)` into
@@ -712,12 +911,28 @@ pub fn run_curve_threaded(
     stream: u64,
     threads: usize,
 ) -> PatternCurve {
-    let points = parallel_indexed(cfg.loads.len(), threads, |i| {
-        run_point(pattern, cfg, params, cfg.loads[i], stream * 1024 + i as u64)
+    let results = parallel_indexed(cfg.loads.len(), threads, |i| {
+        run_point_stats(pattern, cfg, params, cfg.loads[i], stream * 1024 + i as u64)
     });
+    assemble_curve(pattern.name(), results)
+}
+
+/// Folds a point-ordered run into one curve: per-point stats merge
+/// into the per-pattern aggregate in point order, so the curve — and
+/// its floating-point moment sums — is byte-identical at any worker
+/// count.
+fn assemble_curve(name: &str, results: Vec<(LoadPoint, LatencyStats)>) -> PatternCurve {
+    let mut agg = LatencyStats::default();
+    let mut points = Vec::with_capacity(results.len());
+    for (point, stats) in results {
+        agg.merge(&stats);
+        points.push(point);
+    }
     PatternCurve {
-        pattern: pattern.name().to_string(),
+        pattern: name.to_string(),
         points,
+        request_latency: agg.class_summary(TrafficClass::Request),
+        response_latency: agg.class_summary(TrafficClass::Response),
     }
 }
 
@@ -744,7 +959,7 @@ pub fn run_sweep_threaded(
     let npoints = cfg.loads.len();
     let flat = parallel_indexed(patterns.len() * npoints, threads, |t| {
         let (pi, li) = (t / npoints, t % npoints);
-        run_point(
+        run_point_stats(
             patterns[pi].as_ref(),
             cfg,
             params,
@@ -752,15 +967,19 @@ pub fn run_sweep_threaded(
             (pi as u64 + 1) * 1024 + li as u64,
         )
     });
+    let mut flat = flat.into_iter();
     let curves = patterns
         .iter()
-        .enumerate()
-        .map(|(pi, p)| PatternCurve {
-            pattern: p.name().to_string(),
-            points: flat[pi * npoints..(pi + 1) * npoints].to_vec(),
-        })
+        .map(|p| assemble_curve(p.name(), flat.by_ref().take(npoints).collect()))
         .collect();
     SweepReport {
+        schema_version: SWEEP_SCHEMA_VERSION,
+        echo: ConfigEcho {
+            seed: cfg.seed,
+            dims: cfg.dims,
+            threads,
+            epoch_cycles: 0,
+        },
         config: cfg.clone(),
         router_cycles: params.router_cycles,
         link_latency_cycles: params.link_latency,
@@ -818,6 +1037,8 @@ mod tests {
         let empty = PatternCurve {
             pattern: "empty".into(),
             points: vec![],
+            request_latency: LatencySummary::default(),
+            response_latency: LatencySummary::default(),
         };
         assert_eq!(empty.saturation_throughput(), 0.0);
         assert_eq!(
@@ -835,6 +1056,8 @@ mod tests {
         let curve = PatternCurve {
             pattern: "uniform".into(),
             points: vec![run_point(&UniformRandom, &cfg, p, 0.1, 9)],
+            request_latency: LatencySummary::default(),
+            response_latency: LatencySummary::default(),
         };
         assert_eq!(
             curve.class_saturation_throughput(TrafficClass::Response),
@@ -906,7 +1129,11 @@ mod tests {
         let suite: Vec<Box<dyn crate::patterns::TrafficPattern>> =
             vec![Box::new(UniformRandom), Box::new(NearestNeighbor)];
         let sweep_serial = run_sweep(&suite, &cfg, p);
-        let sweep_threaded = run_sweep_threaded(&suite, &cfg, p, 4);
+        let mut sweep_threaded = run_sweep_threaded(&suite, &cfg, p, 4);
+        // The echo block records execution provenance, so its thread
+        // count differs by design; every measurement must not.
+        assert_eq!(sweep_threaded.echo.threads, 4);
+        sweep_threaded.echo.threads = sweep_serial.echo.threads;
         assert_eq!(
             serde_json::to_string(&sweep_serial).unwrap(),
             serde_json::to_string(&sweep_threaded).unwrap(),
@@ -962,6 +1189,49 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_run_is_bit_identical_and_carries_telemetry() {
+        let mut cfg = small_cfg();
+        cfg.respond = true;
+        let p = params();
+        let mk = || {
+            crate::workload::SyntheticWorkload::new(
+                &UniformRandom,
+                cfg.flits_per_packet,
+                cfg.respond,
+            )
+        };
+        let plain = run_scenario(&mut mk(), &cfg, p, 0.2, 7);
+        let tel = run_scenario_instrumented(&mut mk(), &cfg, p, 0.2, 7, TelemetryConfig::default());
+        // Telemetry is observational: the measured point — and the JSON
+        // serialized from it — must be byte-identical.
+        assert_eq!(format!("{:?}", plain.point), format!("{:?}", tel.point));
+        assert_eq!(
+            serde_json::to_string(&plain.point).unwrap(),
+            serde_json::to_string(&tel.point).unwrap(),
+            "telemetry leaked into the sweep JSON"
+        );
+        assert!(plain.fabric.telemetry_summary().is_none());
+        let summary = tel
+            .fabric
+            .telemetry_summary()
+            .expect("instrumented run records");
+        assert!(
+            summary.links.iter().any(|l| l.advance_cycles > 0),
+            "a delivering run must show link advances"
+        );
+        // The point's histogram-derived percentiles come straight from
+        // the run's own mergeable histograms.
+        assert_eq!(
+            plain.point.request.p50_latency_cycles,
+            plain.stats.class_hist[0].quantile(0.50) as f64
+        );
+        assert_eq!(
+            plain.point.request.p99_latency_cycles,
+            plain.stats.class_hist[0].quantile(0.99) as f64
+        );
+    }
+
+    #[test]
     fn report_serializes_to_json() {
         let mut cfg = small_cfg();
         cfg.respond = true;
@@ -975,5 +1245,12 @@ mod tests {
         assert!(json.contains("\"analytic_per_hop_ns\""));
         assert!(json.contains("\"response\""));
         assert!(json.contains("\"slice_delivered\""));
+        // The self-describing v2 surface: schema version, config echo,
+        // and the per-curve latency aggregates.
+        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"echo\""));
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"request_latency\""));
+        assert!(json.contains("\"stddev_cycles\""));
     }
 }
