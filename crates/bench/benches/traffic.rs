@@ -51,6 +51,7 @@ fn bench_traffic(c: &mut Criterion) {
             seed: 3,
             loads: vec![],
             respond: false,
+            shards: 1,
         };
         b.iter(|| black_box(run_point(&UniformRandom, &cfg, params, 0.3, 1)))
     });

@@ -19,6 +19,11 @@
 //! (flits entering links), wall-clock seconds per stepper, and the
 //! speedup ratio.
 //!
+//! The overload point also runs at shards ∈ {1, 2, 4} on the event core
+//! (`TorusFabric::set_shards` region partitioning) and records the
+//! steps/s scaling curve under `shard_scaling` — every shard count must
+//! land on the identical simulated endpoint, asserted per run.
+//!
 //! The overload scenario additionally runs a third time with fabric
 //! telemetry enabled (`net::telemetry`, default config) to price the
 //! observability layer: the artifact records the telemetry-on
@@ -41,8 +46,9 @@ use serde::Serialize;
 use std::time::Instant;
 
 /// Version of the `BENCH_fabric.json` schema (1 was the unversioned
-/// pre-telemetry shape).
-const BENCH_SCHEMA_VERSION: u32 = 2;
+/// pre-telemetry shape; 2 added the telemetry overhead probe; 3 adds
+/// the `shard_scaling` curve of the region-partitioned stepper).
+const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// One stepper's measured run of one benchmark scenario.
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -77,6 +83,21 @@ struct ScenarioBench {
     speedup: f64,
 }
 
+/// One shard count's run of the overload scenario on the event core —
+/// `TorusFabric::set_shards` region partitioning, measured exactly like
+/// the 1-shard rows (identical simulated endpoint asserted).
+#[derive(Clone, Copy, Debug, Serialize)]
+struct ShardPoint {
+    /// Worker shards the fabric step was partitioned across.
+    shards: usize,
+    /// Wall-clock seconds for the whole scenario.
+    wall_seconds: f64,
+    /// Simulated fabric cycles advanced per wall-clock second.
+    steps_per_sec: f64,
+    /// Steps/s at this shard count over the 1-shard row of this curve.
+    speedup: f64,
+}
+
 /// The telemetry cost probe: the overload scenario once more on the
 /// event core with full telemetry recording (stall attribution, epoch
 /// series) enabled.
@@ -98,6 +119,9 @@ struct FabricBench {
     schema_version: u32,
     /// The 8x8x8 overload sweep point (the CI smoke workload).
     overload_8x8x8: ScenarioBench,
+    /// The overload scenario at shards ∈ {1, 2, 4} on the event core —
+    /// the region-partitioned stepper's scaling curve.
+    shard_scaling: Vec<ShardPoint>,
     /// A moderate-load 4x4x8 point (the README steps/sec row).
     moderate_4x4x8: ScenarioBench,
     /// The overload scenario with telemetry recording enabled.
@@ -175,6 +199,43 @@ fn bench_scenario(
         reference,
         speedup: reference.wall_seconds / event.wall_seconds,
     }
+}
+
+/// The overload scenario at each shard count, on the event core. Every
+/// run must land on the exact simulated endpoint the 1-shard benchmark
+/// measured — sharding is an execution strategy, not a model change —
+/// so this doubles as a determinism check at CI scale.
+fn shard_scaling(
+    cfg: &SweepConfig,
+    params: FabricParams,
+    offered: f64,
+    stream: u64,
+    expect: &ScenarioBench,
+) -> Vec<ShardPoint> {
+    let mut points: Vec<ShardPoint> = [1usize, 2, 4]
+        .iter()
+        .map(|&shards| {
+            let mut cfg = cfg.clone();
+            cfg.shards = shards;
+            let (run, sr, hops) = run_mode(&cfg, params, offered, stream, Stepper::Event);
+            assert_eq!(
+                (run.fabric.cycle(), hops),
+                (expect.simulated_cycles, expect.flit_hops),
+                "{shards} shards changed the simulated scenario"
+            );
+            ShardPoint {
+                shards,
+                wall_seconds: sr.wall_seconds,
+                steps_per_sec: sr.steps_per_sec,
+                speedup: 1.0,
+            }
+        })
+        .collect();
+    let base = points[0].steps_per_sec;
+    for p in &mut points {
+        p.speedup = p.steps_per_sec / base;
+    }
+    points
 }
 
 /// The value of a `--flag VALUE` argument, if present.
@@ -256,6 +317,9 @@ fn main() {
     // is the exact random instance CI smokes.
     let overload_8x8x8 = bench_scenario("8x8x8 overload", &overload, params, 0.9, 1025);
 
+    // The region-partitioned stepper's scaling curve on the same point.
+    let shard_points = shard_scaling(&overload, params, 0.9, 1025, &overload_8x8x8);
+
     // A mid-load 128-node point: the common calibration regime.
     let mut moderate = SweepConfig::calibration_4x4x8();
     moderate.respond = true;
@@ -293,6 +357,7 @@ fn main() {
     let bench = FabricBench {
         schema_version: BENCH_SCHEMA_VERSION,
         overload_8x8x8,
+        shard_scaling: shard_points,
         moderate_4x4x8,
         telemetry,
     };
@@ -324,6 +389,14 @@ fn main() {
         println!(
             "  speedup: {:.2}x (identical measurements verified)",
             b.speedup
+        );
+    }
+    println!();
+    println!("shard scaling (8x8x8 overload, event core, identical endpoints verified):");
+    for p in &bench.shard_scaling {
+        println!(
+            "  {:>2} shard(s)  {:>8.2}s wall  {:>12.0} steps/s  {:.2}x",
+            p.shards, p.wall_seconds, p.steps_per_sec, p.speedup
         );
     }
     println!();

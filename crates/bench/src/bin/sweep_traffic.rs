@@ -18,6 +18,11 @@
 //!   worker threads — output (including `--json`) is byte-identical at
 //!   any worker count, because every point seeds its RNG streams from
 //!   the config seed and its own index;
+//! - `--shards N` partitions every fabric step itself across `N`
+//!   region shards (`TorusFabric::set_shards`) — parallelism *within*
+//!   one simulation, composable with `--threads` parallelism *across*
+//!   points; like `--threads`, all output is byte-identical at any
+//!   shard count;
 //! - `--calibrate` runs the request-only calibration workloads through
 //!   the Scenario driver and fits the loaded-latency contention
 //!   constants: uniform random and nearest-neighbor halo on 4x4x8, and
@@ -84,6 +89,17 @@ fn thread_arg() -> usize {
         }
     }
     1
+}
+
+/// The `--shards N` fabric-step shard count (default 1). Like
+/// `--threads`, a pure execution choice: every measurement is
+/// bit-identical at any shard count.
+fn shards_arg() -> usize {
+    let n = arg_value("--shards")
+        .map(|v| v.parse().expect("--shards takes a positive integer"))
+        .unwrap_or(1);
+    assert!(n >= 1, "--shards takes a positive integer");
+    n
 }
 
 /// The value of a `--flag VALUE` argument, if present.
@@ -229,6 +245,15 @@ fn write_telemetry_artifacts(fabric: &TorusFabric) {
             "packet trace written to {path} ({} events)",
             tel.trace_events().len()
         );
+        if tel.trace_dropped() > 0 {
+            eprintln!(
+                "warning: packet trace truncated — {} events dropped at the \
+                 trace_limit cap ({} recorded); the file carries a Truncated \
+                 footer with the same count",
+                tel.trace_dropped(),
+                tel.trace_events().len()
+            );
+        }
     }
 }
 
@@ -247,6 +272,7 @@ fn main() {
 
     let quick = std::env::args().any(|a| a == "--quick");
     let mut cfg = SweepConfig::new([4, 4, 8]);
+    cfg.shards = shards_arg();
     if quick {
         cfg.loads = vec![0.02, 0.2, 0.5, 0.8];
         cfg.warmup_cycles = 1_000;
@@ -397,6 +423,7 @@ fn calibrate_pattern(
     cfg.loads = vec![
         0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65, 0.7, 0.8, 1.0,
     ];
+    cfg.shards = shards_arg();
     println!(
         "CALIBRATION SWEEP. {}x{}x{} {label}, request-only, seed {:#x}",
         cfg.dims[0], cfg.dims[1], cfg.dims[2], cfg.seed
@@ -476,6 +503,7 @@ fn md_replay(params: FabricParams) {
     let mut workload = run.halo_workload(64, 0x4D5F_4841);
     let mut cfg = SweepConfig::new(dims);
     cfg.loads = vec![];
+    cfg.shards = shards_arg();
     let offered = 0.3;
     println!(
         "MD HALO REPLAY. {}x{}x{} torus, {} atoms, import radius {:.2} A, offered {offered}",
@@ -555,7 +583,9 @@ fn md_replay(params: FabricParams) {
 /// cycle, the drain would hang and this smoke would fail CI.
 fn overload_smoke(params: FabricParams, threads: usize) {
     let dims = [8u8, 8, 8];
+    let shards = shards_arg();
     let mut cfg = SweepConfig::new(dims);
+    cfg.shards = shards;
     // Two points so `--threads 2` genuinely runs concurrent workers at
     // 512-node scale (a single point would clamp the pool to one): a
     // mid-load companion rides along, and the overload point under test
@@ -565,7 +595,8 @@ fn overload_smoke(params: FabricParams, threads: usize) {
     cfg.measure_cycles = 900;
     cfg.drain_cycles = 6_000;
     println!(
-        "OVERLOAD SMOKE. {}x{}x{} torus ({} nodes), responses on, {threads} thread(s)",
+        "OVERLOAD SMOKE. {}x{}x{} torus ({} nodes), responses on, {threads} thread(s), \
+         {shards} shard(s)",
         dims[0],
         dims[1],
         dims[2],
@@ -601,6 +632,11 @@ fn overload_smoke(params: FabricParams, threads: usize) {
     // fabric and hopeless for a deadlocked one.
     let torus = Torus::new(dims);
     let mut fabric = TorusFabric::new(torus, params);
+    if shards > 1 {
+        fabric
+            .set_shards(shards)
+            .unwrap_or_else(|e| panic!("cannot shard the drain-check fabric: {e}"));
+    }
     // Under --telemetry the drain-check fabric records: a genuinely
     // overloaded 512-node machine is the most informative stall picture
     // this binary produces, and CI uploads the summary artifact from

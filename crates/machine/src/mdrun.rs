@@ -98,8 +98,15 @@ pub struct HaloStepEstimate {
     /// Offered request load the estimate is evaluated at,
     /// flits/node/cycle.
     pub offered: f64,
-    /// The shape's calibration constants used.
+    /// The calibration constants used (rescaled when `calibration_exact`
+    /// is false — see [`LoadedCalibration::uniform_nearest`]).
     pub calibration: LoadedCalibration,
+    /// Sorted extents of the shipped shape those constants came from.
+    pub calibrated_shape: [usize; 3],
+    /// Whether that shape matched this machine exactly; when false the
+    /// constants were rescaled by the mean-hops ratio from the nearest
+    /// calibrated shape.
+    pub calibration_exact: bool,
     /// Mean torus-minimal hop count of this decomposition's position
     /// exports.
     pub mean_request_hops: f64,
@@ -256,9 +263,13 @@ impl MdNetworkRun {
     /// the unloaded walk taken over **this decomposition's** mean route
     /// lengths — derived from the same [`Self::halo_workload`]
     /// destination tables the cycle-level replay samples (requests ride
-    /// torus-minimal routes, force returns mesh routes). Returns `None`
-    /// when no calibration is shipped for the torus shape, or when
-    /// `offered` is at or past the calibrated saturation.
+    /// torus-minimal routes, force returns mesh routes). Shapes with no
+    /// shipped calibration fall back to the nearest calibrated shape
+    /// rescaled by the mean-hops ratio
+    /// ([`LoadedCalibration::uniform_nearest`]), with the choice
+    /// surfaced in the estimate's `calibrated_shape` /
+    /// `calibration_exact` fields. Returns `None` only when `offered`
+    /// is at or past the (possibly rescaled) saturation.
     pub fn loaded_halo_estimate(
         &self,
         offered: f64,
@@ -266,7 +277,8 @@ impl MdNetworkRun {
         seed: u64,
     ) -> Option<HaloStepEstimate> {
         let torus = self.machine.cfg.torus;
-        let cal = LoadedCalibration::uniform_for(&torus)?;
+        let choice = LoadedCalibration::uniform_nearest(&torus);
+        let cal = choice.calibration;
         if offered >= cal.saturation {
             return None;
         }
@@ -304,6 +316,8 @@ impl MdNetworkRun {
         Some(HaloStepEstimate {
             offered,
             calibration: cal,
+            calibrated_shape: choice.calibrated_shape,
+            calibration_exact: choice.exact,
             mean_request_hops: req_hops,
             mean_response_hops: resp_hops,
             request_cycles,
@@ -713,11 +727,21 @@ mod tests {
             hi.step_floor - mid.step_floor > mid.step_floor - lo.step_floor,
             "queueing growth must be convex"
         );
+        assert!(lo.calibration_exact, "4x4x8 is a shipped shape");
+        assert_eq!(lo.calibrated_shape, [4, 4, 8]);
         // Past saturation the model honestly declines to answer.
         assert!(r.loaded_halo_estimate(cal.saturation, 32, 5).is_none());
-        // A shape with no shipped calibration reports None, not garbage.
+        // A shape with no shipped calibration falls back to the nearest
+        // calibrated one, rescaled, and says so instead of yielding
+        // nothing.
         let tiny = MdNetworkRun::new(MachineConfig::torus([2, 2, 2]), 3_000, 7, false);
-        assert!(tiny.loaded_halo_estimate(0.1, 16, 5).is_none());
+        let e = tiny.loaded_halo_estimate(0.1, 16, 5).unwrap();
+        assert!(!e.calibration_exact, "2x2x2 has no shipped fit");
+        assert_eq!(e.calibrated_shape, [4, 4, 8], "nearest by mean hops");
+        assert!(
+            e.calibration.alpha_cycles < LoadedCalibration::UNIFORM_4X4X8.alpha_cycles,
+            "shorter routes shrink the donor's contention coefficient"
+        );
     }
 
     #[test]

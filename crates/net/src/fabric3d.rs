@@ -68,7 +68,7 @@
 
 use crate::channel::{ByteKind, LinkStats};
 use crate::router::{
-    CycleRouter, Flit, InjectError, LinkSpec, PortLink, RouteDecision, RouterFabric,
+    CycleRouter, Flit, InjectError, LinkSpec, PortLink, RouteDecision, RouterFabric, ShardError,
 };
 use crate::routing::{self, RoutePlan, RESPONSE_VC};
 use crate::telemetry::{
@@ -547,6 +547,24 @@ impl TorusFabric {
         self.fabric.step();
     }
 
+    /// The number of contiguous router regions [`Self::step`] advances
+    /// in parallel (see [`crate::router::RouterFabric::shards`]).
+    pub fn shards(&self) -> usize {
+        self.fabric.shards()
+    }
+
+    /// Re-partitions stepping across `shards` parallel regions; results
+    /// stay bit-identical to [`Self::step_reference`] at every count.
+    /// Calibrated torus links are always at least one cycle long, so any
+    /// drained torus fabric accepts any count up to its router total
+    /// (see [`crate::router::RouterFabric::set_shards`]).
+    ///
+    /// # Errors
+    /// See [`ShardError`].
+    pub fn set_shards(&mut self, shards: usize) -> Result<(), ShardError> {
+        self.fabric.set_shards(shards)
+    }
+
     /// Advances one cycle with the retained naive reference stepper —
     /// the executable specification [`Self::step`] is held bit-identical
     /// to (see [`crate::router::RouterFabric::step_reference`]). Used by
@@ -708,7 +726,14 @@ impl TorusFabric {
                 idle_cycles: elapsed - advance - stall,
                 stalls: tel.stalls_for_link(r, port),
             });
-            let samples: Vec<_> = tel.epoch_samples(r, port).copied().collect();
+            let mut samples: Vec<_> = tel.epoch_samples(r, port).copied().collect();
+            // Close the run's final (partial) epoch with its true width;
+            // without this, a run not ending on an epoch boundary would
+            // silently drop its last window from the series.
+            let occ = self.fabric.link_occupancy(r, port) as u32;
+            if let Some(partial) = tel.epoch_partial_record(r, port, self.fabric.cycle(), occ) {
+                samples.push(partial);
+            }
             if !samples.is_empty() {
                 epochs.push(LinkEpochSeries {
                     link: label,

@@ -7,7 +7,8 @@
 //! direction) or 3 cycles (Edge Router). This module implements that
 //! microarchitecture at flit granularity:
 //!
-//! - [`VcQueue`] — an 8-flit input queue with credit accounting;
+//! - [`FlitStore`] — all of a router's 8-flit per-VC input queues as
+//!   one structure-of-arrays slab with credit accounting;
 //! - [`CycleRouter`] — input-queued router: per-cycle route computation,
 //!   round-robin output arbitration across (port, VC), cut-through
 //!   forwarding, credit return;
@@ -64,6 +65,7 @@ use crate::telemetry::{StallCause, Telemetry, TelemetryConfig};
 use anton_model::asic::INPUT_QUEUE_FLITS;
 use core::fmt;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A flit in flight through the fabric: routing state plus bookkeeping.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -100,60 +102,151 @@ impl Flit {
     }
 }
 
-/// One per-VC input queue, defaulting to the paper's 8-flit router
-/// depth; ports standing in for bigger buffers (the Channel Adapter's
-/// receive buffering on inter-node links) get a deeper capacity via
-/// [`CycleRouter::set_input_depth`]. Entries carry their arrival cycle
-/// so pipeline latency and queue occupancy stay decoupled: the router is
+/// The placeholder flit filling unoccupied [`FlitStore`] slots.
+const NULL_FLIT: Flit = Flit {
+    packet: 0,
+    index: 0,
+    of: 1,
+    dest: 0,
+    vc: 0,
+    tag: 0,
+    injected_at: 0,
+};
+
+/// Structure-of-arrays flit store: every per-VC input queue of one
+/// router lives in a single contiguous slab instead of one `VecDeque`
+/// per `(port, VC)` pair.
+///
+/// # Layout
+///
+/// Queues are indexed flat (`port * vcs + vc`, the same rank the
+/// candidate worklists and credit probes use). Queue `q` is a ring of
+/// `cap[q]` entries occupying slots
+/// `slots[q * stride .. q * stride + cap[q]]`, where `stride` is the
+/// largest capacity of any queue in the store (rings never interleave).
+/// The ring cursors — `head[q]`, `len[q]`, `cap[q]` — are themselves
+/// three dense parallel arrays, so the hot per-queue questions a
+/// saturated fabric asks thousands of times per cycle (front lookup for
+/// candidate scans and maturity records, occupancy for credit probes)
+/// walk small contiguous memory instead of chasing per-queue heap
+/// blocks. Entries carry their arrival cycle next to the flit so
+/// pipeline latency and queue occupancy stay decoupled: the router is
 /// fully pipelined (one flit per cycle per output) with a fixed
 /// traversal latency.
+///
+/// Queues default to the paper's 8-flit router depth
+/// ([`INPUT_QUEUE_FLITS`]); ports standing in for bigger buffers (the
+/// Channel Adapter's receive buffering on inter-node links) get a
+/// deeper capacity via [`CycleRouter::set_input_depth`], which widens
+/// the shared stride and re-packs the slab (a setup-time operation).
 #[derive(Clone, Debug)]
-pub struct VcQueue {
-    flits: VecDeque<(Flit, u64)>,
-    cap: usize,
+pub struct FlitStore {
+    /// The slab: `stride`-spaced rings, one per queue.
+    slots: Vec<(Flit, u64)>,
+    /// Ring read cursor per queue.
+    head: Vec<u16>,
+    /// Occupancy per queue.
+    len: Vec<u16>,
+    /// Ring capacity per queue (the queue's credit window).
+    cap: Vec<u16>,
+    /// Slot distance between consecutive queues' rings (`max(cap)`).
+    stride: usize,
 }
 
-impl Default for VcQueue {
-    fn default() -> Self {
-        VcQueue {
-            flits: VecDeque::new(),
-            cap: INPUT_QUEUE_FLITS,
+impl FlitStore {
+    /// A store of `queues` rings at the default 8-flit depth.
+    fn new(queues: usize) -> Self {
+        FlitStore {
+            slots: vec![(NULL_FLIT, 0); queues * INPUT_QUEUE_FLITS],
+            head: vec![0; queues],
+            len: vec![0; queues],
+            cap: vec![INPUT_QUEUE_FLITS as u16; queues],
+            stride: INPUT_QUEUE_FLITS,
         }
     }
-}
 
-impl VcQueue {
-    /// Whether another flit may be accepted (credit available upstream).
-    pub fn has_space(&self) -> bool {
-        self.flits.len() < self.cap
+    /// Number of queues in the store.
+    fn queues(&self) -> usize {
+        self.cap.len()
     }
 
-    /// Free flit slots (credits not yet consumed).
-    pub fn free_slots(&self) -> usize {
-        self.cap - self.flits.len()
+    /// Resizes queue `q` to `cap` slots, re-packing the slab if the
+    /// shared stride must grow.
+    ///
+    /// # Panics
+    /// Panics if the queue holds more flits than the new capacity, or if
+    /// the capacity exceeds the `u16` ring cursors.
+    fn set_cap(&mut self, q: usize, cap: usize) {
+        assert!(cap <= u16::MAX as usize, "queue depth must fit u16");
+        assert!(self.len[q] as usize <= cap, "cannot shrink below occupancy");
+        if cap > self.stride {
+            let stride = cap;
+            let mut slots = vec![(NULL_FLIT, 0); self.queues() * stride];
+            for i in 0..self.queues() {
+                for k in 0..self.len[i] as usize {
+                    let from = (self.head[i] as usize + k) % self.cap[i] as usize;
+                    slots[i * stride + k] = self.slots[i * self.stride + from];
+                }
+                self.head[i] = 0;
+            }
+            self.slots = slots;
+            self.stride = stride;
+        }
+        self.cap[q] = cap as u16;
     }
 
-    /// Occupancy in flits.
-    pub fn len(&self) -> usize {
-        self.flits.len()
+    /// Capacity of queue `q`.
+    #[inline]
+    fn capacity(&self, q: usize) -> usize {
+        self.cap[q] as usize
     }
 
-    /// Whether the queue is empty.
-    pub fn is_empty(&self) -> bool {
-        self.flits.is_empty()
+    /// Occupancy of queue `q` in flits.
+    #[inline]
+    fn len(&self, q: usize) -> usize {
+        self.len[q] as usize
     }
 
-    fn push(&mut self, f: Flit, cycle: u64) {
-        debug_assert!(self.has_space(), "flit accepted without a credit");
-        self.flits.push_back((f, cycle));
+    /// Whether queue `q` is empty.
+    #[inline]
+    fn is_empty(&self, q: usize) -> bool {
+        self.len[q] == 0
     }
 
-    fn front(&self) -> Option<&(Flit, u64)> {
-        self.flits.front()
+    /// Free flit slots on queue `q` (credits not yet consumed).
+    #[inline]
+    fn free_slots(&self, q: usize) -> usize {
+        (self.cap[q] - self.len[q]) as usize
     }
 
-    fn pop(&mut self) -> Option<Flit> {
-        self.flits.pop_front().map(|(f, _)| f)
+    /// The front entry of queue `q`, as `(flit, arrival cycle)`.
+    #[inline]
+    fn front(&self, q: usize) -> Option<&(Flit, u64)> {
+        if self.len[q] == 0 {
+            return None;
+        }
+        Some(&self.slots[q * self.stride + self.head[q] as usize])
+    }
+
+    /// Appends a flit to queue `q`.
+    #[inline]
+    fn push(&mut self, q: usize, f: Flit, cycle: u64) {
+        debug_assert!(self.len[q] < self.cap[q], "flit accepted without a credit");
+        let at = (self.head[q] + self.len[q]) % self.cap[q];
+        self.slots[q * self.stride + at as usize] = (f, cycle);
+        self.len[q] += 1;
+    }
+
+    /// Pops the front flit of queue `q`.
+    #[inline]
+    fn pop(&mut self, q: usize) -> Option<Flit> {
+        if self.len[q] == 0 {
+            return None;
+        }
+        let f = self.slots[q * self.stride + self.head[q] as usize].0;
+        self.head[q] = (self.head[q] + 1) % self.cap[q];
+        self.len[q] -= 1;
+        Some(f)
     }
 }
 
@@ -192,14 +285,17 @@ impl RouteDecision {
 /// re-reading the queue, so a function that keyed on `packet`, `index`
 /// or `injected_at` would diverge between the event and reference
 /// steppers (the `stepper_equivalence` tests would catch it).
-pub type RouteFn = dyn Fn(&Flit, usize /*router id*/) -> RouteDecision;
+/// Route functions are `Send + Sync`: the sharded stepper
+/// ([`RouterFabric::set_shards`]) calls one route function from every
+/// shard worker concurrently.
+pub type RouteFn = dyn Fn(&Flit, usize /*router id*/) -> RouteDecision + Send + Sync;
 
 /// A per-flit class extractor for the per-class link traffic counters:
 /// maps a flit (typically via its [`Flit::tag`]) to a dense class index
 /// below the count given to [`RouterFabric::set_flit_classes`]. The
 /// torus fabric uses this to type wire bytes by
 /// [`crate::channel::ByteKind`].
-pub type FlitClassFn = dyn Fn(&Flit) -> usize;
+pub type FlitClassFn = dyn Fn(&Flit) -> usize + Send + Sync;
 
 /// The (input port, input VC, outgoing VC, outgoing tag) of the packet
 /// currently owning an output port.
@@ -241,7 +337,10 @@ struct MatureEntry {
 pub struct CycleRouter {
     /// Router id within its fabric (passed to the routing function).
     pub id: usize,
-    inputs: Vec<Vec<VcQueue>>, // [port][vc]
+    /// All input queues, flat-indexed `port * vcs + vc` (see
+    /// [`FlitStore`] for the slab layout).
+    store: FlitStore,
+    ports: usize,
     /// In-flight VC allocation: which (input port, vc) currently owns each
     /// output port (packet-granular cut-through: interleaving flits of
     /// different packets on one output VC is not allowed).
@@ -283,11 +382,13 @@ pub struct CycleRouter {
     last_matured: u64,
     /// Merged (owner ∪ candidate) output worklist scratch.
     arb_outs: Vec<u16>,
-    /// Flat per-queue credit counts (`[port * vcs + vc]`): the queue's
-    /// free slots, kept in lockstep with the queues so upstream credit
-    /// probes read one compact array instead of chasing `VecDeque`
-    /// internals — the probe is the hottest cross-router access.
-    free: Vec<u32>,
+    /// Queues this router popped during the current arbitration phase,
+    /// as flat indices. The fabric drains this after every router has
+    /// arbitrated and returns the credits then — credit return is
+    /// uniformly visible one cycle later, never mid-arbitration, so the
+    /// probe outcome cannot depend on router visit order (the invariant
+    /// the sharded stepper rests on).
+    popped: Vec<u16>,
     /// Flat per-queue cycle at which the current front flit clears the
     /// router pipeline (`u64::MAX` when the queue is empty).
     front_ready: Vec<u64>,
@@ -312,7 +413,8 @@ impl CycleRouter {
         assert!(ports <= 256, "port index must fit the packed route memo");
         CycleRouter {
             id,
-            inputs: vec![vec![VcQueue::default(); vcs]; ports],
+            store: FlitStore::new(ports * vcs),
+            ports,
             output_owner: vec![None; ports],
             rr: vec![0; ports],
             pipeline,
@@ -327,7 +429,7 @@ impl CycleRouter {
             ripe: Vec::new(),
             last_matured: 0,
             arb_outs: Vec::new(),
-            free: vec![INPUT_QUEUE_FLITS as u32; ports * vcs],
+            popped: Vec::new(),
             front_ready: vec![u64::MAX; ports * vcs],
             front_version: vec![0; ports * vcs],
             decision_scratch: Vec::new(),
@@ -348,32 +450,32 @@ impl CycleRouter {
     /// # Panics
     /// Panics if the port already holds more flits than `depth`.
     pub fn set_input_depth(&mut self, port: usize, depth: usize) {
-        for (v, q) in self.inputs[port].iter_mut().enumerate() {
-            assert!(q.len() <= depth, "cannot shrink below occupancy");
-            q.cap = depth;
-            self.free[port * self.vcs + v] = (depth - q.len()) as u32;
+        for v in 0..self.vcs {
+            self.store.set_cap(port * self.vcs + v, depth);
         }
     }
 
     /// Whether input `(port, vc)` can accept a flit this cycle.
     pub fn can_accept(&self, port: usize, vc: u8) -> bool {
-        self.free[port * self.vcs + vc as usize] > 0
+        self.store.free_slots(port * self.vcs + vc as usize) > 0
     }
 
     /// Free slots on input `(port, vc)` — the upstream credit count.
+    /// (The fabric's arbitration probes read its own cycle-stable
+    /// credit mirror instead; see `RouterFabric::credit_view`.)
     pub fn free_slots(&self, port: usize, vc: u8) -> usize {
-        let idx = port * self.vcs + vc as usize;
-        debug_assert_eq!(
-            self.free[idx] as usize,
-            self.inputs[port][vc as usize].free_slots(),
-            "flat credit mirror diverged from the queue"
-        );
-        self.free[idx] as usize
+        self.store.free_slots(port * self.vcs + vc as usize)
     }
 
     /// Flits currently queued on input `(port, vc)`.
     pub fn queue_len(&self, port: usize, vc: u8) -> usize {
-        self.inputs[port][vc as usize].len()
+        self.store.len(port * self.vcs + vc as usize)
+    }
+
+    /// The front entry of input queue `(port, vc)` as
+    /// `(flit, arrival cycle)`, if any.
+    pub(crate) fn front(&self, port: usize, vc: u8) -> Option<&(Flit, u64)> {
+        self.store.front(port * self.vcs + vc as usize)
     }
 
     /// Delivers a flit to input `(port, vc)` at `cycle`.
@@ -392,8 +494,7 @@ impl CycleRouter {
             self.last_matured = cycle;
         }
         let idx = port * self.vcs + vc as usize;
-        let q = &mut self.inputs[port][vc as usize];
-        if q.is_empty() {
+        if self.store.is_empty(idx) {
             self.front_version[idx] = self.front_version[idx].wrapping_add(1);
             let ready = cycle + self.pipeline;
             self.front_ready[idx] = ready;
@@ -401,8 +502,7 @@ impl CycleRouter {
                 self.schedule_front(idx, ready, flit.dest, flit.tag);
             }
         }
-        self.inputs[port][vc as usize].push(flit, cycle);
-        self.free[idx] -= 1;
+        self.store.push(idx, flit, cycle);
         self.queued += 1;
     }
 
@@ -428,11 +528,11 @@ impl CycleRouter {
             }
             self.cand_out[idx] = 0;
         }
-        let flit = self.inputs[p][v as usize].pop().expect("front exists");
+        let flit = self.store.pop(idx).expect("front exists");
         self.queued -= 1;
-        self.free[idx] += 1;
+        self.popped.push(idx as u16);
         self.front_version[idx] = self.front_version[idx].wrapping_add(1);
-        match self.inputs[p][v as usize].front() {
+        match self.store.front(idx) {
             Some(&(next, arrived)) => {
                 let ready = arrived + self.pipeline;
                 self.front_ready[idx] = ready;
@@ -492,10 +592,10 @@ impl CycleRouter {
             return;
         }
         debug_assert_eq!(self.cand_out[i], 0, "front filed twice");
-        let (_p, v) = (i / self.vcs, i % self.vcs);
+        let v = i % self.vcs;
         #[cfg(debug_assertions)]
         {
-            let &(head, _) = self.inputs[_p][v].front().expect("scheduled front exists");
+            let &(head, _) = self.store.front(i).expect("scheduled front exists");
             debug_assert!(
                 head.is_head() && head.dest == entry.dest && head.tag == entry.tag,
                 "maturity record diverged from the queue front"
@@ -571,7 +671,7 @@ impl CycleRouter {
                 self.owned_outs.remove(pos);
             }
             self.output_owner[out] = None;
-            self.rr[out] = (p * self.vcs + v as usize + 1) % (self.inputs.len() * self.vcs);
+            self.rr[out] = (p * self.vcs + v as usize + 1) % (self.ports * self.vcs);
         } else {
             if !was_owned {
                 let pos = self
@@ -600,10 +700,8 @@ impl CycleRouter {
     pub fn occupancy(&self) -> usize {
         debug_assert_eq!(
             self.queued,
-            self.inputs
-                .iter()
-                .flatten()
-                .map(VcQueue::len)
+            (0..self.store.queues())
+                .map(|q| self.store.len(q))
                 .sum::<usize>(),
             "incremental occupancy diverged"
         );
@@ -730,11 +828,7 @@ impl CycleRouter {
                         // sources must keep a packet's flits contiguous
                         // per (port, VC) — see [`RouterFabric::inject`].
                         debug_assert_eq!(
-                            self.inputs[o.in_port][o.in_vc as usize]
-                                .front()
-                                .expect("ready front")
-                                .0
-                                .packet,
+                            self.store.front(oidx).expect("ready front").0.packet,
                             o.packet,
                             "interleaved flits of two packets on one input VC"
                         );
@@ -793,7 +887,7 @@ impl CycleRouter {
         route: &RouteFn,
         mut downstream_ok: impl FnMut(usize, u8) -> bool,
     ) -> Vec<(usize, Flit)> {
-        let ports = self.inputs.len();
+        let ports = self.ports;
         let mut sent = Vec::new();
         if self.is_idle() {
             return sent;
@@ -806,13 +900,11 @@ impl CycleRouter {
         let mut decisions = std::mem::take(&mut self.decision_scratch);
         decisions.clear();
         decisions.resize(ports * self.vcs, None);
-        for p in 0..ports {
-            for v in 0..self.vcs {
-                if let Some(&(head, arrived)) = self.inputs[p][v].front() {
-                    if head.is_head() && arrived + self.pipeline <= cycle {
-                        let d = route(&head, self.id);
-                        decisions[p * self.vcs + v] = Some((d.port, d.vc, d.tag));
-                    }
+        for (q, decision) in decisions.iter_mut().enumerate() {
+            if let Some(&(head, arrived)) = self.store.front(q) {
+                if head.is_head() && arrived + self.pipeline <= cycle {
+                    let d = route(&head, self.id);
+                    *decision = Some((d.port, d.vc, d.tag));
                 }
             }
         }
@@ -822,7 +914,7 @@ impl CycleRouter {
             // routes to this output, has cleared the pipeline, and can be
             // accepted downstream.
             let depart: Option<(usize, u8, u8, u16)> = match self.output_owner[out] {
-                Some(o) => match self.inputs[o.in_port][o.in_vc as usize].front() {
+                Some(o) => match self.store.front(o.in_port * self.vcs + o.in_vc as usize) {
                     Some(&(body, arrived))
                         if arrived + self.pipeline <= cycle && downstream_ok(out, o.out_vc) =>
                     {
@@ -974,6 +1066,816 @@ fn activate(active: &mut Vec<usize>, is_active: &mut [bool], r: usize) {
     }
 }
 
+pub use shard::ShardError;
+use shard::{ShardPool, ShardScratch};
+
+/// The region-partitioned stepper: the one module in the crate allowed
+/// to use `unsafe` (the crate root denies it everywhere else).
+///
+/// # Safety discipline
+///
+/// All unsafe here serves a single pattern: a per-step frame of raw
+/// pointers into the fabric ([`StepShared`]) is shared with a
+/// persistent worker pool, and every dereference falls into one of
+/// three provably data-race-free classes:
+///
+/// 1. **Disjoint mutable rows.** The router index space is partitioned
+///    into contiguous shard ranges (`bounds`); each phase turns a `*mut`
+///    base into per-shard slices that never overlap another shard's.
+/// 2. **Step-wide read-only state** (wiring, routing closures, the
+///    sorted active list, this cycle's arrival bucket, offset tables).
+/// 3. **Atomics** (the fabric-wide credit mirror).
+///
+/// Writer/reader role flips — the phase-1 `outbound` handoff lists, the
+/// end-of-phase credit returns — always cross one of the four
+/// [`SpinBarrier`] fences, which provide the acquire/release edges.
+/// The frame itself lives on the stepping thread's stack and is only
+/// dereferenced between pool launch and the final fence, which the
+/// stepping thread also waits on.
+#[allow(unsafe_code)]
+mod shard {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Why [`RouterFabric::set_shards`] refused a shard count.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub enum ShardError {
+        /// The count was zero or exceeded the router count.
+        InvalidCount {
+            /// Requested shard count.
+            shards: usize,
+            /// Routers available to partition.
+            routers: usize,
+        },
+        /// The fabric still holds traffic: queued flits, flits in link
+        /// flight, or a packet mid-cut-through. Re-partitioning would hand
+        /// live state to new owners mid-protocol; drain the fabric first.
+        Busy {
+            /// Flits resident in queues and link delay lines.
+            resident: usize,
+        },
+        /// A router-to-router link has zero latency, so a departure would
+        /// have to land in another shard *within the same cycle* — there is
+        /// no transmission window to hide the exchange barrier in. (Links of
+        /// a calibrated torus are always at least one cycle long; latency-0
+        /// router links occur only in single-chip test fabrics, which step
+        /// with one shard.)
+        ZeroLatencyLink {
+            /// Upstream router of the offending link.
+            router: usize,
+            /// Upstream output port of the offending link.
+            port: usize,
+        },
+    }
+
+    impl fmt::Display for ShardError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                ShardError::InvalidCount { shards, routers } => {
+                    write!(f, "cannot split {routers} routers into {shards} shards")
+                }
+                ShardError::Busy { resident } => write!(
+                    f,
+                    "cannot re-shard a busy fabric ({resident} flits resident); drain first"
+                ),
+                ShardError::ZeroLatencyLink { router, port } => write!(
+                    f,
+                    "router link ({router}, {port}) has zero latency; sharded stepping needs \
+                 every inter-router link to be at least one cycle long"
+                ),
+            }
+        }
+    }
+
+    impl std::error::Error for ShardError {}
+
+    /// A counting barrier for the phase fences of a sharded step. Spins
+    /// briefly then yields: phases are microseconds apart, so parking in
+    /// the kernel between them would dominate, but the busy-wait must stay
+    /// polite when shards exceed cores (single-core machines still run the
+    /// multi-shard equivalence tests).
+    struct SpinBarrier {
+        total: usize,
+        count: AtomicUsize,
+        generation: AtomicUsize,
+    }
+
+    impl SpinBarrier {
+        fn new(total: usize) -> Self {
+            SpinBarrier {
+                total,
+                count: AtomicUsize::new(0),
+                generation: AtomicUsize::new(0),
+            }
+        }
+
+        fn wait(&self) {
+            let generation = self.generation.load(Ordering::Acquire);
+            if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+                // Last arrival resets the count for the next fence and
+                // releases the waiters; the reset is ordered before the
+                // generation bump, so a released party re-entering `wait`
+                // always sees the fresh count.
+                self.count.store(0, Ordering::Relaxed);
+                self.generation.fetch_add(1, Ordering::Release);
+            } else {
+                let mut spins = 0u32;
+                while self.generation.load(Ordering::Acquire) == generation {
+                    spins = spins.wrapping_add(1);
+                    if spins < 128 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shared control block between a sharded fabric and its workers.
+    struct PoolCtl {
+        /// Step grant: a bumped epoch plus the current [`StepShared`] frame
+        /// as a raw address (the frame lives on the stepping thread's stack
+        /// and stays valid until every party passes the final barrier).
+        go: Mutex<(u64, usize)>,
+        cv: Condvar,
+        stop: AtomicBool,
+        /// The phase fence, sized to the shard count.
+        barrier: SpinBarrier,
+    }
+
+    /// The persistent worker pool of a sharded fabric: shard 0 runs on the
+    /// stepping thread itself; shards `1..` each own one worker parked on a
+    /// condvar between steps. Steps happen far too often (tens of
+    /// microseconds apart) to spawn threads per cycle, and parked workers
+    /// cost nothing while the fabric idles or steps via the reference path.
+    pub(super) struct ShardPool {
+        ctl: Arc<PoolCtl>,
+        workers: Vec<std::thread::JoinHandle<()>>,
+    }
+
+    impl ShardPool {
+        pub(super) fn new(shards: usize) -> Self {
+            let ctl = Arc::new(PoolCtl {
+                go: Mutex::new((0, 0)),
+                cv: Condvar::new(),
+                stop: AtomicBool::new(false),
+                barrier: SpinBarrier::new(shards),
+            });
+            let workers = (1..shards)
+                .map(|s| {
+                    let ctl = Arc::clone(&ctl);
+                    std::thread::Builder::new()
+                        .name(format!("shard-{s}"))
+                        .spawn(move || {
+                            let mut seen = 0u64;
+                            loop {
+                                let frame = {
+                                    let mut go = ctl.go.lock().expect("pool lock");
+                                    loop {
+                                        if ctl.stop.load(Ordering::Relaxed) {
+                                            return;
+                                        }
+                                        if go.0 > seen {
+                                            seen = go.0;
+                                            break go.1;
+                                        }
+                                        go = ctl.cv.wait(go).expect("pool lock");
+                                    }
+                                };
+                                // SAFETY: the launching thread keeps the
+                                // frame alive until it passes the final
+                                // barrier inside its own run_shard_phases,
+                                // which cannot happen before this worker
+                                // passes it too.
+                                unsafe {
+                                    run_shard_phases(
+                                        &*(frame as *const StepShared),
+                                        s,
+                                        &ctl.barrier,
+                                    );
+                                }
+                            }
+                        })
+                        .expect("spawn shard worker")
+                })
+                .collect();
+            ShardPool { ctl, workers }
+        }
+
+        /// Publishes one step frame and wakes the workers. The caller must
+        /// then run shard 0's phases itself — the shared barriers hold it
+        /// until every worker finishes.
+        fn launch(&self, frame: &StepShared) {
+            let mut go = self.ctl.go.lock().expect("pool lock");
+            go.0 += 1;
+            go.1 = frame as *const StepShared as usize;
+            self.ctl.cv.notify_all();
+        }
+    }
+
+    impl Drop for ShardPool {
+        fn drop(&mut self) {
+            self.ctl.stop.store(true, Ordering::Relaxed);
+            // Taking the lock fences the flag against a worker mid-way into
+            // its wait, so the notify below cannot be missed.
+            drop(self.ctl.go.lock().expect("pool lock"));
+            self.ctl.cv.notify_all();
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+        }
+    }
+
+    /// Per-shard working state of a sharded step, reused across cycles.
+    /// Every field is written only by its owning shard during the phases
+    /// and drained serially by the step epilogue.
+    pub(super) struct ShardScratch {
+        /// This cycle's arbitration worklist: pre-step actives in range
+        /// merged with phase-1 activations, sorted ascending.
+        worklist: Vec<usize>,
+        /// Routers still active after this cycle (kept + newly activated).
+        next_active: Vec<usize>,
+        /// Departures from this shard's arbitration, `(router, out, flit)`.
+        moves: Vec<(usize, usize, Flit)>,
+        /// Endpoint deliveries landed in phase 1, `(bucket pos, flit)`.
+        delivered_land: Vec<(u32, Flit)>,
+        /// Latency-0 ejections from phase 3, in departure order.
+        delivered_eject: Vec<Flit>,
+        /// Arrival-wheel bookings from phase 3, `(arrival, router, port)`.
+        outwheel: Vec<(u64, u32, u32)>,
+        /// Stall events classified against cycle-start state,
+        /// `(router, out, out vc, cause)`, in ascending router order — the
+        /// shard-local stall accumulator merged into [`Telemetry`] at the
+        /// end-of-step barrier.
+        stalls: Vec<(u32, u32, u8, StallCause)>,
+        /// Arrivals landed by this shard this cycle (`in_flight_total` down).
+        landed: usize,
+        /// Flits this shard entered into links this cycle (`in_flight_total` up).
+        sent: usize,
+        /// Credit-probe scratch — the per-shard copy of the serial stepper's
+        /// `scratch_ok` / `scratch_gen` / `probe_gen` trio.
+        probe_ok: Vec<bool>,
+        probe_stamp: Vec<u64>,
+        probe_gen: u64,
+        /// Per-link advance stamps (`cycle + 1` when the link moved a flit
+        /// this cycle), offset by `link_base` — the shard-local stand-in for
+        /// `Telemetry::advanced_on` during parallel stall classification.
+        adv_stamp: Vec<u64>,
+        /// Global link offset of this shard's first router.
+        link_base: usize,
+    }
+
+    impl ShardScratch {
+        pub(super) fn new(link_lo: usize, link_hi: usize) -> Self {
+            ShardScratch {
+                worklist: Vec::new(),
+                next_active: Vec::new(),
+                moves: Vec::new(),
+                delivered_land: Vec::new(),
+                delivered_eject: Vec::new(),
+                outwheel: Vec::new(),
+                stalls: Vec::new(),
+                landed: 0,
+                sent: 0,
+                probe_ok: Vec::new(),
+                probe_stamp: Vec::new(),
+                probe_gen: 0,
+                adv_stamp: vec![0; link_hi - link_lo],
+                link_base: link_lo,
+            }
+        }
+    }
+
+    /// The lifetime-erased frame a sharded step hands its workers: raw
+    /// pointers into the fabric plus this cycle's inputs. Built on the
+    /// stack of [`RouterFabric::step_sharded`] and dereferenced only
+    /// between the pool launch and the final phase barrier, which the main
+    /// thread also waits on before the frame goes out of scope.
+    ///
+    /// # Safety discipline
+    ///
+    /// Mutable access is partitioned by the contiguous shard ranges in
+    /// `bounds`: phase code turns the `*mut` bases into **disjoint**
+    /// per-shard slices (rows `bounds[s]..bounds[s + 1]` of `routers`,
+    /// `channels`, `next_free`, `reserved`, `is_active`), so no two
+    /// threads alias a mutable element. Everything else is either
+    /// read-only for the whole step (`wiring`, `route`, `classify`, the
+    /// sorted active list, the arrival bucket, the offset tables) or
+    /// atomic (`credit_view`). The per-shard `outbound` lists flip from
+    /// exclusive-write (phase 1, channel-owner shard) to shared-read
+    /// (phase 2, destination shard) across a barrier.
+    struct StepShared {
+        cycle: u64,
+        shards: usize,
+        n_routers: usize,
+        routers: *mut CycleRouter,
+        channels: *mut Vec<ChannelState>,
+        next_free: *mut Vec<u64>,
+        reserved: *mut Vec<u32>,
+        is_active: *mut bool,
+        wiring: *const Vec<PortLink>,
+        bounds: *const usize,
+        queue_off: *const usize,
+        link_off: *const usize,
+        credit_view: *const AtomicU32,
+        credit_len: usize,
+        route: *const Box<RouteFn>,
+        classify: *const Option<Box<FlitClassFn>>,
+        telemetry: bool,
+        wheel_len: u64,
+        bucket: *const (u64, u32, u32),
+        bucket_len: usize,
+        active_sorted: *const usize,
+        active_len: usize,
+        outbound: *mut Vec<(u32, u32, u32, Flit)>,
+        scratch: *mut ShardScratch,
+    }
+
+    // SAFETY: see the struct-level safety discipline — the raw pointers are
+    // only ever turned into disjoint mutable slices (by shard range),
+    // shared read-only slices, or atomics.
+    unsafe impl Send for StepShared {}
+    unsafe impl Sync for StepShared {}
+
+    /// Runs one shard's side of a sharded step: the four phases with their
+    /// barrier fences. Every party — the stepping thread as shard 0, one
+    /// pool worker per remaining shard — calls this exactly once per step.
+    ///
+    /// # Safety
+    /// `sh` must be a live frame built by `step_sharded`, `s` a valid
+    /// shard index used by exactly one party.
+    unsafe fn run_shard_phases(sh: &StepShared, s: usize, barrier: &SpinBarrier) {
+        phase_land(sh, s);
+        barrier.wait(); // outbound handoffs flip writer -> reader
+        phase_accept(sh, s);
+        barrier.wait(); // credit_view decrements settle before any probe
+        phase_arbitrate(sh, s);
+        barrier.wait(); // probes finish before credits return / links move
+        phase_apply(sh, s);
+        barrier.wait(); // workers done; epilogue may merge
+    }
+
+    /// Phase 1 (by channel-owner shard): arrivals due this cycle leave
+    /// their delay lines. Endpoint deliveries are kept shard-local with
+    /// their bucket position; router-bound flits go to the `outbound`
+    /// handoff for the destination shard to accept after the barrier.
+    ///
+    /// # Safety
+    /// Part of the `run_shard_phases` discipline (disjoint `channels` /
+    /// `reserved` rows; `routers` is read by all, mutated by none).
+    unsafe fn phase_land(sh: &StepShared, s: usize) {
+        if sh.bucket_len == 0 {
+            return;
+        }
+        let lo = *sh.bounds.add(s);
+        let hi = *sh.bounds.add(s + 1);
+        let channels = std::slice::from_raw_parts_mut(sh.channels.add(lo), hi - lo);
+        let reserved = std::slice::from_raw_parts_mut(sh.reserved.add(lo), hi - lo);
+        let routers = std::slice::from_raw_parts(sh.routers as *const CycleRouter, sh.n_routers);
+        let wiring = std::slice::from_raw_parts(sh.wiring, sh.n_routers);
+        let bucket = std::slice::from_raw_parts(sh.bucket, sh.bucket_len);
+        let outbound = &mut *sh.outbound.add(s);
+        let scratch = &mut *sh.scratch.add(s);
+        for (pos, &(arrival, r, port)) in bucket.iter().enumerate() {
+            let (r, port) = (r as usize, port as usize);
+            if r < lo || r >= hi {
+                continue;
+            }
+            debug_assert_eq!(arrival, sh.cycle, "wheel slot mixed cycles");
+            let (due, flit) = channels[r - lo][port]
+                .in_flight
+                .pop_front()
+                .expect("scheduled arrival must be in flight");
+            debug_assert_eq!(due, sh.cycle, "delay line out of order");
+            scratch.landed += 1;
+            match wiring[r][port] {
+                PortLink::Router {
+                    router,
+                    port: dport,
+                } => {
+                    let vcs = routers[r].vcs;
+                    reserved[r - lo][port * vcs + flit.vc as usize] -= 1;
+                    outbound.push((pos as u32, router as u32, dport as u32, flit));
+                }
+                PortLink::Endpoint(_) => scratch.delivered_land.push((pos as u32, flit)),
+                PortLink::Unused => unreachable!("flit in flight on an unused port"),
+            }
+        }
+    }
+
+    /// Phase 2 (by destination shard): every handed-off arrival lands in
+    /// its downstream queue, debiting the credit mirror and activating the
+    /// accepting router. Per-queue FIFO order needs no sorting: a queue is
+    /// fed by exactly one channel, whose arrivals sit in one shard's
+    /// handoff list in bucket order (and at most one lands per cycle).
+    ///
+    /// # Safety
+    /// Part of the `run_shard_phases` discipline (disjoint `routers` /
+    /// `is_active` rows; `outbound` lists are read-only in this phase).
+    unsafe fn phase_accept(sh: &StepShared, s: usize) {
+        let lo = *sh.bounds.add(s);
+        let hi = *sh.bounds.add(s + 1);
+        let routers = std::slice::from_raw_parts_mut(sh.routers.add(lo), hi - lo);
+        let is_active = std::slice::from_raw_parts_mut(sh.is_active.add(lo), hi - lo);
+        let queue_off = std::slice::from_raw_parts(sh.queue_off, sh.n_routers + 1);
+        let credit_view = std::slice::from_raw_parts(sh.credit_view, sh.credit_len);
+        let scratch = &mut *sh.scratch.add(s);
+        for t in 0..sh.shards {
+            let inbox = &*(sh.outbound.add(t) as *const Vec<(u32, u32, u32, Flit)>);
+            for &(_pos, dest, dport, flit) in inbox {
+                let dest = dest as usize;
+                if dest < lo || dest >= hi {
+                    continue;
+                }
+                let dport = dport as usize;
+                let router = &mut routers[dest - lo];
+                router.accept(dport, flit.vc, flit, sh.cycle);
+                credit_view[queue_off[dest] + dport * router.vcs + flit.vc as usize]
+                    .fetch_sub(1, Ordering::Relaxed);
+                if !is_active[dest - lo] {
+                    is_active[dest - lo] = true;
+                    scratch.next_active.push(dest);
+                }
+            }
+        }
+    }
+
+    /// Phase 3 (by shard): arbitration over this shard's routers — the
+    /// parallel body of the serial stepper's worklist loop, probing the
+    /// cycle-start credit mirror. When telemetry is on, the shard also
+    /// classifies its own routers' stalls against that same state into its
+    /// local accumulator (merged at the end-of-step barrier).
+    ///
+    /// # Safety
+    /// Part of the `run_shard_phases` discipline (disjoint `routers` /
+    /// `is_active` rows; `next_free` / `reserved` rows of other shards are
+    /// never touched; `credit_view` is read-only this phase — credits
+    /// return in phase 4, after the barrier).
+    unsafe fn phase_arbitrate(sh: &StepShared, s: usize) {
+        let lo = *sh.bounds.add(s);
+        let hi = *sh.bounds.add(s + 1);
+        let routers = std::slice::from_raw_parts_mut(sh.routers.add(lo), hi - lo);
+        let is_active = std::slice::from_raw_parts_mut(sh.is_active.add(lo), hi - lo);
+        let next_free =
+            std::slice::from_raw_parts(sh.next_free.add(lo) as *const Vec<u64>, hi - lo);
+        let reserved = std::slice::from_raw_parts(sh.reserved.add(lo) as *const Vec<u32>, hi - lo);
+        let wiring = std::slice::from_raw_parts(sh.wiring, sh.n_routers);
+        let queue_off = std::slice::from_raw_parts(sh.queue_off, sh.n_routers + 1);
+        let link_off = std::slice::from_raw_parts(sh.link_off, sh.n_routers + 1);
+        let credit_view = std::slice::from_raw_parts(sh.credit_view, sh.credit_len);
+        let route: &RouteFn = (*sh.route).as_ref();
+        let scratch = &mut *sh.scratch.add(s);
+        let active = std::slice::from_raw_parts(sh.active_sorted, sh.active_len);
+        let cycle = sh.cycle;
+
+        // Worklist: pre-step actives in range plus phase-1 activations
+        // (`next_active` so far), ascending — the same set and order the
+        // serial stepper would visit within this range.
+        let a = active.partition_point(|&r| r < lo);
+        let b = active.partition_point(|&r| r < hi);
+        let mut worklist = std::mem::take(&mut scratch.worklist);
+        worklist.clear();
+        worklist.extend_from_slice(&active[a..b]);
+        worklist.extend_from_slice(&scratch.next_active);
+        worklist.sort_unstable();
+        scratch.next_active.clear();
+
+        for &r in &worklist {
+            let router = &mut routers[r - lo];
+            if router.is_idle() {
+                is_active[r - lo] = false;
+                continue;
+            }
+            scratch.next_active.push(r);
+            router.mature(cycle, route);
+            let vcs = router.vcs;
+            let need = wiring[r].len() * vcs;
+            if scratch.probe_ok.len() < need {
+                scratch.probe_ok.resize(need, false);
+                scratch.probe_stamp.resize(need, 0);
+            }
+            scratch.probe_gen += 1;
+            let gen = scratch.probe_gen;
+            let next_free_r = &next_free[r - lo];
+            let reserved_r = &reserved[r - lo];
+            {
+                let wiring_r = &wiring[r];
+                let probe_ok = &mut scratch.probe_ok;
+                let probe_stamp = &mut scratch.probe_stamp;
+                router.for_each_probe(
+                    |out| next_free_r[out] <= cycle,
+                    |out, vc| {
+                        let i = out * vcs + vc as usize;
+                        if probe_stamp[i] == gen {
+                            return; // already probed this router-cycle
+                        }
+                        probe_stamp[i] = gen;
+                        let serializable = next_free_r[out] <= cycle;
+                        probe_ok[i] = match wiring_r[out] {
+                            PortLink::Router { router, port } => {
+                                serializable
+                                    && (reserved_r[i] as usize)
+                                        < credit_view[queue_off[router] + port * vcs + vc as usize]
+                                            .load(Ordering::Relaxed)
+                                            as usize
+                            }
+                            PortLink::Endpoint(_) => serializable,
+                            PortLink::Unused => false,
+                        };
+                    },
+                );
+            }
+            let probe_ok = &scratch.probe_ok;
+            router.arbitrate_into(
+                cycle,
+                |out| next_free_r[out] <= cycle,
+                |out, vc| probe_ok[out * vcs + vc as usize],
+                &mut scratch.moves,
+            );
+        }
+
+        if sh.telemetry {
+            // Stamp this shard's advanced links, then classify every
+            // occupied front against the same cycle-start state the probes
+            // read — the parallel mirror of `telemetry_record`.
+            let base = scratch.link_base;
+            for &(r, out, _) in &scratch.moves {
+                scratch.adv_stamp[link_off[r] - base + out] = cycle + 1;
+            }
+            for &r in &worklist {
+                let router = &routers[r - lo];
+                if router.queued == 0 {
+                    continue;
+                }
+                let vcs = router.vcs;
+                for p in 0..router.ports {
+                    for v in 0..vcs {
+                        let Some(&(front, arrived)) = router.front(p, v as u8) else {
+                            continue;
+                        };
+                        let (out, out_vc) = if front.is_head() {
+                            let d = route(&front, r);
+                            (d.port, d.vc)
+                        } else {
+                            match router.owner_output(p, v as u8) {
+                                Some(t) => t,
+                                None => continue,
+                            }
+                        };
+                        let cause = if arrived + router.pipeline > cycle {
+                            StallCause::PipelineImmature
+                        } else if scratch.adv_stamp[link_off[r] - base + out] == cycle + 1 {
+                            StallCause::LostArbitration
+                        } else if next_free[r - lo][out] > cycle {
+                            StallCause::SerializationBusy
+                        } else {
+                            match wiring[r][out] {
+                                PortLink::Router {
+                                    router: dst,
+                                    port: dport,
+                                } => {
+                                    if (reserved[r - lo][out * vcs + out_vc as usize] as usize)
+                                        >= credit_view
+                                            [queue_off[dst] + dport * vcs + out_vc as usize]
+                                            .load(Ordering::Relaxed)
+                                            as usize
+                                    {
+                                        StallCause::CreditStarved
+                                    } else {
+                                        StallCause::LostArbitration
+                                    }
+                                }
+                                _ => StallCause::LostArbitration,
+                            }
+                        };
+                        scratch.stalls.push((r as u32, out as u32, out_vc, cause));
+                    }
+                }
+            }
+        }
+        scratch.worklist = worklist;
+    }
+
+    /// Phase 4 (by shard): this shard's departures enter their links and
+    /// book arrivals into the shard-local wheel outbox, then the shard's
+    /// routers return the credits their departures parked — the parallel
+    /// half of `return_credits`, safe now that every probe is behind the
+    /// barrier.
+    ///
+    /// # Safety
+    /// Part of the `run_shard_phases` discipline (disjoint `routers` /
+    /// `channels` / `next_free` / `reserved` rows).
+    unsafe fn phase_apply(sh: &StepShared, s: usize) {
+        let lo = *sh.bounds.add(s);
+        let hi = *sh.bounds.add(s + 1);
+        let routers = std::slice::from_raw_parts_mut(sh.routers.add(lo), hi - lo);
+        let channels = std::slice::from_raw_parts_mut(sh.channels.add(lo), hi - lo);
+        let next_free = std::slice::from_raw_parts_mut(sh.next_free.add(lo), hi - lo);
+        let reserved = std::slice::from_raw_parts_mut(sh.reserved.add(lo), hi - lo);
+        let wiring = std::slice::from_raw_parts(sh.wiring, sh.n_routers);
+        let queue_off = std::slice::from_raw_parts(sh.queue_off, sh.n_routers + 1);
+        let credit_view = std::slice::from_raw_parts(sh.credit_view, sh.credit_len);
+        let classify = (*sh.classify).as_deref();
+        let scratch = &mut *sh.scratch.add(s);
+        let cycle = sh.cycle;
+        for i in 0..scratch.moves.len() {
+            let (r, out, flit) = scratch.moves[i];
+            debug_assert!(lo <= r && r < hi, "move escaped its shard");
+            let class = classify.map(|f| f(&flit));
+            let vcs = routers[r - lo].vcs;
+            let ch = &mut channels[r - lo][out];
+            next_free[r - lo][out] = cycle + ch.spec.interval;
+            ch.flits_sent += 1;
+            ch.packets_sent += u64::from(flit.is_tail());
+            if let Some(c) = class {
+                ch.class_flits[c] += 1;
+            }
+            let spec = ch.spec;
+            match wiring[r][out] {
+                PortLink::Router { .. } if spec.latency == 0 => {
+                    unreachable!("sharded stepping requires latency >= 1 on router links")
+                }
+                PortLink::Router { .. } => {
+                    reserved[r - lo][out * vcs + flit.vc as usize] += 1;
+                    debug_assert!(spec.latency < sh.wheel_len, "arrival beyond the wheel");
+                    ch.in_flight.push_back((cycle + spec.latency, flit));
+                    scratch.sent += 1;
+                    scratch
+                        .outwheel
+                        .push((cycle + spec.latency, r as u32, out as u32));
+                }
+                PortLink::Endpoint(_) if spec.latency == 0 => scratch.delivered_eject.push(flit),
+                PortLink::Endpoint(_) => {
+                    ch.in_flight.push_back((cycle + spec.latency, flit));
+                    scratch.sent += 1;
+                    scratch
+                        .outwheel
+                        .push((cycle + spec.latency, r as u32, out as u32));
+                }
+                PortLink::Unused => unreachable!("flit departed through an unused port"),
+            }
+        }
+        for i in 0..scratch.next_active.len() {
+            let r = scratch.next_active[i];
+            let router = &mut routers[r - lo];
+            for &idx in &router.popped {
+                credit_view[queue_off[r] + idx as usize].fetch_add(1, Ordering::Relaxed);
+            }
+            router.popped.clear();
+        }
+    }
+
+    impl RouterFabric {
+        /// The region-partitioned step (shard count > 1): every shard runs
+        /// the four phases of [`run_shard_phases`] concurrently, then the
+        /// stepping thread merges the per-shard outputs serially in shard
+        /// order — which, over contiguous ascending regions, reproduces the
+        /// serial steppers' ascending-router order exactly.
+        pub(super) fn step_sharded(&mut self) {
+            let cycle = self.cycle;
+            if self.telemetry.is_some() {
+                self.telemetry_begin_step();
+            }
+            // Injections since the last step append out of order.
+            self.active.sort_unstable();
+
+            // Take this cycle's arrival bucket off the wheel; phase 1 walks
+            // it read-only and the epilogue restores its allocation.
+            let slot = (cycle % self.arrival_wheel.len() as u64) as usize;
+            let mut bucket = Vec::new();
+            let mut took_bucket = false;
+            if self.in_flight_total > 0 && !self.arrival_wheel[slot].is_empty() {
+                bucket = std::mem::take(&mut self.arrival_wheel[slot]);
+                took_bucket = true;
+            }
+
+            let shards = self.bounds.len() - 1;
+            {
+                let frame = StepShared {
+                    cycle,
+                    shards,
+                    n_routers: self.routers.len(),
+                    routers: self.routers.as_mut_ptr(),
+                    channels: self.channels.as_mut_ptr(),
+                    next_free: self.next_free.as_mut_ptr(),
+                    reserved: self.reserved.as_mut_ptr(),
+                    is_active: self.is_active.as_mut_ptr(),
+                    wiring: self.wiring.as_ptr(),
+                    bounds: self.bounds.as_ptr(),
+                    queue_off: self.queue_off.as_ptr(),
+                    link_off: self.link_off.as_ptr(),
+                    credit_view: self.credit_view.as_ptr(),
+                    credit_len: self.credit_view.len(),
+                    route: &self.route,
+                    classify: &self.classify,
+                    telemetry: self.telemetry.is_some(),
+                    wheel_len: self.arrival_wheel.len() as u64,
+                    bucket: bucket.as_ptr(),
+                    bucket_len: bucket.len(),
+                    active_sorted: self.active.as_ptr(),
+                    active_len: self.active.len(),
+                    outbound: self.outbound.as_mut_ptr(),
+                    scratch: self.shard_scratch.as_mut_ptr(),
+                };
+                let pool = self.pool.as_ref().expect("sharded step without a pool");
+                pool.launch(&frame);
+                // SAFETY: the frame stays on this stack until every party —
+                // including this thread, as shard 0 — passes the final phase
+                // barrier, after which no worker touches it.
+                unsafe { run_shard_phases(&frame, 0, &pool.ctl.barrier) };
+            }
+
+            if took_bucket {
+                bucket.clear();
+                self.arrival_wheel[slot] = bucket;
+            }
+
+            // ---- Serial merge epilogue (shard order == router order) ----
+            let mut landed = 0;
+            let mut sent = 0;
+            for s in 0..shards {
+                landed += self.shard_scratch[s].landed;
+                sent += self.shard_scratch[s].sent;
+                self.shard_scratch[s].landed = 0;
+                self.shard_scratch[s].sent = 0;
+            }
+            self.in_flight_total -= landed;
+            self.in_flight_total += sent;
+
+            // Telemetry merge: all advances in departure order, then every
+            // shard's stall events — exactly `telemetry_record`'s order.
+            let wiring = &self.wiring;
+            if let Some(tel) = self.telemetry.as_deref_mut() {
+                for scratch in &self.shard_scratch {
+                    for &(r, out, ref flit) in &scratch.moves {
+                        let hop = matches!(wiring[r][out], PortLink::Router { .. });
+                        tel.note_advance(cycle, r, out, flit, hop);
+                    }
+                }
+                for scratch in &self.shard_scratch {
+                    for &(r, out, out_vc, cause) in &scratch.stalls {
+                        tel.note_stall(cycle, r as usize, out as usize, out_vc, cause);
+                    }
+                }
+            }
+
+            // Wheel bookings, in departure order.
+            let w = self.arrival_wheel.len() as u64;
+            for s in 0..shards {
+                let mut outwheel = std::mem::take(&mut self.shard_scratch[s].outwheel);
+                for (arrival, r, out) in outwheel.drain(..) {
+                    self.arrival_wheel[(arrival % w) as usize].push((arrival, r, out));
+                }
+                self.shard_scratch[s].outwheel = outwheel;
+            }
+
+            // Deliveries: phase-1 endpoint landings in bucket order first
+            // (the serial land phase), then latency-0 ejections in departure
+            // order (the serial apply phase).
+            let mut land = std::mem::take(&mut self.land_merge);
+            for s in 0..shards {
+                land.append(&mut self.shard_scratch[s].delivered_land);
+            }
+            land.sort_unstable_by_key(|&(pos, _)| pos);
+            for &(_, flit) in &land {
+                self.delivered.push((cycle, flit));
+            }
+            land.clear();
+            self.land_merge = land;
+            for s in 0..shards {
+                let mut eject = std::mem::take(&mut self.shard_scratch[s].delivered_eject);
+                for flit in eject.drain(..) {
+                    self.delivered.push((cycle, flit));
+                }
+                self.shard_scratch[s].delivered_eject = eject;
+            }
+
+            // Next cycle's worklist (order immaterial: the next step sorts).
+            self.active.clear();
+            for s in 0..shards {
+                let mut next = std::mem::take(&mut self.shard_scratch[s].next_active);
+                self.active.append(&mut next);
+                self.shard_scratch[s].next_active = next;
+            }
+
+            for s in 0..shards {
+                self.shard_scratch[s].moves.clear();
+                self.shard_scratch[s].stalls.clear();
+            }
+            for ob in &mut self.outbound {
+                ob.clear();
+            }
+
+            if self.telemetry.is_some() {
+                self.telemetry_note_deliveries();
+            }
+            self.cycle += 1;
+        }
+    }
+} // mod shard
+
 /// A fabric of cycle routers plus its wiring, stepped together.
 pub struct RouterFabric {
     routers: Vec<CycleRouter>,
@@ -987,6 +1889,27 @@ pub struct RouterFabric {
     /// `reserved[router][output_port * vcs + vc]`: downstream credits
     /// reserved by flits in flight on each link.
     reserved: Vec<Vec<u32>>,
+    /// Flat start offset of each router's queues in [`Self::credit_view`]
+    /// (prefix sums of `ports * vcs`).
+    queue_off: Vec<usize>,
+    /// The fabric-wide credit mirror: free slots per input queue, flat
+    /// across routers (`credit_view[queue_off[r] + port * vcs + vc]`).
+    ///
+    /// This is what arbitration's downstream-credit probes read, and it
+    /// is **cycle-start stable**: accepts (link landings, injections)
+    /// decrement it, but a departure's credit return is parked on the
+    /// router's `popped` list and applied only after every router has
+    /// arbitrated. Credit return is thus uniformly visible one cycle
+    /// later — matching the hardware credit loop, where a credit rides
+    /// the reverse channel and can never beat the grant that freed it —
+    /// instead of leaking mid-cycle to routers that happened to
+    /// arbitrate later in the scan order. That uniformity is also what
+    /// lets [`Self::set_shards`] arbitrate regions concurrently: probes
+    /// see the same credits no matter which thread (or order) asks.
+    /// Atomic so shard workers can read any entry while each mutates
+    /// only its own routers' entries; the serial steppers use plain
+    /// load/store orderings on the same array.
+    credit_view: Vec<AtomicU32>,
     route: Box<RouteFn>,
     /// Optional per-flit class extraction feeding each channel's
     /// `class_flits` counters.
@@ -1025,6 +1948,30 @@ pub struct RouterFabric {
     /// observational, so enabling it never changes delivery logs or
     /// link counters.
     telemetry: Option<Box<Telemetry>>,
+    /// Shard partition of the router index space:
+    /// `bounds[s]..bounds[s + 1]` is shard `s`'s contiguous router
+    /// range (`len == shards + 1`; `[0, n]` when unsharded). Contiguous
+    /// ranges visited in shard order reproduce the serial ascending
+    /// router order, which is what keeps every shard count
+    /// bit-identical.
+    bounds: Vec<usize>,
+    /// Flat start offset of each router's links (prefix sums of wiring
+    /// row lengths; `len == routers + 1`).
+    link_off: Vec<usize>,
+    /// Per-shard link-arrival handoffs: phase 1 of a sharded step
+    /// records each landed router-bound flit here (bucket position,
+    /// destination router, destination port, flit), written by the
+    /// *channel-owning* shard and read by the *destination* shard after
+    /// the barrier — the cross-shard boundary exchange.
+    outbound: Vec<Vec<(u32, u32, u32, Flit)>>,
+    /// Per-shard worker scratch (worklists, departures, stall events,
+    /// credit-probe buffers), merged serially after the final barrier.
+    shard_scratch: Vec<ShardScratch>,
+    /// Reusable buffer for merging phase-1 endpoint deliveries across
+    /// shards into bucket order.
+    land_merge: Vec<(u32, Flit)>,
+    /// Worker threads driving shards `1..` (None when `shards == 1`).
+    pool: Option<ShardPool>,
 }
 
 impl RouterFabric {
@@ -1062,12 +2009,34 @@ impl RouterFabric {
             .map(|(r, row)| vec![0; row.len() * routers[r].vcs])
             .collect();
         let n = routers.len();
+        let mut queue_off = Vec::with_capacity(n + 1);
+        let mut off = 0usize;
+        for r in &routers {
+            queue_off.push(off);
+            off += r.ports * r.vcs;
+        }
+        queue_off.push(off);
+        let mut credit_view = Vec::with_capacity(off);
+        for r in &routers {
+            for q in 0..r.ports * r.vcs {
+                credit_view.push(AtomicU32::new(r.store.capacity(q) as u32));
+            }
+        }
+        let mut link_off = Vec::with_capacity(n + 1);
+        let mut loff = 0usize;
+        for row in &wiring {
+            link_off.push(loff);
+            loff += row.len();
+        }
+        link_off.push(loff);
         RouterFabric {
             routers,
             wiring,
             channels,
             next_free,
             reserved,
+            queue_off,
+            credit_view,
             route,
             classify: None,
             cycle: 0,
@@ -1081,6 +2050,12 @@ impl RouterFabric {
             active: Vec::new(),
             is_active: vec![false; n],
             telemetry: None,
+            bounds: vec![0, n],
+            link_off,
+            outbound: Vec::new(),
+            shard_scratch: Vec::new(),
+            land_merge: Vec::new(),
+            pool: None,
         }
     }
 
@@ -1148,6 +2123,12 @@ impl RouterFabric {
             }
         }
         self.routers[router].set_input_depth(port, depth);
+        let vcs = self.routers[router].vcs;
+        for v in 0..vcs {
+            let free = self.routers[router].free_slots(port, v as u8) as u32;
+            self.credit_view[self.queue_off[router] + port * vcs + v]
+                .store(free, Ordering::Relaxed);
+        }
     }
 
     /// Current cycle.
@@ -1174,6 +2155,26 @@ impl RouterFabric {
     pub fn link_traffic(&self, router: usize, port: usize) -> (u64, u64) {
         let ch = &self.channels[router][port];
         (ch.flits_sent, ch.packets_sent)
+    }
+
+    /// Instantaneous occupancy of the link leaving `router` via `port`:
+    /// flits in flight on the link plus flits queued in the downstream
+    /// input port it feeds — the same sample the telemetry epoch rings
+    /// record at each boundary, exposed so exports can close the final
+    /// partial epoch with a matching sample.
+    pub fn link_occupancy(&self, router: usize, port: usize) -> usize {
+        let mut o = self.channels[router][port].in_flight.len();
+        if let PortLink::Router {
+            router: dst,
+            port: dport,
+        } = self.wiring[router][port]
+        {
+            let vcs = self.routers[dst].vcs;
+            for v in 0..vcs {
+                o += self.routers[dst].queue_len(dport, v as u8);
+            }
+        }
+        o
     }
 
     /// Enables per-class link traffic counters: every flit entering a
@@ -1230,6 +2231,9 @@ impl RouterFabric {
         if self.routers[router].can_accept(port, flit.vc) {
             let cycle = self.cycle;
             self.routers[router].accept(port, flit.vc, flit, cycle);
+            let vcs = self.routers[router].vcs;
+            self.credit_view[self.queue_off[router] + port * vcs + flit.vc as usize]
+                .fetch_sub(1, Ordering::Relaxed);
             activate(&mut self.active, &mut self.is_active, router);
             if flit.is_head() {
                 if let Some(tel) = self.telemetry.as_deref_mut() {
@@ -1282,6 +2286,9 @@ impl RouterFabric {
                     let vcs = self.routers[r].vcs;
                     self.reserved[r][port * vcs + flit.vc as usize] -= 1;
                     self.routers[router].accept(dport, flit.vc, flit, cycle);
+                    let dvcs = self.routers[router].vcs;
+                    self.credit_view[self.queue_off[router] + dport * dvcs + flit.vc as usize]
+                        .fetch_sub(1, Ordering::Relaxed);
                     activate(&mut self.active, &mut self.is_active, router);
                 }
                 PortLink::Endpoint(_) => self.delivered.push((arrival, flit)),
@@ -1315,6 +2322,9 @@ impl RouterFabric {
                     // constant (the paper's per-hop cycle counts are
                     // inclusive), so arrival lands this cycle.
                     self.routers[router].accept(port, flit.vc, flit, cycle);
+                    let dvcs = self.routers[router].vcs;
+                    self.credit_view[self.queue_off[router] + port * dvcs + flit.vc as usize]
+                        .fetch_sub(1, Ordering::Relaxed);
                     activate(&mut self.active, &mut self.is_active, router);
                 }
                 PortLink::Router { .. } => {
@@ -1386,9 +2396,9 @@ impl RouterFabric {
                 continue;
             }
             let vcs = router.vcs;
-            for p in 0..router.inputs.len() {
+            for p in 0..router.ports {
                 for v in 0..vcs {
-                    let Some(&(front, arrived)) = router.inputs[p][v].front() else {
+                    let Some(&(front, arrived)) = router.front(p, v as u8) else {
                         continue;
                     };
                     let (out, out_vc) = if front.is_head() {
@@ -1418,7 +2428,10 @@ impl RouterFabric {
                                 port: dport,
                             } => {
                                 if (self.reserved[r][out * vcs + out_vc as usize] as usize)
-                                    >= self.routers[dst].free_slots(dport, out_vc)
+                                    >= self.credit_view
+                                        [self.queue_off[dst] + dport * vcs + out_vc as usize]
+                                        .load(Ordering::Relaxed)
+                                        as usize
                                 {
                                     StallCause::CreditStarved
                                 } else {
@@ -1448,9 +2461,19 @@ impl RouterFabric {
     /// **with work** arbitrates (the active worklist — idle routers are
     /// never visited), departures enter their links (same-cycle for
     /// latency-0 links), ejections are recorded. Produces bit-identical
-    /// results to [`Self::step_reference`], allocation-free in steady
-    /// state.
+    /// results to [`Self::step_reference`] — at every shard count
+    /// configured via [`Self::set_shards`], which routes this call to
+    /// the region-partitioned stepper.
     pub fn step(&mut self) {
+        if self.pool.is_some() {
+            self.step_sharded();
+        } else {
+            self.step_event();
+        }
+    }
+
+    /// The single-threaded event-driven step (shard count 1).
+    fn step_event(&mut self) {
         let cycle = self.cycle;
         if self.telemetry.is_some() {
             self.telemetry_begin_step();
@@ -1494,10 +2517,11 @@ impl RouterFabric {
                 let reserved_r = &self.reserved[r];
                 {
                     let wiring = &self.wiring[r];
-                    let routers = &self.routers;
+                    let queue_off = &self.queue_off;
+                    let credit_view = &self.credit_view;
                     let scratch = &mut scratch;
                     let scratch_gen = &mut scratch_gen;
-                    routers[r].for_each_probe(
+                    self.routers[r].for_each_probe(
                         |out| next_free_r[out] <= cycle,
                         |out, vc| {
                             let i = out * vcs + vc as usize;
@@ -1510,7 +2534,10 @@ impl RouterFabric {
                                 PortLink::Router { router, port } => {
                                     serializable
                                         && (reserved_r[i] as usize)
-                                            < routers[router].free_slots(port, vc)
+                                            < credit_view
+                                                [queue_off[router] + port * vcs + vc as usize]
+                                                .load(Ordering::Relaxed)
+                                                as usize
                                 }
                                 PortLink::Endpoint(_) => serializable,
                                 PortLink::Unused => false,
@@ -1535,6 +2562,14 @@ impl RouterFabric {
             self.telemetry_record(&moves, cycle);
         }
         self.apply_moves(&mut moves, cycle);
+        // Departures return their credits only now — uniformly one cycle
+        // later, never mid-arbitration (see `credit_view`). Only routers
+        // that arbitrated can have parked credits, and all of those are
+        // still on the worklist this cycle.
+        for i in 0..self.active.len() {
+            let r = self.active[i];
+            self.return_credits(r);
+        }
         if self.telemetry.is_some() {
             self.telemetry_note_deliveries();
         }
@@ -1575,7 +2610,9 @@ impl RouterFabric {
                         for vc in 0..vcs {
                             scratch[out * vcs + vc] = serializable
                                 && (self.reserved[r][out * vcs + vc] as usize)
-                                    < self.routers[*router].free_slots(*port, vc as u8);
+                                    < self.credit_view[self.queue_off[*router] + port * vcs + vc]
+                                        .load(Ordering::Relaxed)
+                                        as usize;
                         }
                     }
                     PortLink::Endpoint(_) => {
@@ -1598,10 +2635,25 @@ impl RouterFabric {
             self.telemetry_record(&moves, cycle);
         }
         self.apply_moves(&mut moves, cycle);
+        for r in 0..self.routers.len() {
+            if !self.routers[r].popped.is_empty() {
+                self.return_credits(r);
+            }
+        }
         if self.telemetry.is_some() {
             self.telemetry_note_deliveries();
         }
         self.cycle += 1;
+    }
+
+    /// Applies the credits parked by router `r`'s departures this cycle
+    /// (its drained `popped` list) to the credit mirror — the uniform
+    /// end-of-cycle credit return both steppers share.
+    fn return_credits(&mut self, r: usize) {
+        let off = self.queue_off[r];
+        for idx in self.routers[r].popped.drain(..) {
+            self.credit_view[off + idx as usize].fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Enters a flit into a link's delay line and books its arrival on
@@ -1612,6 +2664,75 @@ impl RouterFabric {
         let w = self.arrival_wheel.len() as u64;
         debug_assert!(arrival - self.cycle < w, "arrival beyond the wheel");
         self.arrival_wheel[(arrival % w) as usize].push((arrival, r as u32, out as u32));
+    }
+
+    /// The number of contiguous router regions [`Self::step`] advances
+    /// in parallel (1 = the single-threaded event-driven stepper).
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Re-partitions the fabric into `shards` contiguous router regions
+    /// stepped in parallel by a persistent worker pool. Results stay
+    /// bit-identical to [`Self::step_reference`] at every count: the
+    /// cycle-start-stable credit mirror makes arbitration outcomes
+    /// independent of router visit order, link latency ≥ 1 keeps every
+    /// cross-region effect at least one cycle away (the phase-1 handoff
+    /// barrier sits inside that window), and the serial merge epilogue
+    /// reproduces the ascending-router order of every log and counter.
+    ///
+    /// Only allowed on a **drained** fabric — shard ownership of queues,
+    /// delay lines, and scratch cannot change hands mid-protocol.
+    ///
+    /// # Errors
+    /// [`ShardError::InvalidCount`] for 0 or more shards than routers,
+    /// [`ShardError::Busy`] while any flit is resident or any packet is
+    /// mid-cut-through, [`ShardError::ZeroLatencyLink`] if `shards > 1`
+    /// and any router-to-router link has zero latency.
+    pub fn set_shards(&mut self, shards: usize) -> Result<(), ShardError> {
+        let n = self.routers.len();
+        if shards == 0 || shards > n {
+            return Err(ShardError::InvalidCount { shards, routers: n });
+        }
+        let resident = self.in_flight_total
+            + self
+                .routers
+                .iter()
+                .map(CycleRouter::occupancy)
+                .sum::<usize>();
+        if resident > 0 || self.routers.iter().any(|r| !r.is_idle()) {
+            return Err(ShardError::Busy { resident });
+        }
+        if shards > 1 {
+            for (r, row) in self.wiring.iter().enumerate() {
+                for (port, link) in row.iter().enumerate() {
+                    if matches!(link, PortLink::Router { .. })
+                        && self.channels[r][port].spec.latency == 0
+                    {
+                        return Err(ShardError::ZeroLatencyLink { router: r, port });
+                    }
+                }
+            }
+        }
+        self.pool = None; // joins any previous workers first
+        self.bounds = (0..=shards).map(|s| s * n / shards).collect();
+        self.outbound = (0..shards).map(|_| Vec::new()).collect();
+        self.shard_scratch = (0..shards)
+            .map(|s| {
+                ShardScratch::new(
+                    self.link_off[self.bounds[s]],
+                    self.link_off[self.bounds[s + 1]],
+                )
+            })
+            .collect();
+        // A drained fabric's worklist holds only idle stragglers; start
+        // the new partition from a clean one.
+        self.active.clear();
+        self.is_active.fill(false);
+        if shards > 1 {
+            self.pool = Some(ShardPool::new(shards));
+        }
+        Ok(())
     }
 
     /// The earliest pending link-arrival cycle, if any flit is in flight.
@@ -1843,13 +2964,45 @@ mod tests {
 
     #[test]
     fn queue_depth_is_eight_flits() {
-        let mut q = VcQueue::default();
+        let mut store = FlitStore::new(2);
         for i in 0..INPUT_QUEUE_FLITS {
-            assert!(q.has_space(), "flit {i}");
-            q.push(flit(i as u64, 0, 1, 0, 0), 0);
+            assert!(store.free_slots(0) > 0, "flit {i}");
+            store.push(0, flit(i as u64, 0, 1, 0, 0), 0);
         }
-        assert!(!q.has_space(), "ninth flit must be refused by credits");
-        assert_eq!(q.len(), 8);
+        assert_eq!(
+            store.free_slots(0),
+            0,
+            "ninth flit must be refused by credits"
+        );
+        assert_eq!(store.len(0), 8);
+        assert!(store.is_empty(1), "neighboring ring untouched");
+    }
+
+    #[test]
+    fn flit_store_repacks_on_deepening() {
+        // Fill two rings, deepen one: the slab re-packs and both rings
+        // keep their contents and FIFO order.
+        let mut store = FlitStore::new(2);
+        for i in 0..6u64 {
+            store.push(0, flit(i, 0, 1, 0, 0), i);
+            store.push(1, flit(100 + i, 0, 1, 0, 1), i);
+        }
+        // Rotate ring 0 so its head is mid-slab before the re-pack.
+        for i in 0..3u64 {
+            assert_eq!(store.pop(0).unwrap().packet, i);
+        }
+        store.set_cap(0, 32);
+        assert_eq!(store.capacity(0), 32);
+        assert_eq!(store.capacity(1), INPUT_QUEUE_FLITS);
+        for i in 6..30u64 {
+            store.push(0, flit(i, 0, 1, 0, 0), i);
+        }
+        for i in 3..30u64 {
+            assert_eq!(store.pop(0).unwrap().packet, i, "FIFO order after re-pack");
+        }
+        for i in 0..6u64 {
+            assert_eq!(store.pop(1).unwrap().packet, 100 + i);
+        }
     }
 
     #[test]
@@ -2071,6 +3224,104 @@ mod tests {
                     "link ({r}, {port}) counters diverged"
                 );
             }
+        }
+    }
+
+    /// A row whose inter-router links all have one-cycle latency — the
+    /// minimum a sharded fabric accepts.
+    fn latency1_row(n: usize) -> RouterFabric {
+        let mut f = build_row(n, 2, 2);
+        for r in 0..n - 1 {
+            f.set_link_spec(
+                r,
+                1,
+                LinkSpec {
+                    latency: 1,
+                    interval: 1,
+                },
+            );
+        }
+        f
+    }
+
+    #[test]
+    fn set_shards_validates_count_latency_and_occupancy() {
+        let mut f = latency1_row(8);
+        assert_eq!(f.shards(), 1);
+        assert_eq!(
+            f.set_shards(0),
+            Err(ShardError::InvalidCount {
+                shards: 0,
+                routers: 8
+            })
+        );
+        assert_eq!(
+            f.set_shards(9),
+            Err(ShardError::InvalidCount {
+                shards: 9,
+                routers: 8
+            })
+        );
+        // Same-cycle router links leave no transmission window to hide
+        // the boundary exchange in.
+        let mut zero = build_row(4, 2, 2);
+        assert_eq!(
+            zero.set_shards(2),
+            Err(ShardError::ZeroLatencyLink { router: 0, port: 1 })
+        );
+        // A busy fabric refuses to re-partition; once drained it accepts,
+        // and going back to one shard always works.
+        assert!(f.inject(0, 0, flit(1, 0, 1, 7, 0)).is_ok());
+        assert!(matches!(f.set_shards(2), Err(ShardError::Busy { .. })));
+        assert!(f.run_until_drained(200));
+        assert!(f.set_shards(2).is_ok());
+        assert_eq!(f.shards(), 2);
+        assert!(f.set_shards(1).is_ok());
+        assert_eq!(f.shards(), 1);
+    }
+
+    #[test]
+    fn sharded_row_matches_reference_bit_for_bit() {
+        for shards in [2usize, 3, 5, 8] {
+            let mut sharded = latency1_row(8);
+            sharded.set_shards(shards).unwrap();
+            let mut reference = latency1_row(8);
+            // A contending burst: every router sends two 2-flit packets
+            // across the row, so arbitration, credit back-pressure, and
+            // cut-through all cross the shard boundaries.
+            let mut p = 0u64;
+            for src in 0..8usize {
+                for dest in [7u32, (src as u32 + 3) % 8] {
+                    for i in 0..2u8 {
+                        let fl = flit(p, i, 2, dest, (dest % 2) as u8);
+                        assert_eq!(
+                            sharded.inject(src, 0, fl).is_ok(),
+                            reference.inject(src, 0, fl).is_ok(),
+                        );
+                    }
+                    p += 1;
+                }
+            }
+            for _ in 0..200 {
+                sharded.step();
+                reference.step_reference();
+            }
+            assert_eq!(sharded.cycle(), reference.cycle());
+            assert_eq!(
+                sharded.delivered(),
+                reference.delivered(),
+                "shards={shards}"
+            );
+            for r in 0..8 {
+                for port in 0..3 {
+                    assert_eq!(
+                        sharded.link_traffic(r, port),
+                        reference.link_traffic(r, port),
+                        "link ({r}, {port}) counters diverged at shards={shards}"
+                    );
+                }
+            }
+            assert_eq!(sharded.occupancy(), 0, "burst must drain");
         }
     }
 }

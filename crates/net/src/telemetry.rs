@@ -162,6 +162,12 @@ impl Default for TelemetryConfig {
 pub struct EpochRecord {
     /// Epoch index (`cycle / epoch_cycles`).
     pub epoch: u64,
+    /// Cycles of the epoch window this record actually covers. Equal to
+    /// the configured epoch length except for the first epoch after a
+    /// mid-window enable and for the final partial epoch flushed at
+    /// export, whose true (shorter) width this reports — so rate math
+    /// (`flits / cycles`) stays honest at both edges of a run.
+    pub cycles: u64,
     /// Flits that entered the link during the epoch.
     pub flits: u32,
     /// Stall cycles charged to the link during the epoch.
@@ -207,6 +213,11 @@ pub struct TraceEvent {
 pub trait TraceSink {
     /// Consumes one event.
     fn emit(&mut self, ev: &TraceEvent);
+    /// Called once after the last event with the number of events the
+    /// buffer dropped at [`TelemetryConfig::trace_limit`], so the
+    /// rendered document can say it is truncated instead of silently
+    /// looking complete. The default does nothing.
+    fn finish(&mut self, _dropped: u64) {}
     /// The formatted output accumulated so far.
     fn render(&self) -> String;
 }
@@ -232,6 +243,12 @@ impl TraceSink for JsonlTraceSink {
             "{{\"kind\":\"{:?}\",\"cycle\":{},\"packet\":{},\"router\":{},\"port\":{},\"vc\":{}}}",
             ev.kind, ev.cycle, ev.packet, ev.router, ev.port, ev.vc
         );
+    }
+
+    fn finish(&mut self, dropped: u64) {
+        if dropped > 0 {
+            let _ = writeln!(self.out, "{{\"kind\":\"Truncated\",\"dropped\":{dropped}}}");
+        }
     }
 
     fn render(&self) -> String {
@@ -273,6 +290,19 @@ impl TraceSink for ChromeTraceSink {
             "{{\"name\":\"pkt{}\",\"cat\":\"net\",\"ph\":\"{}\",\"id\":{},\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"port\":{},\"vc\":{}}}}}",
             ev.packet, ph, ev.packet, ev.cycle, ev.router, ev.port, ev.vc
         );
+    }
+
+    fn finish(&mut self, dropped: u64) {
+        if dropped > 0 {
+            if self.any {
+                self.events.push(',');
+            }
+            self.any = true;
+            let _ = write!(
+                self.events,
+                "{{\"name\":\"trace_truncated\",\"cat\":\"net\",\"ph\":\"i\",\"ts\":0,\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":{{\"dropped\":{dropped}}}}}",
+            );
+        }
     }
 
     fn render(&self) -> String {
@@ -346,8 +376,10 @@ pub struct TelemetrySummary {
     pub epochs: Vec<LinkEpochSeries>,
 }
 
-/// Current [`TelemetrySummary::schema_version`].
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+/// Current [`TelemetrySummary::schema_version`]. Version 2 added
+/// [`EpochRecord::cycles`] (true window width) and the final partial
+/// epoch flushed into each link's series at export.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
 
 /// Telemetry state for one fabric: per-link cycle accounting, per
 /// (router, output, VC, cause) stall counters, epoch rings, and the
@@ -585,12 +617,15 @@ impl Telemetry {
     /// the scratch buffer.
     pub(crate) fn roll(&mut self, cycle: u64, occ: Vec<u32>) {
         debug_assert_eq!(occ.len(), self.link_count(), "occupancy per link");
+        let end = (self.epoch + 1) * self.cfg.epoch_cycles;
+        let start = (self.epoch * self.cfg.epoch_cycles).max(self.enabled_at);
         for (l, ring) in self.rings.iter_mut().enumerate() {
             if ring.len() == self.cfg.epoch_ring {
                 ring.pop_front();
             }
             ring.push_back(EpochRecord {
                 epoch: self.epoch,
+                cycles: end - start,
                 flits: self.epoch_advance[l],
                 stalls: self.epoch_stall[l],
                 occupancy: occ[l],
@@ -650,6 +685,34 @@ impl Telemetry {
         (self.epoch_advance[l], self.epoch_stall[l])
     }
 
+    /// The current epoch's activity on link `(r, out)` as a record with
+    /// its **true width** (`now` minus the epoch's covered start) and
+    /// `occupancy` as the boundary sample — how a summary export flushes
+    /// the final partial window a run that doesn't end on an epoch
+    /// boundary would otherwise drop. `None` when no cycle of the
+    /// current epoch has elapsed. Read-only: the ring is not modified,
+    /// so exporting mid-run never perturbs later rolls.
+    pub fn epoch_partial_record(
+        &self,
+        r: usize,
+        out: usize,
+        now: u64,
+        occupancy: u32,
+    ) -> Option<EpochRecord> {
+        let start = (self.epoch * self.cfg.epoch_cycles).max(self.enabled_at);
+        if now <= start {
+            return None;
+        }
+        let l = self.link(r, out);
+        Some(EpochRecord {
+            epoch: self.epoch,
+            cycles: now - start,
+            flits: self.epoch_advance[l],
+            stalls: self.epoch_stall[l],
+            occupancy,
+        })
+    }
+
     /// Buffered packet lifecycle events, in emission order.
     pub fn trace_events(&self) -> &[TraceEvent] {
         &self.trace
@@ -660,11 +723,14 @@ impl Telemetry {
         self.trace_dropped
     }
 
-    /// Replays every buffered trace event into `sink`.
+    /// Replays every buffered trace event into `sink`, then reports the
+    /// dropped-event count via [`TraceSink::finish`] so a truncated
+    /// buffer renders as visibly truncated.
     pub fn write_trace(&self, sink: &mut dyn TraceSink) {
         for ev in &self.trace {
             sink.emit(ev);
         }
+        sink.finish(self.trace_dropped);
     }
 }
 
@@ -742,12 +808,27 @@ mod tests {
             recs,
             vec![EpochRecord {
                 epoch: 0,
+                cycles: 8,
                 flits: 1,
                 stalls: 1,
                 occupancy: 9
             }]
         );
         assert_eq!(t.epoch_partial(1, 2), (0, 0));
+        // The freshly opened epoch has no elapsed cycles yet; two cycles
+        // in, a partial record reports its true two-cycle width.
+        assert_eq!(t.epoch_partial_record(1, 2, 8, 0), None);
+        t.note_advance(9, 1, 2, &flit(2, 1), false);
+        assert_eq!(
+            t.epoch_partial_record(1, 2, 10, 3),
+            Some(EpochRecord {
+                epoch: 1,
+                cycles: 2,
+                flits: 1,
+                stalls: 0,
+                occupancy: 3
+            })
+        );
         // Ring capacity 2: a third roll evicts the oldest record.
         t.roll(16, vec![0; 5]);
         t.roll(24, vec![0; 5]);
@@ -777,8 +858,10 @@ mod tests {
         let mut jsonl = JsonlTraceSink::new();
         t.write_trace(&mut jsonl);
         let text = jsonl.render();
-        assert_eq!(text.lines().count(), 4);
+        // 4 buffered events plus the truncation footer for the dropped one.
+        assert_eq!(text.lines().count(), 5);
         assert!(text.starts_with("{\"kind\":\"Inject\""));
+        assert!(text.ends_with("{\"kind\":\"Truncated\",\"dropped\":1}\n"));
 
         let mut chrome = ChromeTraceSink::new();
         t.write_trace(&mut chrome);
@@ -787,6 +870,21 @@ mod tests {
         assert!(doc.contains("\"ph\":\"b\""));
         assert!(doc.contains("\"ph\":\"n\""));
         assert!(doc.contains("\"ph\":\"e\""));
+        assert!(doc.contains("\"name\":\"trace_truncated\""));
+        assert!(doc.contains("\"dropped\":1"));
+    }
+
+    #[test]
+    fn untruncated_traces_render_without_a_footer() {
+        let mut t = tel(true);
+        t.note_inject(0, 1, 0, 12, 0);
+        assert_eq!(t.trace_dropped(), 0);
+        let mut jsonl = JsonlTraceSink::new();
+        t.write_trace(&mut jsonl);
+        assert!(!jsonl.render().contains("Truncated"));
+        let mut chrome = ChromeTraceSink::new();
+        t.write_trace(&mut chrome);
+        assert!(!chrome.render().contains("trace_truncated"));
     }
 
     #[test]

@@ -109,6 +109,12 @@ pub struct SweepConfig {
     /// source (force-return traffic). Responses ride their own VC and
     /// roughly double the carried load at a given offered rate.
     pub respond: bool,
+    /// Worker shards the fabric step is partitioned across
+    /// ([`TorusFabric::set_shards`]); 1 runs the single-threaded
+    /// event core. Sharding is an execution strategy, not a model
+    /// parameter: every measurement is bit-identical at any shard
+    /// count.
+    pub shards: usize,
 }
 
 impl SweepConfig {
@@ -124,6 +130,7 @@ impl SweepConfig {
             seed: 0xA3_70_03,
             loads: Self::default_loads(),
             respond: true,
+            shards: 1,
         }
     }
 
@@ -148,6 +155,7 @@ impl SweepConfig {
             seed: 0xCA11B,
             loads: vec![],
             respond: false,
+            shards: 1,
         }
     }
 
@@ -558,6 +566,14 @@ fn scenario_impl<W: Workload + ?Sized>(
     let mut fabric = TorusFabric::new(torus, params);
     if let Some(tel) = telemetry {
         fabric.enable_telemetry(tel);
+    }
+    if cfg.shards > 1 {
+        // A freshly built fabric is empty and idle, so the only
+        // rejections possible here are bad counts or zero-latency
+        // links — configuration errors worth failing loudly on.
+        fabric
+            .set_shards(cfg.shards)
+            .unwrap_or_else(|e| panic!("cannot shard the sweep fabric: {e}"));
     }
     let n = torus.node_count();
     let nflits = cfg.flits_per_packet;
@@ -1005,6 +1021,7 @@ mod tests {
             seed: 11,
             loads: vec![],
             respond: false,
+            shards: 1,
         }
     }
 
@@ -1111,6 +1128,26 @@ mod tests {
         );
         let b = run_scenario_with(&mut w, &cfg, p, 0.3, 8, Stepper::Reference).point;
         assert_eq!(format!("{a:?}"), format!("{b:?}"), "steppers diverged");
+    }
+
+    #[test]
+    fn sharded_scenario_is_byte_identical_to_serial() {
+        // Region-partitioned stepping is an execution strategy: the
+        // measured point must not change at any shard count, loaded
+        // enough that boundary links actually carry contended traffic.
+        let mut cfg = small_cfg();
+        cfg.respond = true;
+        let p = params();
+        let serial = run_point(&UniformRandom, &cfg, p, 0.4, 8);
+        for shards in [2, 4] {
+            cfg.shards = shards;
+            let sharded = run_point(&UniformRandom, &cfg, p, 0.4, 8);
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{sharded:?}"),
+                "shard count {shards} leaked into the measurements"
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@ use anton3::model::latency::LatencyModel;
 use anton3::model::topology::{Direction, NodeId, Torus};
 use anton3::net::channel::ByteKind;
 use anton3::net::fabric3d::{FabricParams, PacketSpec, TorusFabric, SLICES};
+use anton3::net::router::ShardError;
+use anton3::net::telemetry::TelemetryConfig;
 use anton3::sim::rng::SplitMix64;
 use proptest::prelude::*;
 
@@ -25,6 +27,9 @@ enum Mode {
     /// Alternate between the two in 3-cycle blocks (the steppers share
     /// all fabric state, so switching mid-run must not diverge).
     Alternating,
+    /// The region-partitioned stepper at this shard count (1 falls back
+    /// to the single-threaded event core, exactly like `--shards 1`).
+    Sharded(usize),
 }
 
 /// Drives one fabric with a deterministic mixed-class injection
@@ -37,15 +42,24 @@ fn drive(
     seed: u64,
     packets: u64,
     mode: Mode,
+    telemetry: bool,
 ) -> (TorusFabric, Vec<(u64, anton3::net::router::Flit)>) {
     let torus = Torus::new(dims);
     let params = FabricParams::calibrated(&LatencyModel::default());
     let mut fabric = TorusFabric::new(torus, params);
+    if telemetry {
+        fabric.enable_telemetry(TelemetryConfig::default());
+    }
+    if let Mode::Sharded(shards) = mode {
+        if shards > 1 {
+            fabric.set_shards(shards).expect("fresh fabric shards");
+        }
+    }
     let mut rng = SplitMix64::new(seed);
     let n = torus.node_count() as u64;
     let mut log = Vec::new();
     let step = |fabric: &mut TorusFabric, p: u64| match mode {
-        Mode::Event => fabric.step(),
+        Mode::Event | Mode::Sharded(_) => fabric.step(),
         Mode::Reference => fabric.step_reference(),
         Mode::Alternating if (p / 3).is_multiple_of(2) => fabric.step(),
         Mode::Alternating => fabric.step_reference(),
@@ -95,8 +109,8 @@ proptest! {
         packets in 50u64..250,
     ) {
         let dims = [dims.0, dims.1, dims.2];
-        let (fast, fast_log) = drive(dims, seed, packets, Mode::Event);
-        let (naive, naive_log) = drive(dims, seed, packets, Mode::Reference);
+        let (fast, fast_log) = drive(dims, seed, packets, Mode::Event, false);
+        let (naive, naive_log) = drive(dims, seed, packets, Mode::Reference, false);
         prop_assert_eq!(fast.cycle(), naive.cycle(), "clocks diverged");
         prop_assert_eq!(
             fast_log.len(), naive_log.len(),
@@ -130,12 +144,102 @@ proptest! {
         // mirrors, maturity wheels), so a fabric may switch between
         // them mid-run without diverging from either pure schedule.
         let dims = [dims.0, dims.1, dims.2];
-        let (mixed, mixed_log) = drive(dims, seed, packets, Mode::Alternating);
-        let (pure, pure_log) = drive(dims, seed, packets, Mode::Event);
+        let (mixed, mixed_log) = drive(dims, seed, packets, Mode::Alternating, false);
+        let (pure, pure_log) = drive(dims, seed, packets, Mode::Event, false);
         prop_assert_eq!(mixed_log.len(), pure_log.len());
         for (a, b) in mixed_log.iter().zip(&pure_log) {
             prop_assert_eq!(a, b, "mixed-stepper delivery log diverged");
         }
         prop_assert_eq!(mixed.cycle(), pure.cycle());
     }
+
+    #[test]
+    fn sharded_stepper_matches_reference_bit_for_bit(
+        dims in (2u8..=4, 2u8..=4, 2u8..=4),
+        seed in any::<u64>(),
+        packets in 50u64..200,
+        shard_ix in 0usize..4,
+    ) {
+        let shards = [1usize, 2, 4, 8][shard_ix];
+        // The region-partitioned stepper must reproduce the reference
+        // scan exactly — delivery logs, every per-link traffic counter,
+        // and (with telemetry recording through the shard-local stall
+        // accumulators) the full observability summary, at every shard
+        // count, on random shapes carrying both traffic classes.
+        let dims = [dims.0, dims.1, dims.2];
+        let (sharded, sharded_log) = drive(dims, seed, packets, Mode::Sharded(shards), true);
+        let (naive, naive_log) = drive(dims, seed, packets, Mode::Reference, true);
+        prop_assert_eq!(sharded.cycle(), naive.cycle(), "clocks diverged");
+        prop_assert_eq!(
+            sharded_log.len(), naive_log.len(),
+            "delivery counts diverged"
+        );
+        for (a, b) in sharded_log.iter().zip(&naive_log) {
+            prop_assert_eq!(a, b, "delivery logs diverged");
+        }
+        let torus = *sharded.torus();
+        for node in torus.nodes() {
+            for dir in Direction::ALL {
+                for slice in 0..SLICES {
+                    prop_assert_eq!(
+                        sharded.link_stats(node, dir, slice),
+                        naive.link_stats(node, dir, slice),
+                        "link ({:?}, {}, {}) counters diverged at {} shards",
+                        node, dir, slice, shards
+                    );
+                }
+            }
+        }
+        let summary = |f: &TorusFabric| {
+            serde_json::to_string(&f.telemetry_summary().expect("telemetry on"))
+                .expect("serializable summary")
+        };
+        prop_assert_eq!(
+            summary(&sharded), summary(&naive),
+            "telemetry summaries diverged at {} shards", shards
+        );
+    }
+}
+
+#[test]
+fn shard_count_changes_are_validated_and_rejected_mid_flight() {
+    let torus = Torus::new([2, 2, 4]);
+    let params = FabricParams::calibrated(&LatencyModel::default());
+    let mut fabric = TorusFabric::new(torus, params);
+    let routers = torus.node_count();
+
+    // Count validation: zero shards and more shards than routers are
+    // configuration errors, reported — not panicked — before any state
+    // changes.
+    assert!(matches!(
+        fabric.set_shards(0),
+        Err(ShardError::InvalidCount { .. })
+    ));
+    assert!(matches!(
+        fabric.set_shards(routers + 1),
+        Err(ShardError::InvalidCount { .. })
+    ));
+
+    // A drained, idle fabric repartitions freely.
+    fabric.set_shards(4).expect("idle fabric reshards");
+    assert_eq!(fabric.shards(), 4);
+
+    // Mid-flight the partition is pinned: resident flits straddle the
+    // old region boundaries, so the change is rejected cleanly and the
+    // fabric keeps stepping on the existing partition.
+    let mut rng = SplitMix64::new(7);
+    let spec = PacketSpec::request(NodeId(0), NodeId(5), 0, 2).drawn(&mut rng);
+    fabric.inject(spec).expect("empty fabric accepts");
+    assert!(matches!(fabric.set_shards(2), Err(ShardError::Busy { .. })));
+    assert_eq!(fabric.shards(), 4, "rejected change must not repartition");
+
+    // Drain invariant: the sharded fabric empties completely, after
+    // which repartitioning (including back to 1) succeeds again.
+    assert!(fabric.run_until_drained(10_000), "sharded fabric drains");
+    assert_eq!(fabric.occupancy(), 0);
+    fabric.set_shards(2).expect("drained fabric reshards");
+    fabric
+        .set_shards(1)
+        .expect("back to the single-threaded core");
+    assert_eq!(fabric.shards(), 1);
 }
