@@ -32,10 +32,20 @@
 //! disabled-telemetry event-core steps/sec regressed less than 3% —
 //! the zero-cost-when-off guarantee, enforced in CI against the cached
 //! baseline artifact.
+//!
+//! The `large_shape` section (schema 4) is the mega-fabric half of the
+//! snapshot, resting on the separable per-dimension route tables and
+//! the lazily allocated flit slabs: a 16x16x16 (4096-node) overload
+//! point on the event core at shards ∈ {1, 2, 4, 8}, every sharded run
+//! asserted onto the serial endpoint, plus a 32x32x32 (32768-node)
+//! construction — build time, the bytes/router memory audit, and a
+//! short light-load steps/s figure. `--quick` skips this section for
+//! local iteration; both shapes are asserted inside the documented
+//! [`BYTES_PER_ROUTER_BUDGET`].
 
 use anton_model::latency::LatencyModel;
 use anton_model::topology::{Direction, Torus};
-use anton_net::fabric3d::{FabricParams, TorusFabric, SLICES};
+use anton_net::fabric3d::{FabricMemoryReport, FabricParams, TorusFabric, SLICES};
 use anton_net::telemetry::TelemetryConfig;
 use anton_traffic::patterns::UniformRandom;
 use anton_traffic::sweep::{
@@ -46,9 +56,19 @@ use serde::Serialize;
 use std::time::Instant;
 
 /// Version of the `BENCH_fabric.json` schema (1 was the unversioned
-/// pre-telemetry shape; 2 added the telemetry overhead probe; 3 adds
-/// the `shard_scaling` curve of the region-partitioned stepper).
-const BENCH_SCHEMA_VERSION: u32 = 3;
+/// pre-telemetry shape; 2 added the telemetry overhead probe; 3 added
+/// the `shard_scaling` curve of the region-partitioned stepper; 4 adds
+/// the `large_shape` section — the 16³ shard-scaling overload point and
+/// the 32³ construction audit).
+const BENCH_SCHEMA_VERSION: u32 = 4;
+
+/// The documented per-router memory budget a constructed mega-fabric
+/// must fit: fixed state (flit slabs, wheels, credit mirrors, link
+/// counters) plus the amortized share of the separable route tables.
+/// Measured ~6.3 KB/router at both 16³ and 32³; the budget leaves
+/// headroom without tolerating a regression back toward the quadratic
+/// tables (which cost ~14 KB/router at a mere 1024 nodes).
+const BYTES_PER_ROUTER_BUDGET: usize = 8 * 1024;
 
 /// One stepper's measured run of one benchmark scenario.
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -112,6 +132,69 @@ struct TelemetryOverhead {
     overhead_ratio: f64,
 }
 
+/// A constructed fabric's memory audit, as recorded in the artifact.
+#[derive(Clone, Copy, Debug, Serialize)]
+struct MemoryRow {
+    /// Total heap bytes behind the constructed fabric (router state,
+    /// links, credit mirror, scheduling, route tables).
+    total_bytes: usize,
+    /// `total_bytes / nodes` — the figure held under
+    /// [`BYTES_PER_ROUTER_BUDGET`].
+    bytes_per_router: usize,
+    /// Bytes of the separable per-dimension route tables alone.
+    route_table_bytes: usize,
+}
+
+/// The 16x16x16 overload point on the event core: construction audit
+/// plus the shard-scaling curve, every sharded run asserted onto the
+/// serial (1-shard) endpoint.
+#[derive(Clone, Debug, Serialize)]
+struct LargeOverloadBench {
+    /// Torus extents.
+    dims: [u8; 3],
+    /// Offered request load, flits per node per cycle.
+    offered: f64,
+    /// Wall-clock seconds to construct the fabric (tables included).
+    construct_seconds: f64,
+    /// Memory audit of the freshly constructed fabric.
+    memory: MemoryRow,
+    /// Simulated cycles the scenario advanced the fabric (identical at
+    /// every shard count).
+    simulated_cycles: u64,
+    /// Total flit-hops carried (identical at every shard count).
+    flit_hops: u64,
+    /// Steps/s per shard count; `speedup` is relative to the serial row.
+    shard_scaling: Vec<ShardPoint>,
+}
+
+/// The 32x32x32 construction audit plus a short light-load run — proof
+/// the shape is constructible and steppable, not a saturation study.
+#[derive(Clone, Copy, Debug, Serialize)]
+struct MegaConstruction {
+    /// Torus extents.
+    dims: [u8; 3],
+    /// Node count (one router per node).
+    nodes: usize,
+    /// Wall-clock seconds to construct the fabric (tables included).
+    construct_seconds: f64,
+    /// Memory audit of the freshly constructed fabric.
+    memory: MemoryRow,
+    /// Simulated cycles of the short light-load run.
+    simulated_cycles: u64,
+    /// Simulated cycles per wall second over that run (event core,
+    /// single thread, unsharded).
+    steps_per_sec: f64,
+}
+
+/// The mega-fabric section of the artifact (absent under `--quick`).
+#[derive(Clone, Debug, Serialize)]
+struct LargeShape {
+    /// The 16³ overload shard-scaling curve.
+    overload_16x16x16: LargeOverloadBench,
+    /// The 32³ construction audit and short-run figure.
+    construct_32x32x32: MegaConstruction,
+}
+
 /// The `BENCH_fabric.json` artifact.
 #[derive(Clone, Debug, Serialize)]
 struct FabricBench {
@@ -126,6 +209,8 @@ struct FabricBench {
     moderate_4x4x8: ScenarioBench,
     /// The overload scenario with telemetry recording enabled.
     telemetry: TelemetryOverhead,
+    /// The mega-fabric section (`null` when run with `--quick`).
+    large_shape: Option<LargeShape>,
 }
 
 /// Machine-wide flit-hops: flits that entered any directed slice link
@@ -236,6 +321,110 @@ fn shard_scaling(
         p.speedup = p.steps_per_sec / base;
     }
     points
+}
+
+/// Flattens a [`FabricMemoryReport`] into the artifact row, holding the
+/// documented budget.
+fn memory_row(shape: &str, report: &FabricMemoryReport) -> MemoryRow {
+    assert!(
+        report.bytes_per_router <= BYTES_PER_ROUTER_BUDGET,
+        "{shape}: {} bytes/router exceeds the {BYTES_PER_ROUTER_BUDGET}-byte budget",
+        report.bytes_per_router
+    );
+    MemoryRow {
+        total_bytes: report.total_bytes,
+        bytes_per_router: report.bytes_per_router,
+        route_table_bytes: report.route_table_bytes,
+    }
+}
+
+/// Times one fabric construction and audits its memory.
+fn construct_audit(dims: [u8; 3], params: FabricParams) -> (f64, MemoryRow) {
+    let start = Instant::now();
+    let fabric = TorusFabric::new(Torus::new(dims), params);
+    let construct_seconds = start.elapsed().as_secs_f64();
+    let shape = format!("{}x{}x{}", dims[0], dims[1], dims[2]);
+    (
+        construct_seconds,
+        memory_row(&shape, &fabric.memory_report()),
+    )
+}
+
+/// The mega-fabric section: the 16³ overload shard-scaling curve (every
+/// sharded endpoint asserted against the serial run) and the 32³
+/// construction audit with a short light-load steps/s figure.
+fn large_shape_bench(params: FabricParams) -> LargeShape {
+    // 16³ overload. Short windows: at 4096 nodes the point's job is the
+    // scaling curve and the endpoint determinism check, not a converged
+    // latency measurement.
+    let dims = [16u8, 16, 16];
+    let (construct_seconds, memory) = construct_audit(dims, params);
+    let mut cfg = SweepConfig::new(dims);
+    cfg.loads = vec![];
+    cfg.warmup_cycles = 150;
+    cfg.measure_cycles = 300;
+    cfg.drain_cycles = 2_000;
+    let offered = 0.3;
+    let mut serial: Option<(u64, u64, String)> = None;
+    let mut points: Vec<ShardPoint> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&shards| {
+            let mut cfg = cfg.clone();
+            cfg.shards = shards;
+            let (run, sr, hops) = run_mode(&cfg, params, offered, 11, Stepper::Event);
+            let end = (run.fabric.cycle(), hops, format!("{:?}", run.point));
+            match &serial {
+                None => serial = Some(end),
+                Some(reference) => assert_eq!(
+                    &end, reference,
+                    "{shards} shards diverged from the serial 16x16x16 endpoint"
+                ),
+            }
+            ShardPoint {
+                shards,
+                wall_seconds: sr.wall_seconds,
+                steps_per_sec: sr.steps_per_sec,
+                speedup: 1.0,
+            }
+        })
+        .collect();
+    let base = points[0].steps_per_sec;
+    for p in &mut points {
+        p.speedup = p.steps_per_sec / base;
+    }
+    let (simulated_cycles, flit_hops, _) = serial.expect("serial 16x16x16 endpoint");
+    let overload_16x16x16 = LargeOverloadBench {
+        dims,
+        offered,
+        construct_seconds,
+        memory,
+        simulated_cycles,
+        flit_hops,
+        shard_scaling: points,
+    };
+
+    // 32³: constructible and steppable, audited against the same
+    // budget. The light-load run keeps the whole section CI-sized.
+    let dims = [32u8, 32, 32];
+    let (construct_seconds, memory) = construct_audit(dims, params);
+    let mut cfg = SweepConfig::new(dims);
+    cfg.loads = vec![];
+    cfg.warmup_cycles = 60;
+    cfg.measure_cycles = 120;
+    cfg.drain_cycles = 1_500;
+    let (run, sr, _) = run_mode(&cfg, params, 0.02, 13, Stepper::Event);
+    let construct_32x32x32 = MegaConstruction {
+        dims,
+        nodes: Torus::new(dims).node_count(),
+        construct_seconds,
+        memory,
+        simulated_cycles: run.fabric.cycle(),
+        steps_per_sec: sr.steps_per_sec,
+    };
+    LargeShape {
+        overload_16x16x16,
+        construct_32x32x32,
+    }
 }
 
 /// The value of a `--flag VALUE` argument, if present.
@@ -354,12 +543,22 @@ fn main() {
         }
     };
 
+    // The mega-fabric section: skipped under --quick so local
+    // iteration on the 8x8x8 snapshot stays fast.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let large_shape = if quick {
+        None
+    } else {
+        Some(large_shape_bench(params))
+    };
+
     let bench = FabricBench {
         schema_version: BENCH_SCHEMA_VERSION,
         overload_8x8x8,
         shard_scaling: shard_points,
         moderate_4x4x8,
         telemetry,
+        large_shape,
     };
     baseline_check(&bench);
     if anton_bench::maybe_json(&bench) {
@@ -404,5 +603,44 @@ fn main() {
         "telemetry overhead (8x8x8 overload, recording on): {:>8.2}s wall  \
          {:>12.0} steps/s  {:.2}x the event core",
         bench.telemetry.wall_seconds, bench.telemetry.steps_per_sec, bench.telemetry.overhead_ratio
+    );
+    let Some(large) = &bench.large_shape else {
+        println!();
+        println!("large-shape section skipped (--quick)");
+        return;
+    };
+    let o = &large.overload_16x16x16;
+    println!();
+    println!(
+        "16x16x16 overload ({} nodes, offered {:.2}): constructed in {:.3}s, \
+         {} bytes/router ({} route-table bytes), {} simulated cycles, {} flit-hops",
+        Torus::new(o.dims).node_count(),
+        o.offered,
+        o.construct_seconds,
+        o.memory.bytes_per_router,
+        o.memory.route_table_bytes,
+        o.simulated_cycles,
+        o.flit_hops,
+    );
+    println!("shard scaling (16x16x16 overload, serial endpoint verified):");
+    for p in &o.shard_scaling {
+        println!(
+            "  {:>2} shard(s)  {:>8.2}s wall  {:>12.0} steps/s  {:.2}x",
+            p.shards, p.wall_seconds, p.steps_per_sec, p.speedup
+        );
+    }
+    let c = &large.construct_32x32x32;
+    println!();
+    println!(
+        "32x32x32 construction ({} nodes): {:.3}s build, {} bytes/router \
+         ({:.1} MiB total, {} route-table bytes); light-load run: \
+         {:>12.0} steps/s over {} cycles",
+        c.nodes,
+        c.construct_seconds,
+        c.memory.bytes_per_router,
+        c.memory.total_bytes as f64 / (1024.0 * 1024.0),
+        c.memory.route_table_bytes,
+        c.steps_per_sec,
+        c.simulated_cycles,
     );
 }

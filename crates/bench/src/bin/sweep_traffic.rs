@@ -39,6 +39,10 @@
 //!   classes plus an injection-stop drain check, exercising the
 //!   dateline-VC deadlock margins on a larger machine (CI runs this on
 //!   every PR, with `--threads`);
+//! - `--mega-smoke` runs a time-budgeted 16x16x16 (4096-node) sweep
+//!   point with both classes, printing the fabric's bytes/router memory
+//!   audit first — the routine check that mega-fabric construction and
+//!   table routing stay O(n) (CI runs this with `--shards 2`);
 //! - `--telemetry` turns on fabric telemetry (`net::telemetry`) for the
 //!   mode's instrumented run — the overload drain check, the MD replay
 //!   scenario, or a representative mid-load sweep point — and prints the
@@ -48,6 +52,9 @@
 //!   causes per class, per-link cycle accounting, epoch time-series) as
 //!   JSON — the CI overload smoke uploads this artifact;
 //! - `--epoch-cycles N` sets the telemetry epoch length (default 1024);
+//! - `--epoch-ring N` caps how many most-recent epoch records each link
+//!   keeps (default 256) — with the activity-lazy rings this bounds
+//!   telemetry memory even at 16³/32³;
 //! - `--trace-out PATH` additionally records packet lifecycle events
 //!   (inject/hop/deliver) and writes them to PATH: JSON Lines when the
 //!   path ends in `.jsonl`, Chrome `trace_event` JSON (loadable in
@@ -124,8 +131,8 @@ fn telemetry_requested() -> bool {
         || arg_value("--trace-out").is_some()
 }
 
-/// The [`TelemetryConfig`] assembled from `--epoch-cycles` and
-/// `--trace-out`.
+/// The [`TelemetryConfig`] assembled from `--epoch-cycles`,
+/// `--epoch-ring` and `--trace-out`.
 fn telemetry_config() -> TelemetryConfig {
     let mut tcfg = TelemetryConfig::default();
     if let Some(v) = arg_value("--epoch-cycles") {
@@ -134,6 +141,13 @@ fn telemetry_config() -> TelemetryConfig {
             .ok()
             .filter(|&e| e >= 1)
             .expect("--epoch-cycles takes a positive integer");
+    }
+    if let Some(v) = arg_value("--epoch-ring") {
+        tcfg.epoch_ring = v
+            .parse()
+            .ok()
+            .filter(|&e| e >= 1)
+            .expect("--epoch-ring takes a positive integer");
     }
     tcfg.trace = arg_value("--trace-out").is_some();
     tcfg
@@ -268,6 +282,9 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--overload-smoke") {
         return overload_smoke(params, threads);
+    }
+    if std::env::args().any(|a| a == "--mega-smoke") {
+        return mega_smoke(params, threads);
     }
 
     let quick = std::env::args().any(|a| a == "--quick");
@@ -575,6 +592,69 @@ fn md_replay(params: FabricParams) {
     );
     print_telemetry(&scenario.fabric);
     write_telemetry_artifacts(&scenario.fabric);
+}
+
+/// A time-budgeted 16x16x16 (4096-node) smoke: prints the constructed
+/// fabric's bytes/router memory audit, then runs one short mid-load
+/// uniform-random sweep point (responses on) through the standard
+/// scenario driver. The separable route tables are what make this shape
+/// routine — the old quadratic tables would need 100+ MB here and fell
+/// back to per-hop computed routes above 1024 nodes. Honors `--shards`
+/// and `--threads` like every other mode; with `--telemetry`, an
+/// instrumented companion point prints the stall digest (the
+/// activity-lazy epoch rings keep that affordable at this link count).
+fn mega_smoke(params: FabricParams, threads: usize) {
+    let dims = [16u8, 16, 16];
+    let shards = shards_arg();
+    let torus = Torus::new(dims);
+    let report = TorusFabric::new(torus, params).memory_report();
+    println!(
+        "MEGA SMOKE. {}x{}x{} torus ({} nodes), responses on, {threads} thread(s), \
+         {shards} shard(s)",
+        dims[0], dims[1], dims[2], report.nodes
+    );
+    println!(
+        "constructed fabric memory: {:.1} MiB total, {} bytes/router \
+         (separable route tables: {} bytes)",
+        report.total_bytes as f64 / (1024.0 * 1024.0),
+        report.bytes_per_router,
+        report.route_table_bytes
+    );
+    let mut cfg = SweepConfig::new(dims);
+    cfg.shards = shards;
+    cfg.loads = vec![0.05];
+    cfg.warmup_cycles = 800;
+    cfg.measure_cycles = 800;
+    cfg.drain_cycles = 10_000;
+    let curve = run_curve_threaded(&UniformRandom, &cfg, params, 1, threads);
+    let p = curve.points.last().expect("mega point");
+    println!(
+        "offered {:.2}: delivered {:.3} total ({:.3} request / {:.3} response), \
+         slices {:.3}/{:.3}, {} backpressure rejections",
+        p.offered,
+        p.delivered,
+        p.request.delivered,
+        p.response.expect("respond mode").delivered,
+        p.slice_delivered[0],
+        p.slice_delivered[1],
+        p.backpressure_rejections
+    );
+    assert!(
+        p.delivered > 0.02,
+        "a light-load 16x16x16 must move traffic (routing or scale regression?)"
+    );
+    assert!(
+        p.slice_delivered[0] > 0.0 && p.slice_delivered[1] > 0.0,
+        "both channel slices must carry traffic"
+    );
+    println!("mega smoke: PASS");
+    if let Some(tcfg) = telemetry_requested().then(telemetry_config) {
+        let mut workload =
+            SyntheticWorkload::new(&UniformRandom, cfg.flits_per_packet, cfg.respond);
+        let run = run_scenario_instrumented(&mut workload, &cfg, params, 0.15, 1, tcfg);
+        print_telemetry(&run.fabric);
+        write_telemetry_artifacts(&run.fabric);
+    }
 }
 
 /// A short 8x8x8 overload exercise: one saturated sweep point with both

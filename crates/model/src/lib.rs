@@ -55,7 +55,7 @@ impl MachineConfig {
     /// production configuration.
     ///
     /// # Panics
-    /// Panics if the machine would exceed 512 nodes.
+    /// Panics if the machine would exceed [`Torus::MAX_NODES`] nodes.
     pub fn torus(dims: [u8; 3]) -> Self {
         MachineConfig {
             torus: Torus::new(dims),

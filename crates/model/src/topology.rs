@@ -3,8 +3,11 @@
 //!
 //! Anton 3 machines connect up to 512 nodes in a 3D torus (paper §II-B).
 //! Each node has six neighbors — X+, X−, Y+, Y−, Z+ and Z− — reached over
-//! 16 SERDES lanes each. This module provides the coordinate algebra that
-//! the routing, fence, and experiment code builds on.
+//! 16 SERDES lanes each. The coordinate algebra itself is
+//! shape-agnostic, so mega-fabric studies (16³, 32³) beyond the shipped
+//! machine size use the same type; only the dense [`NodeId`] space (u16,
+//! 65536 nodes) bounds a [`Torus`]. This module provides the coordinate
+//! algebra that the routing, fence, and experiment code builds on.
 
 use core::fmt;
 use serde::{Deserialize, Serialize};
@@ -244,11 +247,17 @@ pub struct Torus {
 }
 
 impl Torus {
+    /// The largest node count a torus may have: the dense [`NodeId`]
+    /// space (u16). Shipped Anton 3 machines stop at 512 nodes, but the
+    /// simulator routes mega-fabric shapes (16³ = 4096, 32³ = 32768) up
+    /// to this bound.
+    pub const MAX_NODES: usize = 1 << 16;
+
     /// Creates a torus with the given extent in each dimension.
     ///
     /// # Panics
-    /// Panics if any dimension is zero or the machine exceeds 512 nodes
-    /// (the maximum Anton 3 configuration).
+    /// Panics if any dimension is zero or the machine exceeds
+    /// [`Torus::MAX_NODES`] nodes (the u16 [`NodeId`] space).
     pub fn new(dims: [u8; 3]) -> Self {
         assert!(
             dims.iter().all(|&d| d >= 1),
@@ -256,8 +265,9 @@ impl Torus {
         );
         let n: u32 = dims.iter().map(|&d| d as u32).product();
         assert!(
-            n <= 512,
-            "Anton 3 machines comprise up to 512 nodes, got {n}"
+            n as usize <= Torus::MAX_NODES,
+            "torus exceeds the {}-node NodeId space, got {n}",
+            Torus::MAX_NODES
         );
         Torus { dims }
     }
@@ -310,7 +320,9 @@ impl Torus {
 
     /// Iterates over all node IDs.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.node_count() as u16).map(NodeId)
+        // Count in usize: a full 65536-node torus would wrap a u16 range
+        // bound to an empty iterator.
+        (0..self.node_count()).map(|i| NodeId(i as u16))
     }
 
     /// The neighbor of `c` in direction `d`, with wraparound.
@@ -513,9 +525,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "up to 512 nodes")]
+    fn accepts_mega_fabric_shapes() {
+        // 16³ and 32³ exceed the shipped 512-node machines but fit the
+        // NodeId space; coord/id conversion must roundtrip at the edges.
+        for dims in [[16, 16, 16], [32, 32, 32]] {
+            let t = Torus::new(dims);
+            let n = t.node_count();
+            assert_eq!(t.nodes().count(), n);
+            let last = NodeId((n - 1) as u16);
+            assert_eq!(t.node_id(t.coord(last)), last);
+        }
+        // The full 65536-node NodeId space is the inclusive bound.
+        let t = Torus::new([64, 64, 16]);
+        assert_eq!(t.node_count(), Torus::MAX_NODES);
+        assert_eq!(t.nodes().count(), Torus::MAX_NODES);
+    }
+
+    #[test]
+    #[should_panic(expected = "NodeId space")]
     fn rejects_oversized_machines() {
-        let _ = Torus::new([16, 16, 16]);
+        let _ = Torus::new([64, 64, 32]);
     }
 
     #[test]

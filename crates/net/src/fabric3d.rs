@@ -68,7 +68,8 @@
 
 use crate::channel::{ByteKind, LinkStats};
 use crate::router::{
-    CycleRouter, Flit, InjectError, LinkSpec, PortLink, RouteDecision, RouterFabric, ShardError,
+    CycleRouter, Flit, InjectError, LinkSpec, MemoryBreakdown, PortLink, RouteDecision,
+    RouterFabric, ShardError,
 };
 use crate::routing::{self, RoutePlan, RESPONSE_VC};
 use crate::telemetry::{
@@ -78,7 +79,7 @@ use crate::telemetry::{
 use crate::{chip::ChipLoc, path};
 use anton_model::asic::{self, EDGE_VCS, FLIT_BITS, LANES_PER_SLICE, SLICES_PER_NEIGHBOR};
 use anton_model::latency::LatencyModel;
-use anton_model::topology::{DimOrder, Direction, NodeId, Torus, TorusCoord};
+use anton_model::topology::{Dim, DimOrder, Direction, NodeId, Torus, TorusCoord};
 use anton_model::units::{serialization_time, Ps, PS_PER_CORE_CYCLE, SERDES_GBPS};
 use anton_sim::rng::SplitMix64;
 
@@ -437,6 +438,9 @@ pub struct TorusFabric {
     torus: Torus,
     params: FabricParams,
     fabric: RouterFabric,
+    /// Heap bytes behind the shared separable route tables (captured at
+    /// construction; the tables are owned by the route closure).
+    route_table_bytes: usize,
 }
 
 impl TorusFabric {
@@ -466,13 +470,14 @@ impl TorusFabric {
             row.push(PortLink::Endpoint(node.0 as u32)); // EJECT_PORT
             wiring.push(row);
         }
-        let t = torus;
-        let route: Box<crate::router::RouteFn> = match RouteTables::build(&torus) {
-            Some(tables) => {
-                Box::new(move |f: &Flit, router: usize| torus_route_tab(&tables, f, router))
-            }
-            None => Box::new(move |f: &Flit, router: usize| torus_route(&t, f, router)),
-        };
+        // Separable per-dimension tables build for every shape — O(n)
+        // memory, no node-count cap, no computed-route fallback on the
+        // hot path. The direct computation survives as the test oracle
+        // ([`torus_route`] / [`CoordCache::route`]).
+        let tables = RouteTables::build(&torus);
+        let route_table_bytes = tables.memory_bytes();
+        let route: Box<crate::router::RouteFn> =
+            Box::new(move |f: &Flit, router: usize| torus_route_tab(&tables, f, router));
         let mut fabric = RouterFabric::new(routers, wiring, route);
         // Per-link flit counters split by the packet's wire-byte kind
         // (carried in the tag), feeding the typed `link_stats` below.
@@ -508,6 +513,26 @@ impl TorusFabric {
             torus,
             params,
             fabric,
+            route_table_bytes,
+        }
+    }
+
+    /// The audited memory footprint of this fabric: the router-layer
+    /// breakdown of [`crate::router::RouterFabric::memory_breakdown`]
+    /// plus the shared separable route tables, with the bytes/router
+    /// quotient mega-fabric budgets are stated in (`bench_fabric`
+    /// reports it in the bench JSON; the README Performance section
+    /// documents the budget).
+    pub fn memory_report(&self) -> FabricMemoryReport {
+        let breakdown = self.fabric.memory_breakdown();
+        let total = breakdown.total() + self.route_table_bytes;
+        let nodes = self.torus.node_count();
+        FabricMemoryReport {
+            nodes,
+            breakdown,
+            route_table_bytes: self.route_table_bytes,
+            total_bytes: total,
+            bytes_per_router: total / nodes.max(1),
         }
     }
 
@@ -845,106 +870,222 @@ impl TorusFabric {
     }
 }
 
+/// The audited memory footprint of one constructed [`TorusFabric`]
+/// (major heap allocations; see
+/// [`crate::router::RouterFabric::memory_breakdown`] for what each
+/// bucket covers). `bytes_per_router` is the quotient mega-fabric
+/// budgets are stated in: a freshly constructed fabric must stay small
+/// per router regardless of shape, because flit storage is allocated
+/// lazily as traffic actually arrives.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricMemoryReport {
+    /// Routers in the fabric.
+    pub nodes: usize,
+    /// Router-layer bytes, split by subsystem.
+    pub breakdown: MemoryBreakdown,
+    /// Bytes behind the shared separable route tables.
+    pub route_table_bytes: usize,
+    /// Sum of every bucket plus the route tables.
+    pub total_bytes: usize,
+    /// `total_bytes / nodes`.
+    pub bytes_per_router: usize,
+}
+
 /// Precomputed per-hop routing for one torus shape — the route function
 /// is the hottest per-flit operation in the event-driven core (at
 /// saturation every moving flit is routed once per hop), and computing
-/// it from coordinates costs a dozen integer divisions. The tables hold,
-/// for every (dimension order, current router, destination), the
-/// request next-hop direction plus its dateline flag, and for every
-/// (current router, destination) the mesh next-hop for responses —
-/// derived entry by entry from [`Torus::first_hop`],
-/// [`routing::crosses_dateline`] and [`routing::mesh_first_hop`], so a
-/// table lookup and the direct computation cannot disagree (pinned by
-/// the `route_tables_match_computed_routes` test).
-struct RouteTables {
-    n: usize,
-    /// `[(order * n + router) * n + dest]`: direction index in bits 0–2,
-    /// dateline-crossing flag in bit 3, [`ROUTE_EJECT`] at destination.
-    request: Vec<u8>,
-    /// `[router * n + dest]`: mesh direction index, [`ROUTE_EJECT`] at
-    /// destination.
-    mesh: Vec<u8>,
+/// it from coordinates costs a dozen integer divisions.
+///
+/// Dimension-order routing is **separable**: under a fixed [`DimOrder`],
+/// [`Torus::first_hop`] scans dimensions in order and moves in the first
+/// one whose [`Torus::signed_distance`] is non-zero — a decision that
+/// depends only on the (current, destination) coordinate pair *within
+/// that dimension* — and [`routing::crosses_dateline`] depends only on
+/// the current coordinate in the moving dimension. The mesh walk of the
+/// response class ([`routing::mesh_first_hop`]) is separable the same
+/// way with plain (non-modular) displacement signs. So instead of the
+/// quadratic `6·n²`-entry tables a per-(router, destination) layout
+/// needs (gigabytes at 32³, historically hard-capped at 1024 nodes with
+/// a computed-route fallback above), one `dᵢ × dᵢ` table per dimension
+/// and class suffices — `O(Σ dᵢ²)` bytes, ~3 KB at 32³ — plus one
+/// `O(n)` node→coordinate cache shared by every lookup. The per-entry
+/// derivation uses the same primitives as the direct computation
+/// ([`Torus::signed_distance`] sign, [`routing::crosses_dateline`],
+/// non-modular displacement sign), so a table lookup and
+/// [`torus_route`] cannot disagree — pinned exhaustively by the
+/// `route_tables_match_computed_routes` test and on random shapes
+/// (asymmetric, above the old 1024-node cap) by the
+/// `separable_tables_match_direct_routes` proptest.
+pub struct RouteTables {
+    /// Per node and dimension: the node's coordinate premultiplied by
+    /// that dimension's extent — the row base of the per-dim tables
+    /// (`cur · ext` fits u16: both factors are below 256).
+    row: Vec<[u16; 3]>,
+    /// Per node and dimension: the node's raw coordinate — the column
+    /// index of the per-dim tables.
+    col: Vec<[u8; 3]>,
+    /// Per dimension `k`: `ext_k × ext_k` request entries indexed
+    /// `cur · ext_k + dst` — direction index in bits 0–2,
+    /// dateline-crossing flag in bit 3, [`ROUTE_ALIGNED`] when the
+    /// coordinates match.
+    req: [Vec<u8>; 3],
+    /// Per dimension `k`: `ext_k × ext_k` mesh (response) entries —
+    /// direction index from the plain displacement sign, never wrapping,
+    /// [`ROUTE_ALIGNED`] when the coordinates match.
+    mesh: [Vec<u8>; 3],
+    /// [`DimOrder::ALL`] as dense dimension indices, so the lookup walks
+    /// a packet's order without touching the enum.
+    orders: [[usize; 3]; 6],
 }
 
-/// Table code for "at destination: eject".
-const ROUTE_EJECT: u8 = 0xFF;
-
-/// Largest node count the routing tables are built for: above this the
-/// quadratic tables stop paying for themselves (a 1024-node machine
-/// already needs 7 MB) and the fabric falls back to computing routes.
-const ROUTE_TABLE_MAX_NODES: usize = 1024;
+/// Table code for "this dimension is already aligned": the lookup moves
+/// on to the order's next dimension (all three aligned means the flit is
+/// at its destination and ejects).
+const ROUTE_ALIGNED: u8 = 0xFF;
 
 impl RouteTables {
-    fn build(torus: &Torus) -> Option<RouteTables> {
-        let n = torus.node_count();
-        if n > ROUTE_TABLE_MAX_NODES {
-            return None;
-        }
-        let coords: Vec<TorusCoord> = torus.nodes().map(|id| torus.coord(id)).collect();
-        let mut request = vec![0u8; 6 * n * n];
-        for (oi, &order) in DimOrder::ALL.iter().enumerate() {
-            for r in 0..n {
-                let base = (oi * n + r) * n;
-                for d in 0..n {
-                    request[base + d] = match torus.first_hop(coords[r], coords[d], order) {
-                        None => ROUTE_EJECT,
-                        Some(dir) => {
-                            let wraps = routing::crosses_dateline(torus, coords[r], dir);
-                            dir.index() as u8 | (u8::from(wraps) << 3)
-                        }
+    /// Builds the separable tables for `torus`. `O(n)` space and time in
+    /// the node count (the per-dimension tables are `O(Σ dᵢ²)`, at most
+    /// a few hundred KB even for degenerate 255-extent shapes).
+    pub fn build(torus: &Torus) -> RouteTables {
+        let mut req: [Vec<u8>; 3] = Default::default();
+        let mut mesh: [Vec<u8>; 3] = Default::default();
+        for dim in Dim::ALL {
+            let ext = torus.extent(dim) as usize;
+            let k = dim.index();
+            req[k] = vec![0u8; ext * ext];
+            mesh[k] = vec![0u8; ext * ext];
+            for cur in 0..ext {
+                let a = TorusCoord::default().with(dim, cur as u8);
+                for dst in 0..ext {
+                    let b = TorusCoord::default().with(dim, dst as u8);
+                    // The same primitives torus_route evaluates per hop:
+                    // minimal-displacement sign for the direction, the
+                    // ring edge for the dateline flag.
+                    let d = torus.signed_distance(a, b, dim);
+                    req[k][cur * ext + dst] = if d == 0 {
+                        ROUTE_ALIGNED
+                    } else {
+                        let dir = Direction::new(dim, d > 0);
+                        let wraps = routing::crosses_dateline(torus, a, dir);
+                        dir.index() as u8 | (u8::from(wraps) << 3)
+                    };
+                    // Mesh hops take the plain (non-modular) sign and by
+                    // construction never wrap.
+                    mesh[k][cur * ext + dst] = if dst == cur {
+                        ROUTE_ALIGNED
+                    } else {
+                        Direction::new(dim, dst > cur).index() as u8
                     };
                 }
             }
         }
-        let mut mesh = vec![0u8; n * n];
-        for r in 0..n {
-            for d in 0..n {
-                mesh[r * n + d] = match routing::mesh_first_hop(coords[r], coords[d]) {
-                    None => ROUTE_EJECT,
-                    Some(dir) => dir.index() as u8,
-                };
-            }
+        let mut row = Vec::with_capacity(torus.node_count());
+        let mut col = Vec::with_capacity(torus.node_count());
+        for id in torus.nodes() {
+            let c = torus.coord(id);
+            row.push(Dim::ALL.map(|d| c.get(d) as u16 * torus.extent(d) as u16));
+            col.push(Dim::ALL.map(|d| c.get(d)));
         }
-        Some(RouteTables { n, request, mesh })
+        RouteTables {
+            row,
+            col,
+            req,
+            mesh,
+            orders: DimOrder::ALL.map(|o| o.0.map(Dim::index)),
+        }
+    }
+
+    /// Bytes of heap behind the tables (the `O(n)` coordinate cache plus
+    /// the `O(Σ dᵢ²)` per-dimension entries) — reported per router by
+    /// [`TorusFabric::memory_report`].
+    pub fn memory_bytes(&self) -> usize {
+        self.row.capacity() * std::mem::size_of::<[u16; 3]>()
+            + self.col.capacity() * std::mem::size_of::<[u8; 3]>()
+            + self.req.iter().map(|t| t.capacity()).sum::<usize>()
+            + self.mesh.iter().map(|t| t.capacity()).sum::<usize>()
     }
 }
 
 /// Table-driven variant of [`torus_route`]: identical decisions, no
-/// coordinate arithmetic on the hot path.
-fn torus_route_tab(tables: &RouteTables, f: &Flit, router: usize) -> RouteDecision {
+/// coordinate arithmetic on the hot path — at most three per-dimension
+/// byte lookups against the packet's dimension order.
+pub fn torus_route_tab(tables: &RouteTables, f: &Flit, router: usize) -> RouteDecision {
+    let dest = f.dest as usize;
+    if dest == router {
+        // All dimensions aligned: first_hop / mesh_first_hop return None.
+        return RouteDecision::keep(EJECT_PORT, f);
+    }
     let t = decode_tag(f.tag);
-    let n = tables.n;
+    let (row, col) = (&tables.row[router], &tables.col[dest]);
     match t.class {
         TrafficClass::Request => {
-            let e = tables.request[(t.order_idx * n + router) * n + f.dest as usize];
-            if e == ROUTE_EJECT {
-                return RouteDecision::keep(EJECT_PORT, f);
+            for &k in &tables.orders[t.order_idx] {
+                let e = tables.req[k][row[k] as usize + col[k] as usize];
+                if e == ROUTE_ALIGNED {
+                    continue;
+                }
+                let dir = Direction::ALL[(e & 0x7) as usize];
+                let wraps = e & 0x8 != 0;
+                return RouteDecision {
+                    port: slice_port(dir, t.slice),
+                    vc: routing::dateline_vc(t.base_vc, t.crossed),
+                    tag: encode_request_tag(
+                        t.order_idx,
+                        t.base_vc,
+                        t.crossed || wraps,
+                        t.slice,
+                        t.kind,
+                    ),
+                };
             }
-            let dir = Direction::ALL[(e & 0x7) as usize];
-            let wraps = e & 0x8 != 0;
-            RouteDecision {
-                port: slice_port(dir, t.slice),
-                vc: routing::dateline_vc(t.base_vc, t.crossed),
-                tag: encode_request_tag(
-                    t.order_idx,
-                    t.base_vc,
-                    t.crossed || wraps,
-                    t.slice,
-                    t.kind,
-                ),
-            }
+            unreachable!("router != dest must differ in some dimension")
         }
         TrafficClass::Response => {
-            let e = tables.mesh[router * n + f.dest as usize];
-            if e == ROUTE_EJECT {
-                return RouteDecision::keep(EJECT_PORT, f);
+            // Mesh order is XYZ: dense dimension indices 0, 1, 2.
+            for k in 0..3 {
+                let e = tables.mesh[k][row[k] as usize + col[k] as usize];
+                if e == ROUTE_ALIGNED {
+                    continue;
+                }
+                return RouteDecision {
+                    port: slice_port(Direction::ALL[(e & 0x7) as usize], t.slice),
+                    vc: RESPONSE_VC,
+                    tag: f.tag,
+                };
             }
-            RouteDecision {
-                port: slice_port(Direction::ALL[(e & 0x7) as usize], t.slice),
-                vc: RESPONSE_VC,
-                tag: f.tag,
-            }
+            unreachable!("router != dest must differ in some dimension")
         }
+    }
+}
+
+/// Dense node→coordinate cache for the retained direct-computation
+/// oracle: [`torus_route`] pays two `coord()` divisions per flit per
+/// hop, which makes oracle-vs-table sweeps at 16³/32³ pathologically
+/// slow. [`CoordCache::route`] is the same decision path with the
+/// divisions amortized into one `O(n)` table at construction.
+pub struct CoordCache {
+    coords: Vec<TorusCoord>,
+}
+
+impl CoordCache {
+    /// Builds the cache for every node of `torus`.
+    pub fn new(torus: &Torus) -> CoordCache {
+        CoordCache {
+            coords: torus.nodes().map(|id| torus.coord(id)).collect(),
+        }
+    }
+
+    /// The cached coordinate of `node`.
+    pub fn coord(&self, node: usize) -> TorusCoord {
+        self.coords[node]
+    }
+
+    /// [`torus_route`] with the coordinate lookups served from the
+    /// cache — bit-identical decisions (the shared tail is the same
+    /// function).
+    pub fn route(&self, torus: &Torus, f: &Flit, router: usize) -> RouteDecision {
+        route_decision(torus, self.coords[router], self.coords[f.dest as usize], f)
     }
 }
 
@@ -957,9 +1098,15 @@ fn torus_route_tab(tables: &RouteTables, f: &Flit, router: usize) -> RouteDecisi
 ///
 /// Both classes leave through the slice link their packet drew at
 /// injection.
-fn torus_route(torus: &Torus, f: &Flit, router: usize) -> RouteDecision {
+pub fn torus_route(torus: &Torus, f: &Flit, router: usize) -> RouteDecision {
     let cur = torus.coord(NodeId(router as u16));
     let dest = torus.coord(NodeId(f.dest as u16));
+    route_decision(torus, cur, dest, f)
+}
+
+/// The shared decision tail of [`torus_route`] and [`CoordCache::route`]:
+/// everything after the coordinate lookups.
+fn route_decision(torus: &Torus, cur: TorusCoord, dest: TorusCoord, f: &Flit) -> RouteDecision {
     let t = decode_tag(f.tag);
     match t.class {
         TrafficClass::Request => match torus.first_hop(cur, dest, DimOrder::ALL[t.order_idx]) {
@@ -1028,7 +1175,7 @@ mod tests {
         // decision: every class, order, slice, dateline state, kind, and
         // (router, dest) pair on an asymmetric shape.
         let t = Torus::new([3, 4, 5]);
-        let tables = RouteTables::build(&t).expect("small torus gets tables");
+        let tables = RouteTables::build(&t);
         let n = t.node_count();
         let flit = |dest: usize, tag: u16| Flit {
             packet: 1,
@@ -1060,6 +1207,77 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn separable_tables_stay_linear_above_the_old_cap() {
+        // 16³ = 4096 nodes sat above the old ROUTE_TABLE_MAX_NODES; the
+        // separable tables must build, agree with the (coords-cached)
+        // oracle on a sample, and cost O(n) — not the 6·n² + n² bytes
+        // (~134 MB here) of the quadratic layout.
+        let t = Torus::new([16, 16, 16]);
+        let tables = RouteTables::build(&t);
+        assert!(
+            tables.memory_bytes() < 64 * 1024,
+            "tables took {} bytes — quadratic?",
+            tables.memory_bytes()
+        );
+        let cache = CoordCache::new(&t);
+        let n = t.node_count();
+        for router in (0..n).step_by(173) {
+            for dest in (0..n).step_by(211) {
+                for order in 0..6 {
+                    for crossed in [false, true] {
+                        let tag = encode_request_tag(order, 0, crossed, 0, ByteKind::Position);
+                        let f = Flit {
+                            packet: 1,
+                            index: 0,
+                            of: 1,
+                            dest: dest as u32,
+                            vc: 0,
+                            tag,
+                            injected_at: 0,
+                        };
+                        let want = cache.route(&t, &f, router);
+                        assert_eq!(want, torus_route(&t, &f, router), "cache != direct");
+                        assert_eq!(torus_route_tab(&tables, &f, router), want);
+                    }
+                }
+                let f = Flit {
+                    packet: 1,
+                    index: 0,
+                    of: 1,
+                    dest: dest as u32,
+                    vc: RESPONSE_VC,
+                    tag: encode_response_tag(1, ByteKind::Force),
+                    injected_at: 0,
+                };
+                assert_eq!(
+                    torus_route_tab(&tables, &f, router),
+                    cache.route(&t, &f, router)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mega_fabric_constructs_within_memory_budget() {
+        // A freshly built 16³ fabric must stay inside a small per-router
+        // budget: flit slabs are allocated lazily, so construction cost
+        // is cursors + worklists + link state, independent of the queue
+        // depths traffic would eventually reach.
+        let f = fabric([16, 16, 16]);
+        let report = f.memory_report();
+        assert_eq!(report.nodes, 4096);
+        assert_eq!(
+            report.total_bytes,
+            report.breakdown.total() + report.route_table_bytes
+        );
+        assert!(
+            report.bytes_per_router < 8 * 1024,
+            "constructed fabric takes {} bytes/router",
+            report.bytes_per_router
+        );
     }
 
     #[test]

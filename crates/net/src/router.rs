@@ -121,11 +121,10 @@ const NULL_FLIT: Flit = Flit {
 ///
 /// Queues are indexed flat (`port * vcs + vc`, the same rank the
 /// candidate worklists and credit probes use). Queue `q` is a ring of
-/// `cap[q]` entries occupying slots
-/// `slots[q * stride .. q * stride + cap[q]]`, where `stride` is the
-/// largest capacity of any queue in the store (rings never interleave).
-/// The ring cursors — `head[q]`, `len[q]`, `cap[q]` — are themselves
-/// three dense parallel arrays, so the hot per-queue questions a
+/// `alloc[q]` allocated entries occupying slots
+/// `slots[off[q] .. off[q] + alloc[q]]` (rings never interleave). The
+/// ring cursors — `head[q]`, `len[q]`, `cap[q]`, `alloc[q]` — are
+/// themselves dense parallel arrays, so the hot per-queue questions a
 /// saturated fabric asks thousands of times per cycle (front lookup for
 /// candidate scans and maturity records, occupancy for credit probes)
 /// walk small contiguous memory instead of chasing per-queue heap
@@ -134,34 +133,53 @@ const NULL_FLIT: Flit = Flit {
 /// fully pipelined (one flit per cycle per output) with a fixed
 /// traversal latency.
 ///
+/// # Capacity versus allocation
+///
+/// `cap[q]` is the queue's **credit window** — the flow-control
+/// behavior, untouched by anything below. `alloc[q] <= cap[q]` is how
+/// many slots are physically allocated, grown geometrically on demand
+/// by the (private) `push`. A fresh store allocates **nothing**: a
+/// 32³ fabric has ~2.3 M input queues whose deep bandwidth-delay-product
+/// credit windows would cost gigabytes if materialized eagerly, yet in
+/// any real run only the queues traffic actually reaches ever hold a
+/// flit. Growth re-packs the store's slab (amortized by doubling, and a
+/// queue never shrinks), so steady state is allocation-free exactly like
+/// the eager layout was. Credit math reads `cap` only — allocation is
+/// invisible to arbitration, injection, and the sharded stepper, which
+/// keeps every stepper bit-identical to the eager layout.
+///
 /// Queues default to the paper's 8-flit router depth
 /// ([`INPUT_QUEUE_FLITS`]); ports standing in for bigger buffers (the
 /// Channel Adapter's receive buffering on inter-node links) get a
-/// deeper capacity via [`CycleRouter::set_input_depth`], which widens
-/// the shared stride and re-packs the slab (a setup-time operation).
+/// deeper credit window via [`CycleRouter::set_input_depth`] (a
+/// setup-time operation that adjusts `cap` alone).
 #[derive(Clone, Debug)]
 pub struct FlitStore {
-    /// The slab: `stride`-spaced rings, one per queue.
+    /// The slab: per-queue rings at their individual offsets.
     slots: Vec<(Flit, u64)>,
+    /// Start of each queue's ring within `slots`.
+    off: Vec<u32>,
     /// Ring read cursor per queue.
     head: Vec<u16>,
     /// Occupancy per queue.
     len: Vec<u16>,
-    /// Ring capacity per queue (the queue's credit window).
+    /// Credit window per queue (flow control; may exceed `alloc`).
     cap: Vec<u16>,
-    /// Slot distance between consecutive queues' rings (`max(cap)`).
-    stride: usize,
+    /// Allocated ring slots per queue (`len <= alloc <= cap`).
+    alloc: Vec<u16>,
 }
 
 impl FlitStore {
-    /// A store of `queues` rings at the default 8-flit depth.
+    /// A store of `queues` rings with an 8-flit credit window and no
+    /// slots allocated yet.
     fn new(queues: usize) -> Self {
         FlitStore {
-            slots: vec![(NULL_FLIT, 0); queues * INPUT_QUEUE_FLITS],
+            slots: Vec::new(),
+            off: vec![0; queues],
             head: vec![0; queues],
             len: vec![0; queues],
             cap: vec![INPUT_QUEUE_FLITS as u16; queues],
-            stride: INPUT_QUEUE_FLITS,
+            alloc: vec![0; queues],
         }
     }
 
@@ -170,8 +188,9 @@ impl FlitStore {
         self.cap.len()
     }
 
-    /// Resizes queue `q` to `cap` slots, re-packing the slab if the
-    /// shared stride must grow.
+    /// Sets queue `q`'s credit window to `cap` slots. Allocation is
+    /// untouched (it grows lazily on push and is clamped here if the
+    /// window shrank below it).
     ///
     /// # Panics
     /// Panics if the queue holds more flits than the new capacity, or if
@@ -179,23 +198,50 @@ impl FlitStore {
     fn set_cap(&mut self, q: usize, cap: usize) {
         assert!(cap <= u16::MAX as usize, "queue depth must fit u16");
         assert!(self.len[q] as usize <= cap, "cannot shrink below occupancy");
-        if cap > self.stride {
-            let stride = cap;
-            let mut slots = vec![(NULL_FLIT, 0); self.queues() * stride];
-            for i in 0..self.queues() {
-                for k in 0..self.len[i] as usize {
-                    let from = (self.head[i] as usize + k) % self.cap[i] as usize;
-                    slots[i * stride + k] = self.slots[i * self.stride + from];
-                }
-                self.head[i] = 0;
-            }
-            self.slots = slots;
-            self.stride = stride;
-        }
         self.cap[q] = cap as u16;
+        if self.alloc[q] > self.cap[q] {
+            // Occupancy fits the new window (asserted above); re-pack the
+            // ring into a smaller allocation so `alloc <= cap` holds.
+            self.grow(q, cap.max(self.len[q] as usize));
+        }
     }
 
-    /// Capacity of queue `q`.
+    /// Re-sizes queue `q`'s ring to exactly `alloc` slots, rebuilding
+    /// the slab with every queue's ring compacted to `head == 0`. Cold:
+    /// called only when a push meets a full allocation (amortized by
+    /// doubling) or a credit window shrinks at setup time.
+    fn grow(&mut self, q: usize, alloc: usize) {
+        let mut slots = Vec::new();
+        let total: usize = (0..self.queues())
+            .map(|i| {
+                if i == q {
+                    alloc
+                } else {
+                    self.alloc[i] as usize
+                }
+            })
+            .sum();
+        slots.resize(total, (NULL_FLIT, 0));
+        let mut off = 0usize;
+        for i in 0..self.queues() {
+            let new_alloc = if i == q {
+                alloc
+            } else {
+                self.alloc[i] as usize
+            };
+            for k in 0..self.len[i] as usize {
+                let from = (self.head[i] as usize + k) % self.alloc[i] as usize;
+                slots[off + k] = self.slots[self.off[i] as usize + from];
+            }
+            self.off[i] = off as u32;
+            self.head[i] = 0;
+            self.alloc[i] = new_alloc as u16;
+            off += new_alloc;
+        }
+        self.slots = slots;
+    }
+
+    /// Capacity of queue `q` (its credit window).
     #[inline]
     fn capacity(&self, q: usize) -> usize {
         self.cap[q] as usize
@@ -225,15 +271,22 @@ impl FlitStore {
         if self.len[q] == 0 {
             return None;
         }
-        Some(&self.slots[q * self.stride + self.head[q] as usize])
+        Some(&self.slots[self.off[q] as usize + self.head[q] as usize])
     }
 
-    /// Appends a flit to queue `q`.
+    /// Appends a flit to queue `q`, growing its ring if the allocation
+    /// is exhausted (never beyond the credit window).
     #[inline]
     fn push(&mut self, q: usize, f: Flit, cycle: u64) {
         debug_assert!(self.len[q] < self.cap[q], "flit accepted without a credit");
-        let at = (self.head[q] + self.len[q]) % self.cap[q];
-        self.slots[q * self.stride + at as usize] = (f, cycle);
+        if self.len[q] == self.alloc[q] {
+            let grown = (self.alloc[q] as usize * 2)
+                .max(INPUT_QUEUE_FLITS)
+                .min(self.cap[q] as usize);
+            self.grow(q, grown);
+        }
+        let at = (self.head[q] + self.len[q]) % self.alloc[q];
+        self.slots[self.off[q] as usize + at as usize] = (f, cycle);
         self.len[q] += 1;
     }
 
@@ -243,10 +296,22 @@ impl FlitStore {
         if self.len[q] == 0 {
             return None;
         }
-        let f = self.slots[q * self.stride + self.head[q] as usize].0;
-        self.head[q] = (self.head[q] + 1) % self.cap[q];
+        let f = self.slots[self.off[q] as usize + self.head[q] as usize].0;
+        self.head[q] = (self.head[q] + 1) % self.alloc[q];
         self.len[q] -= 1;
         Some(f)
+    }
+
+    /// Heap bytes behind the store, as `(flit slab, ring cursors)`.
+    fn memory_bytes(&self) -> (usize, usize) {
+        let slab = self.slots.capacity() * std::mem::size_of::<(Flit, u64)>();
+        let cursors = self.off.capacity() * std::mem::size_of::<u32>()
+            + (self.head.capacity()
+                + self.len.capacity()
+                + self.cap.capacity()
+                + self.alloc.capacity())
+                * std::mem::size_of::<u16>();
+        (slab, cursors)
     }
 }
 
@@ -440,6 +505,45 @@ impl CycleRouter {
     /// and no output owned by a packet still streaming through).
     pub fn is_idle(&self) -> bool {
         self.queued == 0 && self.owned == 0
+    }
+
+    /// Heap bytes behind this router as `(flit slab, scheduler state)`:
+    /// the slab is the [`FlitStore`] slot storage; the state covers ring
+    /// cursors, candidate worklists, the maturity wheel, and arbitration
+    /// scratch. Capacity-based — what the allocator actually handed out.
+    pub fn memory_bytes(&self) -> (usize, usize) {
+        use std::mem::size_of;
+        let (slab, cursors) = self.store.memory_bytes();
+        let wheels = self.mature_wheel.capacity() * size_of::<Vec<MatureEntry>>()
+            + self
+                .mature_wheel
+                .iter()
+                .map(|s| s.capacity() * size_of::<MatureEntry>())
+                .sum::<usize>()
+            + self.ripe.capacity() * size_of::<MatureEntry>();
+        let cands = self.out_cands.capacity() * size_of::<Vec<Candidate>>()
+            + self
+                .out_cands
+                .iter()
+                .map(|c| c.capacity() * size_of::<Candidate>())
+                .sum::<usize>();
+        let worklists = (self.owned_outs.capacity()
+            + self.cand_outs.capacity()
+            + self.cand_out.capacity()
+            + self.arb_outs.capacity()
+            + self.popped.capacity())
+            * size_of::<u16>();
+        let fronts = self.front_ready.capacity() * size_of::<u64>()
+            + self.front_version.capacity() * size_of::<u32>();
+        let state = cursors
+            + wheels
+            + cands
+            + worklists
+            + fronts
+            + self.output_owner.capacity() * size_of::<Option<OutputOwner>>()
+            + self.rr.capacity() * size_of::<usize>()
+            + self.decision_scratch.capacity() * size_of::<Option<(usize, u8, u16)>>();
+        (slab, state)
     }
 
     /// Resizes the input buffers of one port (all VCs) to `depth` flits.
@@ -1346,6 +1450,20 @@ mod shard {
                 link_base: link_lo,
             }
         }
+
+        /// Heap bytes behind this shard's scratch buffers (for the
+        /// fabric memory audit).
+        pub(super) fn memory_bytes(&self) -> usize {
+            use std::mem::size_of;
+            (self.worklist.capacity() + self.next_active.capacity()) * size_of::<usize>()
+                + self.moves.capacity() * size_of::<(usize, usize, Flit)>()
+                + self.delivered_land.capacity() * size_of::<(u32, Flit)>()
+                + self.delivered_eject.capacity() * size_of::<Flit>()
+                + self.outwheel.capacity() * size_of::<(u64, u32, u32)>()
+                + self.stalls.capacity() * size_of::<(u32, u32, u8, StallCause)>()
+                + self.probe_ok.capacity()
+                + (self.probe_stamp.capacity() + self.adv_stamp.capacity()) * size_of::<u64>()
+        }
     }
 
     /// The lifetime-erased frame a sharded step hands its workers: raw
@@ -1876,6 +1994,44 @@ mod shard {
     }
 } // mod shard
 
+/// Heap memory behind a [`RouterFabric`], bucketed by subsystem — the
+/// audit that keeps mega-fabric construction honest: the bytes/router
+/// budget `bench_fabric` reports for 16³/32³ builds is computed from
+/// this. Counts **allocated capacity** (what the process actually pays),
+/// not live length, so lazily grown structures (flit slabs, telemetry
+/// rings) report what traffic has forced into existence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MemoryBreakdown {
+    /// Flit slot slabs across every router's input queues (lazily grown
+    /// toward the credit windows; see [`FlitStore`]).
+    pub flit_slabs: usize,
+    /// Per-router scheduler state: the router structs plus their ring
+    /// cursors, candidate worklists, maturity wheels, and scratch.
+    pub routers: usize,
+    /// Links: wiring, channel counters, in-flight delay lines, link
+    /// timers, and reserved-credit mirrors.
+    pub links: usize,
+    /// The fabric-wide atomic credit mirror plus its queue offsets.
+    pub credit_view: usize,
+    /// Fabric scheduling: arrival wheel, active worklists, probe and
+    /// departure scratch, shard scratch, and the delivery log.
+    pub scheduling: usize,
+    /// Telemetry counters, epoch rings, and trace buffer (0 when off).
+    pub telemetry: usize,
+}
+
+impl MemoryBreakdown {
+    /// Total bytes across all buckets.
+    pub fn total(&self) -> usize {
+        self.flit_slabs
+            + self.routers
+            + self.links
+            + self.credit_view
+            + self.scheduling
+            + self.telemetry
+    }
+}
+
 /// A fabric of cycle routers plus its wiring, stepped together.
 pub struct RouterFabric {
     routers: Vec<CycleRouter>,
@@ -2084,6 +2240,74 @@ impl RouterFabric {
         self.telemetry.as_deref()
     }
 
+    /// Audits the heap memory behind the fabric, bucketed by subsystem
+    /// (see [`MemoryBreakdown`]). Capacity-based and cheap enough to
+    /// call between measurement phases; the torus layer folds its route
+    /// tables on top via
+    /// [`TorusFabric::memory_report`](crate::fabric3d::TorusFabric::memory_report).
+    pub fn memory_breakdown(&self) -> MemoryBreakdown {
+        use std::mem::size_of;
+        let mut b = MemoryBreakdown {
+            routers: self.routers.capacity() * size_of::<CycleRouter>(),
+            ..MemoryBreakdown::default()
+        };
+        for r in &self.routers {
+            let (slab, state) = r.memory_bytes();
+            b.flit_slabs += slab;
+            b.routers += state;
+        }
+        b.links = self.wiring.capacity() * size_of::<Vec<PortLink>>()
+            + self.channels.capacity() * size_of::<Vec<ChannelState>>()
+            + self.next_free.capacity() * size_of::<Vec<u64>>()
+            + self.reserved.capacity() * size_of::<Vec<u32>>()
+            + self.link_off.capacity() * size_of::<usize>();
+        for row in &self.wiring {
+            b.links += row.capacity() * size_of::<PortLink>();
+        }
+        for row in &self.channels {
+            b.links += row.capacity() * size_of::<ChannelState>();
+            for ch in row {
+                b.links += ch.in_flight.capacity() * size_of::<(u64, Flit)>()
+                    + ch.class_flits.capacity() * size_of::<u64>();
+            }
+        }
+        for row in &self.next_free {
+            b.links += row.capacity() * size_of::<u64>();
+        }
+        for row in &self.reserved {
+            b.links += row.capacity() * size_of::<u32>();
+        }
+        b.credit_view = self.credit_view.capacity() * size_of::<AtomicU32>()
+            + self.queue_off.capacity() * size_of::<usize>();
+        b.scheduling = self.arrival_wheel.capacity() * size_of::<Vec<(u64, u32, u32)>>()
+            + self
+                .arrival_wheel
+                .iter()
+                .map(|s| s.capacity() * size_of::<(u64, u32, u32)>())
+                .sum::<usize>()
+            + (self.active.capacity() + self.bounds.capacity()) * size_of::<usize>()
+            + self.is_active.capacity()
+            + self.scratch_ok.capacity()
+            + self.scratch_gen.capacity() * size_of::<u64>()
+            + self.moves.capacity() * size_of::<(usize, usize, Flit)>()
+            + self.delivered.capacity() * size_of::<(u64, Flit)>()
+            + self.land_merge.capacity() * size_of::<(u32, Flit)>()
+            + self.outbound.capacity() * size_of::<Vec<(u32, u32, u32, Flit)>>()
+            + self
+                .outbound
+                .iter()
+                .map(|s| s.capacity() * size_of::<(u32, u32, u32, Flit)>())
+                .sum::<usize>()
+            + self.shard_scratch.capacity() * size_of::<ShardScratch>()
+            + self
+                .shard_scratch
+                .iter()
+                .map(|s| s.memory_bytes())
+                .sum::<usize>();
+        b.telemetry = self.telemetry.as_ref().map_or(0, |t| t.memory_bytes());
+        b
+    }
+
     /// Overrides the latency/bandwidth of the link leaving `router` via
     /// `port` (e.g. the inter-node SERDES crossings of a torus fabric).
     pub fn set_link_spec(&mut self, router: usize, port: usize, spec: LinkSpec) {
@@ -2112,13 +2336,19 @@ impl RouterFabric {
     /// Panics if the feeding link has flits in flight, or if the port
     /// already holds more flits than `depth`.
     pub fn set_input_depth(&mut self, router: usize, port: usize, depth: usize) {
-        for (r, row) in self.wiring.iter().enumerate() {
-            for (out, link) in row.iter().enumerate() {
-                if *link == (PortLink::Router { router, port }) {
-                    assert!(
-                        self.channels[r][out].in_flight.is_empty(),
-                        "cannot resize input ({router}, {port}): feeding link has flits in flight holding reserved credits"
-                    );
+        // The feeding-link scan is O(links); skip it when nothing is in
+        // flight anywhere (always true on the construction path, where a
+        // torus fabric calls this once per neighbor port — the scan made
+        // mega-fabric construction quadratic).
+        if self.in_flight_total > 0 {
+            for (r, row) in self.wiring.iter().enumerate() {
+                for (out, link) in row.iter().enumerate() {
+                    if *link == (PortLink::Router { router, port }) {
+                        assert!(
+                            self.channels[r][out].in_flight.is_empty(),
+                            "cannot resize input ({router}, {port}): feeding link has flits in flight holding reserved credits"
+                        );
+                    }
                 }
             }
         }
@@ -2980,9 +3210,11 @@ mod tests {
 
     #[test]
     fn flit_store_repacks_on_deepening() {
-        // Fill two rings, deepen one: the slab re-packs and both rings
-        // keep their contents and FIFO order.
+        // Fill two rings, deepen one: the slab re-packs as the rings grow
+        // lazily and both rings keep their contents and FIFO order.
         let mut store = FlitStore::new(2);
+        let (slab, _) = store.memory_bytes();
+        assert_eq!(slab, 0, "a fresh store allocates no flit slots");
         for i in 0..6u64 {
             store.push(0, flit(i, 0, 1, 0, 0), i);
             store.push(1, flit(100 + i, 0, 1, 0, 1), i);

@@ -34,6 +34,13 @@
 //! point-in-time occupancy sample (downstream queue plus in-flight
 //! flits, taken at the epoch boundary). Epochs fully jumped over by
 //! `step_next_event` produce no record — they are idle by construction.
+//! A link's ring stays **empty until the link first sees activity** (an
+//! advance, a stall charge, or a non-zero occupancy sample); from then
+//! on every executed epoch is recorded, so series stay contiguous. A
+//! mega-fabric (16³/32³) has hundreds of thousands of directed links of
+//! which a sweep touches a fraction — the never-active majority costs an
+//! empty ring header each instead of `epoch_ring` records, which is the
+//! difference between megabytes and gigabytes under `--telemetry`.
 //!
 //! ## Packet traces
 //!
@@ -611,15 +618,26 @@ impl Telemetry {
         v
     }
 
-    /// Closes the current epoch: pushes one record per link (flit and
-    /// stall deltas plus the boundary occupancy sample in `occ`), resets
-    /// the deltas, and advances to `cycle`'s epoch. Stores `occ` back as
-    /// the scratch buffer.
+    /// Closes the current epoch: pushes one record per **active** link
+    /// (flit and stall deltas plus the boundary occupancy sample in
+    /// `occ`), resets the deltas, and advances to `cycle`'s epoch.
+    /// Stores `occ` back as the scratch buffer.
+    ///
+    /// A link is active once it has ever advanced a flit, been charged a
+    /// stall cycle, sampled a non-zero occupancy, or recorded an earlier
+    /// epoch — rings for never-touched links stay unallocated, so epoch
+    /// telemetry on a mega-fabric costs memory proportional to the links
+    /// traffic actually reaches.
     pub(crate) fn roll(&mut self, cycle: u64, occ: Vec<u32>) {
         debug_assert_eq!(occ.len(), self.link_count(), "occupancy per link");
         let end = (self.epoch + 1) * self.cfg.epoch_cycles;
         let start = (self.epoch * self.cfg.epoch_cycles).max(self.enabled_at);
         for (l, ring) in self.rings.iter_mut().enumerate() {
+            let active =
+                !ring.is_empty() || self.advance[l] > 0 || self.stall_cycles[l] > 0 || occ[l] > 0;
+            if !active {
+                continue;
+            }
             if ring.len() == self.cfg.epoch_ring {
                 ring.pop_front();
             }
@@ -711,6 +729,32 @@ impl Telemetry {
             stalls: self.epoch_stall[l],
             occupancy,
         })
+    }
+
+    /// Heap bytes behind this handle: the dense per-link counters, every
+    /// allocated epoch ring, and the trace buffer. Feeds the fabric
+    /// memory audit
+    /// ([`RouterFabric::memory_breakdown`](crate::router::RouterFabric::memory_breakdown)).
+    pub fn memory_bytes(&self) -> usize {
+        let u64s = self.stalls.capacity()
+            + self.advance.capacity()
+            + self.stall_cycles.capacity()
+            + self.advance_stamp.capacity()
+            + self.stall_stamp.capacity();
+        let u32s = self.link_offset.capacity()
+            + self.epoch_advance.capacity()
+            + self.epoch_stall.capacity()
+            + self.occ_scratch.capacity();
+        let rings = self.rings.capacity() * std::mem::size_of::<VecDeque<EpochRecord>>()
+            + self
+                .rings
+                .iter()
+                .map(|r| r.capacity() * std::mem::size_of::<EpochRecord>())
+                .sum::<usize>();
+        u64s * std::mem::size_of::<u64>()
+            + u32s * std::mem::size_of::<u32>()
+            + rings
+            + self.trace.capacity() * std::mem::size_of::<TraceEvent>()
     }
 
     /// Buffered packet lifecycle events, in emission order.
@@ -834,6 +878,24 @@ mod tests {
         t.roll(24, vec![0; 5]);
         let recs: Vec<_> = t.epoch_samples(1, 2).map(|r| r.epoch).collect();
         assert_eq!(recs, vec![1, 2]);
+    }
+
+    #[test]
+    fn idle_links_allocate_no_epoch_rings() {
+        let mut t = tel(false);
+        t.note_advance(3, 1, 2, &flit(1, 1), false);
+        // Occupancy on link 3 starts its ring even with no advance/stall.
+        t.roll(8, vec![0, 0, 0, 4, 0]);
+        t.roll(16, vec![0; 5]);
+        // Links 0–2 never saw activity: no records, no ring storage.
+        for (r, out) in [(0, 0), (0, 1), (1, 0)] {
+            assert_eq!(t.epoch_samples(r, out).count(), 0);
+        }
+        // Once started, a ring records every executed epoch (idle ones
+        // included) so the series stays contiguous.
+        assert_eq!(t.epoch_samples(1, 1).count(), 2);
+        assert_eq!(t.epoch_samples(1, 2).count(), 2);
+        assert!(t.memory_bytes() > 0);
     }
 
     #[test]

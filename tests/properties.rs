@@ -6,6 +6,12 @@ use anton3::compress::frame::{self, WireItem};
 use anton3::compress::inz;
 use anton3::compress::pcache::{ChannelPcache, ParticleKey};
 use anton3::model::topology::{DimOrder, NodeId, Torus};
+use anton3::net::channel::ByteKind;
+use anton3::net::fabric3d::{
+    encode_request_tag, encode_response_tag, torus_route, torus_route_tab, CoordCache, RouteTables,
+    SLICES,
+};
+use anton3::net::router::Flit;
 use anton3::net::routing;
 use anton3::sim::rng::SplitMix64;
 use proptest::prelude::*;
@@ -276,6 +282,74 @@ proptest! {
         prop_assert_eq!(hops as u32, plan.hop_count(), "fabric hop count != plan");
         if let Some(last) = plan.hops.last() {
             prop_assert_eq!(flit.vc, last.vc, "fabric VC != plan VC");
+        }
+    }
+}
+
+// --- PR 9: separable route tables pinned to direct computation ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The separable per-dimension tables and the coordinate-cached
+    /// oracle must both reproduce `torus_route` (the direct-computation
+    /// specification) **bit for bit** — port, VC, and updated tag — for
+    /// every traffic class, dimension order, dateline state, slice, and
+    /// byte kind at a random (router, dest) pair on each sampled shape.
+    /// Shapes alternate between small asymmetric tori (differing
+    /// per-dimension extents; rings of length 1–2 where "wrap" and
+    /// "direct" are the same link) and cubic shapes from 11³ = 1331 up
+    /// to 16³ = 4096 nodes — above the old 1024-node quadratic
+    /// route-table cap.
+    #[test]
+    fn separable_tables_match_direct_computation(
+        mega in any::<bool>(),
+        small_dims in (1u8..=6, 1u8..=8, 1u8..=10),
+        mega_dims in (11u8..=16, 11u8..=16, 11u8..=16),
+        router_ix in any::<u32>(),
+        dest_ix in any::<u32>(),
+        base_vc in 0u8..2,
+        slice in 0usize..SLICES,
+        kind_ix in 0usize..3,
+    ) {
+        let (x, y, z) = if mega { mega_dims } else { small_dims };
+        let dims = [x, y, z];
+        let torus = Torus::new(dims);
+        let tables = RouteTables::build(&torus);
+        let cache = CoordCache::new(&torus);
+        let n = torus.node_count() as u32;
+        let router = (router_ix % n) as usize;
+        let dest = (dest_ix % n) as usize;
+        let kind = ByteKind::from_index(kind_ix);
+        let mut tags = vec![encode_response_tag(slice, kind)];
+        for order in 0..6 {
+            for crossed in [false, true] {
+                tags.push(encode_request_tag(order, base_vc, crossed, slice, kind));
+            }
+        }
+        for tag in tags {
+            let f = Flit {
+                packet: 1,
+                index: 0,
+                of: 1,
+                dest: dest as u32,
+                vc: 0,
+                tag,
+                injected_at: 0,
+            };
+            let direct = torus_route(&torus, &f, router);
+            prop_assert_eq!(
+                torus_route_tab(&tables, &f, router),
+                direct,
+                "table decision diverged (dims {:?}, router {}, dest {}, tag {:#06x})",
+                dims, router, dest, tag
+            );
+            prop_assert_eq!(
+                cache.route(&torus, &f, router),
+                direct,
+                "coord-cache decision diverged (dims {:?}, router {}, dest {}, tag {:#06x})",
+                dims, router, dest, tag
+            );
         }
     }
 }

@@ -202,6 +202,30 @@ proptest! {
 }
 
 #[test]
+fn mega_fabric_sharded_step_matches_reference() {
+    // 16x16x16 (4096 nodes) is far beyond the proptest shapes above and
+    // above the old 1024-node quadratic route-table cap, so this spot
+    // check exercises the separable-table hot path and the region
+    // partition at mega-fabric scale: the sharded stepper must reproduce
+    // the retained naive reference scan bit for bit.
+    let dims = [16, 16, 16];
+    let (sharded, sharded_log) = drive(dims, 0x5EED, 48, Mode::Sharded(4), false);
+    let (naive, naive_log) = drive(dims, 0x5EED, 48, Mode::Reference, false);
+    assert_eq!(sharded.cycle(), naive.cycle(), "clocks diverged");
+    assert_eq!(
+        sharded_log, naive_log,
+        "16x16x16 sharded delivery log diverged from the reference"
+    );
+    for slice in 0..SLICES {
+        assert_eq!(
+            sharded.slice_stats(slice),
+            naive.slice_stats(slice),
+            "slice {slice} aggregate counters diverged"
+        );
+    }
+}
+
+#[test]
 fn shard_count_changes_are_validated_and_rejected_mid_flight() {
     let torus = Torus::new([2, 2, 4]);
     let params = FabricParams::calibrated(&LatencyModel::default());
