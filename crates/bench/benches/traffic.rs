@@ -52,6 +52,7 @@ fn bench_traffic(c: &mut Criterion) {
             loads: vec![],
             respond: false,
             shards: 1,
+            lookahead: None,
         };
         b.iter(|| black_box(run_point(&UniformRandom, &cfg, params, 0.3, 1)))
     });

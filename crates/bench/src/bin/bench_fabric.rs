@@ -44,9 +44,10 @@
 //! [`BYTES_PER_ROUTER_BUDGET`].
 
 use anton_model::latency::LatencyModel;
-use anton_model::topology::{Direction, Torus};
-use anton_net::fabric3d::{FabricMemoryReport, FabricParams, TorusFabric, SLICES};
+use anton_model::topology::{Direction, NodeId, Torus};
+use anton_net::fabric3d::{FabricMemoryReport, FabricParams, PacketSpec, TorusFabric, SLICES};
 use anton_net::telemetry::TelemetryConfig;
+use anton_sim::rng::SplitMix64;
 use anton_traffic::patterns::UniformRandom;
 use anton_traffic::sweep::{
     run_scenario_instrumented, run_scenario_with, ScenarioRun, Stepper, SweepConfig,
@@ -57,10 +58,12 @@ use std::time::Instant;
 
 /// Version of the `BENCH_fabric.json` schema (1 was the unversioned
 /// pre-telemetry shape; 2 added the telemetry overhead probe; 3 added
-/// the `shard_scaling` curve of the region-partitioned stepper; 4 adds
+/// the `shard_scaling` curve of the region-partitioned stepper; 4 added
 /// the `large_shape` section — the 16³ shard-scaling overload point and
-/// the 32³ construction audit).
-const BENCH_SCHEMA_VERSION: u32 = 4;
+/// the 32³ construction audit; 5 turns `shard_scaling` into a
+/// shard x lookahead matrix with per-row synchronization counters and
+/// adds the `sync_cost` drain probe of the lookahead-epoch stepper).
+const BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// The documented per-router memory budget a constructed mega-fabric
 /// must fit: fixed state (flit slabs, wheels, credit mirrors, link
@@ -103,19 +106,122 @@ struct ScenarioBench {
     speedup: f64,
 }
 
-/// One shard count's run of the overload scenario on the event core —
-/// `TorusFabric::set_shards` region partitioning, measured exactly like
-/// the 1-shard rows (identical simulated endpoint asserted).
+/// One (shard count, lookahead window) cell of the overload scenario on
+/// the event core — `TorusFabric::set_shards_with_lookahead` region
+/// partitioning, measured exactly like the 1-shard rows (identical
+/// simulated endpoint asserted).
 #[derive(Clone, Copy, Debug, Serialize)]
 struct ShardPoint {
     /// Worker shards the fabric step was partitioned across.
     shards: usize,
+    /// Lookahead-epoch window cap; `null` lets the stepper use the
+    /// structural window (the minimum positive link latency), `1` pins
+    /// degenerate one-cycle epochs.
+    lookahead: Option<u64>,
     /// Wall-clock seconds for the whole scenario.
     wall_seconds: f64,
     /// Simulated fabric cycles advanced per wall-clock second.
     steps_per_sec: f64,
-    /// Steps/s at this shard count over the 1-shard row of this curve.
+    /// Steps/s at this cell over the 1-shard row of this curve.
     speedup: f64,
+    /// Synchronization operations (pool launches + epoch barriers) the
+    /// sharded stepper spent; 0 on the serial row.
+    sync_ops: u64,
+    /// Lookahead epochs executed; 0 on the serial row.
+    epochs: u64,
+    /// `sync_ops` per executed fabric cycle — the retired per-cycle
+    /// four-phase protocol spent 5 (one launch + four barriers); `0.0`
+    /// on the serial row.
+    sync_ops_per_cycle: f64,
+}
+
+/// One (shards, lookahead) cell of the drain-phase synchronization-cost
+/// probe: a saturating request burst on the 8x8x8 machine, then
+/// `TorusFabric::run_until_drained` — the regime where the lookahead
+/// epochs run at full width and the barrier-frequency win is measured.
+#[derive(Clone, Copy, Debug, Serialize)]
+struct SyncCostRow {
+    /// Worker shards the fabric step was partitioned across.
+    shards: usize,
+    /// Lookahead-epoch window cap; `null` = the structural window.
+    lookahead: Option<u64>,
+    /// Fabric cycles the measured drain executed.
+    drain_cycles: u64,
+    /// Synchronization operations (pool launches + epoch barriers)
+    /// spent over those cycles.
+    sync_ops: u64,
+    /// Lookahead epochs executed over those cycles.
+    epochs: u64,
+    /// `sync_ops / drain_cycles`.
+    sync_ops_per_cycle: f64,
+    /// `5.0 / sync_ops_per_cycle` — the reduction over the retired
+    /// per-cycle four-phase protocol (one launch + four barriers per
+    /// executed cycle).
+    reduction_vs_retired: f64,
+}
+
+/// Drains an identical saturated 8x8x8 burst at each (shards,
+/// lookahead) cell and prices the barrier protocol: the retired
+/// stepper crossed 5 sync points per executed cycle; the lookahead
+/// epochs amortize 2 per window. Every cell must drain to the identical
+/// cycle with the identical delivery count — asserted, like every other
+/// sharded figure in this artifact.
+fn sync_cost_bench(params: FabricParams) -> Vec<SyncCostRow> {
+    let dims = [8u8, 8, 8];
+    let n = Torus::new(dims).node_count() as u64;
+    let mut endpoint: Option<(u64, usize)> = None;
+    [(2usize, Some(1u64)), (2, None), (4, None)]
+        .iter()
+        .map(|&(shards, lookahead)| {
+            let mut fabric = TorusFabric::new(Torus::new(dims), params);
+            fabric
+                .set_shards_with_lookahead(shards, lookahead)
+                .expect("fresh fabric accepts sharding");
+            // The same deterministic overload recipe the CI smoke
+            // drains, request-only so the drain needs no driver in the
+            // loop: saturating uniform-random bursts from every other
+            // node per cycle.
+            let mut rng = SplitMix64::new(0x5C05);
+            let mut id = 0u64;
+            for cycle in 0..600u64 {
+                for node in 0..n {
+                    let src = NodeId(node as u16);
+                    let dst = NodeId(rng.next_below(n) as u16);
+                    if src != dst && cycle % 2 == node % 2 {
+                        id += 1;
+                        let _ = fabric.inject(PacketSpec::request(src, dst, id, 2).drawn(&mut rng));
+                    }
+                }
+                fabric.step();
+            }
+            let (s0, e0, x0) = (fabric.sync_ops(), fabric.epochs(), fabric.cycles_stepped());
+            assert!(
+                fabric.run_until_drained(400_000),
+                "sync-cost burst did not drain"
+            );
+            let end = (fabric.cycle(), fabric.delivered().len());
+            match &endpoint {
+                None => endpoint = Some(end),
+                Some(reference) => assert_eq!(
+                    &end, reference,
+                    "{shards} shards (lookahead {lookahead:?}) diverged on the drain endpoint"
+                ),
+            }
+            let sync_ops = fabric.sync_ops() - s0;
+            let epochs = fabric.epochs() - e0;
+            let drain_cycles = fabric.cycles_stepped() - x0;
+            let per_cycle = sync_ops as f64 / drain_cycles.max(1) as f64;
+            SyncCostRow {
+                shards,
+                lookahead,
+                drain_cycles,
+                sync_ops,
+                epochs,
+                sync_ops_per_cycle: per_cycle,
+                reduction_vs_retired: 5.0 / per_cycle,
+            }
+        })
+        .collect()
 }
 
 /// The telemetry cost probe: the overload scenario once more on the
@@ -202,9 +308,12 @@ struct FabricBench {
     schema_version: u32,
     /// The 8x8x8 overload sweep point (the CI smoke workload).
     overload_8x8x8: ScenarioBench,
-    /// The overload scenario at shards ∈ {1, 2, 4} on the event core —
-    /// the region-partitioned stepper's scaling curve.
+    /// The overload scenario across the shard x lookahead matrix on the
+    /// event core — the lookahead-epoch stepper's scaling curve.
     shard_scaling: Vec<ShardPoint>,
+    /// The drain-phase synchronization-cost probe: sync ops per cycle
+    /// at full-width lookahead epochs vs the retired per-cycle 5.
+    sync_cost: Vec<SyncCostRow>,
     /// A moderate-load 4x4x8 point (the README steps/sec row).
     moderate_4x4x8: ScenarioBench,
     /// The overload scenario with telemetry recording enabled.
@@ -286,10 +395,44 @@ fn bench_scenario(
     }
 }
 
-/// The overload scenario at each shard count, on the event core. Every
-/// run must land on the exact simulated endpoint the 1-shard benchmark
-/// measured — sharding is an execution strategy, not a model change —
-/// so this doubles as a determinism check at CI scale.
+/// One measured (shards, lookahead) cell of an overload scenario on the
+/// event core, with its synchronization counters.
+fn shard_point(
+    cfg: &SweepConfig,
+    params: FabricParams,
+    offered: f64,
+    stream: u64,
+    shards: usize,
+    lookahead: Option<u64>,
+) -> (ScenarioRun, ShardPoint, u64) {
+    let mut cfg = cfg.clone();
+    cfg.shards = shards;
+    cfg.lookahead = lookahead;
+    let (run, sr, hops) = run_mode(&cfg, params, offered, stream, Stepper::Event);
+    let (sync_ops, epochs) = (run.fabric.sync_ops(), run.fabric.epochs());
+    let executed = run.fabric.cycles_stepped();
+    let point = ShardPoint {
+        shards,
+        lookahead,
+        wall_seconds: sr.wall_seconds,
+        steps_per_sec: sr.steps_per_sec,
+        speedup: 1.0,
+        sync_ops,
+        epochs,
+        sync_ops_per_cycle: if executed > 0 {
+            sync_ops as f64 / executed as f64
+        } else {
+            0.0
+        },
+    };
+    (run, point, hops)
+}
+
+/// The overload scenario across the shard x lookahead matrix, on the
+/// event core. Every run must land on the exact simulated endpoint the
+/// 1-shard benchmark measured — sharding and the epoch window are
+/// execution strategy, not a model change — so this doubles as a
+/// determinism check at CI scale.
 fn shard_scaling(
     cfg: &SweepConfig,
     params: FabricParams,
@@ -297,23 +440,18 @@ fn shard_scaling(
     stream: u64,
     expect: &ScenarioBench,
 ) -> Vec<ShardPoint> {
-    let mut points: Vec<ShardPoint> = [1usize, 2, 4]
+    let cells: [(usize, Option<u64>); 5] =
+        [(1, None), (2, Some(1)), (2, None), (4, Some(1)), (4, None)];
+    let mut points: Vec<ShardPoint> = cells
         .iter()
-        .map(|&shards| {
-            let mut cfg = cfg.clone();
-            cfg.shards = shards;
-            let (run, sr, hops) = run_mode(&cfg, params, offered, stream, Stepper::Event);
+        .map(|&(shards, lookahead)| {
+            let (run, point, hops) = shard_point(cfg, params, offered, stream, shards, lookahead);
             assert_eq!(
                 (run.fabric.cycle(), hops),
                 (expect.simulated_cycles, expect.flit_hops),
-                "{shards} shards changed the simulated scenario"
+                "{shards} shards (lookahead {lookahead:?}) changed the simulated scenario"
             );
-            ShardPoint {
-                shards,
-                wall_seconds: sr.wall_seconds,
-                steps_per_sec: sr.steps_per_sec,
-                speedup: 1.0,
-            }
+            point
         })
         .collect();
     let base = points[0].steps_per_sec;
@@ -369,9 +507,7 @@ fn large_shape_bench(params: FabricParams) -> LargeShape {
     let mut points: Vec<ShardPoint> = [1usize, 2, 4, 8]
         .iter()
         .map(|&shards| {
-            let mut cfg = cfg.clone();
-            cfg.shards = shards;
-            let (run, sr, hops) = run_mode(&cfg, params, offered, 11, Stepper::Event);
+            let (run, point, hops) = shard_point(&cfg, params, offered, 11, shards, None);
             let end = (run.fabric.cycle(), hops, format!("{:?}", run.point));
             match &serial {
                 None => serial = Some(end),
@@ -380,12 +516,7 @@ fn large_shape_bench(params: FabricParams) -> LargeShape {
                     "{shards} shards diverged from the serial 16x16x16 endpoint"
                 ),
             }
-            ShardPoint {
-                shards,
-                wall_seconds: sr.wall_seconds,
-                steps_per_sec: sr.steps_per_sec,
-                speedup: 1.0,
-            }
+            point
         })
         .collect();
     let base = points[0].steps_per_sec;
@@ -506,8 +637,10 @@ fn main() {
     // is the exact random instance CI smokes.
     let overload_8x8x8 = bench_scenario("8x8x8 overload", &overload, params, 0.9, 1025);
 
-    // The region-partitioned stepper's scaling curve on the same point.
+    // The lookahead-epoch stepper's scaling matrix on the same point,
+    // and the drain-phase barrier-cost probe.
     let shard_points = shard_scaling(&overload, params, 0.9, 1025, &overload_8x8x8);
+    let sync_cost = sync_cost_bench(params);
 
     // A mid-load 128-node point: the common calibration regime.
     let mut moderate = SweepConfig::calibration_4x4x8();
@@ -556,6 +689,7 @@ fn main() {
         schema_version: BENCH_SCHEMA_VERSION,
         overload_8x8x8,
         shard_scaling: shard_points,
+        sync_cost,
         moderate_4x4x8,
         telemetry,
         large_shape,
@@ -593,9 +727,27 @@ fn main() {
     println!();
     println!("shard scaling (8x8x8 overload, event core, identical endpoints verified):");
     for p in &bench.shard_scaling {
+        let window = match p.lookahead {
+            Some(w) => format!("window {w}"),
+            None => "window auto".to_string(),
+        };
         println!(
-            "  {:>2} shard(s)  {:>8.2}s wall  {:>12.0} steps/s  {:.2}x",
-            p.shards, p.wall_seconds, p.steps_per_sec, p.speedup
+            "  {:>2} shard(s) {window:<11} {:>8.2}s wall  {:>12.0} steps/s  {:.2}x  \
+             {:>8} sync ops ({:.2}/cycle)",
+            p.shards, p.wall_seconds, p.steps_per_sec, p.speedup, p.sync_ops, p.sync_ops_per_cycle
+        );
+    }
+    println!();
+    println!("sync cost (8x8x8 saturated drain, retired protocol = 5 sync ops/cycle):");
+    for r in &bench.sync_cost {
+        let window = match r.lookahead {
+            Some(w) => format!("window {w}"),
+            None => "window auto".to_string(),
+        };
+        println!(
+            "  {:>2} shard(s) {window:<11} {:>7} cycles  {:>7} sync ops  \
+             {:.3}/cycle  {:.1}x fewer",
+            r.shards, r.drain_cycles, r.sync_ops, r.sync_ops_per_cycle, r.reduction_vs_retired
         );
     }
     println!();

@@ -23,6 +23,12 @@
 //!   one simulation, composable with `--threads` parallelism *across*
 //!   points; like `--threads`, all output is byte-identical at any
 //!   shard count;
+//! - `--lookahead N` caps the sharded stepper's lookahead-epoch window
+//!   (`TorusFabric::set_shards_with_lookahead`) — by default every
+//!   shard runs up to the fabric's minimum positive link latency
+//!   (~80 cycles calibrated) between barriers; `N = 1` pins the
+//!   degenerate one-cycle window. Another pure execution knob: output
+//!   is byte-identical at any window;
 //! - `--calibrate` runs the request-only calibration workloads through
 //!   the Scenario driver and fits the loaded-latency contention
 //!   constants: uniform random and nearest-neighbor halo on 4x4x8, and
@@ -106,6 +112,18 @@ fn shards_arg() -> usize {
         .map(|v| v.parse().expect("--shards takes a positive integer"))
         .unwrap_or(1);
     assert!(n >= 1, "--shards takes a positive integer");
+    n
+}
+
+/// The `--lookahead N` epoch-window cap (default: none — the sharded
+/// stepper uses the fabric's structural window, its minimum positive
+/// link latency). Like `--shards`, a pure execution choice.
+fn lookahead_arg() -> Option<u64> {
+    let n =
+        arg_value("--lookahead").map(|v| v.parse().expect("--lookahead takes a positive integer"));
+    if let Some(n) = n {
+        assert!(n >= 1, "--lookahead takes a positive integer");
+    }
     n
 }
 
@@ -290,6 +308,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mut cfg = SweepConfig::new([4, 4, 8]);
     cfg.shards = shards_arg();
+    cfg.lookahead = lookahead_arg();
     if quick {
         cfg.loads = vec![0.02, 0.2, 0.5, 0.8];
         cfg.warmup_cycles = 1_000;
@@ -441,6 +460,7 @@ fn calibrate_pattern(
         0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65, 0.7, 0.8, 1.0,
     ];
     cfg.shards = shards_arg();
+    cfg.lookahead = lookahead_arg();
     println!(
         "CALIBRATION SWEEP. {}x{}x{} {label}, request-only, seed {:#x}",
         cfg.dims[0], cfg.dims[1], cfg.dims[2], cfg.seed
@@ -521,6 +541,7 @@ fn md_replay(params: FabricParams) {
     let mut cfg = SweepConfig::new(dims);
     cfg.loads = vec![];
     cfg.shards = shards_arg();
+    cfg.lookahead = lookahead_arg();
     let offered = 0.3;
     println!(
         "MD HALO REPLAY. {}x{}x{} torus, {} atoms, import radius {:.2} A, offered {offered}",
@@ -622,6 +643,7 @@ fn mega_smoke(params: FabricParams, threads: usize) {
     );
     let mut cfg = SweepConfig::new(dims);
     cfg.shards = shards;
+    cfg.lookahead = lookahead_arg();
     cfg.loads = vec![0.05];
     cfg.warmup_cycles = 800;
     cfg.measure_cycles = 800;
@@ -666,6 +688,7 @@ fn overload_smoke(params: FabricParams, threads: usize) {
     let shards = shards_arg();
     let mut cfg = SweepConfig::new(dims);
     cfg.shards = shards;
+    cfg.lookahead = lookahead_arg();
     // Two points so `--threads 2` genuinely runs concurrent workers at
     // 512-node scale (a single point would clamp the pool to one): a
     // mid-load companion rides along, and the overload point under test
@@ -714,7 +737,7 @@ fn overload_smoke(params: FabricParams, threads: usize) {
     let mut fabric = TorusFabric::new(torus, params);
     if shards > 1 {
         fabric
-            .set_shards(shards)
+            .set_shards_with_lookahead(shards, lookahead_arg())
             .unwrap_or_else(|e| panic!("cannot shard the drain-check fabric: {e}"));
     }
     // Under --telemetry the drain-check fabric records: a genuinely
@@ -744,19 +767,29 @@ fn overload_smoke(params: FabricParams, threads: usize) {
         fabric.step();
     }
     let injected = fr.allocated();
-    let mut budget = 400_000u64;
-    while budget > 0 && !fr.drained(&fabric) {
+    // The drain rides the event/epoch fast-forward: `step_next_event`
+    // jumps dead cycles (under `--shards N` the lookahead epochs also
+    // batch the live ones), returning to the driver at each delivery so
+    // the spawned responses re-enter at exactly the per-cycle loop's
+    // cycles. Same 400k-cycle budget the old per-cycle loop had.
+    let deadline = fabric.cycle() + 400_000;
+    while fabric.cycle() < deadline && !fr.drained(&fabric) {
         fr.recycle(&mut fabric, &mut rng);
-        fabric.step();
-        budget -= 1;
+        fabric.step_next_event(deadline);
     }
+    fr.recycle(&mut fabric, &mut rng);
     assert!(
         fr.drained(&fabric),
         "8x8x8 overload did not drain: {} flits resident, {} responses pending",
         fabric.occupancy(),
         fr.pending()
     );
-    println!("drain check: PASS ({injected} packets generated, fabric empty)");
+    println!(
+        "drain check: PASS ({injected} packets generated, fabric empty, \
+         {} sync ops / {} epochs)",
+        fabric.sync_ops(),
+        fabric.epochs()
+    );
     if telemetry.is_some() {
         print_telemetry(&fabric);
         write_telemetry_artifacts(&fabric);

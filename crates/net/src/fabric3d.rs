@@ -590,6 +590,47 @@ impl TorusFabric {
         self.fabric.set_shards(shards)
     }
 
+    /// Like [`Self::set_shards`], with an explicit cap on the lookahead
+    /// epoch window (`None` = structural: the minimum positive link
+    /// latency, ~the calibrated link flight time; `Some(1)` = one-cycle
+    /// epochs). Results are bit-identical at every `(shards, window)`
+    /// pair (see [`crate::router::RouterFabric::set_shards_with_lookahead`]).
+    ///
+    /// # Errors
+    /// See [`ShardError`].
+    pub fn set_shards_with_lookahead(
+        &mut self,
+        shards: usize,
+        lookahead: Option<u64>,
+    ) -> Result<(), ShardError> {
+        self.fabric.set_shards_with_lookahead(shards, lookahead)
+    }
+
+    /// The widest lookahead-epoch window the sharded stepper may attempt
+    /// (see [`crate::router::RouterFabric::lookahead`]).
+    pub fn lookahead(&self) -> u64 {
+        self.fabric.lookahead()
+    }
+
+    /// Synchronization operations (pool launches + barrier crossings)
+    /// spent by the sharded epoch stepper (see
+    /// [`crate::router::RouterFabric::sync_ops`]).
+    pub fn sync_ops(&self) -> u64 {
+        self.fabric.sync_ops()
+    }
+
+    /// Lookahead epochs executed (see
+    /// [`crate::router::RouterFabric::epochs`]).
+    pub fn epochs(&self) -> u64 {
+        self.fabric.epochs()
+    }
+
+    /// Simulated cycles advanced by the epoch stepper (see
+    /// [`crate::router::RouterFabric::cycles_stepped`]).
+    pub fn cycles_stepped(&self) -> u64 {
+        self.fabric.cycles_stepped()
+    }
+
     /// Advances one cycle with the retained naive reference stepper —
     /// the executable specification [`Self::step`] is held bit-identical
     /// to (see [`crate::router::RouterFabric::step_reference`]). Used by
@@ -604,6 +645,14 @@ impl TorusFabric {
     /// (see [`crate::router::RouterFabric::step_next_event`]).
     pub fn step_next_event(&mut self, limit: u64) {
         self.fabric.step_next_event(limit);
+    }
+
+    /// Event-driven advance with full lookahead windows: deliveries are
+    /// batched per epoch instead of ending it, for callers that never
+    /// react mid-call (see
+    /// [`crate::router::RouterFabric::step_batched`]).
+    pub fn step_batched(&mut self, limit: u64) {
+        self.fabric.step_batched(limit);
     }
 
     /// Advances to `target` exactly as repeated [`Self::step`] calls

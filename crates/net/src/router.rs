@@ -1173,29 +1173,37 @@ fn activate(active: &mut Vec<usize>, is_active: &mut [bool], r: usize) {
 pub use shard::ShardError;
 use shard::{ShardPool, ShardScratch};
 
-/// The region-partitioned stepper: the one module in the crate allowed
-/// to use `unsafe` (the crate root denies it everywhere else).
+/// The region-partitioned lookahead stepper: the one module in the
+/// crate allowed to use `unsafe` (the crate root denies it everywhere
+/// else).
 ///
 /// # Safety discipline
 ///
-/// All unsafe here serves a single pattern: a per-step frame of raw
+/// All unsafe here serves a single pattern: a per-epoch frame of raw
 /// pointers into the fabric ([`StepShared`]) is shared with a
 /// persistent worker pool, and every dereference falls into one of
-/// three provably data-race-free classes:
+/// four provably data-race-free classes:
 ///
 /// 1. **Disjoint mutable rows.** The router index space is partitioned
-///    into contiguous shard ranges (`bounds`); each phase turns a `*mut`
+///    into contiguous shard ranges (`bounds`); each shard turns a `*mut`
 ///    base into per-shard slices that never overlap another shard's.
-/// 2. **Step-wide read-only state** (wiring, routing closures, the
-///    sorted active list, this cycle's arrival bucket, offset tables).
-/// 3. **Atomics** (the fabric-wide credit mirror).
+/// 2. **Epoch-wide read-only state** (wiring, routing closures, the
+///    sorted active list, offset tables, the boundary-slot map).
+/// 3. **Atomics** (the fabric-wide credit mirror — and each entry is
+///    touched only by the shard owning its router during an epoch; the
+///    atomics survive as the cheapest way to keep the aliasing legal).
+/// 4. **Exclusive shadow slots.** Each boundary-credit shadow entry is
+///    read and written only by the shard owning the *upstream* end of
+///    its link, element-wise through a raw pointer.
 ///
-/// Writer/reader role flips — the phase-1 `outbound` handoff lists, the
-/// end-of-phase credit returns — always cross one of the four
-/// [`SpinBarrier`] fences, which provide the acquire/release edges.
+/// There is exactly one [`SpinBarrier`] fence per epoch: shards run
+/// their whole private window with no synchronization (every
+/// positive-latency link is at least one window long, so no cross-shard
+/// effect can land inside it), then the single end-of-epoch fence
+/// provides the acquire/release edge before the serial merge epilogue.
 /// The frame itself lives on the stepping thread's stack and is only
-/// dereferenced between pool launch and the final fence, which the
-/// stepping thread also waits on.
+/// dereferenced between pool launch and that fence, which the stepping
+/// thread also waits on.
 #[allow(unsafe_code)]
 mod shard {
     use super::*;
@@ -1231,6 +1239,10 @@ mod shard {
             /// Upstream output port of the offending link.
             port: usize,
         },
+        /// A lookahead window of zero cycles was requested. Shards must
+        /// advance at least one cycle per epoch; pass `None` (or omit the
+        /// knob) for the automatic structural window.
+        InvalidLookahead,
     }
 
     impl fmt::Display for ShardError {
@@ -1248,17 +1260,22 @@ mod shard {
                     "router link ({router}, {port}) has zero latency; sharded stepping needs \
                  every inter-router link to be at least one cycle long"
                 ),
+                ShardError::InvalidLookahead => write!(
+                    f,
+                    "lookahead window must be at least one cycle (use None for the \
+                 automatic structural window)"
+                ),
             }
         }
     }
 
     impl std::error::Error for ShardError {}
 
-    /// A counting barrier for the phase fences of a sharded step. Spins
-    /// briefly then yields: phases are microseconds apart, so parking in
-    /// the kernel between them would dominate, but the busy-wait must stay
-    /// polite when shards exceed cores (single-core machines still run the
-    /// multi-shard equivalence tests).
+    /// A counting barrier for the end-of-epoch fence of a sharded step.
+    /// Spins briefly then yields: epochs are microseconds apart, so
+    /// parking in the kernel between them would dominate, but the
+    /// busy-wait must stay polite when shards exceed cores (single-core
+    /// machines still run the multi-shard equivalence tests).
     struct SpinBarrier {
         total: usize,
         count: AtomicUsize,
@@ -1305,7 +1322,7 @@ mod shard {
         go: Mutex<(u64, usize)>,
         cv: Condvar,
         stop: AtomicBool,
-        /// The phase fence, sized to the shard count.
+        /// The end-of-epoch fence, sized to the shard count.
         barrier: SpinBarrier,
     }
 
@@ -1349,17 +1366,13 @@ mod shard {
                                     }
                                 };
                                 // SAFETY: the launching thread keeps the
-                                // frame alive until it passes the final
-                                // barrier inside its own run_shard_phases,
-                                // which cannot happen before this worker
-                                // passes it too.
+                                // frame alive until it passes the epoch
+                                // barrier below, which cannot happen
+                                // before this worker reaches it too.
                                 unsafe {
-                                    run_shard_phases(
-                                        &*(frame as *const StepShared),
-                                        s,
-                                        &ctl.barrier,
-                                    );
+                                    run_shard_epoch(&*(frame as *const StepShared), s);
                                 }
+                                ctl.barrier.wait();
                             }
                         })
                         .expect("spawn shard worker")
@@ -1368,9 +1381,9 @@ mod shard {
             ShardPool { ctl, workers }
         }
 
-        /// Publishes one step frame and wakes the workers. The caller must
-        /// then run shard 0's phases itself — the shared barriers hold it
-        /// until every worker finishes.
+        /// Publishes one epoch frame and wakes the workers. The caller
+        /// must then run shard 0's window itself and wait on the epoch
+        /// barrier, which holds it until every worker finishes.
         fn launch(&self, frame: &StepShared) {
             let mut go = self.ctl.go.lock().expect("pool lock");
             go.0 += 1;
@@ -1392,40 +1405,105 @@ mod shard {
         }
     }
 
-    /// Per-shard working state of a sharded step, reused across cycles.
-    /// Every field is written only by its owning shard during the phases
-    /// and drained serially by the step epilogue.
+    /// One executed private cycle's cumulative end offsets into a shard's
+    /// epoch accumulators (`moves`, `stalls`, `delivered_eject`,
+    /// `outwheel`). The merge epilogue walks these to interleave per-cycle
+    /// events across shards in the serial (cycle, then ascending-router)
+    /// order; cycles a shard fast-forwarded leave no segment.
+    #[derive(Clone, Copy)]
+    struct EpochSeg {
+        /// The private cycle this segment closed.
+        cycle: u64,
+        /// `moves.len()` after the cycle ran.
+        moves_end: u32,
+        /// `stalls.len()` after the cycle ran.
+        stalls_end: u32,
+        /// `delivered_eject.len()` after the cycle ran.
+        eject_end: u32,
+        /// `outwheel.len()` after the cycle ran.
+        outwheel_end: u32,
+    }
+
+    /// The upstream half of a window arrival, scheduled by the epoch
+    /// prologue: at `cycle`, the channel-owning shard releases the credit
+    /// its landed flit had reserved and, on boundary links, mirrors the
+    /// landing into the epoch's credit shadow.
+    struct UnreserveAt {
+        /// Private cycle the flit lands downstream.
+        cycle: u64,
+        /// Upstream router (owner of the link the flit left).
+        router: u32,
+        /// Flat `(port, vc)` index into the router's `reserved` row.
+        queue: u32,
+        /// Boundary shadow slot to debit; `u32::MAX` for intra-shard links.
+        shadow: u32,
+    }
+
+    /// The downstream half of a window arrival, scheduled by the epoch
+    /// prologue: at `cycle`, the destination shard accepts `flit` into
+    /// input `(router, port)`, debiting the credit mirror and activating
+    /// the router — the serial land phase replayed privately at the right
+    /// cycle.
+    #[derive(Clone, Copy)]
+    struct AcceptAt {
+        /// Private cycle the flit enters the downstream queue.
+        cycle: u64,
+        /// Destination router.
+        router: u32,
+        /// Destination input port.
+        port: u32,
+        /// The landing flit.
+        flit: Flit,
+    }
+
+    /// Per-shard working state of a lookahead epoch, reused across
+    /// epochs. The schedule lists (`unreserve`, `accepts`) are filled by
+    /// the serial prologue; everything else is written only by the owning
+    /// shard during its private window and drained serially by the merge
+    /// epilogue.
     pub(super) struct ShardScratch {
-        /// This cycle's arbitration worklist: pre-step actives in range
-        /// merged with phase-1 activations, sorted ascending.
+        /// Current private cycle's arbitration worklist, sorted ascending;
+        /// holds the shard's surviving actives when the epoch ends.
         worklist: Vec<usize>,
-        /// Routers still active after this cycle (kept + newly activated).
-        next_active: Vec<usize>,
-        /// Departures from this shard's arbitration, `(router, out, flit)`.
+        /// Routers activated by this private cycle's accepts, merged into
+        /// the worklist before arbitration.
+        incoming: Vec<usize>,
+        /// Prologue-scheduled credit releases for this shard's links, in
+        /// ascending cycle order.
+        unreserve: Vec<UnreserveAt>,
+        /// Prologue-scheduled arrivals into this shard's routers, in
+        /// ascending cycle order.
+        accepts: Vec<AcceptAt>,
+        /// Departures across the whole window, `(router, out, flit)`,
+        /// segmented per cycle by `segs`.
         moves: Vec<(usize, usize, Flit)>,
-        /// Endpoint deliveries landed in phase 1, `(bucket pos, flit)`.
-        delivered_land: Vec<(u32, Flit)>,
-        /// Latency-0 ejections from phase 3, in departure order.
+        /// Latency-0 ejections across the window, in departure order.
         delivered_eject: Vec<Flit>,
-        /// Arrival-wheel bookings from phase 3, `(arrival, router, port)`.
+        /// Arrival-wheel bookings across the window, `(arrival, router,
+        /// port)` — all at or beyond the epoch barrier (no positive link
+        /// latency is shorter than the window), merged into the global
+        /// wheel by the epilogue.
         outwheel: Vec<(u64, u32, u32)>,
-        /// Stall events classified against cycle-start state,
-        /// `(router, out, out vc, cause)`, in ascending router order — the
-        /// shard-local stall accumulator merged into [`Telemetry`] at the
-        /// end-of-step barrier.
+        /// Stall events classified against private-cycle state,
+        /// `(router, out, out vc, cause)`, in ascending router order
+        /// within each cycle segment.
         stalls: Vec<(u32, u32, u8, StallCause)>,
-        /// Arrivals landed by this shard this cycle (`in_flight_total` down).
-        landed: usize,
-        /// Flits this shard entered into links this cycle (`in_flight_total` up).
-        sent: usize,
+        /// Per-executed-cycle segment ends over the four accumulators.
+        segs: Vec<EpochSeg>,
+        /// Epilogue cursor: next unmerged entry of `segs`.
+        seg_pos: usize,
+        /// Epilogue cursor: segment starts (previous segment's ends) over
+        /// `moves` / `stalls` / `delivered_eject` / `outwheel`.
+        merged: (u32, u32, u32, u32),
         /// Credit-probe scratch — the per-shard copy of the serial stepper's
         /// `scratch_ok` / `scratch_gen` / `probe_gen` trio.
         probe_ok: Vec<bool>,
         probe_stamp: Vec<u64>,
         probe_gen: u64,
         /// Per-link advance stamps (`cycle + 1` when the link moved a flit
-        /// this cycle), offset by `link_base` — the shard-local stand-in for
-        /// `Telemetry::advanced_on` during parallel stall classification.
+        /// that cycle), offset by `link_base` — the shard-local stand-in
+        /// for `Telemetry::advanced_on` during parallel stall
+        /// classification.
         adv_stamp: Vec<u64>,
         /// Global link offset of this shard's first router.
         link_base: usize,
@@ -1435,14 +1513,16 @@ mod shard {
         pub(super) fn new(link_lo: usize, link_hi: usize) -> Self {
             ShardScratch {
                 worklist: Vec::new(),
-                next_active: Vec::new(),
+                incoming: Vec::new(),
+                unreserve: Vec::new(),
+                accepts: Vec::new(),
                 moves: Vec::new(),
-                delivered_land: Vec::new(),
                 delivered_eject: Vec::new(),
                 outwheel: Vec::new(),
                 stalls: Vec::new(),
-                landed: 0,
-                sent: 0,
+                segs: Vec::new(),
+                seg_pos: 0,
+                merged: (0, 0, 0, 0),
                 probe_ok: Vec::new(),
                 probe_stamp: Vec::new(),
                 probe_gen: 0,
@@ -1455,39 +1535,74 @@ mod shard {
         /// fabric memory audit).
         pub(super) fn memory_bytes(&self) -> usize {
             use std::mem::size_of;
-            (self.worklist.capacity() + self.next_active.capacity()) * size_of::<usize>()
+            (self.worklist.capacity() + self.incoming.capacity()) * size_of::<usize>()
+                + self.unreserve.capacity() * size_of::<UnreserveAt>()
+                + self.accepts.capacity() * size_of::<AcceptAt>()
                 + self.moves.capacity() * size_of::<(usize, usize, Flit)>()
-                + self.delivered_land.capacity() * size_of::<(u32, Flit)>()
                 + self.delivered_eject.capacity() * size_of::<Flit>()
                 + self.outwheel.capacity() * size_of::<(u64, u32, u32)>()
                 + self.stalls.capacity() * size_of::<(u32, u32, u8, StallCause)>()
+                + self.segs.capacity() * size_of::<EpochSeg>()
                 + self.probe_ok.capacity()
                 + (self.probe_stamp.capacity() + self.adv_stamp.capacity()) * size_of::<u64>()
         }
+
+        /// Resets the epilogue cursors and clears every per-epoch
+        /// accumulator (allocations are kept).
+        fn reset(&mut self) {
+            self.unreserve.clear();
+            self.accepts.clear();
+            self.moves.clear();
+            self.delivered_eject.clear();
+            self.outwheel.clear();
+            self.stalls.clear();
+            self.segs.clear();
+            self.seg_pos = 0;
+            self.merged = (0, 0, 0, 0);
+        }
     }
 
-    /// The lifetime-erased frame a sharded step hands its workers: raw
-    /// pointers into the fabric plus this cycle's inputs. Built on the
-    /// stack of [`RouterFabric::step_sharded`] and dereferenced only
-    /// between the pool launch and the final phase barrier, which the main
-    /// thread also waits on before the frame goes out of scope.
+    /// One boundary link's constants for the epoch window clamp and the
+    /// credit-shadow refresh: a router-to-router link whose two ends live
+    /// in different shards.
+    pub(super) struct BoundaryLink {
+        /// Upstream router.
+        pub(super) router: u32,
+        /// Upstream output port.
+        pub(super) port: u32,
+        /// Flat `credit_view` offset of the downstream input queue's VC 0.
+        pub(super) queue_base: u32,
+        /// First shadow slot of this link (one per VC).
+        pub(super) slot: u32,
+        /// VC count of the link (upstream and downstream agree).
+        pub(super) vcs: u32,
+    }
+
+    /// The lifetime-erased frame a lookahead epoch hands its workers: raw
+    /// pointers into the fabric plus this window's inputs. Built on the
+    /// stack of [`RouterFabric::step_epoch`] and dereferenced only
+    /// between the pool launch and the end-of-epoch barrier, which the
+    /// main thread also waits on before the frame goes out of scope.
     ///
     /// # Safety discipline
     ///
     /// Mutable access is partitioned by the contiguous shard ranges in
-    /// `bounds`: phase code turns the `*mut` bases into **disjoint**
+    /// `bounds`: epoch code turns the `*mut` bases into **disjoint**
     /// per-shard slices (rows `bounds[s]..bounds[s + 1]` of `routers`,
-    /// `channels`, `next_free`, `reserved`, `is_active`), so no two
-    /// threads alias a mutable element. Everything else is either
-    /// read-only for the whole step (`wiring`, `route`, `classify`, the
-    /// sorted active list, the arrival bucket, the offset tables) or
-    /// atomic (`credit_view`). The per-shard `outbound` lists flip from
-    /// exclusive-write (phase 1, channel-owner shard) to shared-read
-    /// (phase 2, destination shard) across a barrier.
+    /// `channels`, `next_free`, `reserved`, `is_active`). Everything else
+    /// is either read-only for the whole epoch (`wiring`, `route`,
+    /// `classify`, the sorted active list, the offset tables, the
+    /// boundary-slot map), atomic (`credit_view` — and each entry is only
+    /// touched by its owning shard during the window), or an exclusive
+    /// element-wise raw access (`shadow`: each slot belongs to the shard
+    /// owning the upstream end of its boundary link).
     struct StepShared {
+        /// First cycle of the window.
         cycle: u64,
-        shards: usize,
+        /// Window width: shards privately simulate `cycle..cycle + window`.
+        window: u64,
         n_routers: usize,
+        n_links: usize,
         routers: *mut CycleRouter,
         channels: *mut Vec<ChannelState>,
         next_free: *mut Vec<u64>,
@@ -1499,15 +1614,16 @@ mod shard {
         link_off: *const usize,
         credit_view: *const AtomicU32,
         credit_len: usize,
+        /// Per-link first shadow slot (`u32::MAX` for non-boundary links).
+        boundary_slot: *const u32,
+        /// Boundary credit shadows, one slot per boundary `(link, vc)`.
+        shadow: *mut u32,
         route: *const Box<RouteFn>,
         classify: *const Option<Box<FlitClassFn>>,
         telemetry: bool,
         wheel_len: u64,
-        bucket: *const (u64, u32, u32),
-        bucket_len: usize,
         active_sorted: *const usize,
         active_len: usize,
-        outbound: *mut Vec<(u32, u32, u32, Flit)>,
         scratch: *mut ShardScratch,
     }
 
@@ -1517,364 +1633,493 @@ mod shard {
     unsafe impl Send for StepShared {}
     unsafe impl Sync for StepShared {}
 
-    /// Runs one shard's side of a sharded step: the four phases with their
-    /// barrier fences. Every party — the stepping thread as shard 0, one
-    /// pool worker per remaining shard — calls this exactly once per step.
-    ///
-    /// # Safety
-    /// `sh` must be a live frame built by `step_sharded`, `s` a valid
-    /// shard index used by exactly one party.
-    unsafe fn run_shard_phases(sh: &StepShared, s: usize, barrier: &SpinBarrier) {
-        phase_land(sh, s);
-        barrier.wait(); // outbound handoffs flip writer -> reader
-        phase_accept(sh, s);
-        barrier.wait(); // credit_view decrements settle before any probe
-        phase_arbitrate(sh, s);
-        barrier.wait(); // probes finish before credits return / links move
-        phase_apply(sh, s);
-        barrier.wait(); // workers done; epilogue may merge
-    }
-
-    /// Phase 1 (by channel-owner shard): arrivals due this cycle leave
-    /// their delay lines. Endpoint deliveries are kept shard-local with
-    /// their bucket position; router-bound flits go to the `outbound`
-    /// handoff for the destination shard to accept after the barrier.
-    ///
-    /// # Safety
-    /// Part of the `run_shard_phases` discipline (disjoint `channels` /
-    /// `reserved` rows; `routers` is read by all, mutated by none).
-    unsafe fn phase_land(sh: &StepShared, s: usize) {
-        if sh.bucket_len == 0 {
-            return;
-        }
-        let lo = *sh.bounds.add(s);
-        let hi = *sh.bounds.add(s + 1);
-        let channels = std::slice::from_raw_parts_mut(sh.channels.add(lo), hi - lo);
-        let reserved = std::slice::from_raw_parts_mut(sh.reserved.add(lo), hi - lo);
-        let routers = std::slice::from_raw_parts(sh.routers as *const CycleRouter, sh.n_routers);
-        let wiring = std::slice::from_raw_parts(sh.wiring, sh.n_routers);
-        let bucket = std::slice::from_raw_parts(sh.bucket, sh.bucket_len);
-        let outbound = &mut *sh.outbound.add(s);
-        let scratch = &mut *sh.scratch.add(s);
-        for (pos, &(arrival, r, port)) in bucket.iter().enumerate() {
-            let (r, port) = (r as usize, port as usize);
-            if r < lo || r >= hi {
-                continue;
-            }
-            debug_assert_eq!(arrival, sh.cycle, "wheel slot mixed cycles");
-            let (due, flit) = channels[r - lo][port]
-                .in_flight
-                .pop_front()
-                .expect("scheduled arrival must be in flight");
-            debug_assert_eq!(due, sh.cycle, "delay line out of order");
-            scratch.landed += 1;
-            match wiring[r][port] {
-                PortLink::Router {
-                    router,
-                    port: dport,
-                } => {
-                    let vcs = routers[r].vcs;
-                    reserved[r - lo][port * vcs + flit.vc as usize] -= 1;
-                    outbound.push((pos as u32, router as u32, dport as u32, flit));
-                }
-                PortLink::Endpoint(_) => scratch.delivered_land.push((pos as u32, flit)),
-                PortLink::Unused => unreachable!("flit in flight on an unused port"),
-            }
-        }
-    }
-
-    /// Phase 2 (by destination shard): every handed-off arrival lands in
-    /// its downstream queue, debiting the credit mirror and activating the
-    /// accepting router. Per-queue FIFO order needs no sorting: a queue is
-    /// fed by exactly one channel, whose arrivals sit in one shard's
-    /// handoff list in bucket order (and at most one lands per cycle).
-    ///
-    /// # Safety
-    /// Part of the `run_shard_phases` discipline (disjoint `routers` /
-    /// `is_active` rows; `outbound` lists are read-only in this phase).
-    unsafe fn phase_accept(sh: &StepShared, s: usize) {
-        let lo = *sh.bounds.add(s);
-        let hi = *sh.bounds.add(s + 1);
-        let routers = std::slice::from_raw_parts_mut(sh.routers.add(lo), hi - lo);
-        let is_active = std::slice::from_raw_parts_mut(sh.is_active.add(lo), hi - lo);
-        let queue_off = std::slice::from_raw_parts(sh.queue_off, sh.n_routers + 1);
-        let credit_view = std::slice::from_raw_parts(sh.credit_view, sh.credit_len);
-        let scratch = &mut *sh.scratch.add(s);
-        for t in 0..sh.shards {
-            let inbox = &*(sh.outbound.add(t) as *const Vec<(u32, u32, u32, Flit)>);
-            for &(_pos, dest, dport, flit) in inbox {
-                let dest = dest as usize;
-                if dest < lo || dest >= hi {
-                    continue;
-                }
-                let dport = dport as usize;
-                let router = &mut routers[dest - lo];
-                router.accept(dport, flit.vc, flit, sh.cycle);
-                credit_view[queue_off[dest] + dport * router.vcs + flit.vc as usize]
-                    .fetch_sub(1, Ordering::Relaxed);
-                if !is_active[dest - lo] {
-                    is_active[dest - lo] = true;
-                    scratch.next_active.push(dest);
-                }
-            }
-        }
-    }
-
-    /// Phase 3 (by shard): arbitration over this shard's routers — the
-    /// parallel body of the serial stepper's worklist loop, probing the
-    /// cycle-start credit mirror. When telemetry is on, the shard also
-    /// classifies its own routers' stalls against that same state into its
-    /// local accumulator (merged at the end-of-step barrier).
-    ///
-    /// # Safety
-    /// Part of the `run_shard_phases` discipline (disjoint `routers` /
-    /// `is_active` rows; `next_free` / `reserved` rows of other shards are
-    /// never touched; `credit_view` is read-only this phase — credits
-    /// return in phase 4, after the barrier).
-    unsafe fn phase_arbitrate(sh: &StepShared, s: usize) {
-        let lo = *sh.bounds.add(s);
-        let hi = *sh.bounds.add(s + 1);
-        let routers = std::slice::from_raw_parts_mut(sh.routers.add(lo), hi - lo);
-        let is_active = std::slice::from_raw_parts_mut(sh.is_active.add(lo), hi - lo);
-        let next_free =
-            std::slice::from_raw_parts(sh.next_free.add(lo) as *const Vec<u64>, hi - lo);
-        let reserved = std::slice::from_raw_parts(sh.reserved.add(lo) as *const Vec<u32>, hi - lo);
-        let wiring = std::slice::from_raw_parts(sh.wiring, sh.n_routers);
-        let queue_off = std::slice::from_raw_parts(sh.queue_off, sh.n_routers + 1);
-        let link_off = std::slice::from_raw_parts(sh.link_off, sh.n_routers + 1);
-        let credit_view = std::slice::from_raw_parts(sh.credit_view, sh.credit_len);
-        let route: &RouteFn = (*sh.route).as_ref();
-        let scratch = &mut *sh.scratch.add(s);
-        let active = std::slice::from_raw_parts(sh.active_sorted, sh.active_len);
-        let cycle = sh.cycle;
-
-        // Worklist: pre-step actives in range plus phase-1 activations
-        // (`next_active` so far), ascending — the same set and order the
-        // serial stepper would visit within this range.
-        let a = active.partition_point(|&r| r < lo);
-        let b = active.partition_point(|&r| r < hi);
-        let mut worklist = std::mem::take(&mut scratch.worklist);
-        worklist.clear();
-        worklist.extend_from_slice(&active[a..b]);
-        worklist.extend_from_slice(&scratch.next_active);
-        worklist.sort_unstable();
-        scratch.next_active.clear();
-
-        for &r in &worklist {
-            let router = &mut routers[r - lo];
-            if router.is_idle() {
-                is_active[r - lo] = false;
-                continue;
-            }
-            scratch.next_active.push(r);
-            router.mature(cycle, route);
-            let vcs = router.vcs;
-            let need = wiring[r].len() * vcs;
-            if scratch.probe_ok.len() < need {
-                scratch.probe_ok.resize(need, false);
-                scratch.probe_stamp.resize(need, 0);
-            }
-            scratch.probe_gen += 1;
-            let gen = scratch.probe_gen;
-            let next_free_r = &next_free[r - lo];
-            let reserved_r = &reserved[r - lo];
-            {
-                let wiring_r = &wiring[r];
-                let probe_ok = &mut scratch.probe_ok;
-                let probe_stamp = &mut scratch.probe_stamp;
-                router.for_each_probe(
-                    |out| next_free_r[out] <= cycle,
-                    |out, vc| {
-                        let i = out * vcs + vc as usize;
-                        if probe_stamp[i] == gen {
-                            return; // already probed this router-cycle
-                        }
-                        probe_stamp[i] = gen;
-                        let serializable = next_free_r[out] <= cycle;
-                        probe_ok[i] = match wiring_r[out] {
-                            PortLink::Router { router, port } => {
-                                serializable
-                                    && (reserved_r[i] as usize)
-                                        < credit_view[queue_off[router] + port * vcs + vc as usize]
-                                            .load(Ordering::Relaxed)
-                                            as usize
-                            }
-                            PortLink::Endpoint(_) => serializable,
-                            PortLink::Unused => false,
-                        };
-                    },
-                );
-            }
-            let probe_ok = &scratch.probe_ok;
-            router.arbitrate_into(
-                cycle,
-                |out| next_free_r[out] <= cycle,
-                |out, vc| probe_ok[out * vcs + vc as usize],
-                &mut scratch.moves,
-            );
-        }
-
-        if sh.telemetry {
-            // Stamp this shard's advanced links, then classify every
-            // occupied front against the same cycle-start state the probes
-            // read — the parallel mirror of `telemetry_record`.
-            let base = scratch.link_base;
-            for &(r, out, _) in &scratch.moves {
-                scratch.adv_stamp[link_off[r] - base + out] = cycle + 1;
-            }
-            for &r in &worklist {
-                let router = &routers[r - lo];
-                if router.queued == 0 {
-                    continue;
-                }
-                let vcs = router.vcs;
-                for p in 0..router.ports {
-                    for v in 0..vcs {
-                        let Some(&(front, arrived)) = router.front(p, v as u8) else {
-                            continue;
-                        };
-                        let (out, out_vc) = if front.is_head() {
-                            let d = route(&front, r);
-                            (d.port, d.vc)
-                        } else {
-                            match router.owner_output(p, v as u8) {
-                                Some(t) => t,
-                                None => continue,
-                            }
-                        };
-                        let cause = if arrived + router.pipeline > cycle {
-                            StallCause::PipelineImmature
-                        } else if scratch.adv_stamp[link_off[r] - base + out] == cycle + 1 {
-                            StallCause::LostArbitration
-                        } else if next_free[r - lo][out] > cycle {
-                            StallCause::SerializationBusy
-                        } else {
-                            match wiring[r][out] {
-                                PortLink::Router {
-                                    router: dst,
-                                    port: dport,
-                                } => {
-                                    if (reserved[r - lo][out * vcs + out_vc as usize] as usize)
-                                        >= credit_view
-                                            [queue_off[dst] + dport * vcs + out_vc as usize]
-                                            .load(Ordering::Relaxed)
-                                            as usize
-                                    {
-                                        StallCause::CreditStarved
-                                    } else {
-                                        StallCause::LostArbitration
-                                    }
-                                }
-                                _ => StallCause::LostArbitration,
-                            }
-                        };
-                        scratch.stalls.push((r as u32, out as u32, out_vc, cause));
-                    }
-                }
-            }
-        }
-        scratch.worklist = worklist;
-    }
-
-    /// Phase 4 (by shard): this shard's departures enter their links and
-    /// book arrivals into the shard-local wheel outbox, then the shard's
-    /// routers return the credits their departures parked — the parallel
-    /// half of `return_credits`, safe now that every probe is behind the
+    /// Runs one shard's private window of a lookahead epoch: up to
+    /// `window` cycles of land / arbitrate / apply with **no internal
+    /// synchronization**, fast-forwarding cycles where the shard has
+    /// neither queued work nor a scheduled arrival. Every party — the
+    /// stepping thread as shard 0, one pool worker per remaining shard —
+    /// calls this exactly once per epoch, then waits on the epoch
     /// barrier.
     ///
+    /// Cross-shard effects cannot occur inside the window: every
+    /// positive-latency link is at least `window` cycles long, so a flit
+    /// departing during the window lands at or beyond the barrier, and
+    /// every arrival *inside* the window was already in flight at the
+    /// prologue (which turned it into this shard's `unreserve` /
+    /// `accepts` schedules). Probes and stall classification against
+    /// remote downstream queues read the per-boundary credit shadow,
+    /// which the prologue's window clamp keeps bit-exact (see
+    /// [`RouterFabric::step_epoch`]).
+    ///
     /// # Safety
-    /// Part of the `run_shard_phases` discipline (disjoint `routers` /
-    /// `channels` / `next_free` / `reserved` rows).
-    unsafe fn phase_apply(sh: &StepShared, s: usize) {
+    /// `sh` must be a live frame built by `step_epoch`, `s` a valid
+    /// shard index used by exactly one party.
+    unsafe fn run_shard_epoch(sh: &StepShared, s: usize) {
         let lo = *sh.bounds.add(s);
         let hi = *sh.bounds.add(s + 1);
         let routers = std::slice::from_raw_parts_mut(sh.routers.add(lo), hi - lo);
         let channels = std::slice::from_raw_parts_mut(sh.channels.add(lo), hi - lo);
         let next_free = std::slice::from_raw_parts_mut(sh.next_free.add(lo), hi - lo);
         let reserved = std::slice::from_raw_parts_mut(sh.reserved.add(lo), hi - lo);
+        let is_active = std::slice::from_raw_parts_mut(sh.is_active.add(lo), hi - lo);
         let wiring = std::slice::from_raw_parts(sh.wiring, sh.n_routers);
         let queue_off = std::slice::from_raw_parts(sh.queue_off, sh.n_routers + 1);
+        let link_off = std::slice::from_raw_parts(sh.link_off, sh.n_routers + 1);
         let credit_view = std::slice::from_raw_parts(sh.credit_view, sh.credit_len);
+        let boundary_slot = std::slice::from_raw_parts(sh.boundary_slot, sh.n_links);
+        let shadow_ptr = sh.shadow;
+        let route: &RouteFn = (*sh.route).as_ref();
         let classify = (*sh.classify).as_deref();
+        let active = std::slice::from_raw_parts(sh.active_sorted, sh.active_len);
         let scratch = &mut *sh.scratch.add(s);
-        let cycle = sh.cycle;
-        for i in 0..scratch.moves.len() {
-            let (r, out, flit) = scratch.moves[i];
-            debug_assert!(lo <= r && r < hi, "move escaped its shard");
-            let class = classify.map(|f| f(&flit));
-            let vcs = routers[r - lo].vcs;
-            let ch = &mut channels[r - lo][out];
-            next_free[r - lo][out] = cycle + ch.spec.interval;
-            ch.flits_sent += 1;
-            ch.packets_sent += u64::from(flit.is_tail());
-            if let Some(c) = class {
-                ch.class_flits[c] += 1;
+        let t0 = sh.cycle;
+        let tend = t0 + sh.window;
+
+        // Epoch-start worklist: the fabric's sorted active list restricted
+        // to this shard's contiguous range.
+        let a = active.partition_point(|&r| r < lo);
+        let b = active.partition_point(|&r| r < hi);
+        scratch.worklist.clear();
+        scratch.worklist.extend_from_slice(&active[a..b]);
+
+        let mut ui = 0; // cursor into scratch.unreserve
+        let mut ai = 0; // cursor into scratch.accepts
+        let mut cycle = t0;
+        loop {
+            if scratch.worklist.is_empty() {
+                // Dead shard-cycle fast-forward: nothing can arbitrate
+                // until a scheduled arrival activates a router. Credit
+                // releases in the skipped span are applied lazily below —
+                // nothing reads them while the worklist is empty.
+                match scratch.accepts.get(ai) {
+                    Some(acc) => cycle = acc.cycle,
+                    None => break,
+                }
             }
-            let spec = ch.spec;
-            match wiring[r][out] {
-                PortLink::Router { .. } if spec.latency == 0 => {
-                    unreachable!("sharded stepping requires latency >= 1 on router links")
-                }
-                PortLink::Router { .. } => {
-                    reserved[r - lo][out * vcs + flit.vc as usize] += 1;
-                    debug_assert!(spec.latency < sh.wheel_len, "arrival beyond the wheel");
-                    ch.in_flight.push_back((cycle + spec.latency, flit));
-                    scratch.sent += 1;
-                    scratch
-                        .outwheel
-                        .push((cycle + spec.latency, r as u32, out as u32));
-                }
-                PortLink::Endpoint(_) if spec.latency == 0 => scratch.delivered_eject.push(flit),
-                PortLink::Endpoint(_) => {
-                    ch.in_flight.push_back((cycle + spec.latency, flit));
-                    scratch.sent += 1;
-                    scratch
-                        .outwheel
-                        .push((cycle + spec.latency, r as u32, out as u32));
-                }
-                PortLink::Unused => unreachable!("flit departed through an unused port"),
+            if cycle >= tend {
+                break;
             }
+
+            // Land, upstream half: flits that left this shard's links
+            // release their reserved credit at their arrival cycle and,
+            // on boundary links, debit the epoch's credit shadow — the
+            // mirror of the remote accept happening this same cycle.
+            while let Some(u) = scratch.unreserve.get(ui) {
+                if u.cycle > cycle {
+                    break;
+                }
+                reserved[u.router as usize - lo][u.queue as usize] -= 1;
+                if u.shadow != u32::MAX {
+                    *shadow_ptr.add(u.shadow as usize) -= 1;
+                }
+                ui += 1;
+            }
+            // Land, downstream half: window arrivals into this shard's
+            // routers accept, debit the credit mirror, and activate.
+            while ai < scratch.accepts.len() && scratch.accepts[ai].cycle <= cycle {
+                let acc = scratch.accepts[ai];
+                debug_assert_eq!(acc.cycle, cycle, "accept schedule out of order");
+                let (r, port) = (acc.router as usize, acc.port as usize);
+                let router = &mut routers[r - lo];
+                router.accept(port, acc.flit.vc, acc.flit, cycle);
+                credit_view[queue_off[r] + port * router.vcs + acc.flit.vc as usize]
+                    .fetch_sub(1, Ordering::Relaxed);
+                if !is_active[r - lo] {
+                    is_active[r - lo] = true;
+                    scratch.incoming.push(r);
+                }
+                ai += 1;
+            }
+            if !scratch.incoming.is_empty() {
+                scratch.worklist.append(&mut scratch.incoming);
+                scratch.worklist.sort_unstable();
+            }
+
+            // Arbitration over the worklist — the serial stepper's loop,
+            // with boundary-link probes reading the epoch shadow.
+            let moves_start = scratch.moves.len();
+            let mut kept = 0;
+            for i in 0..scratch.worklist.len() {
+                let r = scratch.worklist[i];
+                let router = &mut routers[r - lo];
+                if router.is_idle() {
+                    is_active[r - lo] = false;
+                    continue;
+                }
+                scratch.worklist[kept] = r;
+                kept += 1;
+                router.mature(cycle, route);
+                let vcs = router.vcs;
+                let need = wiring[r].len() * vcs;
+                if scratch.probe_ok.len() < need {
+                    scratch.probe_ok.resize(need, false);
+                    scratch.probe_stamp.resize(need, 0);
+                }
+                scratch.probe_gen += 1;
+                let gen = scratch.probe_gen;
+                let next_free_r: &Vec<u64> = &next_free[r - lo];
+                let reserved_r: &Vec<u32> = &reserved[r - lo];
+                let link_base_r = link_off[r];
+                {
+                    let wiring_r = &wiring[r];
+                    let probe_ok = &mut scratch.probe_ok;
+                    let probe_stamp = &mut scratch.probe_stamp;
+                    router.for_each_probe(
+                        |out| next_free_r[out] <= cycle,
+                        |out, vc| {
+                            let i = out * vcs + vc as usize;
+                            if probe_stamp[i] == gen {
+                                return; // already probed this router-cycle
+                            }
+                            probe_stamp[i] = gen;
+                            let serializable = next_free_r[out] <= cycle;
+                            probe_ok[i] = match wiring_r[out] {
+                                PortLink::Router { router, port } => {
+                                    let bslot = boundary_slot[link_base_r + out];
+                                    let credit = if bslot == u32::MAX {
+                                        credit_view[queue_off[router] + port * vcs + vc as usize]
+                                            .load(Ordering::Relaxed)
+                                    } else {
+                                        // SAFETY: this shadow slot belongs
+                                        // to this link, whose upstream end
+                                        // this shard owns exclusively.
+                                        unsafe { *shadow_ptr.add(bslot as usize + vc as usize) }
+                                    };
+                                    serializable && reserved_r[i] < credit
+                                }
+                                PortLink::Endpoint(_) => serializable,
+                                PortLink::Unused => false,
+                            };
+                        },
+                    );
+                }
+                let probe_ok = &scratch.probe_ok;
+                router.arbitrate_into(
+                    cycle,
+                    |out| next_free_r[out] <= cycle,
+                    |out, vc| probe_ok[out * vcs + vc as usize],
+                    &mut scratch.moves,
+                );
+            }
+            scratch.worklist.truncate(kept);
+
+            if sh.telemetry {
+                // Stamp this cycle's advanced links, then classify every
+                // occupied front against the same private-cycle state the
+                // probes read — the epoch mirror of `telemetry_record`.
+                let base = scratch.link_base;
+                for &(r, out, _) in &scratch.moves[moves_start..] {
+                    scratch.adv_stamp[link_off[r] - base + out] = cycle + 1;
+                }
+                for &r in &scratch.worklist {
+                    let router = &routers[r - lo];
+                    if router.queued == 0 {
+                        continue;
+                    }
+                    let vcs = router.vcs;
+                    for p in 0..router.ports {
+                        for v in 0..vcs {
+                            let Some(&(front, arrived)) = router.front(p, v as u8) else {
+                                continue;
+                            };
+                            let (out, out_vc) = if front.is_head() {
+                                let d = route(&front, r);
+                                (d.port, d.vc)
+                            } else {
+                                match router.owner_output(p, v as u8) {
+                                    Some(t) => t,
+                                    None => continue,
+                                }
+                            };
+                            let cause = if arrived + router.pipeline > cycle {
+                                StallCause::PipelineImmature
+                            } else if scratch.adv_stamp[link_off[r] - base + out] == cycle + 1 {
+                                StallCause::LostArbitration
+                            } else if next_free[r - lo][out] > cycle {
+                                StallCause::SerializationBusy
+                            } else {
+                                match wiring[r][out] {
+                                    PortLink::Router {
+                                        router: dst,
+                                        port: dport,
+                                    } => {
+                                        let bslot = boundary_slot[link_off[r] + out];
+                                        let credit = if bslot == u32::MAX {
+                                            credit_view
+                                                [queue_off[dst] + dport * vcs + out_vc as usize]
+                                                .load(Ordering::Relaxed)
+                                        } else {
+                                            *shadow_ptr.add(bslot as usize + out_vc as usize)
+                                        };
+                                        if reserved[r - lo][out * vcs + out_vc as usize] >= credit {
+                                            StallCause::CreditStarved
+                                        } else {
+                                            StallCause::LostArbitration
+                                        }
+                                    }
+                                    _ => StallCause::LostArbitration,
+                                }
+                            };
+                            scratch.stalls.push((r as u32, out as u32, out_vc, cause));
+                        }
+                    }
+                }
+            }
+
+            // Apply: departures enter their links. Every booking lands at
+            // or beyond the epoch barrier (no positive link latency is
+            // shorter than the window), so they all go to the outwheel.
+            for i in moves_start..scratch.moves.len() {
+                let (r, out, flit) = scratch.moves[i];
+                debug_assert!(lo <= r && r < hi, "move escaped its shard");
+                let class = classify.map(|f| f(&flit));
+                let vcs = routers[r - lo].vcs;
+                let ch = &mut channels[r - lo][out];
+                next_free[r - lo][out] = cycle + ch.spec.interval;
+                ch.flits_sent += 1;
+                ch.packets_sent += u64::from(flit.is_tail());
+                if let Some(c) = class {
+                    ch.class_flits[c] += 1;
+                }
+                let spec = ch.spec;
+                match wiring[r][out] {
+                    PortLink::Router { .. } if spec.latency == 0 => {
+                        unreachable!("sharded stepping requires latency >= 1 on router links")
+                    }
+                    PortLink::Router { .. } => {
+                        reserved[r - lo][out * vcs + flit.vc as usize] += 1;
+                        debug_assert!(spec.latency < sh.wheel_len, "arrival beyond the wheel");
+                        debug_assert!(cycle + spec.latency >= tend, "booking inside the window");
+                        ch.in_flight.push_back((cycle + spec.latency, flit));
+                        scratch
+                            .outwheel
+                            .push((cycle + spec.latency, r as u32, out as u32));
+                    }
+                    PortLink::Endpoint(_) if spec.latency == 0 => {
+                        scratch.delivered_eject.push(flit)
+                    }
+                    PortLink::Endpoint(_) => {
+                        debug_assert!(cycle + spec.latency >= tend, "booking inside the window");
+                        ch.in_flight.push_back((cycle + spec.latency, flit));
+                        scratch
+                            .outwheel
+                            .push((cycle + spec.latency, r as u32, out as u32));
+                    }
+                    PortLink::Unused => unreachable!("flit departed through an unused port"),
+                }
+            }
+
+            // Credit returns, uniformly visible one private cycle later —
+            // only routers that arbitrated can have parked credits.
+            for &r in &scratch.worklist {
+                let router = &mut routers[r - lo];
+                for &idx in &router.popped {
+                    credit_view[queue_off[r] + idx as usize].fetch_add(1, Ordering::Relaxed);
+                }
+                router.popped.clear();
+            }
+
+            scratch.segs.push(EpochSeg {
+                cycle,
+                moves_end: scratch.moves.len() as u32,
+                stalls_end: scratch.stalls.len() as u32,
+                eject_end: scratch.delivered_eject.len() as u32,
+                outwheel_end: scratch.outwheel.len() as u32,
+            });
+            cycle += 1;
         }
-        for i in 0..scratch.next_active.len() {
-            let r = scratch.next_active[i];
-            let router = &mut routers[r - lo];
-            for &idx in &router.popped {
-                credit_view[queue_off[r] + idx as usize].fetch_add(1, Ordering::Relaxed);
+
+        // Credit releases scheduled after the last executed cycle still
+        // belong to this window; apply them before the barrier.
+        while let Some(u) = scratch.unreserve.get(ui) {
+            reserved[u.router as usize - lo][u.queue as usize] -= 1;
+            if u.shadow != u32::MAX {
+                *shadow_ptr.add(u.shadow as usize) -= 1;
             }
-            router.popped.clear();
+            ui += 1;
         }
     }
 
     impl RouterFabric {
-        /// The region-partitioned step (shard count > 1): every shard runs
-        /// the four phases of [`run_shard_phases`] concurrently, then the
-        /// stepping thread merges the per-shard outputs serially in shard
-        /// order — which, over contiguous ascending regions, reproduces the
-        /// serial steppers' ascending-router order exactly.
-        pub(super) fn step_sharded(&mut self) {
-            let cycle = self.cycle;
+        /// The shard owning router `r` under the current partition.
+        pub(super) fn shard_of(&self, r: usize) -> usize {
+            self.bounds.partition_point(|&b| b <= r) - 1
+        }
+
+        /// The lookahead-epoch step (shard count > 1): selects the widest
+        /// window `W` every shard can legally simulate alone, replays the
+        /// window's already-in-flight arrivals into per-shard schedules
+        /// (the prologue), runs all shards privately for up to `W` cycles
+        /// with **one** pool launch and **one** end-of-epoch barrier —
+        /// where the per-cycle protocol paid one launch plus four barriers
+        /// per simulated cycle — then interleaves the per-shard outputs
+        /// serially in (cycle, ascending shard) order, which over
+        /// contiguous ascending regions reproduces the serial steppers'
+        /// per-cycle ascending-router order exactly.
+        ///
+        /// Window selection takes the minimum of:
+        /// - the caller's stepping limit (`limit - cycle`),
+        /// - the fabric's minimum positive link latency, so no departure
+        ///   booked inside the window can also *land* inside it — every
+        ///   window arrival is already in flight at the prologue,
+        /// - the configured cap ([`RouterFabric::set_shards_with_lookahead`];
+        ///   tests pin degenerate windows of 1),
+        /// - the distance to the next telemetry epoch boundary, so rolls
+        ///   always happen serially at a prologue,
+        /// - per boundary `(link, vc)`: `(headroom - 1) * interval + 1`
+        ///   cycles, where `headroom` is the downstream queue's free
+        ///   credits minus the upstream's in-flight reservations at the
+        ///   epoch start. A link serializes at most one flit per
+        ///   `interval` cycles, so within that window the upstream shard
+        ///   cannot send enough flits for its private credit shadow
+        ///   (which misses the downstream's mid-window credit *returns*,
+        ///   never its debits) to disagree with the serial credit loop —
+        ///   probes, grants, and stall causes stay bit-exact.
+        ///
+        /// When the window drains the fabric, the cycle counter rewinds
+        /// to one past the last cycle with any activity — the exact cycle
+        /// the serial steppers stop at — so drain-loop observables do not
+        /// depend on the window width.
+        ///
+        /// With `stop_at_delivery`, the window is pinned to one cycle,
+        /// so a delivery-reactive driver (one that may inject follow-on
+        /// traffic when a packet completes, like the sweep's force-return
+        /// workloads) regains control at exactly the cycle the serial
+        /// steppers would hand it — the [`RouterFabric::step_next_event`]
+        /// contract. The pin is necessary because deliveries on
+        /// zero-latency ejection links happen *inside* shard windows,
+        /// where no prologue can foresee them and no epoch can be
+        /// unwound past them; idle stretches still fast-forward, since
+        /// `step_ahead` jumps dead cycles before each epoch. Callers
+        /// that cannot react mid-call ([`RouterFabric::run_until_drained`]
+        /// and drivers of non-spawning workloads) pass `false` and get
+        /// full-width windows with deliveries batched per epoch.
+        pub(super) fn step_epoch(&mut self, limit: u64, stop_at_delivery: bool) {
+            let t0 = self.cycle;
+            debug_assert!(limit > t0, "epoch must advance at least one cycle");
             if self.telemetry.is_some() {
                 self.telemetry_begin_step();
             }
-            // Injections since the last step append out of order.
+            // Injections since the last epoch append out of order.
             self.active.sort_unstable();
 
-            // Take this cycle's arrival bucket off the wheel; phase 1 walks
-            // it read-only and the epilogue restores its allocation.
-            let slot = (cycle % self.arrival_wheel.len() as u64) as usize;
-            let mut bucket = Vec::new();
-            let mut took_bucket = false;
-            if self.in_flight_total > 0 && !self.arrival_wheel[slot].is_empty() {
-                bucket = std::mem::take(&mut self.arrival_wheel[slot]);
-                took_bucket = true;
+            // ---- Window selection + boundary credit-shadow refresh ----
+            let mut w = (limit - t0).min(self.min_pos_latency);
+            if let Some(cap) = self.lookahead_cap {
+                w = w.min(cap);
+            }
+            if let Some(tel) = self.telemetry.as_deref() {
+                let len = tel.epoch_cycles();
+                w = w.min(len - t0 % len);
+            }
+            if stop_at_delivery {
+                // A reactive caller must observe every delivery before
+                // the next cycle runs; ejections are decided inside the
+                // shard windows, so the only exact window is one cycle.
+                // The headroom clamp below cannot shrink a one-cycle
+                // window further, so only the shadow snapshot remains:
+                // arbitration reads boundary credits through the shadow,
+                // which must freeze this cycle's starting values against
+                // concurrent cross-shard accepts.
+                w = 1;
+                for b in &self.boundary {
+                    for vc in 0..b.vcs {
+                        self.shadow[(b.slot + vc) as usize] = self.credit_view
+                            [b.queue_base as usize + vc as usize]
+                            .load(Ordering::Relaxed);
+                    }
+                }
+            } else {
+                for b in &self.boundary {
+                    let interval = self.channels[b.router as usize][b.port as usize]
+                        .spec
+                        .interval
+                        .max(1);
+                    for vc in 0..b.vcs {
+                        let credit = self.credit_view[b.queue_base as usize + vc as usize]
+                            .load(Ordering::Relaxed);
+                        let held = self.reserved[b.router as usize]
+                            [b.port as usize * b.vcs as usize + vc as usize];
+                        let headroom = u64::from(credit.saturating_sub(held));
+                        let safe = if headroom >= 1 {
+                            (headroom - 1) * interval + 1
+                        } else {
+                            1
+                        };
+                        w = w.min(safe);
+                        self.shadow[(b.slot + vc) as usize] = credit;
+                    }
+                }
+            }
+            let w = w.max(1);
+
+            // ---- Prologue: replay the window's arrivals as schedules ----
+            let wheel_len = self.arrival_wheel.len() as u64;
+            debug_assert!(self.land_sched.is_empty(), "stale landing schedule");
+            let mut t = t0;
+            while t < t0 + w {
+                if self.in_flight_total == 0 {
+                    break;
+                }
+                let slot = (t % wheel_len) as usize;
+                if self.arrival_wheel[slot].is_empty() {
+                    t += 1;
+                    continue;
+                }
+                let mut bucket = std::mem::take(&mut self.arrival_wheel[slot]);
+                for &(arrival, r, port) in &bucket {
+                    debug_assert_eq!(arrival, t, "wheel slot mixed cycles");
+                    let (r, port) = (r as usize, port as usize);
+                    let (due, flit) = self.channels[r][port]
+                        .in_flight
+                        .pop_front()
+                        .expect("scheduled arrival must be in flight");
+                    debug_assert_eq!(due, t, "delay line out of order");
+                    self.in_flight_total -= 1;
+                    match self.wiring[r][port] {
+                        PortLink::Router {
+                            router: dst,
+                            port: dport,
+                        } => {
+                            let vcs = self.routers[r].vcs;
+                            let bslot = self.boundary_slot[self.link_off[r] + port];
+                            let shadow = if bslot == u32::MAX {
+                                u32::MAX
+                            } else {
+                                bslot + u32::from(flit.vc)
+                            };
+                            let src = self.shard_of(r);
+                            self.shard_scratch[src].unreserve.push(UnreserveAt {
+                                cycle: t,
+                                router: r as u32,
+                                queue: (port * vcs + flit.vc as usize) as u32,
+                                shadow,
+                            });
+                            let dsh = self.shard_of(dst);
+                            self.shard_scratch[dsh].accepts.push(AcceptAt {
+                                cycle: t,
+                                router: dst as u32,
+                                port: dport as u32,
+                                flit,
+                            });
+                        }
+                        PortLink::Endpoint(_) => self.land_sched.push((t, flit)),
+                        PortLink::Unused => unreachable!("flit in flight on an unused port"),
+                    }
+                }
+                bucket.clear();
+                self.arrival_wheel[slot] = bucket;
+                t += 1;
             }
 
+            // ---- Private windows: one launch, one barrier ----
             let shards = self.bounds.len() - 1;
             {
                 let frame = StepShared {
-                    cycle,
-                    shards,
+                    cycle: t0,
+                    window: w,
                     n_routers: self.routers.len(),
+                    n_links: self.link_off[self.routers.len()],
                     routers: self.routers.as_mut_ptr(),
                     channels: self.channels.as_mut_ptr(),
                     next_free: self.next_free.as_mut_ptr(),
@@ -1886,110 +2131,141 @@ mod shard {
                     link_off: self.link_off.as_ptr(),
                     credit_view: self.credit_view.as_ptr(),
                     credit_len: self.credit_view.len(),
+                    boundary_slot: self.boundary_slot.as_ptr(),
+                    shadow: self.shadow.as_mut_ptr(),
                     route: &self.route,
                     classify: &self.classify,
                     telemetry: self.telemetry.is_some(),
-                    wheel_len: self.arrival_wheel.len() as u64,
-                    bucket: bucket.as_ptr(),
-                    bucket_len: bucket.len(),
+                    wheel_len,
                     active_sorted: self.active.as_ptr(),
                     active_len: self.active.len(),
-                    outbound: self.outbound.as_mut_ptr(),
                     scratch: self.shard_scratch.as_mut_ptr(),
                 };
-                let pool = self.pool.as_ref().expect("sharded step without a pool");
+                let pool = self.pool.as_ref().expect("epoch step without a pool");
                 pool.launch(&frame);
                 // SAFETY: the frame stays on this stack until every party —
-                // including this thread, as shard 0 — passes the final phase
+                // including this thread, as shard 0 — passes the epoch
                 // barrier, after which no worker touches it.
-                unsafe { run_shard_phases(&frame, 0, &pool.ctl.barrier) };
+                unsafe { run_shard_epoch(&frame, 0) };
+                pool.ctl.barrier.wait();
             }
+            self.sync_ops += 2; // one pool launch + one epoch barrier
+            self.epochs += 1;
 
-            if took_bucket {
-                bucket.clear();
-                self.arrival_wheel[slot] = bucket;
-            }
-
-            // ---- Serial merge epilogue (shard order == router order) ----
-            let mut landed = 0;
+            // ---- Serial merge epilogue: (cycle, shard) interleave ----
             let mut sent = 0;
-            for s in 0..shards {
-                landed += self.shard_scratch[s].landed;
-                sent += self.shard_scratch[s].sent;
-                self.shard_scratch[s].landed = 0;
-                self.shard_scratch[s].sent = 0;
+            for sc in &self.shard_scratch[..shards] {
+                sent += sc.outwheel.len();
             }
-            self.in_flight_total -= landed;
             self.in_flight_total += sent;
 
-            // Telemetry merge: all advances in departure order, then every
-            // shard's stall events — exactly `telemetry_record`'s order.
-            let wiring = &self.wiring;
-            if let Some(tel) = self.telemetry.as_deref_mut() {
-                for scratch in &self.shard_scratch {
-                    for &(r, out, ref flit) in &scratch.moves {
-                        let hop = matches!(wiring[r][out], PortLink::Router { .. });
-                        tel.note_advance(cycle, r, out, flit, hop);
+            // Telemetry is detached during the merge so disjoint field
+            // borrows stay visible; recording is purely observational.
+            let mut tel = self.telemetry.take();
+            let mut land_pos = 0;
+            let mut last_active = t0;
+            for c in t0..t0 + w {
+                let mut any = false;
+                // Advances, shard-ascending — within a shard, a cycle's
+                // move segment is already in ascending router order.
+                for s in 0..shards {
+                    let sc = &self.shard_scratch[s];
+                    let Some(seg) = sc.segs.get(sc.seg_pos) else {
+                        continue;
+                    };
+                    if seg.cycle != c {
+                        continue;
+                    }
+                    // A router can linger in the worklist one cycle past
+                    // its last departure, emitting an empty segment; only
+                    // real moves count toward the drain rewind, so the
+                    // stop cycle matches the serial steppers exactly.
+                    if seg.moves_end > sc.merged.0 {
+                        any = true;
+                    }
+                    if let Some(tel) = tel.as_deref_mut() {
+                        let m0 = sc.merged.0 as usize;
+                        for &(r, out, ref flit) in &sc.moves[m0..seg.moves_end as usize] {
+                            let hop = matches!(self.wiring[r][out], PortLink::Router { .. });
+                            tel.note_advance(c, r, out, flit, hop);
+                        }
                     }
                 }
-                for scratch in &self.shard_scratch {
-                    for &(r, out, out_vc, cause) in &scratch.stalls {
-                        tel.note_stall(cycle, r as usize, out as usize, out_vc, cause);
+                // Stalls, shard-ascending.
+                if let Some(tel) = tel.as_deref_mut() {
+                    for s in 0..shards {
+                        let sc = &self.shard_scratch[s];
+                        let Some(seg) = sc.segs.get(sc.seg_pos) else {
+                            continue;
+                        };
+                        if seg.cycle != c {
+                            continue;
+                        }
+                        let s0 = sc.merged.1 as usize;
+                        for &(r, out, out_vc, cause) in &sc.stalls[s0..seg.stalls_end as usize] {
+                            tel.note_stall(c, r as usize, out as usize, out_vc, cause);
+                        }
                     }
                 }
-            }
-
-            // Wheel bookings, in departure order.
-            let w = self.arrival_wheel.len() as u64;
-            for s in 0..shards {
-                let mut outwheel = std::mem::take(&mut self.shard_scratch[s].outwheel);
-                for (arrival, r, out) in outwheel.drain(..) {
-                    self.arrival_wheel[(arrival % w) as usize].push((arrival, r, out));
+                // Deliveries: endpoint landings in departure order first
+                // (the serial land phase), then latency-0 ejections; then
+                // this cycle's wheel bookings, all in departure order.
+                while land_pos < self.land_sched.len() && self.land_sched[land_pos].0 == c {
+                    self.delivered.push((c, self.land_sched[land_pos].1));
+                    land_pos += 1;
+                    any = true;
                 }
-                self.shard_scratch[s].outwheel = outwheel;
-            }
-
-            // Deliveries: phase-1 endpoint landings in bucket order first
-            // (the serial land phase), then latency-0 ejections in departure
-            // order (the serial apply phase).
-            let mut land = std::mem::take(&mut self.land_merge);
-            for s in 0..shards {
-                land.append(&mut self.shard_scratch[s].delivered_land);
-            }
-            land.sort_unstable_by_key(|&(pos, _)| pos);
-            for &(_, flit) in &land {
-                self.delivered.push((cycle, flit));
-            }
-            land.clear();
-            self.land_merge = land;
-            for s in 0..shards {
-                let mut eject = std::mem::take(&mut self.shard_scratch[s].delivered_eject);
-                for flit in eject.drain(..) {
-                    self.delivered.push((cycle, flit));
+                for s in 0..shards {
+                    let sc = &mut self.shard_scratch[s];
+                    let Some(seg) = sc.segs.get(sc.seg_pos).copied() else {
+                        continue;
+                    };
+                    if seg.cycle != c {
+                        continue;
+                    }
+                    let (_, _, e0, o0) = sc.merged;
+                    for &flit in &sc.delivered_eject[e0 as usize..seg.eject_end as usize] {
+                        self.delivered.push((c, flit));
+                    }
+                    for &(arrival, r, out) in &sc.outwheel[o0 as usize..seg.outwheel_end as usize] {
+                        self.arrival_wheel[(arrival % wheel_len) as usize].push((arrival, r, out));
+                    }
+                    sc.merged = (
+                        seg.moves_end,
+                        seg.stalls_end,
+                        seg.eject_end,
+                        seg.outwheel_end,
+                    );
+                    sc.seg_pos += 1;
                 }
-                self.shard_scratch[s].delivered_eject = eject;
+                if any {
+                    last_active = c;
+                }
             }
-
-            // Next cycle's worklist (order immaterial: the next step sorts).
-            self.active.clear();
-            for s in 0..shards {
-                let mut next = std::mem::take(&mut self.shard_scratch[s].next_active);
-                self.active.append(&mut next);
-                self.shard_scratch[s].next_active = next;
-            }
-
-            for s in 0..shards {
-                self.shard_scratch[s].moves.clear();
-                self.shard_scratch[s].stalls.clear();
-            }
-            for ob in &mut self.outbound {
-                ob.clear();
-            }
-
+            debug_assert_eq!(land_pos, self.land_sched.len(), "unmerged landing");
+            self.land_sched.clear();
+            self.telemetry = tel;
             if self.telemetry.is_some() {
                 self.telemetry_note_deliveries();
             }
-            self.cycle += 1;
+
+            // Surviving actives, ascending across contiguous shard ranges.
+            self.active.clear();
+            for s in 0..shards {
+                let sc = &mut self.shard_scratch[s];
+                debug_assert_eq!(sc.seg_pos, sc.segs.len(), "unmerged epoch segment");
+                self.active.extend_from_slice(&sc.worklist);
+                sc.reset();
+            }
+
+            self.cycle = if self.active.is_empty() && self.in_flight_total == 0 {
+                // Drained inside the window: stop where the serial
+                // steppers stop, independent of the window width.
+                last_active + 1
+            } else {
+                t0 + w
+            };
+            self.cycles_stepped += self.cycle - t0;
         }
     }
 } // mod shard
@@ -2114,18 +2390,41 @@ pub struct RouterFabric {
     /// Flat start offset of each router's links (prefix sums of wiring
     /// row lengths; `len == routers + 1`).
     link_off: Vec<usize>,
-    /// Per-shard link-arrival handoffs: phase 1 of a sharded step
-    /// records each landed router-bound flit here (bucket position,
-    /// destination router, destination port, flit), written by the
-    /// *channel-owning* shard and read by the *destination* shard after
-    /// the barrier — the cross-shard boundary exchange.
-    outbound: Vec<Vec<(u32, u32, u32, Flit)>>,
-    /// Per-shard worker scratch (worklists, departures, stall events,
-    /// credit-probe buffers), merged serially after the final barrier.
+    /// Per-shard worker scratch (epoch schedules, worklists, departures,
+    /// stall events, credit-probe buffers), filled by the epoch prologue
+    /// and merged serially after the epoch barrier.
     shard_scratch: Vec<ShardScratch>,
-    /// Reusable buffer for merging phase-1 endpoint deliveries across
-    /// shards into bucket order.
-    land_merge: Vec<(u32, Flit)>,
+    /// Every router-to-router link whose ends live in different shards,
+    /// in ascending link order (empty when unsharded). Drives the epoch
+    /// window's credit-headroom clamp and the shadow refresh.
+    boundary: Vec<shard::BoundaryLink>,
+    /// Per-link first shadow slot (`u32::MAX` for links that do not
+    /// cross a shard boundary); parallel to the flat link index space.
+    boundary_slot: Vec<u32>,
+    /// Boundary credit shadows, one slot per boundary `(link, vc)`:
+    /// refreshed from `credit_view` at each epoch prologue, debited by
+    /// the owning upstream shard at its flits' private arrival cycles,
+    /// and read only by that shard's probes — the window clamp keeps it
+    /// bit-exact against the serial credit loop.
+    shadow: Vec<u32>,
+    /// Minimum latency over every link with latency >= 1 (`u64::MAX`
+    /// when no such link exists): the structural lookahead bound — no
+    /// window this wide can see a departure land inside itself.
+    min_pos_latency: u64,
+    /// Optional user clamp on the epoch window
+    /// ([`Self::set_shards_with_lookahead`]); `None` means structural.
+    lookahead_cap: Option<u64>,
+    /// Epoch-prologue schedule of endpoint landings inside the window,
+    /// `(cycle, flit)` ascending; drained by the merge epilogue.
+    land_sched: Vec<(u64, Flit)>,
+    /// Synchronization operations spent on the epoch path: one pool
+    /// launch plus one barrier crossing per epoch (the per-cycle
+    /// protocol cost five per simulated cycle).
+    sync_ops: u64,
+    /// Lookahead epochs executed.
+    epochs: u64,
+    /// Simulated cycles advanced by the epoch path.
+    cycles_stepped: u64,
     /// Worker threads driving shards `1..` (None when `shards == 1`).
     pool: Option<ShardPool>,
 }
@@ -2208,9 +2507,16 @@ impl RouterFabric {
             telemetry: None,
             bounds: vec![0, n],
             link_off,
-            outbound: Vec::new(),
             shard_scratch: Vec::new(),
-            land_merge: Vec::new(),
+            boundary: Vec::new(),
+            boundary_slot: Vec::new(),
+            shadow: Vec::new(),
+            min_pos_latency: u64::MAX,
+            lookahead_cap: None,
+            land_sched: Vec::new(),
+            sync_ops: 0,
+            epochs: 0,
+            cycles_stepped: 0,
             pool: None,
         }
     }
@@ -2291,13 +2597,10 @@ impl RouterFabric {
             + self.scratch_gen.capacity() * size_of::<u64>()
             + self.moves.capacity() * size_of::<(usize, usize, Flit)>()
             + self.delivered.capacity() * size_of::<(u64, Flit)>()
-            + self.land_merge.capacity() * size_of::<(u32, Flit)>()
-            + self.outbound.capacity() * size_of::<Vec<(u32, u32, u32, Flit)>>()
-            + self
-                .outbound
-                .iter()
-                .map(|s| s.capacity() * size_of::<(u32, u32, u32, Flit)>())
-                .sum::<usize>()
+            + self.land_sched.capacity() * size_of::<(u64, Flit)>()
+            + self.boundary.capacity() * size_of::<shard::BoundaryLink>()
+            + self.boundary_slot.capacity() * size_of::<u32>()
+            + self.shadow.capacity() * size_of::<u32>()
             + self.shard_scratch.capacity() * size_of::<ShardScratch>()
             + self
                 .shard_scratch
@@ -2322,6 +2625,13 @@ impl RouterFabric {
             );
             let len = (spec.latency + 2).next_power_of_two() as usize;
             self.arrival_wheel = vec![Vec::new(); len];
+        }
+        // Conservative incremental update of the structural lookahead
+        // bound: raising a latency later leaves the bound stale-low
+        // (smaller windows than allowed — never incorrect ones);
+        // [`Self::set_shards`] recomputes it exactly.
+        if spec.latency >= 1 {
+            self.min_pos_latency = self.min_pos_latency.min(spec.latency);
         }
         self.channels[router][port].spec = spec;
     }
@@ -2696,7 +3006,11 @@ impl RouterFabric {
     /// the region-partitioned stepper.
     pub fn step(&mut self) {
         if self.pool.is_some() {
-            self.step_sharded();
+            // A degenerate one-cycle epoch: still one launch plus one
+            // barrier instead of the retired per-cycle protocol's five
+            // synchronization points.
+            let limit = self.cycle + 1;
+            self.step_epoch(limit, false);
         } else {
             self.step_event();
         }
@@ -2902,27 +3216,82 @@ impl RouterFabric {
         self.bounds.len() - 1
     }
 
+    /// The effective lookahead bound: the widest epoch window the
+    /// sharded stepper may attempt before the per-epoch dynamic clamps
+    /// (stepping limit, telemetry epoch boundary, boundary credit
+    /// headroom). The structural bound — the minimum positive link
+    /// latency — capped by [`Self::set_shards_with_lookahead`].
+    pub fn lookahead(&self) -> u64 {
+        self.min_pos_latency
+            .min(self.lookahead_cap.unwrap_or(u64::MAX))
+    }
+
+    /// Synchronization operations (pool launches + barrier crossings)
+    /// spent by the sharded epoch stepper since construction. Zero on a
+    /// never-sharded fabric.
+    pub fn sync_ops(&self) -> u64 {
+        self.sync_ops
+    }
+
+    /// Lookahead epochs executed since construction.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Simulated cycles advanced by the epoch stepper since
+    /// construction (the denominator for sync-ops-per-cycle metrics).
+    pub fn cycles_stepped(&self) -> u64 {
+        self.cycles_stepped
+    }
+
     /// Re-partitions the fabric into `shards` contiguous router regions
-    /// stepped in parallel by a persistent worker pool. Results stay
-    /// bit-identical to [`Self::step_reference`] at every count: the
-    /// cycle-start-stable credit mirror makes arbitration outcomes
-    /// independent of router visit order, link latency ≥ 1 keeps every
-    /// cross-region effect at least one cycle away (the phase-1 handoff
-    /// barrier sits inside that window), and the serial merge epilogue
-    /// reproduces the ascending-router order of every log and counter.
+    /// stepped in parallel by a persistent worker pool with the
+    /// structural (minimum positive link latency) lookahead window —
+    /// equivalent to [`Self::set_shards_with_lookahead`] with no cap.
+    pub fn set_shards(&mut self, shards: usize) -> Result<(), ShardError> {
+        self.set_shards_with_lookahead(shards, None)
+    }
+
+    /// Re-partitions the fabric into `shards` contiguous router regions
+    /// stepped in parallel by a persistent worker pool, exchanging
+    /// cross-shard effects at lookahead-epoch barriers only. Results
+    /// stay bit-identical to [`Self::step_reference`] at every shard
+    /// count and every window: the cycle-start-stable credit mirror
+    /// makes arbitration outcomes independent of router visit order,
+    /// link latency ≥ 1 bounds the epoch window so no departure can
+    /// land inside its own window, the per-boundary credit shadow (with
+    /// its headroom clamp on the window) reproduces every probe the
+    /// serial credit loop would answer, and the serial merge epilogue
+    /// replays per-shard outputs in the serial (cycle, ascending
+    /// router) order.
+    ///
+    /// `lookahead` caps the epoch window below the structural bound —
+    /// `Some(1)` degenerates to one-cycle epochs (the most serial-like
+    /// schedule, useful in tests); `None` lets the window grow to the
+    /// minimum positive link latency (~80 cycles at the calibrated
+    /// Anton 3 link spec).
     ///
     /// Only allowed on a **drained** fabric — shard ownership of queues,
     /// delay lines, and scratch cannot change hands mid-protocol.
     ///
     /// # Errors
-    /// [`ShardError::InvalidCount`] for 0 or more shards than routers,
+    /// [`ShardError::InvalidCount`] for 0 or more shards than routers
+    /// (every shard must own a non-empty router range),
+    /// [`ShardError::InvalidLookahead`] for a zero-cycle window cap,
     /// [`ShardError::Busy`] while any flit is resident or any packet is
     /// mid-cut-through, [`ShardError::ZeroLatencyLink`] if `shards > 1`
     /// and any router-to-router link has zero latency.
-    pub fn set_shards(&mut self, shards: usize) -> Result<(), ShardError> {
+    pub fn set_shards_with_lookahead(
+        &mut self,
+        shards: usize,
+        lookahead: Option<u64>,
+    ) -> Result<(), ShardError> {
         let n = self.routers.len();
         if shards == 0 || shards > n {
             return Err(ShardError::InvalidCount { shards, routers: n });
+        }
+        if lookahead == Some(0) {
+            return Err(ShardError::InvalidLookahead);
         }
         let resident = self.in_flight_total
             + self
@@ -2946,7 +3315,11 @@ impl RouterFabric {
         }
         self.pool = None; // joins any previous workers first
         self.bounds = (0..=shards).map(|s| s * n / shards).collect();
-        self.outbound = (0..shards).map(|_| Vec::new()).collect();
+        debug_assert!(
+            self.bounds.windows(2).all(|b| b[0] < b[1]),
+            "shards <= routers must yield non-empty regions"
+        );
+        self.lookahead_cap = lookahead;
         self.shard_scratch = (0..shards)
             .map(|s| {
                 ShardScratch::new(
@@ -2955,6 +3328,50 @@ impl RouterFabric {
                 )
             })
             .collect();
+
+        // Exact recompute of the structural lookahead bound, then the
+        // boundary tables: every router-to-router link whose ends fall in
+        // different regions gets a per-VC credit-shadow slot.
+        self.min_pos_latency = u64::MAX;
+        for row in &self.channels {
+            for ch in row {
+                if ch.spec.latency >= 1 {
+                    self.min_pos_latency = self.min_pos_latency.min(ch.spec.latency);
+                }
+            }
+        }
+        self.boundary.clear();
+        self.boundary_slot.clear();
+        self.boundary_slot.resize(self.link_off[n], u32::MAX);
+        self.shadow.clear();
+        if shards > 1 {
+            for (r, row) in self.wiring.iter().enumerate() {
+                for (port, link) in row.iter().enumerate() {
+                    let PortLink::Router {
+                        router: dst,
+                        port: dport,
+                    } = *link
+                    else {
+                        continue;
+                    };
+                    if self.shard_of(r) == self.shard_of(dst) {
+                        continue;
+                    }
+                    let vcs = self.routers[r].vcs;
+                    let slot = self.shadow.len() as u32;
+                    self.boundary_slot[self.link_off[r] + port] = slot;
+                    self.shadow.extend(std::iter::repeat_n(0, vcs));
+                    self.boundary.push(shard::BoundaryLink {
+                        router: r as u32,
+                        port: port as u32,
+                        queue_base: (self.queue_off[dst] + dport * vcs) as u32,
+                        slot,
+                        vcs: vcs as u32,
+                    });
+                }
+            }
+        }
+
         // A drained fabric's worklist holds only idle stragglers; start
         // the new partition from a clean one.
         self.active.clear();
@@ -2976,11 +3393,41 @@ impl RouterFabric {
 
     /// One event-driven advance, never past `limit`: if no router has
     /// work, jumps over the dead cycles to the next link arrival (or to
-    /// `limit` when nothing is in flight), then performs one [`Self::step`].
-    /// Equivalent to calling `step()` through every skipped cycle — those
-    /// cycles are provably no-ops (no queued work, no due arrival) — so
-    /// delivery logs and counters are bit-identical, only cheaper.
+    /// `limit` when nothing is in flight), then steps. Equivalent to
+    /// calling `step()` through every skipped cycle — those cycles are
+    /// provably no-ops (no queued work, no due arrival) — so delivery
+    /// logs and counters are bit-identical, only cheaper.
+    ///
+    /// On a sharded fabric this runs a single-cycle lookahead epoch
+    /// (deliveries are decided inside shard windows, so the only window
+    /// a reactive caller can observe exactly is one cycle), while still
+    /// jumping dead stretches — a caller reacting to deliveries
+    /// (injecting follow-on traffic, checking completion) observes
+    /// exactly the cycles the serial stepper would hand it. Callers
+    /// that only consume the delivery log after the fact should prefer
+    /// [`Self::step_batched`], which amortizes synchronization over
+    /// full lookahead windows.
     pub fn step_next_event(&mut self, limit: u64) {
+        self.step_ahead(limit, true);
+    }
+
+    /// Event-driven advance with full lookahead windows: like
+    /// [`Self::step_next_event`], but on a sharded fabric each call runs
+    /// an epoch of up to the configured lookahead window, batching any
+    /// deliveries it produces rather than stopping at the first one.
+    /// Every delivery is still stamped with its exact cycle in
+    /// [`Self::delivered`]; only the cycle at which the caller regains
+    /// control differs. Use when nothing reacts mid-drain — replaying a
+    /// fixed schedule, draining without follow-on traffic — and the
+    /// per-cycle barrier cost of the reactive stepper would dominate.
+    pub fn step_batched(&mut self, limit: u64) {
+        self.step_ahead(limit, false);
+    }
+
+    /// Shared event-driven advance: the dead-cycle jump plus either a
+    /// serial step or a lookahead epoch (`stop_at_delivery` as in
+    /// [`shard`]'s `step_epoch`).
+    fn step_ahead(&mut self, limit: u64, stop_at_delivery: bool) {
         if self.cycle >= limit {
             return;
         }
@@ -2995,7 +3442,11 @@ impl RouterFabric {
                 }
             }
         }
-        self.step();
+        if self.pool.is_some() {
+            self.step_epoch(limit, stop_at_delivery);
+        } else {
+            self.step_event();
+        }
     }
 
     /// Advances the fabric to `target` exactly as repeated [`Self::step`]
@@ -3030,14 +3481,17 @@ impl RouterFabric {
     /// the fabric drained (useful as a no-deadlock/no-livelock check).
     /// Dead time between link arrivals is fast-forwarded, so draining a
     /// quiescent fabric with long links costs one step per event rather
-    /// than one per cycle.
+    /// than one per cycle. No caller can react between the internal
+    /// advances, so on a sharded fabric this runs full-width lookahead
+    /// epochs (deliveries inside a window do not end it); the final
+    /// cycle and every observable still match the serial drain exactly.
     pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
         let limit = self.cycle.saturating_add(max_cycles);
         while self.cycle < limit {
             if self.occupancy() == 0 {
                 return true;
             }
-            self.step_next_event(limit);
+            self.step_ahead(limit, false);
         }
         self.occupancy() == 0
     }
@@ -3509,6 +3963,36 @@ mod tests {
         assert!(f.set_shards(2).is_ok());
         assert_eq!(f.shards(), 2);
         assert!(f.set_shards(1).is_ok());
+        assert_eq!(f.shards(), 1);
+        // Shards == routers is the upper boundary: every shard owns
+        // exactly one router.
+        assert!(f.set_shards(8).is_ok());
+        assert_eq!(f.shards(), 8);
+    }
+
+    #[test]
+    fn set_shards_validates_and_caps_the_lookahead_window() {
+        let mut f = latency1_row(8);
+        // A zero-cycle window cannot make progress.
+        assert_eq!(
+            f.set_shards_with_lookahead(2, Some(0)),
+            Err(ShardError::InvalidLookahead)
+        );
+        // The failed call must not have re-partitioned anything.
+        assert_eq!(f.shards(), 1);
+        // An explicit cap below the structural bound wins...
+        assert!(f.set_shards_with_lookahead(2, Some(1)).is_ok());
+        assert_eq!(f.lookahead(), 1);
+        // ...while a cap above it is clamped to the minimum positive
+        // link latency (1 for this row), never exceeded.
+        assert!(f.set_shards_with_lookahead(2, Some(1000)).is_ok());
+        assert_eq!(f.lookahead(), 1);
+        // No cap: the structural bound stands.
+        assert!(f.set_shards(2).is_ok());
+        assert_eq!(f.lookahead(), 1);
+        // The cap is part of the partition config, accepted on a single
+        // shard too (where the serial stepper simply ignores it).
+        assert!(f.set_shards_with_lookahead(1, Some(3)).is_ok());
         assert_eq!(f.shards(), 1);
     }
 

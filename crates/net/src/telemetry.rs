@@ -610,6 +610,13 @@ impl Telemetry {
         cycle / self.cfg.epoch_cycles != self.epoch
     }
 
+    /// The configured epoch length, in cycles. The lookahead stepper
+    /// clamps its windows to epoch boundaries so rolls always happen
+    /// serially at a window prologue, never mid-window.
+    pub(crate) fn epoch_cycles(&self) -> u64 {
+        self.cfg.epoch_cycles
+    }
+
     /// Takes the occupancy scratch buffer for the fabric to fill (one
     /// entry per link, in flat link order).
     pub(crate) fn take_occ_scratch(&mut self) -> Vec<u32> {

@@ -66,15 +66,19 @@ use std::collections::VecDeque;
 /// report shape changes; archived sweeps carry it so downstream tooling
 /// can tell what it is reading. Version 1 was the unversioned pre-
 /// telemetry shape; version 2 added `schema_version`, the [`ConfigEcho`]
-/// block, and per-curve [`LatencySummary`] aggregates.
-pub const SWEEP_SCHEMA_VERSION: u32 = 2;
+/// block, and per-curve [`LatencySummary`] aggregates; version 3 added
+/// the echo's `sync_ops`/`epochs` synchronization counters and the
+/// config's lookahead-window knob.
+pub const SWEEP_SCHEMA_VERSION: u32 = 3;
 
 /// Self-describing run echo embedded in every [`SweepReport`]: the
 /// inputs that determine the artifact byte for byte (`seed`, `dims`)
-/// plus the execution knobs that provably do *not*
-/// (`threads` — the report is byte-identical at any worker count — and
-/// `epoch_cycles`, the telemetry epoch length, 0 when telemetry was
-/// off).
+/// plus the execution knobs and costs that provably do *not* —
+/// `threads` (the report is byte-identical at any worker count),
+/// `epoch_cycles` (the telemetry epoch length, 0 when telemetry was
+/// off), and the sharded stepper's `sync_ops`/`epochs` totals, which
+/// surface barrier-frequency regressions in reports without changing a
+/// single measured byte.
 #[derive(Clone, Debug, Serialize)]
 pub struct ConfigEcho {
     /// Root RNG seed ([`SweepConfig::seed`]).
@@ -85,6 +89,13 @@ pub struct ConfigEcho {
     pub threads: usize,
     /// Telemetry epoch length in cycles; 0 when telemetry was disabled.
     pub epoch_cycles: u64,
+    /// Synchronization operations (pool launches + epoch barriers)
+    /// spent by the sharded stepper, summed over every point fabric in
+    /// the sweep; 0 on the single-threaded path.
+    pub sync_ops: u64,
+    /// Lookahead epochs executed, summed over every point fabric; 0 on
+    /// the single-threaded path.
+    pub epochs: u64,
 }
 
 /// Configuration of one latency–throughput sweep.
@@ -115,6 +126,12 @@ pub struct SweepConfig {
     /// parameter: every measurement is bit-identical at any shard
     /// count.
     pub shards: usize,
+    /// Cap on the sharded stepper's lookahead-epoch window
+    /// ([`TorusFabric::set_shards_with_lookahead`]): `None` uses the
+    /// structural window (the minimum positive link latency), `Some(1)`
+    /// degenerates to one-cycle epochs. Like `shards`, an execution
+    /// knob — measurements are bit-identical at any window.
+    pub lookahead: Option<u64>,
 }
 
 impl SweepConfig {
@@ -131,6 +148,7 @@ impl SweepConfig {
             loads: Self::default_loads(),
             respond: true,
             shards: 1,
+            lookahead: None,
         }
     }
 
@@ -156,6 +174,7 @@ impl SweepConfig {
             loads: vec![],
             respond: false,
             shards: 1,
+            lookahead: None,
         }
     }
 
@@ -572,7 +591,7 @@ fn scenario_impl<W: Workload + ?Sized>(
         // rejections possible here are bad counts or zero-latency
         // links — configuration errors worth failing loudly on.
         fabric
-            .set_shards(cfg.shards)
+            .set_shards_with_lookahead(cfg.shards, cfg.lookahead)
             .unwrap_or_else(|e| panic!("cannot shard the sweep fabric: {e}"));
     }
     let n = torus.node_count();
@@ -640,6 +659,7 @@ fn scenario_impl<W: Workload + ?Sized>(
         specs.push(spec);
     };
 
+    let spawning = workload.spawns();
     let mut cycle = 0u64;
     while cycle < horizon {
         // Generation: Bernoulli opportunity per node, packets from the
@@ -697,9 +717,18 @@ fn scenario_impl<W: Workload + ?Sized>(
             // Drain phase with empty source queues: no generation draws,
             // no injection attempts — only link events can make progress,
             // so jump event to event. Delivery cycles (and thus every
-            // statistic) are identical to per-cycle stepping.
+            // statistic) are identical to per-cycle stepping. A spawning
+            // workload must see each delivery the cycle it lands (its
+            // follow-on packets enter the source queues that very
+            // cycle), so it steps reactively; a non-spawning one only
+            // reads the delivery log, so full lookahead windows batch
+            // deliveries without changing any recorded time.
             Stepper::Event if cycle >= gen_end && source_queued == 0 => {
-                fabric.step_next_event(horizon)
+                if spawning {
+                    fabric.step_next_event(horizon)
+                } else {
+                    fabric.step_batched(horizon)
+                }
             }
             Stepper::Event => fabric.step(),
             Stepper::Reference => fabric.step_reference(),
@@ -855,17 +884,19 @@ pub fn run_point(
 
 /// [`run_point`] keeping the mergeable per-point latency statistics —
 /// the curve harnesses fold these into the per-pattern
-/// [`LatencySummary`] aggregates.
+/// [`LatencySummary`] aggregates — plus the point fabric's
+/// `(sync_ops, epochs)` synchronization counters for the report echo.
 fn run_point_stats(
     pattern: &dyn TrafficPattern,
     cfg: &SweepConfig,
     params: FabricParams,
     offered: f64,
     stream: u64,
-) -> (LoadPoint, LatencyStats) {
+) -> (LoadPoint, LatencyStats, (u64, u64)) {
     let mut workload = SyntheticWorkload::new(pattern, cfg.flits_per_packet, cfg.respond);
     let run = run_scenario(&mut workload, cfg, params, offered, stream);
-    (run.point, run.stats)
+    let sync = (run.fabric.sync_ops(), run.fabric.epochs());
+    (run.point, run.stats, sync)
 }
 
 /// Claims indices `0..n` off a shared counter and computes `f(i)` into
@@ -937,10 +968,10 @@ pub fn run_curve_threaded(
 /// into the per-pattern aggregate in point order, so the curve — and
 /// its floating-point moment sums — is byte-identical at any worker
 /// count.
-fn assemble_curve(name: &str, results: Vec<(LoadPoint, LatencyStats)>) -> PatternCurve {
+fn assemble_curve(name: &str, results: Vec<(LoadPoint, LatencyStats, (u64, u64))>) -> PatternCurve {
     let mut agg = LatencyStats::default();
     let mut points = Vec::with_capacity(results.len());
-    for (point, stats) in results {
+    for (point, stats, _sync) in results {
         agg.merge(&stats);
         points.push(point);
     }
@@ -983,6 +1014,11 @@ pub fn run_sweep_threaded(
             (pi as u64 + 1) * 1024 + li as u64,
         )
     });
+    let (mut sync_ops, mut epochs) = (0u64, 0u64);
+    for &(_, _, (s, e)) in &flat {
+        sync_ops += s;
+        epochs += e;
+    }
     let mut flat = flat.into_iter();
     let curves = patterns
         .iter()
@@ -995,6 +1031,8 @@ pub fn run_sweep_threaded(
             dims: cfg.dims,
             threads,
             epoch_cycles: 0,
+            sync_ops,
+            epochs,
         },
         config: cfg.clone(),
         router_cycles: params.router_cycles,
@@ -1022,6 +1060,7 @@ mod tests {
             loads: vec![],
             respond: false,
             shards: 1,
+            lookahead: None,
         }
     }
 
@@ -1146,6 +1185,18 @@ mod tests {
                 format!("{serial:?}"),
                 format!("{sharded:?}"),
                 "shard count {shards} leaked into the measurements"
+            );
+        }
+        // The lookahead window is an execution knob too: a pinned
+        // degenerate window and a mid-size one must also match.
+        for lookahead in [Some(1), Some(3)] {
+            cfg.shards = 2;
+            cfg.lookahead = lookahead;
+            let windowed = run_point(&UniformRandom, &cfg, p, 0.4, 8);
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{windowed:?}"),
+                "lookahead {lookahead:?} leaked into the measurements"
             );
         }
     }
@@ -1282,11 +1333,14 @@ mod tests {
         assert!(json.contains("\"analytic_per_hop_ns\""));
         assert!(json.contains("\"response\""));
         assert!(json.contains("\"slice_delivered\""));
-        // The self-describing v2 surface: schema version, config echo,
-        // and the per-curve latency aggregates.
-        assert!(json.contains("\"schema_version\": 2"));
+        // The self-describing v3 surface: schema version, config echo
+        // (including the sharded stepper's sync counters — 0 on this
+        // single-threaded run), and the per-curve latency aggregates.
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"echo\""));
         assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"sync_ops\": 0"));
+        assert!(json.contains("\"epochs\": 0"));
         assert!(json.contains("\"request_latency\""));
         assert!(json.contains("\"stddev_cycles\""));
     }

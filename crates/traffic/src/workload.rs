@@ -72,6 +72,17 @@ pub trait Workload {
     ) {
         let _ = (torus, delivered, cycle, rng, out);
     }
+
+    /// Whether [`Workload::on_delivered`] can ever spawn follow-on
+    /// packets. Drivers use this to pick a stepping mode during the
+    /// drain: a spawning workload must observe every delivery the cycle
+    /// it lands (exact event stepping), while a non-spawning one can
+    /// take full lookahead windows with deliveries batched per epoch —
+    /// every observable is stamped with its delivery cycle either way.
+    /// The default is conservative.
+    fn spawns(&self) -> bool {
+        true
+    }
 }
 
 /// Adapts a [`TrafficPattern`] to the [`Workload`] API: each
@@ -108,6 +119,10 @@ impl<'a> SyntheticWorkload<'a> {
 impl Workload for SyntheticWorkload<'_> {
     fn name(&self) -> &str {
         self.pattern.name()
+    }
+
+    fn spawns(&self) -> bool {
+        self.respond
     }
 
     fn next_packets(

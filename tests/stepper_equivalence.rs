@@ -27,9 +27,11 @@ enum Mode {
     /// Alternate between the two in 3-cycle blocks (the steppers share
     /// all fabric state, so switching mid-run must not diverge).
     Alternating,
-    /// The region-partitioned stepper at this shard count (1 falls back
-    /// to the single-threaded event core, exactly like `--shards 1`).
-    Sharded(usize),
+    /// The region-partitioned stepper at this shard count with this
+    /// lookahead-window cap (`None` = the structural bound, the minimum
+    /// positive link latency; 1 falls back to the single-threaded event
+    /// core, exactly like `--shards 1`).
+    Sharded(usize, Option<u64>),
 }
 
 /// Drives one fabric with a deterministic mixed-class injection
@@ -50,16 +52,18 @@ fn drive(
     if telemetry {
         fabric.enable_telemetry(TelemetryConfig::default());
     }
-    if let Mode::Sharded(shards) = mode {
+    if let Mode::Sharded(shards, lookahead) = mode {
         if shards > 1 {
-            fabric.set_shards(shards).expect("fresh fabric shards");
+            fabric
+                .set_shards_with_lookahead(shards, lookahead)
+                .expect("fresh fabric shards");
         }
     }
     let mut rng = SplitMix64::new(seed);
     let n = torus.node_count() as u64;
     let mut log = Vec::new();
     let step = |fabric: &mut TorusFabric, p: u64| match mode {
-        Mode::Event | Mode::Sharded(_) => fabric.step(),
+        Mode::Event | Mode::Sharded(..) => fabric.step(),
         Mode::Reference => fabric.step_reference(),
         Mode::Alternating if (p / 3).is_multiple_of(2) => fabric.step(),
         Mode::Alternating => fabric.step_reference(),
@@ -86,12 +90,23 @@ fn drive(
         fabric.take_delivered();
     }
     // Drain with the mode under test (alternating keeps alternating).
-    let mut budget = 3_000_000u64;
-    let mut p = packets;
-    while fabric.occupancy() > 0 && budget > 0 {
-        step(&mut fabric, p);
-        p += 1;
-        budget -= 1;
+    // Sharded fabrics drain through the batched epoch path, so the
+    // lookahead window actually opens past one cycle: multi-cycle
+    // epochs, boundary credit shadows, the telemetry-epoch clamp, and
+    // the drain rewind all run under the bit-identity assertion.
+    if matches!(mode, Mode::Sharded(..)) {
+        let deadline = fabric.cycle() + 3_000_000;
+        while fabric.occupancy() > 0 && fabric.cycle() < deadline {
+            fabric.step_batched(deadline);
+        }
+    } else {
+        let mut budget = 3_000_000u64;
+        let mut p = packets;
+        while fabric.occupancy() > 0 && budget > 0 {
+            step(&mut fabric, p);
+            p += 1;
+            budget -= 1;
+        }
     }
     assert_eq!(fabric.occupancy(), 0, "fabric must drain");
     log.extend_from_slice(fabric.delivered());
@@ -159,15 +174,24 @@ proptest! {
         seed in any::<u64>(),
         packets in 50u64..200,
         shard_ix in 0usize..4,
+        la_ix in 0usize..3,
     ) {
         let shards = [1usize, 2, 4, 8][shard_ix];
+        // Window caps under test: degenerate single-cycle epochs, a
+        // small window that still straddles telemetry-epoch boundaries,
+        // and the uncapped structural bound (the boundary link latency,
+        // ~80+ cycles calibrated — far wider than the drain's quiet
+        // stretches, so full-width epochs and the rewind both fire).
+        let lookahead = [Some(1u64), Some(3), None][la_ix];
         // The region-partitioned stepper must reproduce the reference
         // scan exactly — delivery logs, every per-link traffic counter,
         // and (with telemetry recording through the shard-local stall
-        // accumulators) the full observability summary, at every shard
-        // count, on random shapes carrying both traffic classes.
+        // accumulators) the full observability summary, at every
+        // (shard count, lookahead window) pair, on random shapes
+        // carrying both traffic classes.
         let dims = [dims.0, dims.1, dims.2];
-        let (sharded, sharded_log) = drive(dims, seed, packets, Mode::Sharded(shards), true);
+        let (sharded, sharded_log) =
+            drive(dims, seed, packets, Mode::Sharded(shards, lookahead), true);
         let (naive, naive_log) = drive(dims, seed, packets, Mode::Reference, true);
         prop_assert_eq!(sharded.cycle(), naive.cycle(), "clocks diverged");
         prop_assert_eq!(
@@ -196,7 +220,8 @@ proptest! {
         };
         prop_assert_eq!(
             summary(&sharded), summary(&naive),
-            "telemetry summaries diverged at {} shards", shards
+            "telemetry summaries diverged at {} shards (lookahead {:?})",
+            shards, lookahead
         );
     }
 }
@@ -206,10 +231,11 @@ fn mega_fabric_sharded_step_matches_reference() {
     // 16x16x16 (4096 nodes) is far beyond the proptest shapes above and
     // above the old 1024-node quadratic route-table cap, so this spot
     // check exercises the separable-table hot path and the region
-    // partition at mega-fabric scale: the sharded stepper must reproduce
-    // the retained naive reference scan bit for bit.
+    // partition at mega-fabric scale: the sharded stepper — whose drain
+    // runs full-width lookahead epochs through the batched path — must
+    // reproduce the retained naive reference scan bit for bit.
     let dims = [16, 16, 16];
-    let (sharded, sharded_log) = drive(dims, 0x5EED, 48, Mode::Sharded(4), false);
+    let (sharded, sharded_log) = drive(dims, 0x5EED, 48, Mode::Sharded(4, None), false);
     let (naive, naive_log) = drive(dims, 0x5EED, 48, Mode::Reference, false);
     assert_eq!(sharded.cycle(), naive.cycle(), "clocks diverged");
     assert_eq!(
@@ -223,6 +249,15 @@ fn mega_fabric_sharded_step_matches_reference() {
             "slice {slice} aggregate counters diverged"
         );
     }
+    // The drain must actually have gone through the epoch machinery,
+    // and far more cheaply than one barrier set per simulated cycle.
+    assert!(sharded.epochs() > 0, "the sharded run must count epochs");
+    assert!(
+        sharded.epochs() < sharded.cycle(),
+        "lookahead epochs must cover multiple cycles on average: {} epochs / {} cycles",
+        sharded.epochs(),
+        sharded.cycle()
+    );
 }
 
 #[test]

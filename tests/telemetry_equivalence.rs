@@ -47,11 +47,28 @@ fn config() -> TelemetryConfig {
 /// Drives one fabric with the same deterministic mixed-class injection
 /// schedule as `stepper_equivalence`, applying the telemetry treatment.
 /// The schedule depends only on the fabric's observable state, which
-/// must be identical under every treatment.
-fn drive(dims: [u8; 3], seed: u64, packets: u64, telem: Telem) -> (TorusFabric, Vec<(u64, Flit)>) {
+/// must be identical under every treatment. With `shards`, the fabric
+/// runs the region-partitioned epoch stepper under the given lookahead
+/// cap and drains through the batched path, so toggling telemetry
+/// mid-run lands between lookahead epochs (the telemetry-epoch clamp
+/// and the stall-merge path both see the transition).
+fn drive(
+    dims: [u8; 3],
+    seed: u64,
+    packets: u64,
+    telem: Telem,
+    shards: Option<(usize, Option<u64>)>,
+) -> (TorusFabric, Vec<(u64, Flit)>) {
     let torus = Torus::new(dims);
     let params = FabricParams::calibrated(&LatencyModel::default());
     let mut fabric = TorusFabric::new(torus, params);
+    if let Some((shards, lookahead)) = shards {
+        if shards > 1 {
+            fabric
+                .set_shards_with_lookahead(shards, lookahead)
+                .expect("fresh fabric shards");
+        }
+    }
     if matches!(telem, Telem::On) {
         fabric.enable_telemetry(config());
     }
@@ -88,10 +105,17 @@ fn drive(dims: [u8; 3], seed: u64, packets: u64, telem: Telem) -> (TorusFabric, 
     if matches!(telem, Telem::Toggled) {
         fabric.enable_telemetry(config());
     }
-    let mut budget = 3_000_000u64;
-    while fabric.occupancy() > 0 && budget > 0 {
-        fabric.step();
-        budget -= 1;
+    if shards.is_some() {
+        let deadline = fabric.cycle() + 3_000_000;
+        while fabric.occupancy() > 0 && fabric.cycle() < deadline {
+            fabric.step_batched(deadline);
+        }
+    } else {
+        let mut budget = 3_000_000u64;
+        while fabric.occupancy() > 0 && budget > 0 {
+            fabric.step();
+            budget -= 1;
+        }
     }
     assert_eq!(fabric.occupancy(), 0, "fabric must drain");
     log.extend_from_slice(fabric.delivered());
@@ -136,9 +160,9 @@ proptest! {
         packets in 50u64..200,
     ) {
         let dims = [dims.0, dims.1, dims.2];
-        let (off, off_log) = drive(dims, seed, packets, Telem::Off);
-        let (on, on_log) = drive(dims, seed, packets, Telem::On);
-        let (toggled, toggled_log) = drive(dims, seed, packets, Telem::Toggled);
+        let (off, off_log) = drive(dims, seed, packets, Telem::Off, None);
+        let (on, on_log) = drive(dims, seed, packets, Telem::On, None);
+        let (toggled, toggled_log) = drive(dims, seed, packets, Telem::Toggled, None);
         assert_same_observables(&off, &off_log, &on, &on_log);
         assert_same_observables(&off, &off_log, &toggled, &toggled_log);
         prop_assert!(on.telemetry().is_some(), "telemetry state must survive the run");
@@ -149,13 +173,42 @@ proptest! {
     }
 
     #[test]
+    fn telemetry_toggles_never_perturb_the_epoch_path(
+        dims in (2u8..=4, 2u8..=4, 2u8..=4),
+        seed in any::<u64>(),
+        packets in 50u64..200,
+        shard_ix in 0usize..4,
+        la_ix in 0usize..3,
+    ) {
+        // The same zero-perturbation guarantee on the lookahead-epoch
+        // stepper: enabling and disabling telemetry between epochs (the
+        // mid-run toggles) and re-enabling for the batched drain must
+        // leave every observable bit-identical to the serial untracked
+        // baseline, at every (shard count, lookahead window) pair. The
+        // telemetry-epoch window clamp only exists while recording is
+        // on, so the toggles change the epoch schedule — but never the
+        // simulated history.
+        let shards = [1usize, 2, 4, 8][shard_ix];
+        let lookahead = [Some(1u64), Some(3), None][la_ix];
+        let dims = [dims.0, dims.1, dims.2];
+        let (off, off_log) = drive(dims, seed, packets, Telem::Off, None);
+        let (toggled, toggled_log) =
+            drive(dims, seed, packets, Telem::Toggled, Some((shards, lookahead)));
+        assert_same_observables(&off, &off_log, &toggled, &toggled_log);
+        prop_assert!(
+            toggled.telemetry().is_some(),
+            "the drain re-enable must leave telemetry on"
+        );
+    }
+
+    #[test]
     fn stall_advance_idle_reconcile_per_link(
         dims in (2u8..=4, 2u8..=4, 2u8..=4),
         seed in any::<u64>(),
         packets in 50u64..200,
     ) {
         let dims = [dims.0, dims.1, dims.2];
-        let (fabric, log) = drive(dims, seed, packets, Telem::On);
+        let (fabric, log) = drive(dims, seed, packets, Telem::On, None);
         prop_assert!(!log.is_empty(), "the schedule must deliver packets");
         let elapsed = fabric.cycle(); // telemetry enabled at cycle 0
         let mut advance_total = 0u64;
